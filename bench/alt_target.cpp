@@ -1,0 +1,80 @@
+// Generality demonstration (the paper's future work): the complete
+// analysis pipeline on a second, structurally different target — a tank
+// level controller with two outputs of different criticality.
+#include <cstdio>
+#include <iostream>
+
+#include "alt/tank_system.hpp"
+#include "epic/estimator.hpp"
+#include "epic/impact.hpp"
+#include "epic/measures.hpp"
+#include "epic/placement.hpp"
+#include "fi/injector.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace epea;
+    using util::Align;
+    using util::TextTable;
+
+    alt::TankSystem sys;
+    const auto& system = sys.system();
+    const auto scenarios = alt::standard_tank_scenarios();
+
+    // -- fault-injection campaign -------------------------------------------
+    std::printf("Alternate target: tank level control (4 modules, 2 outputs)\n");
+    fi::Injector injector(sys.sim());
+    epic::PermeabilityEstimator estimator(sys.sim(), injector);
+    epic::EstimatorOptions options;
+    options.times_per_bit = 6;
+    options.max_ticks = 20000;
+    const epic::PermeabilityMatrix pm = estimator.estimate(
+        scenarios.size(), [&](std::size_t c) { sys.configure(scenarios[c]); },
+        options);
+    std::printf("Campaign: %zu scenarios, %zu injection runs\n\n", scenarios.size(),
+                estimator.runs_executed());
+
+    TextTable t1({"Pair", "Permeability"}, {Align::kLeft, Align::kRight});
+    for (const auto& e : pm.entries()) {
+        t1.add_row({system.signal_name(e.in_signal) + " -> " +
+                        system.signal_name(e.out_signal),
+                    TextTable::num(e.value)});
+    }
+    std::cout << t1 << "\n";
+
+    // -- profile under two criticality policies -----------------------------
+    const auto valve = system.signal_id("valve_cmd");
+    const auto alarm = system.signal_id("alarm_word");
+    const std::vector<epic::OutputCriticality> actuator_first = {{valve, 1.0},
+                                                                 {alarm, 0.2}};
+    const std::vector<epic::OutputCriticality> diag_first = {{valve, 0.2},
+                                                             {alarm, 1.0}};
+
+    TextTable t2({"Signal", "X_s", "I(valve)", "I(alarm)", "C(act-first)",
+                  "C(diag-first)"},
+                 {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                  Align::kRight, Align::kRight});
+    for (const auto sid : system.all_signals()) {
+        if (system.signal(sid).role == model::SignalRole::kSystemOutput) continue;
+        const auto exposure = epic::signal_exposure(pm, sid);
+        t2.add_row({system.signal_name(sid),
+                    exposure ? TextTable::num(*exposure) : "-",
+                    TextTable::num(epic::impact(pm, sid, valve)),
+                    TextTable::num(epic::impact(pm, sid, alarm)),
+                    TextTable::num(epic::criticality(pm, sid, actuator_first)),
+                    TextTable::num(epic::criticality(pm, sid, diag_first))});
+    }
+    std::cout << t2;
+
+    // -- extended placement under the actuator-first policy ------------------
+    std::printf("\nExtended placement (actuator-first criticality):\n");
+    for (const auto& d : epic::extended_placement(pm, actuator_first)) {
+        if (system.signal(d.signal).role == model::SignalRole::kSystemInput) continue;
+        std::printf("  %-11s %-3s %s\n", system.signal_name(d.signal).c_str(),
+                    d.selected ? "yes" : "no", d.motivation.c_str());
+    }
+    std::printf("\nKey parallel to the paper: `level` is the tank's IsValue — zero "
+                "exposure (median-masked) but high impact on the critical output, "
+                "so only the extended framework guards it.\n");
+    return 0;
+}

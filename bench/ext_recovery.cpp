@@ -1,0 +1,50 @@
+// Extension experiment: error *recovery* at the selected locations.
+// The paper's rules place EDMs and ERMs but its evaluation measures only
+// detection; this bench arms recovery wrappers (hold-last-good / clamp)
+// at the extended-placement signals and measures how much they cut the
+// system failure rate under the severe error model.
+#include <cstdio>
+#include <iostream>
+
+#include "exp/paper_data.hpp"
+#include "exp/recovery.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace epea;
+    using util::Align;
+    using util::TextTable;
+
+    target::ArrestmentSystem sys;
+    exp::CampaignOptions options = exp::CampaignOptions::from_env();
+
+    // Non-boolean extended-placement signals (the §10 selection).
+    const std::vector<std::string> guarded = exp::paper_eh_signals();
+
+    std::printf("Recovery extension — severe error model, paired runs\n");
+    std::printf("Guarded signals:");
+    for (const auto& s : guarded) std::printf(" %s", s.c_str());
+    std::printf("\n\n");
+
+    TextTable table({"Policy", "Runs", "Failure rate (baseline)",
+                     "Failure rate (with ERMs)", "Repairs", "ERM ROM/RAM"},
+                    {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                     Align::kRight, Align::kRight});
+
+    for (const auto policy :
+         {erm::RecoveryPolicy::kClamp, erm::RecoveryPolicy::kHoldLastGood}) {
+        const exp::RecoveryResult result =
+            exp::recovery_experiment(sys, options, guarded, policy);
+        table.add_row(
+            {to_string(policy), TextTable::num(static_cast<std::uint64_t>(result.runs)),
+             TextTable::num(result.baseline_failure_rate()),
+             TextTable::num(result.erm_failure_rate()),
+             TextTable::num(static_cast<std::uint64_t>(result.repairs)),
+             TextTable::num(static_cast<std::uint64_t>(result.erm_cost.rom)) + "/" +
+                 TextTable::num(static_cast<std::uint64_t>(result.erm_cost.ram))});
+    }
+    std::cout << table;
+    std::printf("\nExpectation: recovery at the extended-placement locations cuts "
+                "the failure rate well below the detection-only baseline.\n");
+    return 0;
+}

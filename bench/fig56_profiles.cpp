@@ -1,0 +1,59 @@
+// Regenerates Figs 5 & 6: the exposure profile and the impact profile of
+// the target system — signal bands printed as text, and the full profiles
+// written as Graphviz DOT files (line thickness ∝ value, dashed = zero,
+// dotted = no value assigned, mirroring the figures' convention).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "epic/impact.hpp"
+#include "epic/measures.hpp"
+#include "epic/profile.hpp"
+#include "exp/paper_data.hpp"
+#include "target/arrestment_system.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace epea;
+    using util::Align;
+    using util::TextTable;
+
+    const model::SystemModel system = target::make_arrestment_model();
+    const epic::PermeabilityMatrix pm = exp::paper_matrix(system);
+    const auto toc2 = system.signal_id("TOC2");
+
+    // Collect both profiles as (signal, value) lists.
+    std::vector<std::pair<model::SignalId, std::optional<double>>> exposure;
+    std::vector<std::pair<model::SignalId, std::optional<double>>> impact;
+    const auto impacts = epic::impact_profile(pm, toc2);
+    for (const model::SignalId s : system.all_signals()) {
+        exposure.emplace_back(s, epic::signal_exposure(pm, s));
+        impact.emplace_back(s, impacts[s.index()].impact);
+    }
+
+    TextTable table({"Signal", "Exposure band", "X_s", "Impact band", "impact"},
+                    {Align::kLeft, Align::kLeft, Align::kRight, Align::kLeft,
+                     Align::kRight});
+    const auto exp_bands = epic::classify_profile(system, exposure);
+    const auto imp_bands = epic::classify_profile(system, impact);
+    for (const model::SignalId s : system.all_signals()) {
+        const auto& eb = exp_bands[s.index()];
+        const auto& ib = imp_bands[s.index()];
+        table.add_row({system.signal_name(s), to_string(eb.band),
+                       eb.value ? TextTable::num(*eb.value) : "-", to_string(ib.band),
+                       ib.value ? TextTable::num(*ib.value) : "-"});
+    }
+    std::printf("Figs 5 & 6 — exposure and impact profiles of the target\n");
+    std::cout << table;
+
+    std::ofstream fig5("fig5_exposure_profile.dot");
+    epic::write_profile_dot(fig5, system, exposure, "exposure_profile");
+    std::ofstream fig6("fig6_impact_profile.dot");
+    epic::write_profile_dot(fig6, system, impact, "impact_profile");
+    std::printf("\nWrote fig5_exposure_profile.dot and fig6_impact_profile.dot "
+                "(render with graphviz: dot -Tpng ...)\n");
+    std::printf("Key contrast: ms_slot_nbr has the 4th-highest exposure but zero "
+                "impact; IsValue/mscnt/slow_speed have zero exposure but high "
+                "impact.\n");
+    return 0;
+}

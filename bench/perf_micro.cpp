@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark): simulation kernel throughput, EA
+// evaluation overhead (the execution-time side of Table 3's resource
+// argument), golden-run capture, and analysis-algorithm scaling on
+// synthetic layered systems.
+#include <benchmark/benchmark.h>
+
+#include "ea/calibrate.hpp"
+#include "epic/impact.hpp"
+#include "epic/measures.hpp"
+#include "epic/paths.hpp"
+#include "exp/arrestment_experiments.hpp"
+#include "exp/paper_data.hpp"
+#include "fi/golden.hpp"
+#include "synth/generator.hpp"
+#include "target/arrestment_system.hpp"
+
+namespace {
+
+using namespace epea;
+
+/// One full arrestment simulation (~9000 ticks of 6 module invocations).
+void BM_ArrestmentRun(benchmark::State& state) {
+    target::ArrestmentSystem sys;
+    sys.configure(target::standard_test_cases()[12]);
+    std::uint64_t ticks = 0;
+    for (auto _ : state) {
+        const runtime::RunResult rr = sys.run_arrestment();
+        ticks += rr.ticks;
+        benchmark::DoNotOptimize(rr.ticks);
+    }
+    state.counters["ticks/s"] = benchmark::Counter(
+        static_cast<double>(ticks), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ArrestmentRun)->Unit(benchmark::kMillisecond);
+
+/// The same run with the full EH-set of 7 EAs armed — the relative
+/// slowdown is the execution-time overhead of the EA placement.
+void BM_ArrestmentRunWithEas(benchmark::State& state) {
+    const auto ea_count = static_cast<std::size_t>(state.range(0));
+    target::ArrestmentSystem sys;
+    sys.configure(target::standard_test_cases()[12]);
+    const fi::GoldenRun gr = fi::capture_golden_run(sys.sim(), target::kMaxRunTicks);
+    sys.sim().enable_trace(false);
+    ea::EaBank bank = exp::make_calibrated_bank(sys.system(), {gr.trace});
+    sys.sim().clear_monitors();
+    for (std::size_t i = 0; i < std::min(ea_count, bank.size()); ++i) {
+        sys.sim().add_monitor(&bank.at(i));
+    }
+    for (auto _ : state) {
+        const runtime::RunResult rr = sys.run_arrestment();
+        benchmark::DoNotOptimize(rr.ticks);
+    }
+    sys.sim().clear_monitors();
+}
+BENCHMARK(BM_ArrestmentRunWithEas)->Arg(0)->Arg(4)->Arg(7)->Unit(benchmark::kMillisecond);
+
+/// Raw EA check throughput (one value-pair evaluation).
+void BM_EaEvaluate(benchmark::State& state) {
+    ea::EaParams params;
+    params.type = ea::EaType::kContinuous;
+    params.min = 0;
+    params.max = 1000;
+    params.max_rate_up = 16;
+    params.max_rate_down = 16;
+    std::int64_t v = 0;
+    for (auto _ : state) {
+        v = (v + 7) % 1000;
+        benchmark::DoNotOptimize(
+            ea::ExecutableAssertion::violates(params, v, (v + 7) % 1000, true));
+    }
+}
+BENCHMARK(BM_EaEvaluate);
+
+/// Golden-run capture including full trace recording.
+void BM_GoldenRunCapture(benchmark::State& state) {
+    target::ArrestmentSystem sys;
+    sys.configure(target::standard_test_cases()[0]);
+    for (auto _ : state) {
+        const fi::GoldenRun gr = fi::capture_golden_run(sys.sim(), target::kMaxRunTicks);
+        benchmark::DoNotOptimize(gr.length);
+    }
+}
+BENCHMARK(BM_GoldenRunCapture)->Unit(benchmark::kMillisecond);
+
+/// Impact computation over the target (paper matrix): all signals vs TOC2.
+void BM_ImpactProfileTarget(benchmark::State& state) {
+    const model::SystemModel system = target::make_arrestment_model();
+    const epic::PermeabilityMatrix pm = exp::paper_matrix(system);
+    const model::SignalId toc2 = system.signal_id("TOC2");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(epic::impact_profile(pm, toc2));
+    }
+}
+BENCHMARK(BM_ImpactProfileTarget);
+
+/// Path enumeration scaling on random layered systems.
+void BM_ForwardPathsSynthetic(benchmark::State& state) {
+    synth::LayeredOptions options;
+    options.layers = static_cast<std::size_t>(state.range(0));
+    options.modules_per_layer = 4;
+    options.edge_density = 0.5;
+    options.seed = 99;
+    const synth::SyntheticSystem s = synth::random_layered_system(options);
+    const auto inputs = s.system->signals_with_role(model::SignalRole::kSystemInput);
+    std::size_t paths = 0;
+    for (auto _ : state) {
+        for (const auto in : inputs) {
+            paths += epic::forward_paths(s.matrix, in).size();
+        }
+    }
+    state.counters["paths"] = static_cast<double>(paths) /
+                              static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ForwardPathsSynthetic)->Arg(3)->Arg(5)->Arg(7);
+
+/// Exposure profile scaling with system size.
+void BM_ExposureProfileSynthetic(benchmark::State& state) {
+    synth::LayeredOptions options;
+    options.layers = static_cast<std::size_t>(state.range(0));
+    options.modules_per_layer = 8;
+    options.seed = 7;
+    const synth::SyntheticSystem s = synth::random_layered_system(options);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(epic::exposure_profile(s.matrix));
+    }
+}
+BENCHMARK(BM_ExposureProfileSynthetic)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

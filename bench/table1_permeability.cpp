@@ -1,0 +1,49 @@
+// Regenerates Table 1: estimated error permeability of every module
+// input/output pair, via the fault-injection campaign of §5.3, printed
+// next to the paper's published values.
+//
+// Full scale: 25 test cases x 10 injection moments per bit (~40k runs).
+// Scale down with EPEA_CASES / EPEA_TIMES.
+#include <cstdio>
+#include <iostream>
+
+#include "exp/arrestment_experiments.hpp"
+#include "exp/parallel.hpp"
+#include "exp/paper_data.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace epea;
+
+    target::ArrestmentSystem sys;
+    const exp::CampaignOptions options = exp::CampaignOptions::from_env();
+
+    std::printf("Table 1 — error permeability per input/output pair\n");
+    std::printf("Campaign: %zu test cases, %zu injection moments per bit\n\n",
+                options.case_count, options.times_per_bit);
+
+    const epic::PermeabilityMatrix measured =
+        exp::estimate_arrestment_permeability_parallel(options);
+
+    const epic::PermeabilityMatrix paper = exp::paper_matrix(sys.system());
+    const auto& system = sys.system();
+
+    util::TextTable table({"Input -> Output", "Name", "Measured", "Paper", "n_active"},
+                          {util::Align::kLeft, util::Align::kLeft, util::Align::kRight,
+                           util::Align::kRight, util::Align::kRight});
+    model::ModuleId last_module;
+    for (const auto& e : measured.entries()) {
+        if (last_module.valid() && e.module != last_module) table.add_rule();
+        last_module = e.module;
+        const std::string pair =
+            system.signal_name(e.in_signal) + " -> " + system.signal_name(e.out_signal);
+        const std::string name = "P^" + system.module_name(e.module) + "(" +
+                                 std::to_string(e.in_port + 1) + "," +
+                                 std::to_string(e.out_port + 1) + ")";
+        table.add_row({pair, name, util::TextTable::num(e.value),
+                       util::TextTable::num(paper.get(e.module, e.in_port, e.out_port)),
+                       util::TextTable::num(static_cast<std::uint64_t>(e.active))});
+    }
+    std::cout << table;
+    return 0;
+}

@@ -1,0 +1,79 @@
+// synthetic_profile — the analysis framework on systems other than the
+// paper's target: a random layered black-box system (scalability), and a
+// multi-output controller where criticality — not just impact — decides
+// the placement (the paper's C3 discussion).
+#include <cstdio>
+#include <fstream>
+
+#include "epic/impact.hpp"
+#include "epic/measures.hpp"
+#include "epic/paths.hpp"
+#include "epic/placement.hpp"
+#include "epic/profile.hpp"
+#include "synth/generator.hpp"
+
+int main() {
+    using namespace epea;
+
+    // -- random layered system ---------------------------------------------
+    synth::LayeredOptions options;
+    options.layers = 4;
+    options.modules_per_layer = 3;
+    options.seed = 2002;  // DSN 2002
+    const synth::SyntheticSystem s = synth::random_layered_system(options);
+    std::printf("Random layered system: %zu modules, %zu signals, %zu pairs\n",
+                s.system->module_count(), s.system->signal_count(),
+                s.system->pair_count());
+
+    std::printf("\nTop signals by exposure:\n");
+    int shown = 0;
+    for (const auto& row : epic::exposure_profile(s.matrix)) {
+        if (!row.exposure || shown >= 5) break;
+        std::printf("  %-10s X_s=%.3f\n", s.system->signal_name(row.signal).c_str(),
+                    *row.exposure);
+        ++shown;
+    }
+
+    const auto selected = epic::selected_signals(epic::pa_placement(s.matrix));
+    std::printf("\nPA placement selects %zu of %zu signals\n", selected.size(),
+                s.system->signal_count());
+
+    std::ofstream dot("synthetic_profile.dot");
+    std::vector<std::pair<model::SignalId, std::optional<double>>> weights;
+    for (const auto sid : s.system->all_signals()) {
+        weights.emplace_back(sid, epic::signal_exposure(s.matrix, sid));
+    }
+    epic::write_profile_dot(dot, *s.system, weights, "synthetic_exposure");
+    std::printf("Wrote synthetic_profile.dot\n");
+
+    // -- multi-output criticality -------------------------------------------
+    const synth::SyntheticSystem mo = synth::make_multi_output_system();
+    const auto& m = *mo.system;
+    const auto actuator = m.signal_id("actuator_cmd");
+    const auto diag = m.signal_id("diag_word");
+
+    std::printf("\nMulti-output controller: actuator (criticality 1.0) vs "
+                "diagnostics (criticality 0.2)\n");
+    const std::vector<epic::OutputCriticality> weights_a = {{actuator, 1.0},
+                                                            {diag, 0.2}};
+    const std::vector<epic::OutputCriticality> weights_b = {{actuator, 0.2},
+                                                            {diag, 1.0}};
+    std::printf("%-10s | %-8s %-8s | %-10s %-10s\n", "signal", "I(act)", "I(diag)",
+                "C(act-crit)", "C(diag-crit)");
+    for (const auto sid : m.all_signals()) {
+        if (m.signal(sid).role == model::SignalRole::kSystemOutput) continue;
+        std::printf("%-10s | %-8.3f %-8.3f | %-10.3f %-10.3f\n",
+                    m.signal_name(sid).c_str(), epic::impact(mo.matrix, sid, actuator),
+                    epic::impact(mo.matrix, sid, diag),
+                    epic::criticality(mo.matrix, sid, weights_a),
+                    epic::criticality(mo.matrix, sid, weights_b));
+    }
+    std::printf("\nSame impacts, different criticalities: the designer's output "
+                "weighting re-ranks the placement candidates.\n");
+
+    // Backtrack tree of the critical output.
+    std::printf("\nBacktrack tree of actuator_cmd:\n%s",
+                epic::render_tree(m, epic::backward_paths(mo.matrix, actuator), true)
+                    .c_str());
+    return 0;
+}

@@ -1,0 +1,343 @@
+#include "alt/tank_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/builder.hpp"
+#include "runtime/module_behaviour.hpp"
+
+namespace epea::alt {
+
+namespace {
+
+constexpr double kTankVolumeL = 1000.0;  ///< litres at level 1.0
+constexpr double kMaxInflowLps = 20.0;   ///< at full valve command
+constexpr double kPulsesPerLitre = 50.0;
+constexpr std::int32_t kLevelSetpoint = 510;  ///< level units (0..1020)
+
+[[nodiscard]] constexpr std::int32_t clampi(std::int32_t v, std::int32_t lo,
+                                            std::int32_t hi) noexcept {
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// Level sensing: median-of-3 of the ADC, x4 scaling, EMA'd rate.
+/// level_rate is offset-encoded (kRateOffset = zero rate).
+class LvlSModule final : public runtime::ModuleBehaviour {
+public:
+    static constexpr std::uint32_t kRateOffset = 512;
+
+    void init(runtime::InitContext& ctx) override {
+        for (std::size_t k = 0; k < buf_.size(); ++k) {
+            ctx.ram("LVL_S.buf[" + std::to_string(k) + "]", &buf_[k], 8);
+        }
+        ctx.ram("LVL_S.idx", &idx_, 8);
+        ctx.ram("LVL_S.level", &level_, 16);
+        ctx.ram("LVL_S.rate", &rate_, 16);
+        ctx.stack("LVL_S.med", &med_scratch_, 8);
+    }
+    void reset() override {
+        buf_.fill(0);
+        idx_ = 0;
+        level_ = 0;
+        rate_ = kRateOffset;
+    }
+    void step(runtime::ModuleContext& ctx) override {
+        buf_[idx_ % buf_.size()] = ctx.in(0) & 0xffU;
+        idx_ = (idx_ + 1) % buf_.size();
+        std::array<std::uint32_t, 3> sorted = buf_;
+        std::sort(sorted.begin(), sorted.end());
+        med_scratch_ = sorted[1];
+
+        const auto target = static_cast<std::int32_t>(med_scratch_ * 4);
+        const auto prev = static_cast<std::int32_t>(level_);
+        // Rate: EMA of the per-tick delta (x16 gain for resolution).
+        const std::int32_t delta = clampi((target - prev) * 16, -400, 400);
+        const auto rate_prev =
+            static_cast<std::int32_t>(rate_) - static_cast<std::int32_t>(kRateOffset);
+        const std::int32_t rate_next = rate_prev + (delta - rate_prev) / 8;
+        rate_ = static_cast<std::uint32_t>(
+                    clampi(rate_next + static_cast<std::int32_t>(kRateOffset), 0,
+                           1023)) &
+                0xffffU;
+        level_ = static_cast<std::uint32_t>(target) & 0xffffU;
+        ctx.out(0, level_);
+        ctx.out(1, rate_);
+    }
+
+private:
+    std::array<std::uint32_t, 3> buf_{};
+    std::uint32_t idx_ = 0;
+    std::uint32_t level_ = 0;
+    std::uint32_t rate_ = kRateOffset;
+    std::uint32_t med_scratch_ = 0;
+};
+
+/// Demand sensing: wrap-around decode of the turbine counter, windowed
+/// rate in pulses per 128 ms (≈ demand in l/s x 6.4).
+class DmdSModule final : public runtime::ModuleBehaviour {
+public:
+    static constexpr std::uint32_t kBins = 16;  // 8 ms bins -> 128 ms window
+    static constexpr std::uint32_t kBinMs = 8;
+    static constexpr std::uint32_t kMaxDelta = 4;
+
+    void init(runtime::InitContext& ctx) override {
+        ctx.ram("DMD_S.prev", &prev_, 8);
+        for (std::size_t k = 0; k < bins_.size(); ++k) {
+            ctx.ram("DMD_S.bin[" + std::to_string(k) + "]", &bins_[k], 8);
+        }
+        ctx.ram("DMD_S.acc", &acc_, 8);
+        ctx.ram("DMD_S.phase", &phase_, 8);
+        ctx.ram("DMD_S.idx", &idx_, 8);
+        ctx.ram("DMD_S.rate", &rate_, 16);
+        ctx.stack("DMD_S.delta", &delta_scratch_, 8);
+    }
+    void reset() override {
+        prev_ = 0;
+        bins_.fill(0);
+        acc_ = 0;
+        phase_ = 0;
+        idx_ = 0;
+        rate_ = 0;
+        first_ = true;
+    }
+    void step(runtime::ModuleContext& ctx) override {
+        const std::uint32_t cnt = ctx.in(0);
+        std::uint32_t delta = (cnt - prev_) & 0xffU;
+        if (first_) {
+            delta = 0;
+            first_ = false;
+        }
+        prev_ = cnt & 0xffU;
+        if (delta > kMaxDelta) delta = kMaxDelta;
+        delta_scratch_ = delta;
+
+        acc_ = (acc_ + delta_scratch_) & 0xffU;
+        phase_ = (phase_ + 1) & 0xffU;
+        if (phase_ >= kBinMs) {
+            phase_ = 0;
+            const std::uint32_t bi = idx_ % kBins;
+            rate_ = (rate_ + acc_ - bins_[bi]) & 0xffffU;
+            bins_[bi] = acc_;
+            acc_ = 0;
+            idx_ = (bi + 1) % kBins;
+        }
+        ctx.out(0, rate_);  // demand
+    }
+
+private:
+    std::uint32_t prev_ = 0;
+    std::array<std::uint32_t, kBins> bins_{};
+    std::uint32_t acc_ = 0;
+    std::uint32_t phase_ = 0;
+    std::uint32_t idx_ = 0;
+    std::uint32_t rate_ = 0;
+    bool first_ = true;
+    std::uint32_t delta_scratch_ = 0;
+};
+
+/// Level controller: feed-forward on demand plus PI on the level error.
+class CtrlModule final : public runtime::ModuleBehaviour {
+public:
+    static constexpr std::int32_t kIntegLimit = 3000;
+
+    void init(runtime::InitContext& ctx) override {
+        ctx.ram("CTRL.integ", &integ_, 16);
+        ctx.stack("CTRL.err", &err_scratch_, 16);
+    }
+    void reset() override { integ_ = 0; }
+    void step(runtime::ModuleContext& ctx) override {
+        const auto level = static_cast<std::int32_t>(ctx.in(0));
+        const auto rate =
+            static_cast<std::int32_t>(ctx.in(1)) -
+            static_cast<std::int32_t>(LvlSModule::kRateOffset);
+        const auto demand = static_cast<std::int32_t>(ctx.in(2));
+
+        std::int32_t err = kLevelSetpoint - level;
+        if (err >= -2 && err <= 2) err = 0;
+        err_scratch_ = static_cast<std::uint32_t>(err) & 0xffffU;
+        const std::int32_t err_db = util::sign_extend(err_scratch_, 16);
+
+        const std::int32_t integ_next = clampi(
+            util::sign_extend(integ_, 16) + err_db / 4, -kIntegLimit, kIntegLimit);
+        integ_ = static_cast<std::uint32_t>(integ_next) & 0xffffU;
+
+        // Feed-forward: valve that matches the outflow (demand in pulses
+        // per 128 ms; full valve = 20 l/s = 128 pulses per 128 ms).
+        const std::int32_t ff = demand * 512;
+        const std::int32_t u = ff + err_db * 24 - rate * 8 + integ_next * 4;
+        ctx.out(0, static_cast<std::uint32_t>(clampi(u, 0, 65535)));
+    }
+
+private:
+    std::uint32_t integ_ = 0;
+    std::uint32_t err_scratch_ = 0;
+};
+
+/// Alarm logic: debounced low/high level conditions as a discrete word.
+class AlarmModule final : public runtime::ModuleBehaviour {
+public:
+    static constexpr std::int32_t kLow = 260;    // level units (~0.25)
+    static constexpr std::int32_t kHigh = 780;   // (~0.76)
+    static constexpr std::uint32_t kDebounce = 64;
+
+    void init(runtime::InitContext& ctx) override {
+        ctx.ram("ALARM.low_deb", &low_deb_, 8);
+        ctx.ram("ALARM.high_deb", &high_deb_, 8);
+        ctx.ram("ALARM.word", &word_, 8);
+    }
+    void reset() override {
+        low_deb_ = 0;
+        high_deb_ = 0;
+        word_ = 0;
+    }
+    void step(runtime::ModuleContext& ctx) override {
+        const auto level = static_cast<std::int32_t>(ctx.in(0));
+        const bool low_raw = level < kLow;
+        const bool high_raw = level > kHigh;
+        low_deb_ = low_raw ? std::min<std::uint32_t>(low_deb_ + 1, 255) : 0;
+        high_deb_ = high_raw ? std::min<std::uint32_t>(high_deb_ + 1, 255) : 0;
+        std::uint32_t word = 0;
+        if (low_deb_ >= kDebounce) word |= 1;
+        if (high_deb_ >= kDebounce) word |= 2;
+        word_ = word;
+        ctx.out(0, word_);
+        (void)ctx.in(1);  // demand reserved for predictive alarms
+    }
+
+private:
+    std::uint32_t low_deb_ = 0;
+    std::uint32_t high_deb_ = 0;
+    std::uint32_t word_ = 0;
+};
+
+}  // namespace
+
+std::vector<TankScenario> standard_tank_scenarios() {
+    std::vector<TankScenario> out;
+    int id = 0;
+    for (const double base : {4.0, 6.0, 8.0}) {
+        for (const double step : {8.0, 11.0, 14.0}) {
+            TankScenario s;
+            s.id = id++;
+            s.base_demand_lps = base;
+            s.step_demand_lps = step;
+            out.push_back(s);
+        }
+    }
+    return out;
+}
+
+model::SystemModel make_tank_model() {
+    using model::SignalKind;
+    model::SystemBuilder b;
+    b.input("LADC", SignalKind::kContinuous, 8);
+    b.input("FLOW_CNT", SignalKind::kMonotonic, 8);
+    b.intermediate("level", SignalKind::kContinuous, 16);
+    b.intermediate("level_rate", SignalKind::kContinuous, 16);
+    b.intermediate("demand", SignalKind::kContinuous, 16);
+    b.output("valve_cmd", SignalKind::kContinuous, 16);
+    b.output("alarm_word", SignalKind::kDiscrete, 8);
+
+    b.module("LVL_S").in("LADC").out("level").out("level_rate");
+    b.module("DMD_S").in("FLOW_CNT").out("demand");
+    b.module("CTRL").in("level").in("level_rate").in("demand").out("valve_cmd");
+    b.module("ALARM").in("level").in("demand").out("alarm_word");
+    return b.build();
+}
+
+/// The liquid tank, its sensors and the valve actuator.
+class TankSystem::Plant final : public runtime::Environment {
+public:
+    explicit Plant(const model::SystemModel& system)
+        : sig_ladc_(system.signal_id("LADC")),
+          sig_flow_(system.signal_id("FLOW_CNT")),
+          sig_valve_(system.signal_id("valve_cmd")) {}
+
+    void configure(const TankScenario& s) { scenario_ = s; }
+
+    void reset() override {
+        level_frac_ = 0.5;
+        valve_norm_ = 0.0;
+        pulse_accum_ = 0.0;
+        flow_cnt_ = 0;
+        ticks_ = 0;
+        report_ = TankReport{};
+        report_.min_level = report_.max_level = level_frac_;
+    }
+
+    void sense(runtime::SignalStore& store, runtime::Tick now) override {
+        const double demand = now >= scenario_.step_at_ms
+                                  ? scenario_.step_demand_lps
+                                  : scenario_.base_demand_lps;
+        const double inflow = valve_norm_ * kMaxInflowLps;
+        level_frac_ += (inflow - demand) * 0.001 / kTankVolumeL;
+        level_frac_ = std::clamp(level_frac_, 0.0, 1.0);
+        report_.min_level = std::min(report_.min_level, level_frac_);
+        report_.max_level = std::max(report_.max_level, level_frac_);
+        if (level_frac_ >= 0.95) report_.overflowed = true;
+        if (level_frac_ <= 0.05) report_.ran_dry = true;
+
+        pulse_accum_ += demand * 0.001 * kPulsesPerLitre;
+        const auto pulses = static_cast<std::uint32_t>(pulse_accum_);
+        if (pulses > 0) {
+            pulse_accum_ -= pulses;
+            flow_cnt_ = (flow_cnt_ + pulses) & 0xffU;
+        }
+
+        store.set(sig_ladc_, static_cast<std::uint32_t>(
+                                 std::lround(level_frac_ * 255.0)));
+        store.set(sig_flow_, flow_cnt_);
+        ++ticks_;
+    }
+
+    void actuate(const runtime::SignalStore& store, runtime::Tick) override {
+        valve_norm_ =
+            std::clamp(static_cast<double>(store.get(sig_valve_)) / 65535.0, 0.0, 1.0);
+    }
+
+    [[nodiscard]] bool finished() const override {
+        return ticks_ >= scenario_.duration_ms;
+    }
+
+    [[nodiscard]] TankReport report() const { return report_; }
+
+private:
+    model::SignalId sig_ladc_;
+    model::SignalId sig_flow_;
+    model::SignalId sig_valve_;
+    TankScenario scenario_;
+    double level_frac_ = 0.5;
+    double valve_norm_ = 0.0;
+    double pulse_accum_ = 0.0;
+    std::uint32_t flow_cnt_ = 0;
+    runtime::Tick ticks_ = 0;
+    TankReport report_;
+};
+
+TankSystem::TankSystem()
+    : model_(std::make_unique<model::SystemModel>(make_tank_model())),
+      plant_(std::make_unique<Plant>(*model_)) {
+    std::vector<std::unique_ptr<runtime::ModuleBehaviour>> behaviours;
+    behaviours.push_back(std::make_unique<LvlSModule>());
+    behaviours.push_back(std::make_unique<DmdSModule>());
+    behaviours.push_back(std::make_unique<CtrlModule>());
+    behaviours.push_back(std::make_unique<AlarmModule>());
+    plant_->configure(TankScenario{});
+    sim_ = std::make_unique<runtime::Simulator>(*model_, std::move(behaviours),
+                                                *plant_);
+}
+
+TankSystem::~TankSystem() = default;
+
+void TankSystem::configure(const TankScenario& scenario) {
+    plant_->configure(scenario);
+}
+
+TankReport TankSystem::report() const { return plant_->report(); }
+
+runtime::RunResult TankSystem::run(runtime::Tick max_ticks) {
+    sim_->reset();
+    return sim_->run(max_ticks);
+}
+
+}  // namespace epea::alt

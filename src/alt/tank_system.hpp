@@ -1,0 +1,81 @@
+// Alternate target system — the paper's stated future work is "applying
+// the analysis framework on alternate target systems in order to validate
+// the generalized applicability of the obtained results".
+//
+// This target is a process-tank level controller with TWO system outputs
+// of different importance, so the criticality measure (Eqs. 3-4) — which
+// the single-output arrestment system cannot exercise at run time — gets
+// a live system:
+//
+//   LVL_S   in: LADC                 out: level, level_rate
+//   DMD_S   in: FLOW_CNT             out: demand
+//   CTRL    in: level, level_rate,
+//               demand               out: valve_cmd   (critical actuator)
+//   ALARM   in: level, demand        out: alarm_word  (diagnostic output)
+//
+// The plant is a liquid tank: inflow through a controlled valve, outflow
+// following a per-scenario demand profile; LADC senses the level, a
+// turbine counter (FLOW_CNT) senses the outflow.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "model/system_model.hpp"
+#include "runtime/simulator.hpp"
+
+namespace epea::alt {
+
+/// One operating scenario: a base outflow demand plus a step change.
+struct TankScenario {
+    int id = 0;
+    double base_demand_lps = 6.0;   ///< litres/second drawn from the tank
+    double step_demand_lps = 10.0;  ///< demand after the step
+    runtime::Tick step_at_ms = 4000;
+    runtime::Tick duration_ms = 12000;
+};
+
+/// The standard scenario grid (3 base x 3 step levels = 9 scenarios).
+[[nodiscard]] std::vector<TankScenario> standard_tank_scenarios();
+
+/// Builds the static system model (4 modules, 9 signals, 9 pairs... see
+/// header comment for the exact topology).
+[[nodiscard]] model::SystemModel make_tank_model();
+
+/// Operational constraints: the level must stay inside the safe band.
+struct TankReport {
+    double min_level = 0.0;   ///< [0..1] fraction of tank height
+    double max_level = 0.0;
+    bool overflowed = false;  ///< level reached 0.95
+    bool ran_dry = false;     ///< level reached 0.05
+
+    [[nodiscard]] bool failed() const noexcept { return overflowed || ran_dry; }
+};
+
+/// Fully wired tank target (model + plant + behaviours + kernel).
+class TankSystem {
+public:
+    TankSystem();
+    ~TankSystem();  // out of line: Plant is an incomplete type here
+    TankSystem(const TankSystem&) = delete;
+    TankSystem& operator=(const TankSystem&) = delete;
+
+    void configure(const TankScenario& scenario);
+
+    [[nodiscard]] const model::SystemModel& system() const noexcept { return *model_; }
+    [[nodiscard]] runtime::Simulator& sim() noexcept { return *sim_; }
+    [[nodiscard]] TankReport report() const;
+
+    /// Runs one complete scenario from reset.
+    runtime::RunResult run(runtime::Tick max_ticks = 20000);
+
+private:
+    class Plant;
+    std::unique_ptr<model::SystemModel> model_;
+    std::unique_ptr<Plant> plant_;
+    std::unique_ptr<runtime::Simulator> sim_;
+};
+
+}  // namespace epea::alt

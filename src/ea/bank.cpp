@@ -1,0 +1,64 @@
+#include "ea/bank.hpp"
+
+#include <stdexcept>
+
+namespace epea::ea {
+
+std::size_t EaBank::add(std::string name, model::SignalId signal, EaParams params) {
+    for (const auto& ea : eas_) {
+        if (ea->name() == name) {
+            throw std::invalid_argument("duplicate EA name: " + name);
+        }
+    }
+    eas_.push_back(
+        std::make_unique<ExecutableAssertion>(std::move(name), signal, params));
+    return eas_.size() - 1;
+}
+
+ExecutableAssertion& EaBank::by_name(std::string_view name) {
+    return *eas_.at(index_of(name));
+}
+
+std::size_t EaBank::index_of(std::string_view name) const {
+    for (std::size_t i = 0; i < eas_.size(); ++i) {
+        if (eas_[i]->name() == name) return i;
+    }
+    throw std::invalid_argument("unknown EA: " + std::string{name});
+}
+
+void EaBank::arm(runtime::Simulator& sim) {
+    for (auto& ea : eas_) sim.add_monitor(ea.get());
+}
+
+void EaBank::reset_detections() {
+    for (auto& ea : eas_) ea->reset();
+}
+
+std::vector<std::size_t> EaBank::triggered() const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < eas_.size(); ++i) {
+        if (eas_[i]->triggered()) out.push_back(i);
+    }
+    return out;
+}
+
+bool EaBank::any_triggered(const std::vector<std::size_t>& subset) const {
+    for (const std::size_t i : subset) {
+        if (eas_.at(i)->triggered()) return true;
+    }
+    return false;
+}
+
+EaCost EaBank::total_cost(const std::vector<std::size_t>& subset) const {
+    EaCost total;
+    for (const std::size_t i : subset) total = total + eas_.at(i)->cost();
+    return total;
+}
+
+std::vector<std::size_t> EaBank::all_indices() const {
+    std::vector<std::size_t> out(eas_.size());
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = i;
+    return out;
+}
+
+}  // namespace epea::ea

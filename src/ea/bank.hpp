@@ -1,0 +1,52 @@
+// EaBank — a named collection of executable assertions (the paper's
+// EA1..EA7), with set selection (EH-set / PA-set are subsets) and
+// ROM/RAM cost accounting (Table 3).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ea/assertion.hpp"
+#include "runtime/simulator.hpp"
+
+namespace epea::ea {
+
+class EaBank {
+public:
+    /// Adds an EA; returns its index. Names must be unique.
+    std::size_t add(std::string name, model::SignalId signal, EaParams params);
+
+    [[nodiscard]] std::size_t size() const noexcept { return eas_.size(); }
+    [[nodiscard]] ExecutableAssertion& at(std::size_t index) { return *eas_.at(index); }
+    [[nodiscard]] const ExecutableAssertion& at(std::size_t index) const {
+        return *eas_.at(index);
+    }
+    [[nodiscard]] ExecutableAssertion& by_name(std::string_view name);
+    [[nodiscard]] std::size_t index_of(std::string_view name) const;
+
+    /// Registers every EA as a monitor on the simulator (idempotent per
+    /// simulator only if the caller clears monitors first).
+    void arm(runtime::Simulator& sim);
+
+    /// Clears all detection state (the simulator's reset also does this
+    /// for armed EAs).
+    void reset_detections();
+
+    /// Indices of EAs that fired since the last reset.
+    [[nodiscard]] std::vector<std::size_t> triggered() const;
+
+    /// True if any EA in `subset` (indices) fired.
+    [[nodiscard]] bool any_triggered(const std::vector<std::size_t>& subset) const;
+
+    /// Total ROM/RAM cost of a subset of EAs (all when empty subset is
+    /// replaced by `all_indices()`).
+    [[nodiscard]] EaCost total_cost(const std::vector<std::size_t>& subset) const;
+    [[nodiscard]] std::vector<std::size_t> all_indices() const;
+
+private:
+    std::vector<std::unique_ptr<ExecutableAssertion>> eas_;
+};
+
+}  // namespace epea::ea

@@ -1,0 +1,127 @@
+#include "ea/calibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace epea::ea {
+
+void EaCalibrator::add_trace(const runtime::Trace& trace, double settle_fraction) {
+    if (envelopes_.empty()) envelopes_.resize(system_->signal_count());
+    for (const model::SignalId sid : system_->all_signals()) {
+        Envelope& env = envelopes_[sid.index()];
+        const auto& series = trace.series(sid);
+        const auto settle_at = static_cast<std::size_t>(
+            settle_fraction * static_cast<double>(series.size()));
+        env.settle_tick = std::max(env.settle_tick,
+                                   static_cast<std::uint32_t>(settle_at));
+        std::int64_t prev = 0;
+        bool have_prev = false;
+        std::size_t tick = 0;
+        for (const std::uint32_t raw : series) {
+            const auto v = static_cast<std::int64_t>(raw);
+            if (tick++ >= settle_at) {
+                if (!env.settled_seen) {
+                    env.settled_min = env.settled_max = v;
+                    env.settled_seen = true;
+                } else {
+                    env.settled_min = std::min(env.settled_min, v);
+                    env.settled_max = std::max(env.settled_max, v);
+                }
+            }
+            if (!env.seen) {
+                env.min = env.max = v;
+                env.seen = true;
+            } else {
+                env.min = std::min(env.min, v);
+                env.max = std::max(env.max, v);
+            }
+            if (v >= 0 && v < EaParams::kDiscreteDomain) {
+                env.member_mask |= 1U << v;
+            } else {
+                env.domain_overflow = true;
+            }
+            if (have_prev) {
+                const std::int64_t delta = v - prev;
+                env.max_up = std::max(env.max_up, delta);
+                env.max_down = std::max(env.max_down, -delta);
+                if (prev >= 0 && prev < EaParams::kDiscreteDomain && v >= 0 &&
+                    v < EaParams::kDiscreteDomain) {
+                    env.transitions[static_cast<std::size_t>(prev)] |= 1U << v;
+                }
+            }
+            prev = v;
+            have_prev = true;
+        }
+    }
+    ++traces_;
+}
+
+EaParams EaCalibrator::calibrate(model::SignalId signal,
+                                 const CalibrationMargins& m) const {
+    if (envelopes_.empty() || !envelopes_[signal.index()].seen) {
+        throw std::logic_error("EaCalibrator: no traces folded in for signal " +
+                               system_->signal_name(signal));
+    }
+    const Envelope& env = envelopes_[signal.index()];
+    const model::SignalKind kind = system_->signal(signal).kind;
+
+    EaParams p;
+    switch (kind) {
+        case model::SignalKind::kContinuous: {
+            p.type = EaType::kContinuous;
+            const auto range = env.max - env.min;
+            const auto slack = std::max<std::int64_t>(
+                m.abs_slack, static_cast<std::int64_t>(std::llround(
+                                 m.frac * static_cast<double>(range))));
+            p.min = std::max<std::int64_t>(0, env.min - slack);
+            p.max = env.max + slack;
+            p.max_rate_up = static_cast<std::int64_t>(std::llround(
+                                m.rate_factor * static_cast<double>(env.max_up))) +
+                            m.rate_slack;
+            p.max_rate_down = static_cast<std::int64_t>(std::llround(
+                                  m.rate_factor * static_cast<double>(env.max_down))) +
+                              m.rate_slack;
+            if (env.settled_seen) {
+                const auto srange = env.settled_max - env.settled_min;
+                const auto sslack = std::max<std::int64_t>(
+                    m.abs_slack, static_cast<std::int64_t>(std::llround(
+                                     m.frac * static_cast<double>(srange))));
+                p.settle_tick = env.settle_tick;
+                p.settled_min = std::max<std::int64_t>(0, env.settled_min - sslack);
+                p.settled_max = env.settled_max + sslack;
+            }
+            return p;
+        }
+        case model::SignalKind::kMonotonic: {
+            p.type = EaType::kMonotonic;
+            p.floor = env.min;
+            p.max_increment = static_cast<std::int64_t>(std::llround(
+                                  m.inc_factor * static_cast<double>(env.max_up))) +
+                              1;
+            return p;
+        }
+        case model::SignalKind::kDiscrete: {
+            if (env.domain_overflow) {
+                throw std::logic_error(
+                    "EaCalibrator: discrete signal exceeds the 0..31 domain: " +
+                    system_->signal_name(signal));
+            }
+            p.type = EaType::kDiscrete;
+            p.member_mask = env.member_mask;
+            p.transition_mask = env.transitions;
+            // A value may always repeat (idle slots between updates).
+            for (std::uint32_t v = 0; v < EaParams::kDiscreteDomain; ++v) {
+                if (env.member_mask & (1U << v)) p.transition_mask[v] |= 1U << v;
+            }
+            return p;
+        }
+        case model::SignalKind::kBoolean:
+            throw std::logic_error(
+                "the paper's EA set has no boolean EA (see Table 2): " +
+                system_->signal_name(signal));
+    }
+    throw std::logic_error("unknown signal kind");
+}
+
+}  // namespace epea::ea

@@ -1,0 +1,71 @@
+// EA parameter calibration — derives the allowed-behaviour constants of
+// an EA from golden-run traces, with safety margins. This mirrors how the
+// original system's EA parameters were produced: from the specified /
+// observed fault-free behaviour of the configured system.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ea/assertion.hpp"
+#include "model/system_model.hpp"
+#include "runtime/trace.hpp"
+
+namespace epea::ea {
+
+/// Margins applied on top of the observed fault-free envelope.
+struct CalibrationMargins {
+    /// Continuous bounds widen by max(abs_slack, frac * range) each side.
+    std::int64_t abs_slack = 4;
+    double frac = 0.08;
+    /// Rate bounds scale by rate_factor and widen by rate_slack.
+    double rate_factor = 2.0;
+    std::int64_t rate_slack = 4;
+    /// Monotonic increment bound scales by inc_factor and widens by +1.
+    double inc_factor = 2.0;
+    /// Continuous steady-state band: calibrated over the trace suffix
+    /// starting at settle_fraction of the run length.
+    double settle_fraction = 0.30;
+};
+
+/// Accumulates fault-free traces and produces EA parameters per signal.
+class EaCalibrator {
+public:
+    explicit EaCalibrator(const model::SystemModel& system) : system_(&system) {}
+
+    /// Folds one golden-run trace into the per-signal envelopes.
+    /// `settle_fraction` must match the margins later used in calibrate().
+    void add_trace(const runtime::Trace& trace, double settle_fraction = 0.30);
+
+    /// Produces parameters for an EA of the type implied by the signal's
+    /// declared kind (continuous / monotonic / discrete). Throws for
+    /// boolean signals — the paper's EA set has no boolean EA.
+    [[nodiscard]] EaParams calibrate(model::SignalId signal,
+                                     const CalibrationMargins& margins = {}) const;
+
+    /// Number of traces folded in so far.
+    [[nodiscard]] std::size_t trace_count() const noexcept { return traces_; }
+
+private:
+    struct Envelope {
+        bool seen = false;
+        std::int64_t min = 0;
+        std::int64_t max = 0;
+        std::int64_t max_up = 0;    // largest positive per-tick delta
+        std::int64_t max_down = 0;  // largest negative per-tick delta (magnitude)
+        std::uint32_t member_mask = 0;
+        std::array<std::uint32_t, EaParams::kDiscreteDomain> transitions{};
+        bool domain_overflow = false;  // value outside 0..31 observed
+        // steady-state band over the trace suffix
+        bool settled_seen = false;
+        std::uint32_t settle_tick = 0;
+        std::int64_t settled_min = 0;
+        std::int64_t settled_max = 0;
+    };
+
+    const model::SystemModel* system_;
+    std::vector<Envelope> envelopes_;
+    std::size_t traces_ = 0;
+};
+
+}  // namespace epea::ea

@@ -1,0 +1,89 @@
+#include "epic/estimator.hpp"
+
+#include "fi/golden.hpp"
+#include "util/rng.hpp"
+
+namespace epea::epic {
+
+PermeabilityMatrix PermeabilityEstimator::estimate(
+    std::size_t case_count, const std::function<void(std::size_t)>& configure_case,
+    const EstimatorOptions& options, const EstimatorProgress& progress) {
+    const model::SystemModel& system = sim_->system();
+
+    // counts[module][in * n_out + out]
+    struct Count {
+        std::uint64_t affected = 0;
+        std::uint64_t active = 0;
+    };
+    std::vector<std::vector<Count>> counts(system.module_count());
+    for (const model::ModuleId mid : system.all_modules()) {
+        counts[mid.index()].assign(system.module(mid).pair_count(), Count{});
+    }
+
+    // Plan size for progress reporting.
+    std::size_t total_bits = 0;
+    for (const model::ModuleId mid : system.all_modules()) {
+        for (const model::SignalId in : system.module(mid).inputs) {
+            total_bits += system.signal(in).width;
+        }
+    }
+    const std::size_t total_runs = case_count * total_bits * options.times_per_bit;
+
+    runs_ = 0;
+    for (std::size_t c = 0; c < case_count; ++c) {
+        std::uint64_t stream = options.seed + options.case_index_offset + c;
+        util::Rng time_rng(util::splitmix64(stream));
+        configure_case(c);
+        injector_->disarm();
+        const fi::GoldenRun gr = fi::capture_golden_run(*sim_, options.max_ticks);
+
+        for (const model::ModuleId mid : system.all_modules()) {
+            const auto& spec = system.module(mid);
+            for (std::uint32_t port = 0; port < spec.input_count(); ++port) {
+                const unsigned width = system.signal(spec.inputs[port]).width;
+                for (unsigned bit = 0; bit < width; ++bit) {
+                    const auto ticks = fi::spread_ticks(
+                        0, gr.length, options.times_per_bit,
+                        options.stratified_times ? &time_rng : nullptr);
+                    for (const runtime::Tick t : ticks) {
+                        injector_->arm({fi::Injection::into_module_input(mid, port,
+                                                                         bit, t)});
+                        sim_->reset();
+                        sim_->run(options.max_ticks);
+                        ++runs_;
+                        if (progress) progress(runs_, total_runs);
+                        if (injector_->fired_count() == 0) continue;  // inactive
+
+                        const fi::DirectOutcome outcome = fi::attribute_direct(
+                            system, gr, *sim_->trace(), mid, port);
+                        for (std::uint32_t k = 0; k < spec.output_count(); ++k) {
+                            Count& cnt =
+                                counts[mid.index()][port * spec.output_count() + k];
+                            ++cnt.active;
+                            const bool hit =
+                                options.direct_attribution
+                                    ? outcome.affected[k]
+                                    : outcome.first_diff[k] != runtime::kInvalidTick;
+                            if (hit) ++cnt.affected;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    injector_->disarm();
+
+    PermeabilityMatrix pm(system);
+    for (const model::ModuleId mid : system.all_modules()) {
+        const auto& spec = system.module(mid);
+        for (std::uint32_t port = 0; port < spec.input_count(); ++port) {
+            for (std::uint32_t k = 0; k < spec.output_count(); ++k) {
+                const Count& cnt = counts[mid.index()][port * spec.output_count() + k];
+                pm.set_counts(mid, port, k, cnt.affected, cnt.active);
+            }
+        }
+    }
+    return pm;
+}
+
+}  // namespace epea::epic

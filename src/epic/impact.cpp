@@ -1,0 +1,56 @@
+#include "epic/impact.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace epea::epic {
+
+double impact(const PermeabilityMatrix& pm, model::SignalId source,
+              model::SignalId sink, const TreeOptions& options) {
+    if (source == sink) return 1.0;
+    const auto paths = forward_paths(pm, source, options);
+    double survive = 1.0;
+    for (const PropPath& path : paths) {
+        // The impact tree's relevant leaves are those at the sink; other
+        // leaves (dead ends, other outputs) do not contribute to this
+        // pairwise impact.
+        if (path.terminal() != sink) continue;
+        survive *= 1.0 - path.weight();
+    }
+    return 1.0 - survive;
+}
+
+std::vector<ImpactRow> impact_profile(const PermeabilityMatrix& pm,
+                                      model::SignalId sink,
+                                      const TreeOptions& options) {
+    std::vector<ImpactRow> rows;
+    rows.reserve(pm.system().signal_count());
+    for (const model::SignalId s : pm.system().all_signals()) {
+        if (s == sink) {
+            rows.push_back(ImpactRow{s, std::nullopt});
+        } else {
+            rows.push_back(ImpactRow{s, impact(pm, s, sink, options)});
+        }
+    }
+    return rows;
+}
+
+double criticality_wrt(const PermeabilityMatrix& pm, model::SignalId source,
+                       const OutputCriticality& output, const TreeOptions& options) {
+    if (output.criticality < 0.0 || output.criticality > 1.0) {
+        throw std::invalid_argument("output criticality must be in [0,1]");
+    }
+    return output.criticality * impact(pm, source, output.output, options);
+}
+
+double criticality(const PermeabilityMatrix& pm, model::SignalId source,
+                   const std::vector<OutputCriticality>& outputs,
+                   const TreeOptions& options) {
+    double survive = 1.0;
+    for (const OutputCriticality& oc : outputs) {
+        survive *= 1.0 - criticality_wrt(pm, source, oc, options);
+    }
+    return 1.0 - survive;
+}
+
+}  // namespace epea::epic

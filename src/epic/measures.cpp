@@ -1,0 +1,66 @@
+#include "epic/measures.hpp"
+
+#include <algorithm>
+
+namespace epea::epic {
+
+double relative_permeability_unweighted(const PermeabilityMatrix& pm,
+                                        model::ModuleId m) {
+    const auto& spec = pm.system().module(m);
+    double sum = 0.0;
+    for (std::uint32_t i = 0; i < spec.input_count(); ++i) {
+        for (std::uint32_t k = 0; k < spec.output_count(); ++k) {
+            sum += pm.get(m, i, k);
+        }
+    }
+    return sum;
+}
+
+double relative_permeability(const PermeabilityMatrix& pm, model::ModuleId m) {
+    const auto& spec = pm.system().module(m);
+    const auto pairs = static_cast<double>(spec.pair_count());
+    return pairs > 0.0 ? relative_permeability_unweighted(pm, m) / pairs : 0.0;
+}
+
+std::optional<double> signal_exposure(const PermeabilityMatrix& pm, model::SignalId s) {
+    const auto producer = pm.system().producer_of(s);
+    if (!producer.has_value()) return std::nullopt;
+    const auto& spec = pm.system().module(producer->module);
+    double sum = 0.0;
+    for (std::uint32_t i = 0; i < spec.input_count(); ++i) {
+        sum += pm.get(producer->module, i, producer->port);
+    }
+    return sum;
+}
+
+double module_exposure_unweighted(const PermeabilityMatrix& pm, model::ModuleId m) {
+    const auto& spec = pm.system().module(m);
+    double sum = 0.0;
+    for (const model::SignalId in : spec.inputs) {
+        sum += signal_exposure(pm, in).value_or(0.0);
+    }
+    return sum;
+}
+
+double module_exposure(const PermeabilityMatrix& pm, model::ModuleId m) {
+    const auto& spec = pm.system().module(m);
+    const auto n = static_cast<double>(spec.input_count());
+    return n > 0.0 ? module_exposure_unweighted(pm, m) / n : 0.0;
+}
+
+std::vector<ExposureRow> exposure_profile(const PermeabilityMatrix& pm) {
+    std::vector<ExposureRow> rows;
+    for (const model::SignalId s : pm.system().all_signals()) {
+        rows.push_back(ExposureRow{s, signal_exposure(pm, s)});
+    }
+    std::stable_sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+        if (a.exposure.has_value() != b.exposure.has_value()) {
+            return a.exposure.has_value();
+        }
+        if (!a.exposure.has_value()) return false;
+        return *a.exposure > *b.exposure;
+    });
+    return rows;
+}
+
+}  // namespace epea::epic

@@ -1,0 +1,52 @@
+// Propagation measures derived from the permeability matrix (paper §5.2,
+// following DSN 2001 [9]):
+//   - relative permeability P^M (and non-weighted P̂^M) per module,
+//   - error exposure X^M (and non-weighted X̂^M) per module,
+//   - signal error exposure X_s per signal (Table 2).
+//
+// These are relative profiling measures, not probabilities; they order
+// modules/signals by how exposed/permeable they are (paper: "do not
+// necessarily reflect probabilities").
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "epic/matrix.hpp"
+
+namespace epea::epic {
+
+/// P^M: mean permeability over the module's input/output pairs, in [0,1].
+[[nodiscard]] double relative_permeability(const PermeabilityMatrix& pm,
+                                           model::ModuleId m);
+
+/// P̂^M: sum of permeabilities over the module's input/output pairs.
+[[nodiscard]] double relative_permeability_unweighted(const PermeabilityMatrix& pm,
+                                                      model::ModuleId m);
+
+/// X_s(S): signal error exposure — the sum of the producing module's
+/// permeabilities into this output. System inputs have no producer and
+/// therefore no exposure value (nullopt), matching Table 5 where input
+/// signals carry no X_s.
+[[nodiscard]] std::optional<double> signal_exposure(const PermeabilityMatrix& pm,
+                                                    model::SignalId s);
+
+/// X̂^M: module error exposure (non-weighted) — the sum of the signal
+/// exposures of the module's input signals (system inputs contribute 0).
+[[nodiscard]] double module_exposure_unweighted(const PermeabilityMatrix& pm,
+                                                model::ModuleId m);
+
+/// X^M: module error exposure normalised by the module's input count.
+[[nodiscard]] double module_exposure(const PermeabilityMatrix& pm, model::ModuleId m);
+
+/// One row of the Table-2 exposure profile.
+struct ExposureRow {
+    model::SignalId signal;
+    std::optional<double> exposure;  ///< nullopt for system inputs
+};
+
+/// Exposure of every signal, sorted by descending exposure (signals
+/// without a value last, in id order).
+[[nodiscard]] std::vector<ExposureRow> exposure_profile(const PermeabilityMatrix& pm);
+
+}  // namespace epea::epic

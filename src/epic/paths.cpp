@@ -1,0 +1,191 @@
+#include "epic/paths.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace epea::epic {
+
+namespace {
+
+struct ForwardWalker {
+    const PermeabilityMatrix& pm;
+    const model::SystemModel& system;
+    const TreeOptions& options;
+    std::vector<PropPath>& out;
+    std::vector<PropEdge> current;
+    std::vector<bool> on_path;
+
+    void walk(model::SignalId cur) {
+        on_path[cur.index()] = true;
+        bool expanded = false;
+        for (const model::PortRef& consumer : system.consumers_of(cur)) {
+            const auto& spec = system.module(consumer.module);
+            for (std::uint32_t k = 0; k < spec.output_count(); ++k) {
+                const double p = pm.get(consumer.module, consumer.port, k);
+                if (p <= options.epsilon) continue;
+                const model::SignalId next = spec.outputs[k];
+                if (on_path[next.index()]) continue;  // no signal revisits
+                expanded = true;
+                current.push_back(
+                    PropEdge{consumer.module, consumer.port, k, cur, next, p});
+                walk(next);
+                current.pop_back();
+            }
+        }
+        if (!expanded && !current.empty()) {
+            if (out.size() >= options.max_paths) {
+                throw std::runtime_error("forward_paths: path explosion (max_paths)");
+            }
+            out.push_back(PropPath{current});
+        }
+        on_path[cur.index()] = false;
+    }
+};
+
+struct BackwardWalker {
+    const PermeabilityMatrix& pm;
+    const model::SystemModel& system;
+    const TreeOptions& options;
+    std::vector<PropPath>& out;
+    std::vector<PropEdge> current;  // collected sink-to-origin, reversed at emit
+    std::vector<bool> on_path;
+
+    void walk(model::SignalId cur) {
+        on_path[cur.index()] = true;
+        bool expanded = false;
+        const auto producer = system.producer_of(cur);
+        if (producer.has_value()) {
+            const auto& spec = system.module(producer->module);
+            for (std::uint32_t i = 0; i < spec.input_count(); ++i) {
+                const double p = pm.get(producer->module, i, producer->port);
+                if (p <= options.epsilon) continue;
+                const model::SignalId prev = spec.inputs[i];
+                if (on_path[prev.index()]) continue;
+                expanded = true;
+                current.push_back(
+                    PropEdge{producer->module, i, producer->port, prev, cur, p});
+                walk(prev);
+                current.pop_back();
+            }
+        }
+        if (!expanded && !current.empty()) {
+            if (out.size() >= options.max_paths) {
+                throw std::runtime_error("backward_paths: path explosion (max_paths)");
+            }
+            PropPath path{current};
+            std::reverse(path.edges.begin(), path.edges.end());
+            out.push_back(std::move(path));
+        }
+        on_path[cur.index()] = false;
+    }
+};
+
+std::string permeability_label(const model::SystemModel& system, const PropEdge& e,
+                               int precision) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "P^%s(%u,%u)=%.*f",
+                  system.module_name(e.module).c_str(), e.in_port + 1, e.out_port + 1,
+                  precision, e.permeability);
+    return buf;
+}
+
+}  // namespace
+
+std::vector<PropPath> forward_paths(const PermeabilityMatrix& pm,
+                                    model::SignalId source,
+                                    const TreeOptions& options) {
+    std::vector<PropPath> out;
+    ForwardWalker walker{pm, pm.system(), options, out, {},
+                         std::vector<bool>(pm.system().signal_count(), false)};
+    walker.walk(source);
+    return out;
+}
+
+std::vector<PropPath> backward_paths(const PermeabilityMatrix& pm, model::SignalId sink,
+                                     const TreeOptions& options) {
+    std::vector<PropPath> out;
+    BackwardWalker walker{pm, pm.system(), options, out, {},
+                          std::vector<bool>(pm.system().signal_count(), false)};
+    walker.walk(sink);
+    return out;
+}
+
+std::string format_path(const model::SystemModel& system, const PropPath& path,
+                        int precision) {
+    if (path.edges.empty()) return "(empty path)";
+    std::string s = system.signal_name(path.edges.front().from);
+    for (const auto& e : path.edges) {
+        s += " -[" + permeability_label(system, e, precision) + "]-> " +
+             system.signal_name(e.to);
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "  (w=%.*f)", precision, path.weight());
+    s += buf;
+    return s;
+}
+
+namespace {
+
+struct TrieNode {
+    PropEdge edge;
+    std::vector<std::unique_ptr<TrieNode>> children;
+};
+
+bool same_edge(const PropEdge& a, const PropEdge& b) {
+    return a.module == b.module && a.in_port == b.in_port && a.out_port == b.out_port &&
+           a.from == b.from && a.to == b.to;
+}
+
+void insert_path(TrieNode& root, const PropPath& path, bool reversed) {
+    TrieNode* node = &root;
+    const auto n = path.edges.size();
+    for (std::size_t step = 0; step < n; ++step) {
+        const PropEdge& e = path.edges[reversed ? n - 1 - step : step];
+        TrieNode* child = nullptr;
+        for (auto& c : node->children) {
+            if (same_edge(c->edge, e)) {
+                child = c.get();
+                break;
+            }
+        }
+        if (child == nullptr) {
+            node->children.push_back(std::make_unique<TrieNode>());
+            child = node->children.back().get();
+            child->edge = e;
+        }
+        node = child;
+    }
+}
+
+void render_node(const model::SystemModel& system, const TrieNode& node,
+                 const std::string& prefix, bool reversed, std::string& out) {
+    for (std::size_t c = 0; c < node.children.size(); ++c) {
+        const bool last = c + 1 == node.children.size();
+        const TrieNode& child = *node.children[c];
+        const model::SignalId shown =
+            reversed ? child.edge.from : child.edge.to;
+        out += prefix;
+        out += last ? "`-" : "|-";
+        out += "[" + permeability_label(system, child.edge, 3) + "]- " +
+               system.signal_name(shown) + "\n";
+        render_node(system, child, prefix + (last ? "   " : "|  "), reversed, out);
+    }
+}
+
+}  // namespace
+
+std::string render_tree(const model::SystemModel& system,
+                        const std::vector<PropPath>& paths, bool root_at_end) {
+    if (paths.empty()) return "(no propagation paths)\n";
+    TrieNode root;
+    for (const auto& p : paths) insert_path(root, p, root_at_end);
+    const model::SignalId root_signal =
+        root_at_end ? paths.front().terminal() : paths.front().origin();
+    std::string out = system.signal_name(root_signal) + "\n";
+    render_node(system, root, "", root_at_end, out);
+    return out;
+}
+
+}  // namespace epea::epic

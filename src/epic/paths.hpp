@@ -1,0 +1,84 @@
+// Propagation-path enumeration and the paper's tree structures:
+//   - trace trees (TT):     system input  -> ... -> outputs   (§5.2)
+//   - backtrack trees (BT): system output <- ... <- inputs    (§5.2)
+//   - impact trees:         any signal    -> ... -> outputs   (§8, Fig 4)
+// All three are path enumerations over the non-zero permeability edges of
+// a module graph. A path never revisits a signal (verified against the
+// paper: the i -> i self-loop is excluded from impact(i), Table 5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "epic/matrix.hpp"
+
+namespace epea::epic {
+
+/// One traversal of a module: error enters `from` on `in_port`, leaves as
+/// `to` on `out_port`, attenuated by `permeability`.
+struct PropEdge {
+    model::ModuleId module;
+    std::uint32_t in_port = 0;
+    std::uint32_t out_port = 0;
+    model::SignalId from;
+    model::SignalId to;
+    double permeability = 0.0;
+};
+
+/// A propagation path; `weight` is the product of edge permeabilities
+/// (the w_i of Eq. 2).
+struct PropPath {
+    std::vector<PropEdge> edges;
+
+    [[nodiscard]] double weight() const noexcept {
+        double w = 1.0;
+        for (const auto& e : edges) w *= e.permeability;
+        return w;
+    }
+
+    /// Signal at the end of the path (for forward paths) — the leaf.
+    [[nodiscard]] model::SignalId terminal() const {
+        return edges.empty() ? model::SignalId{} : edges.back().to;
+    }
+
+    /// Signal at the start of the path — the root.
+    [[nodiscard]] model::SignalId origin() const {
+        return edges.empty() ? model::SignalId{} : edges.front().from;
+    }
+};
+
+struct TreeOptions {
+    double epsilon = 1e-12;        ///< edges with P <= epsilon are pruned
+    std::size_t max_paths = 1'000'000;  ///< explosion guard (throws beyond)
+};
+
+/// All maximal forward propagation paths from `source` (the impact tree
+/// of `source`, and the trace tree when `source` is a system input).
+/// Leaves are signals with no expandable outgoing edge (system outputs,
+/// dead ends, or signals already on the path).
+[[nodiscard]] std::vector<PropPath> forward_paths(const PermeabilityMatrix& pm,
+                                                  model::SignalId source,
+                                                  const TreeOptions& options = {});
+
+/// All maximal backward propagation paths ending at `sink` (the backtrack
+/// tree of `sink`). Edges are returned in forward orientation, ordered
+/// from the path's origin towards `sink`.
+[[nodiscard]] std::vector<PropPath> backward_paths(const PermeabilityMatrix& pm,
+                                                   model::SignalId sink,
+                                                   const TreeOptions& options = {});
+
+/// Human-readable rendering of a path, e.g.
+///   "pulscnt -[P^CALC(3,1)=0.494]-> i -[...]-> TOC2  (w=0.021)".
+/// Ports are rendered 1-based to match the paper's notation.
+[[nodiscard]] std::string format_path(const model::SystemModel& system,
+                                      const PropPath& path, int precision = 3);
+
+/// ASCII tree rendering of a set of paths sharing a root (impact tree /
+/// trace tree when forward, backtrack tree when the paths came from
+/// backward_paths with `root_at_end` = true).
+[[nodiscard]] std::string render_tree(const model::SystemModel& system,
+                                      const std::vector<PropPath>& paths,
+                                      bool root_at_end = false);
+
+}  // namespace epea::epic

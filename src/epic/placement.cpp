@@ -1,0 +1,142 @@
+#include "epic/placement.hpp"
+
+#include <algorithm>
+
+namespace epea::epic {
+
+namespace {
+
+/// True when every input pair of `s`'s producer with permeability above
+/// epsilon carries a signal in `selected`.
+bool covered_upstream(const PermeabilityMatrix& pm, model::SignalId s,
+                      const std::vector<model::SignalId>& selected) {
+    const auto producer = pm.system().producer_of(s);
+    if (!producer.has_value()) return false;
+    const auto& spec = pm.system().module(producer->module);
+    bool any_permeable = false;
+    for (std::uint32_t i = 0; i < spec.input_count(); ++i) {
+        if (pm.get(producer->module, i, producer->port) <= 1e-12) continue;
+        any_permeable = true;
+        if (std::find(selected.begin(), selected.end(), spec.inputs[i]) ==
+            selected.end()) {
+            return false;
+        }
+    }
+    return any_permeable;
+}
+
+/// Largest permeability into `s` across its producer's inputs.
+double max_incoming_permeability(const PermeabilityMatrix& pm, model::SignalId s) {
+    const auto producer = pm.system().producer_of(s);
+    if (!producer.has_value()) return 0.0;
+    const auto& spec = pm.system().module(producer->module);
+    double best = 0.0;
+    for (std::uint32_t i = 0; i < spec.input_count(); ++i) {
+        best = std::max(best, pm.get(producer->module, i, producer->port));
+    }
+    return best;
+}
+
+}  // namespace
+
+std::vector<PlacementDecision> pa_placement(const PermeabilityMatrix& pm,
+                                            const PaOptions& options) {
+    const auto& system = pm.system();
+    std::vector<PlacementDecision> report;
+    report.reserve(system.signal_count());
+
+    // First pass: R1 with vetoes.
+    for (const model::SignalId s : system.all_signals()) {
+        PlacementDecision d;
+        d.signal = s;
+        d.exposure = signal_exposure(pm, s);
+        const auto& spec = system.signal(s);
+        if (spec.role == model::SignalRole::kSystemInput) {
+            d.motivation = "System input (raw sensor register, not an EA location)";
+        } else if (options.veto_boolean && spec.kind == model::SignalKind::kBoolean) {
+            d.motivation = "Selected EA's not geared at boolean values";
+        } else if (!d.exposure.has_value() || *d.exposure <= 1e-12) {
+            d.motivation = "Zero error exposure";
+        } else if (*d.exposure < options.exposure_threshold) {
+            d.motivation = "Low error exposure";
+        } else if (spec.role == model::SignalRole::kIntermediate &&
+                   system.consumers_of(s).empty()) {
+            d.motivation =
+                "High exposure but consumed outside the analysed software; "
+                "errors cannot propagate onward";
+        } else {
+            d.selected = true;
+            d.motivation = "High error exposure";
+        }
+        report.push_back(std::move(d));
+    }
+
+    // Second pass: drop system outputs fully covered by guarded inputs.
+    const auto current = selected_signals(report);
+    for (PlacementDecision& d : report) {
+        if (!d.selected) continue;
+        if (system.signal(d.signal).role != model::SignalRole::kSystemOutput) continue;
+        if (covered_upstream(pm, d.signal, current)) {
+            d.selected = false;
+            d.motivation = "Errors here most likely come from the guarded upstream signal";
+        }
+    }
+    return report;
+}
+
+std::vector<PlacementDecision> extended_placement(const PermeabilityMatrix& pm,
+                                                  std::vector<OutputCriticality> outputs,
+                                                  const ExtendedOptions& options) {
+    const auto& system = pm.system();
+    if (outputs.empty()) {
+        for (const model::SignalId o :
+             system.signals_with_role(model::SignalRole::kSystemOutput)) {
+            outputs.push_back(OutputCriticality{o, 1.0});
+        }
+    }
+
+    std::vector<PlacementDecision> report = pa_placement(pm, options.pa);
+    for (PlacementDecision& d : report) {
+        const auto& spec = system.signal(d.signal);
+        const bool is_output_sink =
+            std::any_of(outputs.begin(), outputs.end(),
+                        [&](const OutputCriticality& oc) { return oc.output == d.signal; });
+        if (!is_output_sink) {
+            d.impact = criticality(pm, d.signal, outputs);
+        }
+        if (d.selected) continue;
+        if (spec.role == model::SignalRole::kSystemInput) continue;
+        if (options.pa.veto_boolean && spec.kind == model::SignalKind::kBoolean) {
+            continue;  // boolean veto also applies to R3
+        }
+        if (d.impact.has_value() && *d.impact >= options.impact_threshold) {
+            d.selected = true;
+            d.motivation = "High impact on system output despite low exposure (R3)";
+            continue;
+        }
+        if (options.internal_error_model &&
+            max_incoming_permeability(pm, d.signal) >= options.perfect_permeability) {
+            d.selected = true;
+            d.motivation =
+                "Perfect incoming permeability; error model reaches internal memory";
+        }
+    }
+    return report;
+}
+
+std::vector<model::SignalId> selected_signals(
+    const std::vector<PlacementDecision>& report) {
+    std::vector<model::SignalId> out;
+    for (const auto& d : report) {
+        if (d.selected) out.push_back(d.signal);
+    }
+    return out;
+}
+
+std::vector<std::string> arrestment_eh_signal_names() {
+    // §5.1: selected by the four-step experience/heuristic process before
+    // the propagation framework existed.
+    return {"SetValue", "IsValue", "i", "pulscnt", "ms_slot_nbr", "mscnt", "OutValue"};
+}
+
+}  // namespace epea::epic

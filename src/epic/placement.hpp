@@ -1,0 +1,82 @@
+// EDM placement policies:
+//   - pa_placement: the paper's PA-approach (§5.3) — propagation analysis
+//     only, rule R1 on signal error exposure plus the practical vetoes
+//     documented in Table 2.
+//   - extended_placement: the §10 extension — additionally applies rule
+//     R3 (impact/criticality) and, for error models that reach internal
+//     memory, re-admits perfectly-permeable dead-end signals.
+//   - arrestment_eh_set: the experience/heuristic (EH) baseline of §5.1.
+//     The EH selection is an *input* to the paper (it predates the
+//     framework), so it is encoded as data, not derived.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "epic/impact.hpp"
+#include "epic/matrix.hpp"
+#include "epic/measures.hpp"
+
+namespace epea::epic {
+
+/// One row of a placement report (mirrors Table 2 / §10).
+struct PlacementDecision {
+    model::SignalId signal;
+    bool selected = false;
+    std::optional<double> exposure;  ///< X_s (nullopt for system inputs)
+    std::optional<double> impact;    ///< only filled by extended_placement
+    std::string motivation;
+};
+
+struct PaOptions {
+    /// R1: signals with X_s at or above this are EA candidates. The gap
+    /// between the paper's selected (>= 0.875) and rejected (<= 0.010)
+    /// exposures is wide, so any threshold in between is robust.
+    double exposure_threshold = 0.5;
+    /// The paper's EAs cannot check boolean signals (Table 2 motivation
+    /// for slow_speed).
+    bool veto_boolean = true;
+};
+
+/// Propagation-analysis placement (PA-approach). Applies, in order:
+///  1. system inputs are not EA locations (raw sensor registers);
+///  2. boolean signals are vetoed (no boolean EA);
+///  3. zero/low exposure signals are rejected (R1);
+///  4. dead-end intermediates (no module consumes them) are rejected —
+///     errors there cannot propagate further through the software;
+///  5. system outputs whose producing module's permeable inputs are all
+///     already-selected signals are rejected (errors there "most likely
+///     come from" the guarded upstream signal — Table 2 on TOC2).
+[[nodiscard]] std::vector<PlacementDecision> pa_placement(const PermeabilityMatrix& pm,
+                                                          const PaOptions& options = {});
+
+struct ExtendedOptions {
+    PaOptions pa;
+    /// R3: signals whose impact on any (criticality-weighted) output
+    /// reaches this threshold are added even when exposure is low.
+    double impact_threshold = 0.15;
+    /// §10: when the assumed error model introduces errors in the entire
+    /// memory space (not only system inputs), signals with a
+    /// perfectly-permeable incoming pair are re-admitted even if they are
+    /// dead ends (ms_slot_nbr in the paper).
+    bool internal_error_model = true;
+    double perfect_permeability = 0.999;
+};
+
+/// Extended placement (§10): PA placement plus effect analysis. When
+/// `outputs` is empty, every system output with criticality 1.0 is used
+/// (the single-output case where criticality reduces to impact).
+[[nodiscard]] std::vector<PlacementDecision> extended_placement(
+    const PermeabilityMatrix& pm, std::vector<OutputCriticality> outputs = {},
+    const ExtendedOptions& options = {});
+
+/// Signals selected by a placement report.
+[[nodiscard]] std::vector<model::SignalId> selected_signals(
+    const std::vector<PlacementDecision>& report);
+
+/// The paper's EH-approach selection for the arrestment target (§5.1):
+/// SetValue, IsValue, i, pulscnt, ms_slot_nbr, mscnt, OutValue.
+[[nodiscard]] std::vector<std::string> arrestment_eh_signal_names();
+
+}  // namespace epea::epic

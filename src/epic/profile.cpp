@@ -1,0 +1,54 @@
+#include "epic/profile.hpp"
+
+#include <algorithm>
+
+#include "model/dot.hpp"
+
+namespace epea::epic {
+
+std::vector<ProfileEntry> classify_profile(
+    const model::SystemModel& system,
+    const std::vector<std::pair<model::SignalId, std::optional<double>>>& values) {
+    double max_value = 0.0;
+    for (const auto& [sid, v] : values) {
+        if (v.has_value()) max_value = std::max(max_value, *v);
+    }
+    std::vector<ProfileEntry> entries;
+    entries.reserve(values.size());
+    for (const auto& [sid, v] : values) {
+        ProfileEntry e;
+        e.signal = sid;
+        e.value = v;
+        if (!v.has_value()) {
+            e.band = Band::kUnassigned;
+        } else if (*v <= 1e-12) {
+            e.band = Band::kZero;
+        } else if (max_value <= 0.0 || *v < max_value / 3.0) {
+            e.band = Band::kLow;
+        } else if (*v < 2.0 * max_value / 3.0) {
+            e.band = Band::kHigh;
+        } else {
+            e.band = Band::kHighest;
+        }
+        (void)system;
+        entries.push_back(e);
+    }
+    return entries;
+}
+
+void write_profile_dot(
+    std::ostream& out, const model::SystemModel& system,
+    const std::vector<std::pair<model::SignalId, std::optional<double>>>& values,
+    const std::string& graph_name) {
+    model::DotOptions options;
+    options.graph_name = graph_name;
+    options.signal_weight = [&values](model::SignalId sid) -> std::optional<double> {
+        for (const auto& [id, v] : values) {
+            if (id == sid) return v;
+        }
+        return std::nullopt;
+    };
+    model::write_dot(out, system, options);
+}
+
+}  // namespace epea::epic

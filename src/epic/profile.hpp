@@ -1,0 +1,49 @@
+// Profile export — the graphical exposure/impact profiles of Figs 5 & 6:
+// per-signal values classified into bands and rendered as DOT graphs with
+// line thickness proportional to the value (dashed = zero, dash-dotted =
+// no value assigned).
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "epic/matrix.hpp"
+
+namespace epea::epic {
+
+enum class Band : std::uint8_t { kHighest, kHigh, kLow, kZero, kUnassigned };
+
+[[nodiscard]] constexpr const char* to_string(Band b) noexcept {
+    switch (b) {
+        case Band::kHighest: return "highest";
+        case Band::kHigh: return "high";
+        case Band::kLow: return "low";
+        case Band::kZero: return "zero";
+        case Band::kUnassigned: return "unassigned";
+    }
+    return "?";
+}
+
+struct ProfileEntry {
+    model::SignalId signal;
+    std::optional<double> value;
+    Band band = Band::kUnassigned;
+};
+
+/// Classifies per-signal values into bands relative to the maximum:
+/// zero (<= eps), low (< 1/3 max), high (< 2/3 max), highest (rest);
+/// signals without a value are unassigned.
+[[nodiscard]] std::vector<ProfileEntry> classify_profile(
+    const model::SystemModel& system,
+    const std::vector<std::pair<model::SignalId, std::optional<double>>>& values);
+
+/// Writes a Fig-5/6-style DOT profile: the system graph with per-signal
+/// edge thickness scaled by `values`.
+void write_profile_dot(
+    std::ostream& out, const model::SystemModel& system,
+    const std::vector<std::pair<model::SignalId, std::optional<double>>>& values,
+    const std::string& graph_name);
+
+}  // namespace epea::epic

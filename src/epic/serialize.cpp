@@ -1,0 +1,152 @@
+#include "epic/serialize.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+
+namespace epea::epic {
+
+namespace {
+
+std::vector<std::string> split(const std::string& line, char sep) {
+    std::vector<std::string> out;
+    std::string cell;
+    std::istringstream stream(line);
+    while (std::getline(stream, cell, sep)) out.push_back(cell);
+    return out;
+}
+
+[[noreturn]] void malformed(const std::string& what, const std::string& line) {
+    throw std::invalid_argument("serialize: " + what + ": '" + line + "'");
+}
+
+model::SignalRole parse_role(const std::string& text, const std::string& line) {
+    if (text == "input") return model::SignalRole::kSystemInput;
+    if (text == "intermediate") return model::SignalRole::kIntermediate;
+    if (text == "output") return model::SignalRole::kSystemOutput;
+    malformed("unknown signal role", line);
+}
+
+model::SignalKind parse_kind(const std::string& text, const std::string& line) {
+    if (text == "continuous") return model::SignalKind::kContinuous;
+    if (text == "monotonic") return model::SignalKind::kMonotonic;
+    if (text == "discrete") return model::SignalKind::kDiscrete;
+    if (text == "boolean") return model::SignalKind::kBoolean;
+    malformed("unknown signal kind", line);
+}
+
+}  // namespace
+
+void save_matrix_csv(std::ostream& out, const PermeabilityMatrix& pm) {
+    util::CsvWriter csv(out);
+    csv.row({"module", "in_signal", "out_signal", "value", "affected", "active"});
+    const auto& system = pm.system();
+    for (const auto& e : pm.entries()) {
+        csv.cell(system.module_name(e.module))
+            .cell(system.signal_name(e.in_signal))
+            .cell(system.signal_name(e.out_signal))
+            .cell(e.value, 9)
+            .cell(static_cast<std::uint64_t>(e.affected))
+            .cell(static_cast<std::uint64_t>(e.active));
+        csv.end_row();
+    }
+}
+
+PermeabilityMatrix load_matrix_csv(std::istream& in, const model::SystemModel& system) {
+    PermeabilityMatrix pm(system);
+    std::string line;
+    bool header_skipped = false;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        if (!header_skipped) {
+            header_skipped = true;
+            if (line.rfind("module,", 0) == 0) continue;  // header row
+        }
+        const auto cells = split(line, ',');
+        if (cells.size() != 6) malformed("expected 6 columns", line);
+        try {
+            const std::uint64_t affected = std::stoull(cells[4]);
+            const std::uint64_t active = std::stoull(cells[5]);
+            if (active > 0) {
+                pm.set_counts(cells[0], cells[1], cells[2], affected, active);
+            } else {
+                pm.set(cells[0], cells[1], cells[2], std::stod(cells[3]));
+            }
+        } catch (const std::invalid_argument&) {
+            throw;
+        } catch (const std::exception&) {
+            malformed("bad numeric field", line);
+        }
+    }
+    return pm;
+}
+
+void save_system_text(std::ostream& out, const model::SystemModel& system) {
+    for (const auto sid : system.all_signals()) {
+        const auto& spec = system.signal(sid);
+        out << "signal " << spec.name << ' ' << to_string(spec.role) << ' '
+            << to_string(spec.kind) << ' ' << static_cast<unsigned>(spec.width)
+            << '\n';
+    }
+    for (const auto mid : system.all_modules()) {
+        const auto& spec = system.module(mid);
+        out << "module " << spec.name << " in";
+        for (const auto in : spec.inputs) out << ' ' << system.signal_name(in);
+        out << " out";
+        for (const auto o : spec.outputs) out << ' ' << system.signal_name(o);
+        out << '\n';
+    }
+}
+
+model::SystemModel load_system_text(std::istream& in) {
+    model::SystemModel system;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream stream(line);
+        std::string keyword;
+        stream >> keyword;
+        if (keyword == "signal") {
+            std::string name;
+            std::string role;
+            std::string kind;
+            unsigned width = 0;
+            if (!(stream >> name >> role >> kind >> width)) {
+                malformed("bad signal line", line);
+            }
+            system.add_signal({name, parse_role(role, line), parse_kind(kind, line),
+                               static_cast<std::uint8_t>(width)});
+        } else if (keyword == "module") {
+            std::string name;
+            std::string token;
+            if (!(stream >> name >> token) || token != "in") {
+                malformed("bad module line", line);
+            }
+            model::ModuleSpec spec;
+            spec.name = name;
+            // Only the first "out" token is the section keyword, so
+            // signals may be named "out" (but not appear in the *input*
+            // list under that name — a documented format limitation).
+            bool in_outputs = false;
+            while (stream >> token) {
+                if (!in_outputs && token == "out") {
+                    in_outputs = true;
+                    continue;
+                }
+                (in_outputs ? spec.outputs : spec.inputs)
+                    .push_back(system.signal_id(token));
+            }
+            if (spec.outputs.empty()) malformed("module without outputs", line);
+            system.add_module(std::move(spec));
+        } else {
+            malformed("unknown keyword", line);
+        }
+    }
+    system.validate_or_throw();
+    return system;
+}
+
+}  // namespace epea::epic

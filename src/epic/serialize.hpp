@@ -1,0 +1,35 @@
+// Serialization of analysis artifacts:
+//  - permeability matrices as CSV (with estimation counts), so expensive
+//    fault-injection campaigns can be persisted and re-analysed without
+//    re-running;
+//  - system models as a simple line-oriented text format, so profiles can
+//    be exchanged with external tooling.
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "epic/matrix.hpp"
+#include "model/system_model.hpp"
+
+namespace epea::epic {
+
+/// Writes the matrix as CSV: one row per input/output pair with columns
+/// module,in_signal,out_signal,value,affected,active.
+void save_matrix_csv(std::ostream& out, const PermeabilityMatrix& pm);
+
+/// Reads a matrix previously written by save_matrix_csv. Every row must
+/// name an existing pair of `system`; missing pairs stay zero. Throws
+/// std::invalid_argument on malformed rows or unknown names.
+[[nodiscard]] PermeabilityMatrix load_matrix_csv(std::istream& in,
+                                                 const model::SystemModel& system);
+
+/// Writes the system structure in a line-oriented format:
+///   signal <name> <role> <kind> <width>
+///   module <name> in <sig>... out <sig>...
+void save_system_text(std::ostream& out, const model::SystemModel& system);
+
+/// Reads a system written by save_system_text. Throws on malformed input.
+[[nodiscard]] model::SystemModel load_system_text(std::istream& in);
+
+}  // namespace epea::epic

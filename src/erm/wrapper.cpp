@@ -1,0 +1,95 @@
+#include "erm/wrapper.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace epea::erm {
+
+void RecoveryWrapper::reset() {
+    last_good_ = 0;
+    have_last_ = false;
+    repairs_ = 0;
+    first_repair_ = runtime::kInvalidTick;
+}
+
+std::int64_t RecoveryWrapper::repaired_value(std::int64_t rejected,
+                                             runtime::Tick now) const noexcept {
+    if (policy_ == RecoveryPolicy::kHoldLastGood || !have_last_) {
+        return have_last_ ? last_good_ : 0;
+    }
+    // kClamp: project onto the allowed envelope relative to last_good_.
+    switch (params_.type) {
+        case ea::EaType::kContinuous: {
+            std::int64_t lo = params_.min;
+            std::int64_t hi = params_.max;
+            if (now >= params_.settle_tick) {
+                lo = std::max(lo, params_.settled_min);
+                hi = std::min(hi, params_.settled_max);
+            }
+            lo = std::max(lo, last_good_ - params_.max_rate_down);
+            hi = std::min(hi, last_good_ + params_.max_rate_up);
+            if (lo > hi) return last_good_;  // inconsistent envelope: hold
+            return std::clamp(rejected, lo, hi);
+        }
+        case ea::EaType::kMonotonic: {
+            const std::int64_t lo = std::max(params_.floor, last_good_);
+            const std::int64_t hi = last_good_ + params_.max_increment;
+            return std::clamp(rejected, lo, hi);
+        }
+        case ea::EaType::kDiscrete:
+            // No meaningful projection for enumerations: hold.
+            return last_good_;
+    }
+    return last_good_;
+}
+
+void RecoveryWrapper::repair(runtime::SignalStore& store, runtime::Tick now) {
+    const auto value = static_cast<std::int64_t>(store.get(signal_));
+    if (!ea::ExecutableAssertion::violates(params_, last_good_, value, have_last_,
+                                           now)) {
+        last_good_ = value;
+        have_last_ = true;
+        return;
+    }
+    const std::int64_t repaired = repaired_value(value, now);
+    store.set(signal_, static_cast<std::uint32_t>(repaired));
+    last_good_ = repaired;
+    have_last_ = true;
+    ++repairs_;
+    if (first_repair_ == runtime::kInvalidTick) first_repair_ = now;
+}
+
+std::size_t ErmBank::add(std::string name, model::SignalId signal, ea::EaParams params,
+                         RecoveryPolicy policy) {
+    for (const auto& w : wrappers_) {
+        if (w->name() == name) throw std::invalid_argument("duplicate ERM: " + name);
+    }
+    wrappers_.push_back(
+        std::make_unique<RecoveryWrapper>(std::move(name), signal, params, policy));
+    return wrappers_.size() - 1;
+}
+
+RecoveryWrapper& ErmBank::by_name(std::string_view name) {
+    for (auto& w : wrappers_) {
+        if (w->name() == name) return *w;
+    }
+    throw std::invalid_argument("unknown ERM: " + std::string{name});
+}
+
+void ErmBank::arm(runtime::Simulator& sim) {
+    for (auto& w : wrappers_) sim.add_recoverer(w.get());
+}
+
+ea::EaCost ErmBank::total_cost() const {
+    ea::EaCost total;
+    for (const auto& w : wrappers_) total = total + w->cost();
+    return total;
+}
+
+std::size_t ErmBank::total_repairs() const {
+    std::size_t total = 0;
+    for (const auto& w : wrappers_) total += w->repair_count();
+    return total;
+}
+
+}  // namespace epea::erm

@@ -1,0 +1,104 @@
+// Error Recovery Mechanisms (ERMs) — the recovery side of the paper's
+// EDM/ERM placement problem. The paper places ERMs with rule R2 (high
+// permeability) but evaluates only detection; this module implements the
+// mechanisms themselves as containment wrappers (cf. Salles et al.,
+// "MetaKernels and Fault Containment Wrappers", FTCS-29 — the paper's
+// reference [17]) so recovery effectiveness can be measured too.
+//
+// A RecoveryWrapper re-uses the executable-assertion acceptance test: if
+// the guarded signal violates its allowed behaviour, the wrapper repairs
+// it in place (hold-last-good or clamp-to-allowed) before downstream
+// modules and the environment consume it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ea/assertion.hpp"
+#include "runtime/monitor.hpp"
+#include "runtime/simulator.hpp"
+
+namespace epea::erm {
+
+/// What to write back when the acceptance test fails.
+enum class RecoveryPolicy : std::uint8_t {
+    kHoldLastGood,  ///< freeze the signal at its last accepted value
+    kClamp,         ///< project the value onto the allowed envelope
+};
+
+[[nodiscard]] constexpr const char* to_string(RecoveryPolicy p) noexcept {
+    return p == RecoveryPolicy::kHoldLastGood ? "hold-last-good" : "clamp";
+}
+
+/// ROM/RAM footprint of a recovery wrapper: the acceptance-test constants
+/// plus the recovery stub (12 B code) and the last-good cell (2 B).
+[[nodiscard]] constexpr ea::EaCost wrapper_cost(ea::EaType type) noexcept {
+    const ea::EaCost base = ea::cost_of(type);
+    return ea::EaCost{base.rom + 12, base.ram + 2};
+}
+
+/// One armed recovery wrapper guarding one signal.
+class RecoveryWrapper final : public runtime::SignalRecoverer {
+public:
+    RecoveryWrapper(std::string name, model::SignalId signal, ea::EaParams params,
+                    RecoveryPolicy policy)
+        : name_(std::move(name)), signal_(signal), params_(params), policy_(policy) {}
+
+    // runtime::SignalRecoverer
+    void reset() override;
+    void repair(runtime::SignalStore& store, runtime::Tick now) override;
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] model::SignalId signal() const noexcept { return signal_; }
+    [[nodiscard]] RecoveryPolicy policy() const noexcept { return policy_; }
+    [[nodiscard]] const ea::EaParams& params() const noexcept { return params_; }
+    [[nodiscard]] ea::EaCost cost() const noexcept { return wrapper_cost(params_.type); }
+
+    /// Number of repairs performed since reset().
+    [[nodiscard]] std::size_t repair_count() const noexcept { return repairs_; }
+    [[nodiscard]] runtime::Tick first_repair() const noexcept { return first_repair_; }
+
+    void set_params(const ea::EaParams& params) noexcept { params_ = params; }
+
+    /// The repaired value for a rejected reading (exposed for tests).
+    [[nodiscard]] std::int64_t repaired_value(std::int64_t rejected,
+                                              runtime::Tick now) const noexcept;
+
+private:
+    std::string name_;
+    model::SignalId signal_;
+    ea::EaParams params_;
+    RecoveryPolicy policy_;
+    std::int64_t last_good_ = 0;
+    bool have_last_ = false;
+    std::size_t repairs_ = 0;
+    runtime::Tick first_repair_ = runtime::kInvalidTick;
+};
+
+/// A named set of recovery wrappers with cost accounting, mirroring
+/// ea::EaBank.
+class ErmBank {
+public:
+    std::size_t add(std::string name, model::SignalId signal, ea::EaParams params,
+                    RecoveryPolicy policy);
+
+    [[nodiscard]] std::size_t size() const noexcept { return wrappers_.size(); }
+    [[nodiscard]] RecoveryWrapper& at(std::size_t index) { return *wrappers_.at(index); }
+    [[nodiscard]] const RecoveryWrapper& at(std::size_t index) const {
+        return *wrappers_.at(index);
+    }
+    [[nodiscard]] RecoveryWrapper& by_name(std::string_view name);
+
+    /// Registers every wrapper as a recoverer on the simulator.
+    void arm(runtime::Simulator& sim);
+
+    [[nodiscard]] ea::EaCost total_cost() const;
+    [[nodiscard]] std::size_t total_repairs() const;
+
+private:
+    std::vector<std::unique_ptr<RecoveryWrapper>> wrappers_;
+};
+
+}  // namespace epea::erm

@@ -1,0 +1,284 @@
+#include "exp/arrestment_experiments.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "ea/calibrate.hpp"
+#include "fi/golden.hpp"
+#include "fi/injector.hpp"
+
+namespace epea::exp {
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+    if (const char* raw = std::getenv(name)) {
+        const long v = std::strtol(raw, nullptr, 10);
+        if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return fallback;
+}
+
+}  // namespace
+
+CampaignOptions CampaignOptions::from_env() {
+    CampaignOptions o;
+    o.case_count = std::min<std::size_t>(env_size("EPEA_CASES", o.case_count), 25);
+    o.times_per_bit = env_size("EPEA_TIMES", o.times_per_bit);
+    return o;
+}
+
+const std::vector<std::pair<std::string, std::string>>& arrestment_ea_signals() {
+    static const std::vector<std::pair<std::string, std::string>> kPairs = {
+        {"EA1", "SetValue"}, {"EA2", "IsValue"}, {"EA3", "i"},
+        {"EA4", "pulscnt"},  {"EA5", "ms_slot_nbr"}, {"EA6", "mscnt"},
+        {"EA7", "OutValue"},
+    };
+    return kPairs;
+}
+
+ea::EaBank make_calibrated_bank(const model::SystemModel& system,
+                                const std::vector<runtime::Trace>& golden,
+                                const ea::CalibrationMargins& margins) {
+    ea::EaCalibrator cal(system);
+    for (const auto& trace : golden) cal.add_trace(trace, margins.settle_fraction);
+    ea::EaBank bank;
+    for (const auto& [ea_name, signal_name] : arrestment_ea_signals()) {
+        const model::SignalId sid = system.signal_id(signal_name);
+        bank.add(ea_name, sid, cal.calibrate(sid, margins));
+    }
+    return bank;
+}
+
+void recalibrate_bank(ea::EaBank& bank, const model::SystemModel& system,
+                      const runtime::Trace& golden,
+                      const ea::CalibrationMargins& margins) {
+    ea::EaCalibrator cal(system);
+    cal.add_trace(golden, margins.settle_fraction);
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+        bank.at(i).set_params(cal.calibrate(bank.at(i).signal(), margins));
+    }
+}
+
+epic::PermeabilityMatrix estimate_arrestment_permeability(
+    target::ArrestmentSystem& sys, const CampaignOptions& options,
+    const epic::EstimatorProgress& progress) {
+    const auto cases = target::standard_test_cases();
+    const std::size_t case_count = std::min(options.case_count, cases.size());
+
+    fi::Injector injector(sys.sim());
+    epic::PermeabilityEstimator estimator(sys.sim(), injector);
+    epic::EstimatorOptions eopt;
+    eopt.times_per_bit = options.times_per_bit;
+    eopt.max_ticks = options.max_ticks;
+    return estimator.estimate(
+        case_count, [&](std::size_t c) { sys.configure(cases[c]); }, eopt, progress);
+}
+
+InputCoverageResult input_coverage_experiment(target::ArrestmentSystem& sys,
+                                              const InputCoverageOptions& options,
+                                              const std::vector<SubsetSpec>& subsets) {
+    const auto& system = sys.system();
+    const auto cases = target::standard_test_cases();
+    const std::size_t case_count = std::min(options.campaign.case_count, cases.size());
+
+    sys.sim().clear_monitors();
+    fi::Injector injector(sys.sim());
+    util::Rng time_rng(0xc0ffeeULL);
+
+    // Bank built once; parameters recalibrated per test case.
+    InputCoverageResult result;
+    for (const auto& [ea_name, _] : arrestment_ea_signals()) {
+        result.ea_names.push_back(ea_name);
+    }
+    for (const auto& s : subsets) result.subset_names.push_back(s.name);
+
+    auto make_row = [&](const std::string& name) {
+        InputCoverageRow row;
+        row.signal = name;
+        row.detected_per_ea.assign(result.ea_names.size(), 0);
+        row.detected_per_subset.assign(subsets.size(), 0);
+        return row;
+    };
+    for (const auto& name : options.target_signals) result.rows.push_back(make_row(name));
+    result.all = make_row("All");
+
+    // Subset membership as bank indices (resolved after bank exists).
+    ea::EaBank bank;
+    std::vector<std::vector<std::size_t>> subset_indices;
+
+    for (std::size_t c = 0; c < case_count; ++c) {
+        sys.configure(cases[c]);
+        injector.disarm();
+        const fi::GoldenRun gr = fi::capture_golden_run(sys.sim(), options.campaign.max_ticks);
+
+        if (c == 0) {
+            std::vector<runtime::Trace> traces{gr.trace};
+            bank = make_calibrated_bank(system, traces, options.campaign.ea_margins);
+            bank.arm(sys.sim());
+            for (const auto& s : subsets) {
+                std::vector<std::size_t> idx;
+                for (const auto& n : s.ea_names) idx.push_back(bank.index_of(n));
+                subset_indices.push_back(std::move(idx));
+            }
+        } else {
+            recalibrate_bank(bank, system, gr.trace, options.campaign.ea_margins);
+        }
+
+        // Injection moments deliberately overshoot the golden-run length
+        // slightly so a realistic share of injections lands after the
+        // arrestment completes and counts as inactive (cf. Table 4's
+        // n_err < injected).
+        const auto window_end =
+            static_cast<runtime::Tick>(static_cast<std::uint64_t>(gr.length) * 108 / 100);
+
+        for (std::size_t r = 0; r < options.target_signals.size(); ++r) {
+            const model::SignalId sid = system.signal_id(options.target_signals[r]);
+            const unsigned width = system.signal(sid).width;
+            for (unsigned bit = 0; bit < width; ++bit) {
+                const auto ticks = fi::spread_ticks(
+                    0, window_end, options.campaign.times_per_bit, &time_rng);
+                for (const runtime::Tick t : ticks) {
+                    injector.arm({fi::Injection::into_signal(sid, bit, t)});
+                    sys.sim().reset();
+                    sys.sim().run(options.campaign.max_ticks);
+
+                    auto& row = result.rows[r];
+                    ++row.injected;
+                    ++result.all.injected;
+                    if (injector.fired_count() == 0) continue;  // inactive
+                    ++row.active;
+                    ++result.all.active;
+
+                    bool any = false;
+                    runtime::Tick earliest = runtime::kInvalidTick;
+                    for (std::size_t e = 0; e < bank.size(); ++e) {
+                        if (!bank.at(e).triggered()) continue;
+                        ++row.detected_per_ea[e];
+                        ++result.all.detected_per_ea[e];
+                        earliest = std::min(earliest, bank.at(e).first_detection());
+                        any = true;
+                    }
+                    if (any) {
+                        ++row.detected_any;
+                        ++result.all.detected_any;
+                        if (earliest >= t) {
+                            const auto lat = static_cast<double>(earliest - t);
+                            row.latency.add(lat);
+                            result.all.latency.add(lat);
+                        }
+                    }
+                    for (std::size_t s = 0; s < subsets.size(); ++s) {
+                        if (bank.any_triggered(subset_indices[s])) {
+                            ++row.detected_per_subset[s];
+                            ++result.all.detected_per_subset[s];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    sys.sim().clear_monitors();
+    return result;
+}
+
+SevereCoverageResult severe_coverage_experiment(target::ArrestmentSystem& sys,
+                                                const CampaignOptions& options,
+                                                const std::vector<SubsetSpec>& subsets) {
+    const auto& system = sys.system();
+    const auto cases = target::standard_test_cases();
+    const std::size_t case_count = std::min(options.case_count, cases.size());
+
+    sys.sim().clear_monitors();
+    fi::Injector injector(sys.sim());
+
+    SevereCoverageResult result;
+    result.ram_locations = sys.sim().memory().byte_count(runtime::Region::kRam);
+    result.stack_locations = sys.sim().memory().byte_count(runtime::Region::kStack);
+    for (const auto& s : subsets) {
+        result.sets.push_back(SevereSetResult{s.name, {}});
+    }
+
+    ea::EaBank bank;
+    std::vector<std::vector<std::size_t>> subset_indices;
+
+    const std::size_t word_count = sys.sim().memory().word_count();
+    std::uint64_t seed = 0x5e7e8eULL;
+
+    for (std::size_t c = 0; c < case_count; ++c) {
+        sys.configure(cases[c]);
+        injector.disarm();
+        const fi::GoldenRun gr = fi::capture_golden_run(sys.sim(), options.max_ticks);
+        sys.sim().enable_trace(false);  // severe runs need no traces
+
+        if (c == 0) {
+            std::vector<runtime::Trace> traces{gr.trace};
+            bank = make_calibrated_bank(system, traces, options.ea_margins);
+            bank.arm(sys.sim());
+            for (const auto& s : subsets) {
+                std::vector<std::size_t> idx;
+                for (const auto& n : s.ea_names) idx.push_back(bank.index_of(n));
+                subset_indices.push_back(std::move(idx));
+            }
+        } else {
+            recalibrate_bank(bank, system, gr.trace, options.ea_margins);
+        }
+
+        for (std::size_t w = 0; w < word_count; ++w) {
+            const runtime::Region region = sys.sim().memory().word(w).region;
+            const std::size_t region_idx = region == runtime::Region::kRam ? 0 : 1;
+
+            injector.arm({fi::Injection::into_memory(w, fi::kRandomBit, /*at=*/10,
+                                                     options.severe_period)},
+                         ++seed);
+            sys.sim().reset();
+            sys.sim().run(options.max_ticks);
+            ++result.runs;
+
+            const bool failed = sys.plant().failure_report().failed();
+            if (failed) ++result.failures;
+            const std::size_t class_idx = failed ? 1 : 2;
+
+            for (std::size_t s = 0; s < subsets.size(); ++s) {
+                const bool det = bank.any_triggered(subset_indices[s]);
+                auto& set = result.sets[s];
+                for (const std::size_t region_slot : {region_idx, std::size_t{2}}) {
+                    for (const std::size_t class_slot : {std::size_t{0}, class_idx}) {
+                        auto& cell = set.cells[region_slot][class_slot];
+                        ++cell.n;
+                        if (det) ++cell.detected;
+                    }
+                }
+            }
+        }
+    }
+    sys.sim().enable_trace(true);
+    sys.sim().clear_monitors();
+    return result;
+}
+
+std::vector<std::string> false_positive_check(target::ArrestmentSystem& sys,
+                                              const CampaignOptions& options) {
+    const auto& system = sys.system();
+    const auto cases = target::standard_test_cases();
+    const std::size_t case_count = std::min(options.case_count, cases.size());
+
+    std::vector<std::string> fired;
+    for (std::size_t c = 0; c < case_count; ++c) {
+        sys.configure(cases[c]);
+        sys.sim().clear_monitors();
+        const fi::GoldenRun gr = fi::capture_golden_run(sys.sim(), options.max_ticks);
+        std::vector<runtime::Trace> traces{gr.trace};
+        ea::EaBank bank = make_calibrated_bank(system, traces);
+        bank.arm(sys.sim());
+        sys.sim().reset();
+        sys.sim().run(options.max_ticks);
+        for (const std::size_t idx : bank.triggered()) {
+            fired.push_back("case " + std::to_string(c) + ": " + bank.at(idx).name());
+        }
+        sys.sim().clear_monitors();
+    }
+    return fired;
+}
+
+}  // namespace epea::exp

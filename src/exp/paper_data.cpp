@@ -1,0 +1,86 @@
+#include "exp/paper_data.hpp"
+
+namespace epea::exp {
+
+const std::vector<PaperPair>& paper_table1() {
+    static const std::vector<PaperPair> kTable1 = {
+        {"CLOCK", "i", "ms_slot_nbr", 1.000},
+        {"CLOCK", "i", "mscnt", 0.000},
+        {"DIST_S", "PACNT", "pulscnt", 0.957},
+        {"DIST_S", "TIC1", "pulscnt", 0.000},
+        {"DIST_S", "TCNT", "pulscnt", 0.000},
+        {"DIST_S", "PACNT", "slow_speed", 0.010},
+        {"DIST_S", "TIC1", "slow_speed", 0.000},
+        {"DIST_S", "TCNT", "slow_speed", 0.000},
+        {"DIST_S", "PACNT", "stopped", 0.000},
+        {"DIST_S", "TIC1", "stopped", 0.000},
+        {"DIST_S", "TCNT", "stopped", 0.000},
+        {"PRES_S", "ADC", "IsValue", 0.000},
+        {"CALC", "i", "i", 1.000},
+        {"CALC", "mscnt", "i", 0.000},
+        {"CALC", "pulscnt", "i", 0.494},
+        {"CALC", "slow_speed", "i", 0.000},
+        {"CALC", "stopped", "i", 0.013},
+        {"CALC", "i", "SetValue", 0.056},
+        {"CALC", "mscnt", "SetValue", 0.530},
+        {"CALC", "pulscnt", "SetValue", 0.000},
+        {"CALC", "slow_speed", "SetValue", 0.892},
+        {"CALC", "stopped", "SetValue", 0.000},
+        {"V_REG", "SetValue", "OutValue", 0.885},
+        {"V_REG", "IsValue", "OutValue", 0.896},
+        {"PRES_A", "OutValue", "TOC2", 0.875},
+    };
+    return kTable1;
+}
+
+epic::PermeabilityMatrix paper_matrix(const model::SystemModel& system) {
+    epic::PermeabilityMatrix pm(system);
+    for (const auto& p : paper_table1()) {
+        pm.set(p.module, p.in_signal, p.out_signal, p.value);
+    }
+    return pm;
+}
+
+const std::vector<std::pair<std::string, double>>& paper_exposures() {
+    static const std::vector<std::pair<std::string, double>> kTable2 = {
+        {"OutValue", 1.781}, {"i", 1.507},       {"SetValue", 1.478},
+        {"ms_slot_nbr", 1.000}, {"pulscnt", 0.957}, {"TOC2", 0.875},
+        {"slow_speed", 0.010},  {"IsValue", 0.000}, {"mscnt", 0.000},
+        {"stopped", 0.000},
+    };
+    return kTable2;
+}
+
+const std::vector<std::pair<std::string, double>>& paper_impacts() {
+    static const std::vector<std::pair<std::string, double>> kTable5 = {
+        {"PACNT", 0.027},  {"TCNT", 0.000},       {"TIC1", 0.000},
+        {"ADC", 0.000},    {"OutValue", 0.875},   {"i", 0.043},
+        {"SetValue", 0.774}, {"ms_slot_nbr", 0.000}, {"pulscnt", 0.021},
+        {"slow_speed", 0.691}, {"IsValue", 0.784}, {"mscnt", 0.410},
+        {"stopped", 0.001},
+    };
+    return kTable5;
+}
+
+const std::vector<std::string>& paper_eh_signals() {
+    static const std::vector<std::string> kEh = {
+        "SetValue", "IsValue", "i", "pulscnt", "ms_slot_nbr", "mscnt", "OutValue"};
+    return kEh;
+}
+
+const std::vector<std::string>& paper_pa_signals() {
+    static const std::vector<std::string> kPa = {"SetValue", "i", "pulscnt", "OutValue"};
+    return kPa;
+}
+
+const std::vector<PaperCoverageRow>& paper_table4() {
+    static const std::vector<PaperCoverageRow> kTable4 = {
+        {"PACNT", 1856, 0.975},
+        {"TIC1", 3712, 0.0},
+        {"TCNT", 3712, 0.0},
+        {"All", 9280, 0.195},
+    };
+    return kTable4;
+}
+
+}  // namespace epea::exp

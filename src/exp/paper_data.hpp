@@ -1,0 +1,46 @@
+// The paper's published numbers (DSN 2002), kept as reference data so
+// benches can print paper-vs-measured side by side and tests can verify
+// the analysis math against the published tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "epic/matrix.hpp"
+
+namespace epea::exp {
+
+/// One published Table-1 row.
+struct PaperPair {
+    std::string module;
+    std::string in_signal;
+    std::string out_signal;
+    double value;
+};
+
+/// Table 1 — all 25 estimated error permeability values.
+[[nodiscard]] const std::vector<PaperPair>& paper_table1();
+
+/// A permeability matrix filled with the paper's Table-1 values.
+[[nodiscard]] epic::PermeabilityMatrix paper_matrix(const model::SystemModel& system);
+
+/// Table 2 — published signal error exposures (signals absent from the
+/// table had no exposure value).
+[[nodiscard]] const std::vector<std::pair<std::string, double>>& paper_exposures();
+
+/// Table 5 — published impact values on TOC2.
+[[nodiscard]] const std::vector<std::pair<std::string, double>>& paper_impacts();
+
+/// §5.1 / §5.3 — the published EA location sets (signal names).
+[[nodiscard]] const std::vector<std::string>& paper_eh_signals();
+[[nodiscard]] const std::vector<std::string>& paper_pa_signals();
+
+/// Table 4 — published coverage for errors injected at system inputs.
+struct PaperCoverageRow {
+    std::string signal;
+    std::uint64_t n_err;
+    double total_coverage;
+};
+[[nodiscard]] const std::vector<PaperCoverageRow>& paper_table4();
+
+}  // namespace epea::exp

@@ -1,0 +1,19 @@
+// Parallel campaign runner — splits the Table-1 permeability campaign
+// across worker threads, one fully-independent simulator per worker, and
+// merges the per-pair counts. Per-case injection streams are keyed by the
+// global case index, so the merged matrix is bit-identical to the
+// sequential estimate regardless of the thread count.
+#pragma once
+
+#include "epic/matrix.hpp"
+#include "exp/arrestment_experiments.hpp"
+
+namespace epea::exp {
+
+/// Like estimate_arrestment_permeability, but distributed over
+/// `threads` workers (0 = one per hardware thread, capped by the case
+/// count). Throws whatever a worker throws.
+[[nodiscard]] epic::PermeabilityMatrix estimate_arrestment_permeability_parallel(
+    const CampaignOptions& options, unsigned threads = 0);
+
+}  // namespace epea::exp

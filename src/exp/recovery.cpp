@@ -1,0 +1,79 @@
+#include "exp/recovery.hpp"
+
+#include <algorithm>
+
+#include "ea/calibrate.hpp"
+#include "fi/golden.hpp"
+#include "fi/injector.hpp"
+
+namespace epea::exp {
+
+RecoveryResult recovery_experiment(target::ArrestmentSystem& sys,
+                                   const CampaignOptions& options,
+                                   const std::vector<std::string>& guarded_signals,
+                                   erm::RecoveryPolicy policy) {
+    const auto& system = sys.system();
+    const auto cases = target::standard_test_cases();
+    const std::size_t case_count = std::min(options.case_count, cases.size());
+
+    sys.sim().clear_monitors();
+    sys.sim().clear_recoverers();
+    fi::Injector injector(sys.sim());
+
+    RecoveryResult result;
+    erm::ErmBank bank;
+    const std::size_t word_count = sys.sim().memory().word_count();
+    std::uint64_t seed = 0xeca4e1ULL;
+
+    for (std::size_t c = 0; c < case_count; ++c) {
+        sys.configure(cases[c]);
+        injector.disarm();
+        sys.sim().clear_recoverers();
+        const fi::GoldenRun gr = fi::capture_golden_run(sys.sim(), options.max_ticks);
+        sys.sim().enable_trace(false);
+
+        // (Re)calibrate the wrappers from this configuration's golden run.
+        ea::EaCalibrator cal(system);
+        cal.add_trace(gr.trace);
+        if (c == 0) {
+            for (const auto& name : guarded_signals) {
+                const model::SignalId sid = system.signal_id(name);
+                bank.add("ERM:" + name, sid, cal.calibrate(sid), policy);
+            }
+            result.erm_cost = bank.total_cost();
+        } else {
+            for (std::size_t w = 0; w < bank.size(); ++w) {
+                bank.at(w).set_params(cal.calibrate(bank.at(w).signal()));
+            }
+        }
+
+        for (std::size_t w = 0; w < word_count; ++w) {
+            ++seed;
+            ++result.runs;
+
+            // Baseline: identical flips, no recovery.
+            sys.sim().clear_recoverers();
+            injector.arm({fi::Injection::into_memory(w, fi::kRandomBit, 10,
+                                                     options.severe_period)},
+                         seed);
+            sys.sim().reset();
+            sys.sim().run(options.max_ticks);
+            if (sys.plant().failure_report().failed()) ++result.failures_baseline;
+
+            // With recovery wrappers armed.
+            bank.arm(sys.sim());
+            injector.arm({fi::Injection::into_memory(w, fi::kRandomBit, 10,
+                                                     options.severe_period)},
+                         seed);
+            sys.sim().reset();
+            sys.sim().run(options.max_ticks);
+            if (sys.plant().failure_report().failed()) ++result.failures_with_erm;
+            result.repairs += bank.total_repairs();
+            sys.sim().clear_recoverers();
+        }
+    }
+    sys.sim().enable_trace(true);
+    return result;
+}
+
+}  // namespace epea::exp

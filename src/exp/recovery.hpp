@@ -1,0 +1,44 @@
+// Recovery experiment (extension beyond the paper's evaluation): under
+// the severe error model, how much does placing ERMs — recovery wrappers
+// — at the selected locations reduce the system failure rate?
+//
+// Each memory location is injected twice with identical flips: once
+// detection-only (baseline) and once with the recovery wrappers armed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ea/assertion.hpp"
+#include "erm/wrapper.hpp"
+#include "exp/arrestment_experiments.hpp"
+
+namespace epea::exp {
+
+struct RecoveryResult {
+    std::uint64_t runs = 0;               ///< injected locations x cases
+    std::uint64_t failures_baseline = 0;  ///< §4.2 failures without ERMs
+    std::uint64_t failures_with_erm = 0;  ///< failures with ERMs armed
+    std::uint64_t repairs = 0;            ///< total repair actions
+    ea::EaCost erm_cost;                  ///< ROM/RAM of the armed wrappers
+
+    [[nodiscard]] double baseline_failure_rate() const noexcept {
+        return runs ? static_cast<double>(failures_baseline) /
+                          static_cast<double>(runs)
+                    : 0.0;
+    }
+    [[nodiscard]] double erm_failure_rate() const noexcept {
+        return runs ? static_cast<double>(failures_with_erm) /
+                          static_cast<double>(runs)
+                    : 0.0;
+    }
+};
+
+/// Runs the paired severe-model experiment with recovery wrappers on the
+/// named signals (e.g. the extended-placement selection).
+[[nodiscard]] RecoveryResult recovery_experiment(
+    target::ArrestmentSystem& sys, const CampaignOptions& options,
+    const std::vector<std::string>& guarded_signals,
+    erm::RecoveryPolicy policy = erm::RecoveryPolicy::kClamp);
+
+}  // namespace epea::exp

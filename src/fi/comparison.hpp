@@ -1,0 +1,45 @@
+// Golden-run comparison — implements the paper's measurement semantics
+// (§5.3): per-signal first-difference detection and "direct error"
+// attribution for module outputs.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fi/golden.hpp"
+#include "model/system_model.hpp"
+#include "runtime/trace.hpp"
+
+namespace epea::fi {
+
+/// First tick at which the injection-run trace differs from the golden
+/// run on `signal` (std::nullopt if identical, including equal length).
+[[nodiscard]] std::optional<runtime::Tick> first_difference(
+    const GoldenRun& gr, const runtime::Trace& ir, model::SignalId signal);
+
+/// Direct-error attribution for one module-input injection.
+///
+/// For an error injected into input port `injected_port` of `module`, an
+/// output port counts as directly affected only if its first trace
+/// difference occurs no later than the first difference observed on any
+/// *other* input of the module — the paper's rule of not counting errors
+/// that "propagated via one of the other outputs and then came back"
+/// (§5.3). Under the kernel's unit-delay semantics a contaminated input
+/// can influence outputs only on later ticks, so `<=` is the correct cut.
+struct DirectOutcome {
+    /// affected[k] == true when output port k was directly affected.
+    std::vector<bool> affected;
+    /// First difference tick per output port (kInvalidTick when none).
+    std::vector<runtime::Tick> first_diff;
+    /// First contamination tick over the module's other inputs
+    /// (kInvalidTick when none were contaminated).
+    runtime::Tick contamination = runtime::kInvalidTick;
+};
+
+[[nodiscard]] DirectOutcome attribute_direct(const model::SystemModel& system,
+                                             const GoldenRun& gr,
+                                             const runtime::Trace& ir,
+                                             model::ModuleId module,
+                                             std::uint32_t injected_port);
+
+}  // namespace epea::fi

@@ -1,0 +1,16 @@
+#include "fi/golden.hpp"
+
+namespace epea::fi {
+
+GoldenRun capture_golden_run(runtime::Simulator& sim, runtime::Tick max_ticks) {
+    sim.enable_trace(true);
+    sim.reset();
+    const runtime::RunResult rr = sim.run(max_ticks);
+    GoldenRun gr;
+    gr.trace = *sim.trace();  // copy: the simulator's trace is reused
+    gr.length = rr.ticks;
+    gr.finished = rr.env_finished;
+    return gr;
+}
+
+}  // namespace epea::fi

@@ -1,0 +1,24 @@
+// Golden runs — reference executions against which injection runs are
+// compared (paper §5.3: "we produced a Golden Run for each test case").
+#pragma once
+
+#include <vector>
+
+#include "runtime/simulator.hpp"
+#include "runtime/trace.hpp"
+
+namespace epea::fi {
+
+/// The reference trace of one fault-free run.
+struct GoldenRun {
+    runtime::Trace trace{0};
+    runtime::Tick length = 0;
+    bool finished = false;  ///< environment reached natural completion
+};
+
+/// Resets the simulator and records a fault-free run with tracing on.
+/// Leaves tracing enabled (injection runs reuse it).
+[[nodiscard]] GoldenRun capture_golden_run(runtime::Simulator& sim,
+                                           runtime::Tick max_ticks);
+
+}  // namespace epea::fi

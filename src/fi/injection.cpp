@@ -1,0 +1,29 @@
+#include "fi/injection.hpp"
+
+namespace epea::fi {
+
+std::vector<runtime::Tick> spread_ticks(runtime::Tick first, runtime::Tick last,
+                                        std::size_t count, util::Rng* rng) {
+    std::vector<runtime::Tick> ticks;
+    if (count == 0 || last <= first) return ticks;
+    ticks.reserve(count);
+    const runtime::Tick span = last - first;
+    for (std::size_t j = 0; j < count; ++j) {
+        std::uint64_t offset;
+        if (rng != nullptr) {
+            // Stratified random: a uniform draw within stratum j.
+            const std::uint64_t stratum_lo = static_cast<std::uint64_t>(span) * j / count;
+            const std::uint64_t stratum_hi =
+                static_cast<std::uint64_t>(span) * (j + 1) / count;
+            offset = stratum_lo + rng->below(std::max<std::uint64_t>(1, stratum_hi -
+                                                                            stratum_lo));
+        } else {
+            // Midpoint placement keeps ticks strictly inside [first, last).
+            offset = (static_cast<std::uint64_t>(span) * (2 * j + 1)) / (2 * count);
+        }
+        ticks.push_back(first + static_cast<runtime::Tick>(offset));
+    }
+    return ticks;
+}
+
+}  // namespace epea::fi

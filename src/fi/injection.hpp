@@ -1,0 +1,91 @@
+// Injection descriptors — the error models of the paper expressed as
+// concrete bit-flip plans.
+//
+// Error model A ("nice", §5.3/§6): a single bit flip in a signal (or in
+// one module's view of an input signal), once per run.
+// Error model B ("severe", §7): bit flips into RAM/stack memory words,
+// repeated periodically (20 ms) for the whole run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/ids.hpp"
+#include "runtime/types.hpp"
+#include "util/rng.hpp"
+
+namespace epea::fi {
+
+/// Marker: choose a fresh random bit at every firing (used by the
+/// periodic memory model).
+inline constexpr unsigned kRandomBit = 0xffU;
+
+/// One fault to inject during a run.
+struct Injection {
+    enum class Kind : std::uint8_t {
+        /// Flip a bit of a signal in the store before consumers read it —
+        /// every consumer and the trace see the error (system-input
+        /// injections of Table 4 use this).
+        kSignal,
+        /// Flip a bit of one module's frame copy of an input port — only
+        /// that module sees the error (permeability estimation, Eq. 1).
+        kModuleInput,
+        /// Flip a bit of a registered RAM/stack memory word (severe model).
+        kMemoryWord,
+    };
+
+    Kind kind = Kind::kSignal;
+    model::SignalId signal;            ///< kSignal
+    model::ModuleId module;            ///< kModuleInput
+    std::uint32_t port = 0;            ///< kModuleInput (0-based input port)
+    std::size_t word_index = 0;        ///< kMemoryWord (index into MemoryMap)
+    unsigned bit = 0;                  ///< bit to flip, or kRandomBit
+    runtime::Tick at = 0;              ///< first firing tick
+    runtime::Tick period = 0;          ///< 0 = one-shot, else fire every `period`
+
+    [[nodiscard]] static Injection into_signal(model::SignalId s, unsigned bit,
+                                               runtime::Tick at) {
+        Injection inj;
+        inj.kind = Kind::kSignal;
+        inj.signal = s;
+        inj.bit = bit;
+        inj.at = at;
+        return inj;
+    }
+
+    [[nodiscard]] static Injection into_module_input(model::ModuleId m,
+                                                     std::uint32_t port, unsigned bit,
+                                                     runtime::Tick at) {
+        Injection inj;
+        inj.kind = Kind::kModuleInput;
+        inj.module = m;
+        inj.port = port;
+        inj.bit = bit;
+        inj.at = at;
+        return inj;
+    }
+
+    [[nodiscard]] static Injection into_memory(std::size_t word_index, unsigned bit,
+                                               runtime::Tick at, runtime::Tick period) {
+        Injection inj;
+        inj.kind = Kind::kMemoryWord;
+        inj.word_index = word_index;
+        inj.bit = bit;
+        inj.at = at;
+        inj.period = period;
+        return inj;
+    }
+};
+
+/// Injection ticks spread over [first, last): the paper injects each
+/// fault at several points in time spread over the arrestment. Without
+/// an rng the ticks sit at stratum midpoints; with an rng they are
+/// stratified-random (one uniform draw per stratum), which avoids
+/// systematic alignment between injection times and events that occur at
+/// a fixed fraction of every run.
+[[nodiscard]] std::vector<runtime::Tick> spread_ticks(runtime::Tick first,
+                                                      runtime::Tick last,
+                                                      std::size_t count,
+                                                      util::Rng* rng = nullptr);
+
+}  // namespace epea::fi

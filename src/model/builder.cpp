@@ -1,0 +1,54 @@
+#include "model/builder.hpp"
+
+namespace epea::model {
+
+ModuleBuilder& ModuleBuilder::in(std::string_view signal_name) {
+    parent_->modules_[index_].inputs.emplace_back(signal_name);
+    return *this;
+}
+
+ModuleBuilder& ModuleBuilder::out(std::string_view signal_name) {
+    parent_->modules_[index_].outputs.emplace_back(signal_name);
+    return *this;
+}
+
+SystemBuilder& SystemBuilder::input(std::string name, SignalKind kind, std::uint8_t width) {
+    return signal(SignalSpec{std::move(name), SignalRole::kSystemInput, kind, width});
+}
+
+SystemBuilder& SystemBuilder::intermediate(std::string name, SignalKind kind,
+                                           std::uint8_t width) {
+    return signal(SignalSpec{std::move(name), SignalRole::kIntermediate, kind, width});
+}
+
+SystemBuilder& SystemBuilder::output(std::string name, SignalKind kind, std::uint8_t width) {
+    return signal(SignalSpec{std::move(name), SignalRole::kSystemOutput, kind, width});
+}
+
+SystemBuilder& SystemBuilder::signal(SignalSpec spec) {
+    signals_.push_back(std::move(spec));
+    return *this;
+}
+
+ModuleBuilder SystemBuilder::module(std::string name) {
+    modules_.push_back(PendingModule{std::move(name), {}, {}});
+    return ModuleBuilder{*this, modules_.size() - 1};
+}
+
+SystemModel SystemBuilder::build() const {
+    SystemModel model;
+    for (const auto& s : signals_) model.add_signal(s);
+    for (const auto& pm : modules_) {
+        ModuleSpec spec;
+        spec.name = pm.name;
+        spec.inputs.reserve(pm.inputs.size());
+        spec.outputs.reserve(pm.outputs.size());
+        for (const auto& n : pm.inputs) spec.inputs.push_back(model.signal_id(n));
+        for (const auto& n : pm.outputs) spec.outputs.push_back(model.signal_id(n));
+        model.add_module(std::move(spec));
+    }
+    model.validate_or_throw();
+    return model;
+}
+
+}  // namespace epea::model

@@ -1,0 +1,66 @@
+// Fluent construction helper for SystemModel. Lets systems be declared
+// close to how Fig 1 of the paper reads:
+//
+//   SystemBuilder b;
+//   b.input("PACNT", SignalKind::kMonotonic, 8);
+//   b.intermediate("pulscnt", SignalKind::kMonotonic, 16);
+//   b.module("DIST_S").in("PACNT").in("TIC1").in("TCNT")
+//        .out("pulscnt").out("slow_speed").out("stopped");
+//   SystemModel m = b.build();
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/system_model.hpp"
+
+namespace epea::model {
+
+class SystemBuilder;
+
+/// Accumulates the ports of one module; created via SystemBuilder::module.
+class ModuleBuilder {
+public:
+    ModuleBuilder& in(std::string_view signal_name);
+    ModuleBuilder& out(std::string_view signal_name);
+
+private:
+    friend class SystemBuilder;
+    ModuleBuilder(SystemBuilder& parent, std::size_t index)
+        : parent_(&parent), index_(index) {}
+
+    SystemBuilder* parent_;
+    std::size_t index_;
+};
+
+/// Collects signal and module declarations, then materialises and
+/// validates a SystemModel in build().
+class SystemBuilder {
+public:
+    SystemBuilder& input(std::string name, SignalKind kind, std::uint8_t width);
+    SystemBuilder& intermediate(std::string name, SignalKind kind, std::uint8_t width);
+    SystemBuilder& output(std::string name, SignalKind kind, std::uint8_t width);
+    SystemBuilder& signal(SignalSpec spec);
+
+    /// Starts a module declaration; ports are added through the returned
+    /// ModuleBuilder, in order.
+    ModuleBuilder module(std::string name);
+
+    /// Materialises the model and runs full validation (throws on error).
+    [[nodiscard]] SystemModel build() const;
+
+private:
+    friend class ModuleBuilder;
+
+    struct PendingModule {
+        std::string name;
+        std::vector<std::string> inputs;
+        std::vector<std::string> outputs;
+    };
+
+    std::vector<SignalSpec> signals_;
+    std::vector<PendingModule> modules_;
+};
+
+}  // namespace epea::model

@@ -1,0 +1,109 @@
+#include "model/dot.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace epea::model {
+
+namespace {
+
+std::string fmt(double v, int precision = 3) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+}
+
+/// Node name for a module.
+std::string module_node(const SystemModel& m, ModuleId id) {
+    return "mod_" + m.module_name(id);
+}
+
+/// Node name for an environment-side endpoint of a signal.
+std::string env_node(const std::string& signal_name) { return "env_" + signal_name; }
+
+}  // namespace
+
+void write_dot(std::ostream& out, const SystemModel& model, const DotOptions& options) {
+    out << "digraph \"" << options.graph_name << "\" {\n";
+    if (options.rankdir_lr) out << "  rankdir=LR;\n";
+    out << "  node [fontname=\"Helvetica\"];\n";
+    out << "  edge [fontname=\"Helvetica\", fontsize=10];\n";
+
+    for (ModuleId mid : model.all_modules()) {
+        out << "  " << module_node(model, mid) << " [shape=box, label=\""
+            << model.module_name(mid) << "\"];\n";
+    }
+
+    // Environment endpoints for system inputs/outputs and dangling signals.
+    for (SignalId sid : model.all_signals()) {
+        const auto& spec = model.signal(sid);
+        const bool dangling_intermediate =
+            spec.role == SignalRole::kIntermediate && model.consumers_of(sid).empty();
+        if (spec.role == SignalRole::kSystemInput) {
+            out << "  " << env_node(spec.name) << " [shape=ellipse, label=\""
+                << spec.name << "\\n(source)\"];\n";
+        } else if (spec.role == SignalRole::kSystemOutput) {
+            out << "  " << env_node(spec.name) << " [shape=ellipse, label=\""
+                << spec.name << "\\n(actuator)\"];\n";
+        } else if (dangling_intermediate) {
+            out << "  " << env_node(spec.name)
+                << " [shape=circle, width=0.15, label=\"\"];\n";
+        }
+    }
+
+    // Determine the scaling for weighted edges.
+    double max_weight = 0.0;
+    if (options.signal_weight) {
+        for (SignalId sid : model.all_signals()) {
+            if (const auto w = options.signal_weight(sid)) {
+                max_weight = std::max(max_weight, *w);
+            }
+        }
+    }
+
+    auto edge_attrs = [&](SignalId sid) -> std::string {
+        const auto& name = model.signal_name(sid);
+        std::string attrs = "label=\"" + name;
+        std::string style;
+        if (options.signal_weight) {
+            const auto w = options.signal_weight(sid);
+            if (!w.has_value()) {
+                style = ", style=\"dotted\"";
+            } else if (*w <= 0.0) {
+                style = ", style=\"dashed\"";
+                attrs += " (0)";
+            } else {
+                const double rel = max_weight > 0.0 ? *w / max_weight : 0.0;
+                const double pen = 1.0 + rel * (options.max_penwidth - 1.0);
+                style = ", penwidth=" + fmt(pen, 2);
+                attrs += " (" + fmt(*w) + ")";
+            }
+        }
+        attrs += "\"" + style;
+        return attrs;
+    };
+
+    for (SignalId sid : model.all_signals()) {
+        const auto& spec = model.signal(sid);
+        const auto producer = model.producer_of(sid);
+        const std::string from = producer.has_value()
+                                     ? module_node(model, producer->module)
+                                     : env_node(spec.name);
+        const auto consumers = model.consumers_of(sid);
+        if (consumers.empty()) {
+            if (spec.role != SignalRole::kSystemInput) {
+                out << "  " << from << " -> " << env_node(spec.name) << " ["
+                    << edge_attrs(sid) << "];\n";
+            }
+            continue;
+        }
+        for (const PortRef& c : consumers) {
+            out << "  " << from << " -> " << module_node(model, c.module) << " ["
+                << edge_attrs(sid) << "];\n";
+        }
+    }
+
+    out << "}\n";
+}
+
+}  // namespace epea::model

@@ -1,0 +1,31 @@
+// Graphviz DOT export of a SystemModel, optionally annotated with
+// per-signal weights — used to regenerate the exposure/impact profile
+// figures (Figs 5 and 6 of the paper) as machine-renderable graphs.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "model/system_model.hpp"
+
+namespace epea::model {
+
+/// Options controlling DOT rendering.
+struct DotOptions {
+    std::string graph_name = "system";
+    /// Optional per-signal weight (e.g. exposure or impact). Signals with
+    /// no value (nullopt) are drawn dash-dotted, zero-valued dashed, and
+    /// positive values with pen width scaled into [1, max_penwidth] —
+    /// mirroring the line-thickness convention of Figs 5/6.
+    std::function<std::optional<double>(SignalId)> signal_weight;
+    double max_penwidth = 6.0;
+    bool rankdir_lr = true;
+};
+
+/// Writes the model as a DOT digraph: modules are boxes, system inputs and
+/// outputs are ellipses, signals become labelled edges.
+void write_dot(std::ostream& out, const SystemModel& model, const DotOptions& options = {});
+
+}  // namespace epea::model

@@ -1,0 +1,57 @@
+// Strongly-typed identifiers for the system model. Using distinct wrapper
+// types prevents accidentally indexing modules with signal ids and vice
+// versa — the analysis code juggles all three constantly.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace epea::model {
+
+namespace detail {
+
+template <typename Tag>
+struct Id {
+    static constexpr std::uint32_t kInvalid = std::numeric_limits<std::uint32_t>::max();
+
+    std::uint32_t value = kInvalid;
+
+    constexpr Id() = default;
+    constexpr explicit Id(std::uint32_t v) noexcept : value(v) {}
+
+    [[nodiscard]] constexpr bool valid() const noexcept { return value != kInvalid; }
+    [[nodiscard]] constexpr std::size_t index() const noexcept { return value; }
+
+    friend constexpr auto operator<=>(Id, Id) = default;
+};
+
+}  // namespace detail
+
+struct ModuleTag {};
+struct SignalTag {};
+
+/// Identifies a module within one SystemModel.
+using ModuleId = detail::Id<ModuleTag>;
+/// Identifies a signal (data channel) within one SystemModel.
+using SignalId = detail::Id<SignalTag>;
+
+/// A (module, port index) pair; ports are 0-based internally and rendered
+/// 1-based in tables to match the paper's numbering.
+struct PortRef {
+    ModuleId module;
+    std::uint32_t port = 0;
+
+    friend constexpr auto operator<=>(const PortRef&, const PortRef&) = default;
+};
+
+}  // namespace epea::model
+
+template <typename Tag>
+struct std::hash<epea::model::detail::Id<Tag>> {
+    std::size_t operator()(epea::model::detail::Id<Tag> id) const noexcept {
+        return std::hash<std::uint32_t>{}(id.value);
+    }
+};

@@ -1,0 +1,28 @@
+// Module descriptors. A module is a generalized black box with numbered
+// input and output ports, each bound to a signal (paper §3, Fig 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/ids.hpp"
+
+namespace epea::model {
+
+/// Static description of a module: its name and the signals bound to its
+/// input/output ports, in port order.
+struct ModuleSpec {
+    std::string name;
+    std::vector<SignalId> inputs;   ///< inputs[p]  = signal on input port p
+    std::vector<SignalId> outputs;  ///< outputs[p] = signal on output port p
+
+    [[nodiscard]] std::size_t input_count() const noexcept { return inputs.size(); }
+    [[nodiscard]] std::size_t output_count() const noexcept { return outputs.size(); }
+    /// Number of input/output pairs — the number of permeability values
+    /// this module contributes (Table 1 has 25 across the target).
+    [[nodiscard]] std::size_t pair_count() const noexcept {
+        return inputs.size() * outputs.size();
+    }
+};
+
+}  // namespace epea::model

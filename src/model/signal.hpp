@@ -1,0 +1,60 @@
+// Signal descriptors. A signal is an abstract data channel between
+// modules (shared variable, message, register, ...) — the unit at which
+// the paper's analysis measures exposure, impact and criticality, and at
+// which executable assertions are attached.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/ids.hpp"
+
+namespace epea::model {
+
+/// Where a signal sits in the system boundary (paper §3/§5.2).
+enum class SignalRole : std::uint8_t {
+    kSystemInput,   ///< produced by the environment (sensor/HW register)
+    kIntermediate,  ///< produced and consumed by software modules
+    kSystemOutput,  ///< consumed by the environment (actuator register)
+};
+
+/// Value class of a signal; drives which EA type is applicable
+/// (the paper's chosen EAs are "not geared at boolean values").
+enum class SignalKind : std::uint8_t {
+    kContinuous,  ///< bounded, rate-limited numeric (e.g. SetValue)
+    kMonotonic,   ///< non-decreasing counter (e.g. pulscnt, mscnt)
+    kDiscrete,    ///< small enumerated domain (e.g. ms_slot_nbr)
+    kBoolean,     ///< two-valued flag (e.g. slow_speed, stopped)
+};
+
+[[nodiscard]] constexpr const char* to_string(SignalRole role) noexcept {
+    switch (role) {
+        case SignalRole::kSystemInput: return "input";
+        case SignalRole::kIntermediate: return "intermediate";
+        case SignalRole::kSystemOutput: return "output";
+    }
+    return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(SignalKind kind) noexcept {
+    switch (kind) {
+        case SignalKind::kContinuous: return "continuous";
+        case SignalKind::kMonotonic: return "monotonic";
+        case SignalKind::kDiscrete: return "discrete";
+        case SignalKind::kBoolean: return "boolean";
+    }
+    return "?";
+}
+
+/// Static description of a signal.
+struct SignalSpec {
+    std::string name;
+    SignalRole role = SignalRole::kIntermediate;
+    SignalKind kind = SignalKind::kContinuous;
+    /// Significant bit width of the carried value (1..32). Hardware
+    /// registers of the target are 8 or 16 bits; bit-flip error models
+    /// respect this width.
+    std::uint8_t width = 16;
+};
+
+}  // namespace epea::model

@@ -1,0 +1,166 @@
+#include "model/system_model.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace epea::model {
+
+SignalId SystemModel::add_signal(SignalSpec spec) {
+    const SignalId id{static_cast<std::uint32_t>(signals_.size())};
+    if (spec.name.empty()) throw std::invalid_argument("signal name must be non-empty");
+    if (signal_by_name_.contains(spec.name)) {
+        throw std::invalid_argument("duplicate signal name: " + spec.name);
+    }
+    if (spec.width == 0 || spec.width > 32) {
+        throw std::invalid_argument("signal width must be in [1,32]: " + spec.name);
+    }
+    signal_by_name_.emplace(spec.name, id);
+    signals_.push_back(std::move(spec));
+    producer_.emplace_back(std::nullopt);
+    consumers_.emplace_back();
+    return id;
+}
+
+ModuleId SystemModel::add_module(ModuleSpec spec) {
+    const ModuleId id{static_cast<std::uint32_t>(modules_.size())};
+    if (spec.name.empty()) throw std::invalid_argument("module name must be non-empty");
+    if (module_by_name_.contains(spec.name)) {
+        throw std::invalid_argument("duplicate module name: " + spec.name);
+    }
+    auto check = [&](SignalId s) {
+        if (!s.valid() || s.index() >= signals_.size()) {
+            throw std::invalid_argument("module " + spec.name +
+                                        " references unknown signal id");
+        }
+    };
+    for (SignalId s : spec.inputs) check(s);
+    for (std::uint32_t p = 0; p < spec.outputs.size(); ++p) {
+        const SignalId s = spec.outputs[p];
+        check(s);
+        if (producer_[s.index()].has_value()) {
+            throw std::invalid_argument("signal " + signals_[s.index()].name +
+                                        " already has a producer");
+        }
+        producer_[s.index()] = PortRef{id, p};
+    }
+    for (std::uint32_t p = 0; p < spec.inputs.size(); ++p) {
+        consumers_[spec.inputs[p].index()].push_back(PortRef{id, p});
+    }
+    module_by_name_.emplace(spec.name, id);
+    modules_.push_back(std::move(spec));
+    return id;
+}
+
+const SignalSpec& SystemModel::signal(SignalId id) const {
+    if (!id.valid() || id.index() >= signals_.size()) {
+        throw std::out_of_range("invalid SignalId");
+    }
+    return signals_[id.index()];
+}
+
+const ModuleSpec& SystemModel::module(ModuleId id) const {
+    if (!id.valid() || id.index() >= modules_.size()) {
+        throw std::out_of_range("invalid ModuleId");
+    }
+    return modules_[id.index()];
+}
+
+std::optional<SignalId> SystemModel::find_signal(std::string_view name) const {
+    const auto it = signal_by_name_.find(std::string{name});
+    return it == signal_by_name_.end() ? std::nullopt : std::optional{it->second};
+}
+
+std::optional<ModuleId> SystemModel::find_module(std::string_view name) const {
+    const auto it = module_by_name_.find(std::string{name});
+    return it == module_by_name_.end() ? std::nullopt : std::optional{it->second};
+}
+
+SignalId SystemModel::signal_id(std::string_view name) const {
+    if (auto id = find_signal(name)) return *id;
+    throw std::invalid_argument("unknown signal: " + std::string{name});
+}
+
+ModuleId SystemModel::module_id(std::string_view name) const {
+    if (auto id = find_module(name)) return *id;
+    throw std::invalid_argument("unknown module: " + std::string{name});
+}
+
+std::optional<PortRef> SystemModel::producer_of(SignalId id) const {
+    if (!id.valid() || id.index() >= producer_.size()) {
+        throw std::out_of_range("invalid SignalId");
+    }
+    return producer_[id.index()];
+}
+
+std::span<const PortRef> SystemModel::consumers_of(SignalId id) const {
+    if (!id.valid() || id.index() >= consumers_.size()) {
+        throw std::out_of_range("invalid SignalId");
+    }
+    return consumers_[id.index()];
+}
+
+std::vector<SignalId> SystemModel::signals_with_role(SignalRole role) const {
+    std::vector<SignalId> out;
+    for (std::size_t i = 0; i < signals_.size(); ++i) {
+        if (signals_[i].role == role) out.push_back(SignalId{static_cast<std::uint32_t>(i)});
+    }
+    return out;
+}
+
+std::vector<SignalId> SystemModel::all_signals() const {
+    std::vector<SignalId> out;
+    out.reserve(signals_.size());
+    for (std::size_t i = 0; i < signals_.size(); ++i) {
+        out.push_back(SignalId{static_cast<std::uint32_t>(i)});
+    }
+    return out;
+}
+
+std::vector<ModuleId> SystemModel::all_modules() const {
+    std::vector<ModuleId> out;
+    out.reserve(modules_.size());
+    for (std::size_t i = 0; i < modules_.size(); ++i) {
+        out.push_back(ModuleId{static_cast<std::uint32_t>(i)});
+    }
+    return out;
+}
+
+std::size_t SystemModel::pair_count() const noexcept {
+    std::size_t total = 0;
+    for (const auto& m : modules_) total += m.pair_count();
+    return total;
+}
+
+std::vector<std::string> SystemModel::validate() const {
+    std::vector<std::string> problems;
+    for (std::size_t i = 0; i < signals_.size(); ++i) {
+        const auto& s = signals_[i];
+        const bool has_producer = producer_[i].has_value();
+        if (s.role == SignalRole::kSystemInput && has_producer) {
+            problems.push_back("system input '" + s.name + "' has a module producer");
+        }
+        if (s.role != SignalRole::kSystemInput && !has_producer) {
+            problems.push_back("signal '" + s.name + "' has no producer");
+        }
+        if (s.role == SignalRole::kSystemOutput && !consumers_[i].empty()) {
+            problems.push_back("system output '" + s.name +
+                               "' is consumed by a module (should exit the system)");
+        }
+    }
+    for (const auto& m : modules_) {
+        if (m.inputs.empty()) problems.push_back("module '" + m.name + "' has no inputs");
+        if (m.outputs.empty()) problems.push_back("module '" + m.name + "' has no outputs");
+    }
+    return problems;
+}
+
+void SystemModel::validate_or_throw() const {
+    const auto problems = validate();
+    if (problems.empty()) return;
+    std::ostringstream msg;
+    msg << "invalid SystemModel:";
+    for (const auto& p : problems) msg << "\n  - " << p;
+    throw std::invalid_argument(msg.str());
+}
+
+}  // namespace epea::model

@@ -1,0 +1,92 @@
+// SystemModel — the static structure of a modular software system: the
+// graph of modules and signals over which all propagation/effect analysis
+// operates. Purely structural; run-time behaviour lives in epea::runtime.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "model/ids.hpp"
+#include "model/module.hpp"
+#include "model/signal.hpp"
+
+namespace epea::model {
+
+/// Immutable-after-build description of a modular software system.
+///
+/// Invariants (checked by validate()):
+///  - names of signals and of modules are unique and non-empty;
+///  - every intermediate/system-output signal has exactly one producer port;
+///  - system-input signals have no producer;
+///  - every port references a valid signal.
+/// Cycles are allowed (the target system feeds signal `i` back into CALC).
+class SystemModel {
+public:
+    /// Adds a signal; returns its id. Names must be unique.
+    SignalId add_signal(SignalSpec spec);
+
+    /// Adds a module; port signal ids must already exist.
+    ModuleId add_module(ModuleSpec spec);
+
+    // -- lookup -------------------------------------------------------------
+
+    [[nodiscard]] std::size_t signal_count() const noexcept { return signals_.size(); }
+    [[nodiscard]] std::size_t module_count() const noexcept { return modules_.size(); }
+
+    [[nodiscard]] const SignalSpec& signal(SignalId id) const;
+    [[nodiscard]] const ModuleSpec& module(ModuleId id) const;
+
+    [[nodiscard]] std::optional<SignalId> find_signal(std::string_view name) const;
+    [[nodiscard]] std::optional<ModuleId> find_module(std::string_view name) const;
+
+    /// Throwing variants for call sites where absence is a logic error.
+    [[nodiscard]] SignalId signal_id(std::string_view name) const;
+    [[nodiscard]] ModuleId module_id(std::string_view name) const;
+
+    [[nodiscard]] const std::string& signal_name(SignalId id) const { return signal(id).name; }
+    [[nodiscard]] const std::string& module_name(ModuleId id) const { return module(id).name; }
+
+    // -- connectivity -------------------------------------------------------
+
+    /// The module output port that produces `id`, or nullopt for system
+    /// inputs (produced by the environment).
+    [[nodiscard]] std::optional<PortRef> producer_of(SignalId id) const;
+
+    /// All module input ports that consume `id` (possibly empty, e.g.
+    /// ms_slot_nbr is consumed by the scheduler, not by a module).
+    [[nodiscard]] std::span<const PortRef> consumers_of(SignalId id) const;
+
+    /// All signals with the given role, in id order.
+    [[nodiscard]] std::vector<SignalId> signals_with_role(SignalRole role) const;
+
+    /// Iteration helpers.
+    [[nodiscard]] std::vector<SignalId> all_signals() const;
+    [[nodiscard]] std::vector<ModuleId> all_modules() const;
+
+    /// Total number of module input/output pairs in the system.
+    [[nodiscard]] std::size_t pair_count() const noexcept;
+
+    // -- validation ---------------------------------------------------------
+
+    /// Returns human-readable descriptions of every violated invariant;
+    /// empty means the model is well-formed.
+    [[nodiscard]] std::vector<std::string> validate() const;
+
+    /// Throws std::invalid_argument listing all problems if invalid.
+    void validate_or_throw() const;
+
+private:
+    std::vector<SignalSpec> signals_;
+    std::vector<ModuleSpec> modules_;
+    std::unordered_map<std::string, SignalId> signal_by_name_;
+    std::unordered_map<std::string, ModuleId> module_by_name_;
+    // Derived connectivity, rebuilt incrementally in add_module().
+    std::vector<std::optional<PortRef>> producer_;        // per signal
+    std::vector<std::vector<PortRef>> consumers_;         // per signal
+};
+
+}  // namespace epea::model

@@ -1,0 +1,34 @@
+// Environment — the world outside the software barrier: the physical
+// plant, sensors (which drive system-input signals) and actuators (which
+// consume system-output signals). The paper's key observation that errors
+// can leave the system through TOC2, disturb the plant, and re-enter
+// through ADC (§6.2) requires this closed loop.
+#pragma once
+
+#include "runtime/signal_store.hpp"
+#include "runtime/types.hpp"
+
+namespace epea::runtime {
+
+class Environment {
+public:
+    virtual ~Environment() = default;
+
+    /// Restores the initial physical state (called before every run).
+    virtual void reset() = 0;
+
+    /// Advances the plant by one tick and writes the system input signals
+    /// (sensor/hardware registers) for this tick.
+    virtual void sense(SignalStore& store, Tick now) = 0;
+
+    /// Reads the system output signals (actuator registers) produced by
+    /// the software this tick and applies them to the plant.
+    virtual void actuate(const SignalStore& store, Tick now) = 0;
+
+    /// True when the scenario has reached its natural end (e.g. the
+    /// aircraft has been arrested); the simulator stops at the first tick
+    /// where this holds.
+    [[nodiscard]] virtual bool finished() const = 0;
+};
+
+}  // namespace epea::runtime

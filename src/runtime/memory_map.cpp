@@ -1,0 +1,42 @@
+#include "runtime/memory_map.hpp"
+
+#include <stdexcept>
+
+namespace epea::runtime {
+
+std::size_t MemoryMap::register_word(Region region, model::ModuleId module,
+                                     std::string label, std::uint32_t* word,
+                                     std::uint8_t width) {
+    if (word == nullptr) throw std::invalid_argument("MemoryMap: null word pointer");
+    if (width == 0 || width > 32) {
+        throw std::invalid_argument("MemoryMap: width must be in [1,32]: " + label);
+    }
+    words_.push_back(MemWord{region, module, std::move(label), word, width});
+    return words_.size() - 1;
+}
+
+std::vector<std::size_t> MemoryMap::words_in(Region region) const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        if (words_[i].region == region) out.push_back(i);
+    }
+    return out;
+}
+
+std::size_t MemoryMap::byte_count(Region region) const noexcept {
+    std::size_t total = 0;
+    for (const auto& w : words_) {
+        if (w.region == region) total += w.byte_size();
+    }
+    return total;
+}
+
+bool MemoryMap::flip_bit(std::size_t index, unsigned bit) noexcept {
+    if (index >= words_.size()) return false;
+    MemWord& w = words_[index];
+    const std::uint32_t before = *w.word;
+    *w.word = util::flip_bit(before, bit, w.width);
+    return *w.word != before;
+}
+
+}  // namespace epea::runtime

@@ -1,0 +1,70 @@
+// MemoryMap — the registry of injectable memory of the simulated software:
+// module state words ("RAM") and per-invocation frame words ("stack").
+// The severe error model of paper §7 draws its 150 RAM + 50 stack
+// locations from this map.
+//
+// Registered words are raw pointers into module-behaviour members and
+// runtime-owned frames; both live exactly as long as the Simulator, which
+// owns this map.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/ids.hpp"
+#include "util/bitops.hpp"
+
+namespace epea::runtime {
+
+/// Which memory area a word belongs to (paper §7 distinguishes coverage
+/// for RAM-area vs stack-area errors).
+enum class Region : std::uint8_t {
+    kRam,    ///< persistent module state (survives across invocations)
+    kStack,  ///< invocation frame (rewritten every invocation)
+};
+
+[[nodiscard]] constexpr const char* to_string(Region r) noexcept {
+    return r == Region::kRam ? "RAM" : "stack";
+}
+
+/// One injectable word.
+struct MemWord {
+    Region region = Region::kRam;
+    model::ModuleId module;   ///< owning module
+    std::string label;        ///< human-readable variable name
+    std::uint32_t* word = nullptr;
+    std::uint8_t width = 16;  ///< significant bits (1..32)
+
+    [[nodiscard]] std::size_t byte_size() const noexcept {
+        return (static_cast<std::size_t>(width) + 7) / 8;
+    }
+};
+
+class MemoryMap {
+public:
+    /// Registers a word; the pointer must stay valid for the simulator's
+    /// lifetime. Returns the word's index in the flat location list.
+    std::size_t register_word(Region region, model::ModuleId module, std::string label,
+                              std::uint32_t* word, std::uint8_t width);
+
+    [[nodiscard]] std::span<const MemWord> words() const noexcept { return words_; }
+    [[nodiscard]] const MemWord& word(std::size_t index) const { return words_.at(index); }
+    [[nodiscard]] std::size_t word_count() const noexcept { return words_.size(); }
+
+    /// Indices of all words in a region.
+    [[nodiscard]] std::vector<std::size_t> words_in(Region region) const;
+
+    /// Total injectable bytes in a region — the paper's "locations".
+    [[nodiscard]] std::size_t byte_count(Region region) const noexcept;
+
+    /// Flips one bit of word `index`; masked to the word width. Returns
+    /// true when the stored value changed.
+    bool flip_bit(std::size_t index, unsigned bit) noexcept;
+
+private:
+    std::vector<MemWord> words_;
+};
+
+}  // namespace epea::runtime

@@ -1,0 +1,114 @@
+// Interfaces implemented by the run-time behaviour of a module.
+//
+// Execution semantics (documented in DESIGN.md): each tick, the kernel
+// first copies every module's input signals into that module's frame
+// (the "stack"), then offers the fault injector a chance to corrupt
+// memory, then invokes every module in schedule order. A module therefore
+// always computes from its frame copies — uniform unit-delay dataflow —
+// which is what makes stack injections meaningful (they corrupt exactly
+// one invocation) and RAM injections persistent.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "model/ids.hpp"
+#include "model/system_model.hpp"
+#include "runtime/memory_map.hpp"
+#include "runtime/signal_store.hpp"
+#include "runtime/types.hpp"
+#include "util/bitops.hpp"
+
+namespace epea::runtime {
+
+/// Handed to ModuleBehaviour::init so behaviours can register their state
+/// variables with the memory map (making them injectable).
+class InitContext {
+public:
+    InitContext(model::ModuleId self, MemoryMap& memory) noexcept
+        : self_(self), memory_(&memory) {}
+
+    [[nodiscard]] model::ModuleId self() const noexcept { return self_; }
+
+    /// Registers a persistent state word in the RAM region.
+    void ram(std::string label, std::uint32_t* word, std::uint8_t width) {
+        memory_->register_word(Region::kRam, self_, std::move(label), word, width);
+    }
+
+    /// Registers a scratch word in the stack region (for module-local
+    /// temporaries beyond the runtime-managed input frame).
+    void stack(std::string label, std::uint32_t* word, std::uint8_t width) {
+        memory_->register_word(Region::kStack, self_, std::move(label), word, width);
+    }
+
+private:
+    model::ModuleId self_;
+    MemoryMap* memory_;
+};
+
+/// Handed to ModuleBehaviour::step: reads come from the frame snapshot,
+/// writes go to the live signal store (masked to signal width).
+class ModuleContext {
+public:
+    ModuleContext(std::span<const std::uint32_t> frame,
+                  std::span<const std::uint8_t> frame_widths,
+                  std::span<const model::SignalId> outputs, SignalStore& store,
+                  Tick now) noexcept
+        : frame_(frame), frame_widths_(frame_widths), outputs_(outputs), store_(&store),
+          now_(now) {}
+
+    /// Raw value of input port `port` (0-based) as captured in the frame.
+    [[nodiscard]] std::uint32_t in(std::size_t port) const noexcept {
+        return frame_[port];
+    }
+
+    [[nodiscard]] std::int32_t in_signed(std::size_t port) const noexcept {
+        return util::sign_extend(frame_[port], frame_widths_[port]);
+    }
+
+    [[nodiscard]] bool in_bool(std::size_t port) const noexcept {
+        return frame_[port] != 0;
+    }
+
+    /// Writes output port `port` (0-based).
+    void out(std::size_t port, std::uint32_t value) noexcept {
+        store_->set(outputs_[port], value);
+    }
+
+    void out_signed(std::size_t port, std::int32_t value) noexcept {
+        store_->set_signed(outputs_[port], value);
+    }
+
+    void out_bool(std::size_t port, bool value) noexcept {
+        store_->set_bool(outputs_[port], value);
+    }
+
+    [[nodiscard]] Tick now() const noexcept { return now_; }
+    [[nodiscard]] std::size_t input_count() const noexcept { return frame_.size(); }
+    [[nodiscard]] std::size_t output_count() const noexcept { return outputs_.size(); }
+
+private:
+    std::span<const std::uint32_t> frame_;
+    std::span<const std::uint8_t> frame_widths_;
+    std::span<const model::SignalId> outputs_;
+    SignalStore* store_;
+    Tick now_;
+};
+
+/// Run-time behaviour of one black-box module.
+class ModuleBehaviour {
+public:
+    virtual ~ModuleBehaviour() = default;
+
+    /// Called once after construction: register injectable state here.
+    virtual void init(InitContext& ctx) { (void)ctx; }
+
+    /// Restores the initial state (called before every run).
+    virtual void reset() = 0;
+
+    /// One invocation in the slot schedule.
+    virtual void step(ModuleContext& ctx) = 0;
+};
+
+}  // namespace epea::runtime

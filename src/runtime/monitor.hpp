@@ -1,0 +1,35 @@
+// SignalMonitor — observer evaluated after every tick (after all module
+// invocations). Executable assertions plug in through this interface.
+#pragma once
+
+#include "runtime/signal_store.hpp"
+#include "runtime/types.hpp"
+
+namespace epea::runtime {
+
+class SignalMonitor {
+public:
+    virtual ~SignalMonitor() = default;
+
+    /// Clears detection state (called before every run).
+    virtual void reset() = 0;
+
+    /// Observes the post-step signal values of tick `now`.
+    virtual void observe(const SignalStore& store, Tick now) = 0;
+};
+
+/// SignalRecoverer — error *recovery* mechanism hook (the ERM side of the
+/// paper). Runs after all monitors each tick and may repair signal
+/// values in place (containment wrappers, cf. Salles et al. [17]).
+class SignalRecoverer {
+public:
+    virtual ~SignalRecoverer() = default;
+
+    /// Clears recovery state (called before every run).
+    virtual void reset() = 0;
+
+    /// May overwrite corrupted signal values for tick `now`.
+    virtual void repair(SignalStore& store, Tick now) = 0;
+};
+
+}  // namespace epea::runtime

@@ -1,0 +1,16 @@
+#include "runtime/signal_store.hpp"
+
+namespace epea::runtime {
+
+SignalStore::SignalStore(const model::SystemModel& model)
+    : values_(model.signal_count(), 0U), widths_(model.signal_count(), 32) {
+    for (const model::SignalId id : model.all_signals()) {
+        widths_[id.index()] = model.signal(id).width;
+    }
+}
+
+void SignalStore::reset() noexcept {
+    for (auto& v : values_) v = 0U;
+}
+
+}  // namespace epea::runtime

@@ -1,0 +1,68 @@
+// SignalStore — the current value of every signal in the system. Values
+// are stored as raw words masked to the signal's declared bit width, which
+// is what makes bit-exact fault injection and golden-run trace comparison
+// possible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/system_model.hpp"
+#include "util/bitops.hpp"
+
+namespace epea::runtime {
+
+class SignalStore {
+public:
+    explicit SignalStore(const model::SystemModel& model);
+
+    /// Resets every signal to zero.
+    void reset() noexcept;
+
+    [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+
+    /// Raw masked word.
+    [[nodiscard]] std::uint32_t get(model::SignalId id) const noexcept {
+        return values_[id.index()];
+    }
+
+    /// Signed interpretation (two's complement at the signal width).
+    [[nodiscard]] std::int32_t get_signed(model::SignalId id) const noexcept {
+        return util::sign_extend(values_[id.index()], widths_[id.index()]);
+    }
+
+    [[nodiscard]] bool get_bool(model::SignalId id) const noexcept {
+        return values_[id.index()] != 0;
+    }
+
+    /// Writes a raw word, masked to the signal width.
+    void set(model::SignalId id, std::uint32_t value) noexcept {
+        values_[id.index()] = util::mask_width(value, widths_[id.index()]);
+    }
+
+    void set_signed(model::SignalId id, std::int32_t value) noexcept {
+        set(id, static_cast<std::uint32_t>(value));
+    }
+
+    void set_bool(model::SignalId id, bool value) noexcept {
+        values_[id.index()] = value ? 1U : 0U;
+    }
+
+    /// Flips one bit of a signal (no-op above the signal width). Returns
+    /// true when the flip changed the stored value.
+    bool flip_bit(model::SignalId id, unsigned bit) noexcept {
+        const std::uint32_t before = values_[id.index()];
+        values_[id.index()] = util::flip_bit(before, bit, widths_[id.index()]);
+        return values_[id.index()] != before;
+    }
+
+    [[nodiscard]] std::uint8_t width(model::SignalId id) const noexcept {
+        return widths_[id.index()];
+    }
+
+private:
+    std::vector<std::uint32_t> values_;
+    std::vector<std::uint8_t> widths_;
+};
+
+}  // namespace epea::runtime

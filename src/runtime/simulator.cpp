@@ -1,0 +1,97 @@
+#include "runtime/simulator.hpp"
+
+#include <stdexcept>
+
+namespace epea::runtime {
+
+Simulator::Simulator(const model::SystemModel& model,
+                     std::vector<std::unique_ptr<ModuleBehaviour>> behaviours,
+                     Environment& env)
+    : model_(&model), behaviours_(std::move(behaviours)), env_(&env), store_(model) {
+    if (behaviours_.size() != model.module_count()) {
+        throw std::invalid_argument("Simulator: behaviour count != module count");
+    }
+    frames_.resize(model.module_count());
+    for (const model::ModuleId mid : model.all_modules()) {
+        const auto& spec = model.module(mid);
+        Frame& f = frames_[mid.index()];
+        f.inputs = spec.inputs;
+        f.words.assign(spec.inputs.size(), 0U);
+        f.widths.reserve(spec.inputs.size());
+        for (const model::SignalId sid : spec.inputs) {
+            f.widths.push_back(model.signal(sid).width);
+        }
+        // Register the frame words as the module's stack area: a copy of
+        // the arguments pushed for each invocation.
+        for (std::size_t p = 0; p < f.words.size(); ++p) {
+            memory_.register_word(Region::kStack, mid,
+                                  spec.name + ".arg_" + model.signal_name(f.inputs[p]),
+                                  &f.words[p], f.widths[p]);
+        }
+    }
+    for (const model::ModuleId mid : model.all_modules()) {
+        InitContext ctx{mid, memory_};
+        behaviours_[mid.index()]->init(ctx);
+    }
+}
+
+void Simulator::enable_trace(bool on) {
+    if (on && !trace_) {
+        trace_ = std::make_unique<Trace>(model_->signal_count());
+    } else if (!on) {
+        trace_.reset();
+    }
+}
+
+void Simulator::reset() {
+    now_ = 0;
+    store_.reset();
+    for (auto& f : frames_) {
+        for (auto& w : f.words) w = 0U;
+    }
+    for (auto& b : behaviours_) b->reset();
+    for (auto* m : monitors_) m->reset();
+    for (auto* r : recoverers_) r->reset();
+    env_->reset();
+    if (trace_) trace_->clear();
+}
+
+void Simulator::load_frames() noexcept {
+    for (auto& f : frames_) {
+        for (std::size_t p = 0; p < f.words.size(); ++p) {
+            f.words[p] = store_.get(f.inputs[p]);
+        }
+    }
+}
+
+void Simulator::step_tick() {
+    env_->sense(store_, now_);
+    if (pre_frame_hook_) pre_frame_hook_(*this, now_);
+    load_frames();
+    if (hook_) hook_(*this, now_);
+    for (const model::ModuleId mid : model_->all_modules()) {
+        Frame& f = frames_[mid.index()];
+        ModuleContext ctx{f.words, f.widths, model_->module(mid).outputs, store_, now_};
+        behaviours_[mid.index()]->step(ctx);
+    }
+    for (auto* m : monitors_) m->observe(store_, now_);
+    for (auto* r : recoverers_) r->repair(store_, now_);
+    if (trace_) trace_->record(store_);
+    env_->actuate(store_, now_);
+    ++now_;
+}
+
+RunResult Simulator::run(Tick max_ticks) {
+    RunResult result;
+    while (now_ < max_ticks) {
+        step_tick();
+        if (env_->finished()) {
+            result.env_finished = true;
+            break;
+        }
+    }
+    result.ticks = now_;
+    return result;
+}
+
+}  // namespace epea::runtime

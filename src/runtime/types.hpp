@@ -1,0 +1,14 @@
+// Shared scalar types of the simulation kernel.
+#pragma once
+
+#include <cstdint>
+
+namespace epea::runtime {
+
+/// Discrete simulation time in milliseconds. The target software is
+/// scheduled in 1 ms slots (paper §4.1), so one tick == one slot.
+using Tick = std::uint32_t;
+
+constexpr Tick kInvalidTick = 0xffffffffU;
+
+}  // namespace epea::runtime

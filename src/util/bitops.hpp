@@ -1,0 +1,34 @@
+// Bit-level helpers shared by the fault-injection error models and the
+// runtime value representation.
+#pragma once
+
+#include <cstdint>
+
+namespace epea::util {
+
+/// Flips bit `bit` (0 = LSB) of `value`, masked to `width` bits.
+/// Bits at or above `width` are left untouched so that e.g. an 8-bit
+/// hardware register only ever holds 8 significant bits.
+[[nodiscard]] constexpr std::uint32_t flip_bit(std::uint32_t value, unsigned bit,
+                                               unsigned width = 32) noexcept {
+    if (bit >= width) return value;
+    return value ^ (std::uint32_t{1} << bit);
+}
+
+/// Masks a raw word down to `width` bits.
+[[nodiscard]] constexpr std::uint32_t mask_width(std::uint32_t value,
+                                                 unsigned width) noexcept {
+    if (width >= 32) return value;
+    return value & ((std::uint32_t{1} << width) - 1);
+}
+
+/// Sign-extends a `width`-bit two's-complement word to 32-bit signed.
+[[nodiscard]] constexpr std::int32_t sign_extend(std::uint32_t value,
+                                                 unsigned width) noexcept {
+    if (width == 0 || width >= 32) return static_cast<std::int32_t>(value);
+    const std::uint32_t sign = std::uint32_t{1} << (width - 1);
+    const std::uint32_t masked = mask_width(value, width);
+    return static_cast<std::int32_t>((masked ^ sign) - sign);
+}
+
+}  // namespace epea::util

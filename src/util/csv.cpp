@@ -1,0 +1,62 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+namespace epea::util {
+
+std::string CsvWriter::escape(std::string_view text) {
+    const bool needs_quotes =
+        text.find_first_of(",\"\n\r") != std::string_view::npos;
+    if (!needs_quotes) return std::string{text};
+    std::string out;
+    out.reserve(text.size() + 2);
+    out.push_back('"');
+    for (char c : text) {
+        if (c == '"') out.push_back('"');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+    for (const auto& c : cells) cell(c);
+    end_row();
+}
+
+void CsvWriter::row(std::initializer_list<std::string_view> cells) {
+    for (auto c : cells) cell(c);
+    end_row();
+}
+
+CsvWriter& CsvWriter::cell(std::string_view text) {
+    if (row_started_) *out_ << ',';
+    *out_ << escape(text);
+    row_started_ = true;
+    return *this;
+}
+
+CsvWriter& CsvWriter::cell(double value, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+    return cell(std::string_view{buf});
+}
+
+CsvWriter& CsvWriter::cell(std::int64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+    return cell(std::string_view{buf});
+}
+
+CsvWriter& CsvWriter::cell(std::uint64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(value));
+    return cell(std::string_view{buf});
+}
+
+void CsvWriter::end_row() {
+    *out_ << '\n';
+    row_started_ = false;
+}
+
+}  // namespace epea::util

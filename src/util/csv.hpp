@@ -1,0 +1,37 @@
+// Minimal CSV writer for exporting experiment results to files that can be
+// post-processed (plotting, regression baselines).
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace epea::util {
+
+/// Streams rows of comma-separated values with RFC-4180-style quoting.
+/// The writer does not own the stream; keep the stream alive while writing.
+class CsvWriter {
+public:
+    explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+    /// Writes a full row; each cell is quoted only when necessary.
+    void row(const std::vector<std::string>& cells);
+    void row(std::initializer_list<std::string_view> cells);
+
+    /// Cell-by-cell interface: `cell()` appends, `end_row()` terminates.
+    CsvWriter& cell(std::string_view text);
+    CsvWriter& cell(double value, int precision = 6);
+    CsvWriter& cell(std::int64_t value);
+    CsvWriter& cell(std::uint64_t value);
+    void end_row();
+
+    [[nodiscard]] static std::string escape(std::string_view text);
+
+private:
+    std::ostream* out_;
+    bool row_started_ = false;
+};
+
+}  // namespace epea::util

@@ -1,0 +1,42 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace epea::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+constexpr std::string_view level_name(LogLevel level) noexcept {
+    switch (level) {
+        case LogLevel::kDebug: return "DEBUG";
+        case LogLevel::kInfo: return "INFO";
+        case LogLevel::kWarn: return "WARN";
+        case LogLevel::kError: return "ERROR";
+        case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+    g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+    return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace detail {
+
+void emit(LogLevel level, std::string_view component, std::string_view message) {
+    std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
+                 static_cast<int>(level_name(level).size()), level_name(level).data(),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace detail
+
+}  // namespace epea::util

@@ -1,0 +1,50 @@
+// Leveled logging with a process-wide threshold. Experiments default to
+// kWarn so that bench output stays clean; tests can raise verbosity.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace epea::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets/gets the process-wide log threshold (not thread-safe by design —
+/// configured once at startup).
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void emit(LogLevel level, std::string_view component, std::string_view message);
+}
+
+/// Stream-style log statement:  LOG(kInfo, "fi") << "runs=" << n;
+class LogLine {
+public:
+    LogLine(LogLevel level, std::string_view component) noexcept
+        : level_(level), component_(component), active_(level >= log_level()) {}
+
+    LogLine(const LogLine&) = delete;
+    LogLine& operator=(const LogLine&) = delete;
+
+    ~LogLine() {
+        if (active_) detail::emit(level_, component_, stream_.str());
+    }
+
+    template <typename T>
+    LogLine& operator<<(const T& value) {
+        if (active_) stream_ << value;
+        return *this;
+    }
+
+private:
+    LogLevel level_;
+    std::string_view component_;
+    bool active_;
+    std::ostringstream stream_;
+};
+
+}  // namespace epea::util
+
+#define EPEA_LOG(level, component) \
+    ::epea::util::LogLine(::epea::util::LogLevel::level, component)

@@ -1,0 +1,112 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace epea::util {
+
+void RunningStats::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+Proportion wilson_interval(std::uint64_t hits, std::uint64_t trials, double z) noexcept {
+    Proportion p{.hits = hits, .trials = trials};
+    if (trials == 0) return p;
+    const double n = static_cast<double>(trials);
+    const double phat = static_cast<double>(hits) / n;
+    p.point = phat;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double centre = phat + z2 / (2.0 * n);
+    const double margin = z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n));
+    p.lo = std::max(0.0, (centre - margin) / denom);
+    p.hi = std::min(1.0, (centre + margin) / denom);
+    return p;
+}
+
+double quantile(std::vector<double> values, double q) noexcept {
+    if (values.empty()) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    std::sort(values.begin(), values.end());
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const auto idx = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(idx);
+    if (idx + 1 >= values.size()) return values.back();
+    return values[idx] * (1.0 - frac) + values[idx + 1] * frac;
+}
+
+namespace {
+
+std::vector<double> ranks(const std::vector<double>& v) {
+    std::vector<std::size_t> order(v.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+    std::vector<double> r(v.size(), 0.0);
+    std::size_t i = 0;
+    while (i < order.size()) {
+        std::size_t j = i;
+        while (j + 1 < order.size() && v[order[j + 1]] == v[order[i]]) ++j;
+        // Average rank for ties.
+        const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+        for (std::size_t k = i; k <= j; ++k) r[order[k]] = avg;
+        i = j + 1;
+    }
+    return r;
+}
+
+}  // namespace
+
+double spearman(const std::vector<double>& a, const std::vector<double>& b) noexcept {
+    if (a.size() != b.size() || a.size() < 2) return 0.0;
+    const auto ra = ranks(a);
+    const auto rb = ranks(b);
+    RunningStats sa;
+    RunningStats sb;
+    for (double x : ra) sa.add(x);
+    for (double x : rb) sb.add(x);
+    double cov = 0.0;
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+        cov += (ra[i] - sa.mean()) * (rb[i] - sb.mean());
+    }
+    cov /= static_cast<double>(ra.size() - 1);
+    const double denom = sa.stddev() * sb.stddev();
+    return denom > 0.0 ? cov / denom : 0.0;
+}
+
+}  // namespace epea::util

@@ -1,0 +1,64 @@
+// Small statistics toolkit used by the fault-injection result analysis:
+// running moments, order statistics and binomial-proportion confidence
+// intervals for coverage estimates (cf. Powell et al., "Estimators for
+// Fault Tolerance Coverage Evaluation", IEEE ToC 1995 — reference [14] of
+// the reproduced paper).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace epea::util {
+
+/// Welford running mean/variance accumulator.
+class RunningStats {
+public:
+    void add(double x) noexcept;
+
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+    /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+    [[nodiscard]] double variance() const noexcept;
+    [[nodiscard]] double stddev() const noexcept;
+    [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+    [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+    [[nodiscard]] double sum() const noexcept { return sum_; }
+
+    /// Merges another accumulator into this one (parallel-friendly).
+    void merge(const RunningStats& other) noexcept;
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// A binomial proportion with its confidence interval — the natural shape
+/// of a fault-injection coverage estimate (detections / activated errors).
+struct Proportion {
+    std::uint64_t hits = 0;
+    std::uint64_t trials = 0;
+    double point = 0.0;  ///< hits / trials (0 when trials == 0)
+    double lo = 0.0;     ///< lower confidence bound
+    double hi = 0.0;     ///< upper confidence bound
+};
+
+/// Wilson score interval for a binomial proportion. `z` is the standard
+/// normal quantile (1.96 for 95 %). Robust for proportions near 0 or 1,
+/// which is exactly where coverage estimates live.
+[[nodiscard]] Proportion wilson_interval(std::uint64_t hits, std::uint64_t trials,
+                                         double z = 1.96) noexcept;
+
+/// Exact quantile by sorting a copy; q in [0,1] with linear interpolation.
+[[nodiscard]] double quantile(std::vector<double> values, double q) noexcept;
+
+/// Spearman rank correlation between two equal-length vectors; used by the
+/// test suite to compare measured signal orderings against the paper's.
+[[nodiscard]] double spearman(const std::vector<double>& a,
+                              const std::vector<double>& b) noexcept;
+
+}  // namespace epea::util

@@ -1,0 +1,92 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace epea::util {
+
+TextTable::TextTable(std::vector<std::string> header, std::vector<Align> aligns)
+    : header_(std::move(header)), aligns_(std::move(aligns)) {
+    aligns_.resize(header_.size(), Align::kLeft);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    cells.resize(header_.size());
+    rows_.push_back(Row{std::move(cells), pending_rule_});
+    pending_rule_ = false;
+}
+
+void TextTable::add_rule() { pending_rule_ = true; }
+
+namespace {
+
+void pad(std::ostream& out, const std::string& text, std::size_t width, Align align) {
+    const std::size_t padding = width > text.size() ? width - text.size() : 0;
+    if (align == Align::kRight) out << std::string(padding, ' ');
+    out << text;
+    if (align == Align::kLeft) out << std::string(padding, ' ');
+}
+
+}  // namespace
+
+void TextTable::render(std::ostream& out) const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.cells.size(); ++c) {
+            widths[c] = std::max(widths[c], row.cells[c].size());
+        }
+    }
+
+    auto rule = [&] {
+        out << '+';
+        for (auto w : widths) out << std::string(w + 2, '-') << '+';
+        out << '\n';
+    };
+
+    rule();
+    out << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        out << ' ';
+        pad(out, header_[c], widths[c], Align::kLeft);
+        out << " |";
+    }
+    out << '\n';
+    rule();
+    for (const auto& row : rows_) {
+        if (row.rule_before) rule();
+        out << '|';
+        for (std::size_t c = 0; c < row.cells.size(); ++c) {
+            out << ' ';
+            pad(out, row.cells[c], widths[c], aligns_[c]);
+            out << " |";
+        }
+        out << '\n';
+    }
+    rule();
+}
+
+std::string TextTable::num(double value, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+    return buf;
+}
+
+std::string TextTable::num(std::uint64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(value));
+    return buf;
+}
+
+std::string TextTable::num(std::int64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+    return buf;
+}
+
+std::ostream& operator<<(std::ostream& out, const TextTable& table) {
+    table.render(out);
+    return out;
+}
+
+}  // namespace epea::util

@@ -1,0 +1,52 @@
+// ASCII table rendering used by the bench binaries that regenerate the
+// paper's tables — output is aligned, deterministic and diff-friendly.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace epea::util {
+
+/// Column alignment for TextTable.
+enum class Align : std::uint8_t { kLeft, kRight };
+
+/// Collects rows of string cells and renders them with per-column widths.
+///
+///     TextTable t({"Signal", "X_s"});
+///     t.add_row({"OutValue", "1.781"});
+///     std::cout << t;
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header,
+                       std::vector<Align> aligns = {});
+
+    void add_row(std::vector<std::string> cells);
+    /// Inserts a horizontal rule before the next added row.
+    void add_rule();
+
+    [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+    void render(std::ostream& out) const;
+
+    /// Formats a double with fixed precision (helper for table cells).
+    [[nodiscard]] static std::string num(double value, int precision = 3);
+    [[nodiscard]] static std::string num(std::uint64_t value);
+    [[nodiscard]] static std::string num(std::int64_t value);
+
+private:
+    struct Row {
+        std::vector<std::string> cells;
+        bool rule_before = false;
+    };
+
+    std::vector<std::string> header_;
+    std::vector<Align> aligns_;
+    std::vector<Row> rows_;
+    bool pending_rule_ = false;
+};
+
+std::ostream& operator<<(std::ostream& out, const TextTable& table);
+
+}  // namespace epea::util

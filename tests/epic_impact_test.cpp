@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "epic/impact.hpp"
+
+#include "model/builder.hpp"
+#include "exp/paper_data.hpp"
+#include "synth/generator.hpp"
+#include "target/arrestment_system.hpp"
+
+namespace epea::epic {
+namespace {
+
+struct PaperFixture {
+    model::SystemModel system = target::make_arrestment_model();
+    PermeabilityMatrix pm = exp::paper_matrix(system);
+};
+
+/// Impact values on TOC2 reproduce Table 5 (to the paper's 3 decimals).
+class ImpactTable5 : public ::testing::TestWithParam<std::pair<std::string, double>> {};
+
+TEST_P(ImpactTable5, MatchesPaper) {
+    PaperFixture f;
+    const auto& [name, expected] = GetParam();
+    const double value =
+        impact(f.pm, f.system.signal_id(name), f.system.signal_id("TOC2"));
+    EXPECT_NEAR(value, expected, 0.0015) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSignals, ImpactTable5,
+                         ::testing::ValuesIn(exp::paper_impacts()),
+                         [](const auto& info) { return info.param.first; });
+
+TEST(Impact, SinkOnItselfIsOne) {
+    PaperFixture f;
+    EXPECT_EQ(impact(f.pm, f.system.signal_id("TOC2"), f.system.signal_id("TOC2")),
+              1.0);
+}
+
+TEST(Impact, ProfileMarksSink) {
+    PaperFixture f;
+    const auto rows = impact_profile(f.pm, f.system.signal_id("TOC2"));
+    ASSERT_EQ(rows.size(), f.system.signal_count());
+    for (const auto& row : rows) {
+        if (row.signal == f.system.signal_id("TOC2")) {
+            EXPECT_FALSE(row.impact.has_value());
+        } else {
+            ASSERT_TRUE(row.impact.has_value());
+            EXPECT_GE(*row.impact, 0.0);
+            EXPECT_LE(*row.impact, 1.0);
+        }
+    }
+}
+
+TEST(Impact, CombinesParallelPaths) {
+    // Two disjoint paths with weights w1 and w2: impact = 1-(1-w1)(1-w2).
+    model::SystemBuilder b;
+    b.input("s", model::SignalKind::kContinuous, 8);
+    b.intermediate("a", model::SignalKind::kContinuous, 8);
+    b.intermediate("c", model::SignalKind::kContinuous, 8);
+    b.output("o", model::SignalKind::kContinuous, 8);
+    b.module("Split").in("s").out("a").out("c");
+    b.module("Join").in("a").in("c").out("o");
+    const model::SystemModel m = b.build();
+    PermeabilityMatrix pm(m);
+    pm.set("Split", "s", "a", 0.5);
+    pm.set("Split", "s", "c", 0.4);
+    pm.set("Join", "a", "o", 0.9);
+    pm.set("Join", "c", "o", 0.8);
+    const double w1 = 0.5 * 0.9;
+    const double w2 = 0.4 * 0.8;
+    EXPECT_NEAR(impact(pm, m.signal_id("s"), m.signal_id("o")),
+                1.0 - (1.0 - w1) * (1.0 - w2), 1e-12);
+}
+
+TEST(Impact, PerfectChainGivesOne) {
+    model::SystemBuilder b;
+    b.input("s", model::SignalKind::kContinuous, 8);
+    b.intermediate("x", model::SignalKind::kContinuous, 8);
+    b.output("o", model::SignalKind::kContinuous, 8);
+    b.module("A").in("s").out("x");
+    b.module("B").in("x").out("o");
+    const model::SystemModel m = b.build();
+    PermeabilityMatrix pm(m);
+    pm.set("A", "s", "x", 1.0);
+    pm.set("B", "x", "o", 1.0);
+    EXPECT_DOUBLE_EQ(impact(pm, m.signal_id("s"), m.signal_id("o")), 1.0);
+}
+
+// ------------------------------------------------------------ criticality
+
+TEST(Criticality, SingleOutputIsScaledImpact) {
+    PaperFixture f;
+    const auto toc2 = f.system.signal_id("TOC2");
+    const auto mscnt = f.system.signal_id("mscnt");
+    const double imp = impact(f.pm, mscnt, toc2);
+    EXPECT_NEAR(criticality(f.pm, mscnt, {{toc2, 1.0}}), imp, 1e-12);
+    EXPECT_NEAR(criticality(f.pm, mscnt, {{toc2, 0.5}}), 0.5 * imp, 1e-12);
+    // Eq. 3 directly:
+    EXPECT_NEAR(criticality_wrt(f.pm, mscnt, {toc2, 0.25}), 0.25 * imp, 1e-12);
+}
+
+TEST(Criticality, SingleOutputPreservesRanking) {
+    // The paper: with one output, criticality is a constant scaling and
+    // the relative order among signals does not change.
+    PaperFixture f;
+    const auto toc2 = f.system.signal_id("TOC2");
+    std::vector<double> impacts;
+    std::vector<double> crits;
+    for (const auto sid : f.system.all_signals()) {
+        if (sid == toc2) continue;
+        impacts.push_back(impact(f.pm, sid, toc2));
+        crits.push_back(criticality(f.pm, sid, {{toc2, 0.37}}));
+    }
+    for (std::size_t a = 0; a < impacts.size(); ++a) {
+        for (std::size_t b = 0; b < impacts.size(); ++b) {
+            EXPECT_EQ(impacts[a] < impacts[b], crits[a] < crits[b]);
+        }
+    }
+}
+
+TEST(Criticality, MultiOutputCombination) {
+    const synth::SyntheticSystem s = synth::make_multi_output_system();
+    const auto& m = *s.system;
+    const auto act = m.signal_id("actuator_cmd");
+    const auto diag = m.signal_id("diag_word");
+    const auto est = m.signal_id("estimate");
+
+    const double i_act = impact(s.matrix, est, act);    // 0.7
+    const double i_diag = impact(s.matrix, est, diag);  // 0.95
+    EXPECT_NEAR(i_act, 0.7, 1e-12);
+    EXPECT_NEAR(i_diag, 0.95, 1e-12);
+
+    // Eq. 4 with C(actuator)=1.0, C(diag)=0.2.
+    const std::vector<OutputCriticality> outputs = {{act, 1.0}, {diag, 0.2}};
+    const double expected = 1.0 - (1.0 - 1.0 * i_act) * (1.0 - 0.2 * i_diag);
+    EXPECT_NEAR(criticality(s.matrix, est, outputs), expected, 1e-12);
+}
+
+TEST(Criticality, OutputWeightsReorderSignals) {
+    // The paper's C3: two signals with similar impact may have different
+    // criticalities depending on which outputs they affect most.
+    model::SystemBuilder b;
+    b.input("s1", model::SignalKind::kContinuous, 8);
+    b.input("s2", model::SignalKind::kContinuous, 8);
+    b.output("o1", model::SignalKind::kContinuous, 8);
+    b.output("o2", model::SignalKind::kContinuous, 8);
+    b.module("M1").in("s1").out("o1");
+    b.module("M2").in("s2").out("o2");
+    const model::SystemModel m = b.build();
+    PermeabilityMatrix pm(m);
+    pm.set("M1", "s1", "o1", 0.9);  // s1 hits o1
+    pm.set("M2", "s2", "o2", 0.9);  // s2 hits o2 with the same impact
+
+    const auto o1 = m.signal_id("o1");
+    const auto o2 = m.signal_id("o2");
+    const std::vector<OutputCriticality> weights = {{o1, 1.0}, {o2, 0.1}};
+    const double c1 = criticality(pm, m.signal_id("s1"), weights);
+    const double c2 = criticality(pm, m.signal_id("s2"), weights);
+    EXPECT_NEAR(c1, 0.9, 1e-12);
+    EXPECT_NEAR(c2, 0.09, 1e-12);
+    EXPECT_GT(c1, c2);
+}
+
+TEST(Criticality, RejectsOutOfRangeWeights) {
+    PaperFixture f;
+    const auto toc2 = f.system.signal_id("TOC2");
+    EXPECT_THROW(
+        (void)criticality(f.pm, f.system.signal_id("mscnt"), {{toc2, 1.5}}),
+        std::invalid_argument);
+    EXPECT_THROW(
+        (void)criticality(f.pm, f.system.signal_id("mscnt"), {{toc2, -0.1}}),
+        std::invalid_argument);
+}
+
+TEST(Criticality, EmptyOutputsGiveZero) {
+    PaperFixture f;
+    EXPECT_EQ(criticality(f.pm, f.system.signal_id("mscnt"), {}), 0.0);
+}
+
+}  // namespace
+}  // namespace epea::epic

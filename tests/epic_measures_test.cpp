@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "epic/measures.hpp"
+#include "exp/paper_data.hpp"
+#include "target/arrestment_system.hpp"
+
+namespace epea::epic {
+namespace {
+
+struct PaperFixture {
+    model::SystemModel system = target::make_arrestment_model();
+    PermeabilityMatrix pm = exp::paper_matrix(system);
+};
+
+/// Exposure values reproduce Table 2 exactly (3 decimals).
+class ExposureTable2 : public ::testing::TestWithParam<std::pair<std::string, double>> {};
+
+TEST_P(ExposureTable2, MatchesPaper) {
+    PaperFixture f;
+    const auto& [name, expected] = GetParam();
+    const auto exposure = signal_exposure(f.pm, f.system.signal_id(name));
+    ASSERT_TRUE(exposure.has_value()) << name;
+    EXPECT_NEAR(*exposure, expected, 0.0015) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSignals, ExposureTable2,
+    ::testing::ValuesIn(exp::paper_exposures()),
+    [](const auto& info) {
+        std::string name = info.param.first;
+        for (auto& c : name) {
+            if (c == ' ') c = '_';
+        }
+        return name;
+    });
+
+TEST(Exposure, SystemInputsHaveNoValue) {
+    PaperFixture f;
+    for (const char* name : {"PACNT", "TIC1", "TCNT", "ADC"}) {
+        EXPECT_FALSE(signal_exposure(f.pm, f.system.signal_id(name)).has_value())
+            << name;
+    }
+}
+
+TEST(Exposure, ProfileSortedDescending) {
+    PaperFixture f;
+    const auto profile = exposure_profile(f.pm);
+    ASSERT_EQ(profile.size(), f.system.signal_count());
+    EXPECT_EQ(f.system.signal_name(profile[0].signal), "OutValue");
+    EXPECT_EQ(f.system.signal_name(profile[1].signal), "i");
+    EXPECT_EQ(f.system.signal_name(profile[2].signal), "SetValue");
+    // Signals with values come before signals without.
+    bool seen_unassigned = false;
+    double last = 1e9;
+    for (const auto& row : profile) {
+        if (!row.exposure.has_value()) {
+            seen_unassigned = true;
+            continue;
+        }
+        EXPECT_FALSE(seen_unassigned) << "value after unassigned";
+        EXPECT_LE(*row.exposure, last);
+        last = *row.exposure;
+    }
+}
+
+TEST(ModuleMeasures, RelativePermeability) {
+    PaperFixture f;
+    // CLOCK: pairs (1.0, 0.0) -> unweighted 1.0, weighted 0.5.
+    const auto clock = f.system.module_id("CLOCK");
+    EXPECT_NEAR(relative_permeability_unweighted(f.pm, clock), 1.0, 1e-12);
+    EXPECT_NEAR(relative_permeability(f.pm, clock), 0.5, 1e-12);
+    // V_REG: pairs (0.885, 0.896).
+    const auto vreg = f.system.module_id("V_REG");
+    EXPECT_NEAR(relative_permeability_unweighted(f.pm, vreg), 1.781, 1e-9);
+    EXPECT_NEAR(relative_permeability(f.pm, vreg), 1.781 / 2.0, 1e-9);
+    // Weighted measure stays within [0, 1].
+    for (const auto mid : f.system.all_modules()) {
+        const double p = relative_permeability(f.pm, mid);
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+    }
+}
+
+TEST(ModuleMeasures, ModuleExposure) {
+    PaperFixture f;
+    // PRES_A's only input is OutValue with exposure 1.781.
+    const auto presa = f.system.module_id("PRES_A");
+    EXPECT_NEAR(module_exposure_unweighted(f.pm, presa), 1.781, 1e-9);
+    EXPECT_NEAR(module_exposure(f.pm, presa), 1.781, 1e-9);
+    // DIST_S consumes only system inputs: exposure 0.
+    EXPECT_NEAR(module_exposure(f.pm, f.system.module_id("DIST_S")), 0.0, 1e-12);
+    // V_REG averages SetValue (1.478) and IsValue (0.0).
+    EXPECT_NEAR(module_exposure(f.pm, f.system.module_id("V_REG")), 1.478 / 2.0, 1e-9);
+}
+
+TEST(Exposure, LinearInPermeability) {
+    PaperFixture f;
+    const auto sid = f.system.signal_id("OutValue");
+    const double before = *signal_exposure(f.pm, sid);
+    f.pm.set("V_REG", "IsValue", "OutValue", 0.0);
+    EXPECT_NEAR(*signal_exposure(f.pm, sid), before - 0.896, 1e-9);
+}
+
+}  // namespace
+}  // namespace epea::epic

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "epic/paths.hpp"
+#include "exp/paper_data.hpp"
+#include "synth/generator.hpp"
+#include "target/arrestment_system.hpp"
+
+namespace epea::epic {
+namespace {
+
+struct PaperFixture {
+    model::SystemModel system = target::make_arrestment_model();
+    PermeabilityMatrix pm = exp::paper_matrix(system);
+};
+
+std::vector<const PropPath*> paths_to(const std::vector<PropPath>& paths,
+                                      const model::SystemModel& system,
+                                      const std::string& terminal) {
+    std::vector<const PropPath*> out;
+    for (const auto& p : paths) {
+        if (system.signal_name(p.terminal()) == terminal) out.push_back(&p);
+    }
+    return out;
+}
+
+TEST(ForwardPaths, PulscntImpactTreeMatchesFig4) {
+    PaperFixture f;
+    const auto paths = forward_paths(f.pm, f.system.signal_id("pulscnt"));
+    // With P(pulscnt->SetValue) = 0, exactly one path reaches TOC2 (w1 of
+    // Fig 4); the other leaf is ms_slot_nbr.
+    const auto toc2 = paths_to(paths, f.system, "TOC2");
+    ASSERT_EQ(toc2.size(), 1U);
+    EXPECT_NEAR(toc2[0]->weight(), 0.494 * 0.056 * 0.885 * 0.875, 1e-9);
+    ASSERT_EQ(toc2[0]->edges.size(), 4U);
+    EXPECT_EQ(f.system.signal_name(toc2[0]->edges[0].to), "i");
+    EXPECT_EQ(f.system.signal_name(toc2[0]->edges[1].to), "SetValue");
+    EXPECT_EQ(f.system.signal_name(toc2[0]->edges[2].to), "OutValue");
+
+    EXPECT_EQ(paths_to(paths, f.system, "ms_slot_nbr").size(), 1U);
+    EXPECT_EQ(paths.size(), 2U);
+}
+
+TEST(ForwardPaths, SelfLoopPruned) {
+    PaperFixture f;
+    // The i -> i self-edge (P=1.0) must not appear when expanding from i.
+    const auto paths = forward_paths(f.pm, f.system.signal_id("i"));
+    for (const auto& p : paths) {
+        for (const auto& e : p.edges) {
+            EXPECT_FALSE(f.system.signal_name(e.from) == "i" &&
+                         f.system.signal_name(e.to) == "i");
+        }
+    }
+    // i reaches TOC2 through exactly one path (via SetValue).
+    EXPECT_EQ(paths_to(paths, f.system, "TOC2").size(), 1U);
+}
+
+TEST(ForwardPaths, ZeroEdgesPruned) {
+    PaperFixture f;
+    // TIC1 has no non-zero outgoing permeability: no paths at all.
+    EXPECT_TRUE(forward_paths(f.pm, f.system.signal_id("TIC1")).empty());
+    EXPECT_TRUE(forward_paths(f.pm, f.system.signal_id("ADC")).empty());
+}
+
+TEST(ForwardPaths, PacntTraceTree) {
+    PaperFixture f;
+    const auto paths = forward_paths(f.pm, f.system.signal_id("PACNT"));
+    // PACNT -> pulscnt -> {ms_slot_nbr, TOC2} and PACNT -> slow_speed ->
+    // SetValue -> OutValue -> TOC2.
+    EXPECT_EQ(paths.size(), 3U);
+    EXPECT_EQ(paths_to(paths, f.system, "TOC2").size(), 2U);
+}
+
+TEST(BackwardPaths, Toc2BacktrackTree) {
+    PaperFixture f;
+    const auto paths = backward_paths(f.pm, f.system.signal_id("TOC2"));
+    // Leaves (origins): PACNT via pulscnt chain, stopped, mscnt,
+    // PACNT via slow_speed, IsValue.
+    ASSERT_FALSE(paths.empty());
+    std::vector<std::string> origins;
+    for (const auto& p : paths) {
+        EXPECT_EQ(f.system.signal_name(p.terminal()), "TOC2");
+        origins.push_back(f.system.signal_name(p.origin()));
+    }
+    std::sort(origins.begin(), origins.end());
+    const std::vector<std::string> expected = {"IsValue", "PACNT", "PACNT", "mscnt",
+                                               "stopped"};
+    EXPECT_EQ(origins, expected);
+}
+
+TEST(BackwardPaths, EdgesAreForwardOriented) {
+    PaperFixture f;
+    const auto paths = backward_paths(f.pm, f.system.signal_id("TOC2"));
+    for (const auto& p : paths) {
+        for (std::size_t k = 1; k < p.edges.size(); ++k) {
+            EXPECT_EQ(p.edges[k - 1].to, p.edges[k].from);
+        }
+    }
+}
+
+TEST(Paths, WeightIsProductOfEdges) {
+    PaperFixture f;
+    const auto paths = forward_paths(f.pm, f.system.signal_id("mscnt"));
+    ASSERT_EQ(paths.size(), 1U);
+    EXPECT_NEAR(paths[0].weight(), 0.530 * 0.885 * 0.875, 1e-9);
+}
+
+TEST(Paths, FormatPathIncludesPermeabilityNames) {
+    PaperFixture f;
+    const auto paths = forward_paths(f.pm, f.system.signal_id("mscnt"));
+    const std::string s = format_path(f.system, paths[0]);
+    EXPECT_NE(s.find("mscnt"), std::string::npos);
+    EXPECT_NE(s.find("P^CALC(2,2)=0.530"), std::string::npos);
+    EXPECT_NE(s.find("P^V_REG(1,1)=0.885"), std::string::npos);
+    EXPECT_NE(s.find("TOC2"), std::string::npos);
+    EXPECT_NE(s.find("w=0.410"), std::string::npos);
+}
+
+TEST(Paths, RenderTreeShowsRootAndBranches) {
+    PaperFixture f;
+    const auto paths = forward_paths(f.pm, f.system.signal_id("pulscnt"));
+    const std::string tree = render_tree(f.system, paths);
+    EXPECT_EQ(tree.substr(0, 7), "pulscnt");
+    EXPECT_NE(tree.find("ms_slot_nbr"), std::string::npos);
+    EXPECT_NE(tree.find("TOC2"), std::string::npos);
+
+    const auto back = backward_paths(f.pm, f.system.signal_id("TOC2"));
+    const std::string btree = render_tree(f.system, back, /*root_at_end=*/true);
+    EXPECT_EQ(btree.substr(0, 4), "TOC2");
+    EXPECT_NE(btree.find("PACNT"), std::string::npos);
+}
+
+TEST(Paths, RenderEmpty) {
+    PaperFixture f;
+    EXPECT_EQ(render_tree(f.system, {}), "(no propagation paths)\n");
+}
+
+TEST(Paths, ExplosionGuardThrows) {
+    // A dense synthetic system with a tiny max_paths cap must throw.
+    synth::LayeredOptions options;
+    options.layers = 6;
+    options.modules_per_layer = 4;
+    options.inputs_per_module = 3;
+    options.outputs_per_module = 3;
+    options.edge_density = 1.0;
+    options.seed = 3;
+    const synth::SyntheticSystem s = synth::random_layered_system(options);
+    TreeOptions tree;
+    tree.max_paths = 10;
+    const auto inputs = s.system->signals_with_role(model::SignalRole::kSystemInput);
+    bool threw = false;
+    for (const auto in : inputs) {
+        try {
+            (void)forward_paths(s.matrix, in, tree);
+        } catch (const std::runtime_error&) {
+            threw = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(threw);
+}
+
+TEST(Paths, EpsilonControlsPruning) {
+    PaperFixture f;
+    TreeOptions strict;
+    strict.epsilon = 0.5;  // prune everything below 0.5
+    const auto paths = forward_paths(f.pm, f.system.signal_id("PACNT"), strict);
+    // Only PACNT -> pulscnt (0.957) -> i (0.494 pruned): single leaf.
+    ASSERT_EQ(paths.size(), 1U);
+    EXPECT_EQ(f.system.signal_name(paths[0].terminal()), "pulscnt");
+}
+
+}  // namespace
+}  // namespace epea::epic

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "epic/placement.hpp"
+#include "exp/paper_data.hpp"
+#include "target/arrestment_system.hpp"
+
+namespace epea::epic {
+namespace {
+
+struct PaperFixture {
+    model::SystemModel system = target::make_arrestment_model();
+    PermeabilityMatrix pm = exp::paper_matrix(system);
+};
+
+std::vector<std::string> names_of(const model::SystemModel& system,
+                                  const std::vector<model::SignalId>& ids) {
+    std::vector<std::string> out;
+    for (const auto id : ids) out.push_back(system.signal_name(id));
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+TEST(PaPlacement, ReproducesPaperPaSet) {
+    PaperFixture f;
+    const auto selected = selected_signals(pa_placement(f.pm));
+    auto expected = exp::paper_pa_signals();
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(names_of(f.system, selected), expected);
+}
+
+TEST(PaPlacement, MotivationsMirrorTable2) {
+    PaperFixture f;
+    const auto report = pa_placement(f.pm);
+    auto motivation = [&](const char* name) {
+        return report[f.system.signal_id(name).index()].motivation;
+    };
+    auto selected = [&](const char* name) {
+        return report[f.system.signal_id(name).index()].selected;
+    };
+    EXPECT_TRUE(selected("OutValue"));
+    EXPECT_EQ(motivation("OutValue"), "High error exposure");
+    EXPECT_FALSE(selected("slow_speed"));
+    EXPECT_NE(motivation("slow_speed").find("boolean"), std::string::npos);
+    EXPECT_FALSE(selected("IsValue"));
+    EXPECT_EQ(motivation("IsValue"), "Zero error exposure");
+    EXPECT_FALSE(selected("ms_slot_nbr"));
+    EXPECT_NE(motivation("ms_slot_nbr").find("cannot propagate onward"),
+              std::string::npos);
+    EXPECT_FALSE(selected("TOC2"));
+    EXPECT_NE(motivation("TOC2").find("upstream"), std::string::npos);
+    EXPECT_FALSE(selected("PACNT"));
+    EXPECT_NE(motivation("PACNT").find("System input"), std::string::npos);
+}
+
+TEST(PaPlacement, ExposureValuesFilledIn) {
+    PaperFixture f;
+    const auto report = pa_placement(f.pm);
+    const auto& out_value = report[f.system.signal_id("OutValue").index()];
+    ASSERT_TRUE(out_value.exposure.has_value());
+    EXPECT_NEAR(*out_value.exposure, 1.781, 0.0015);
+    EXPECT_FALSE(report[f.system.signal_id("PACNT").index()].exposure.has_value());
+}
+
+TEST(PaPlacement, ThresholdIsRobustAcrossTheGap) {
+    PaperFixture f;
+    for (const double threshold : {0.1, 0.3, 0.5, 0.7, 0.87}) {
+        PaOptions options;
+        options.exposure_threshold = threshold;
+        const auto selected = selected_signals(pa_placement(f.pm, options));
+        auto expected = exp::paper_pa_signals();
+        std::sort(expected.begin(), expected.end());
+        EXPECT_EQ(names_of(f.system, selected), expected) << threshold;
+    }
+}
+
+TEST(PaPlacement, BooleanVetoCanBeDisabled) {
+    PaperFixture f;
+    PaOptions options;
+    options.veto_boolean = false;
+    options.exposure_threshold = 0.005;
+    const auto report = pa_placement(f.pm, options);
+    EXPECT_TRUE(report[f.system.signal_id("slow_speed").index()].selected);
+}
+
+TEST(ExtendedPlacement, ReproducesEhSetOnTarget) {
+    // §10: the extended framework selects exactly the EH-set signals.
+    PaperFixture f;
+    const auto selected = selected_signals(extended_placement(f.pm));
+    auto expected = exp::paper_eh_signals();
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(names_of(f.system, selected), expected);
+}
+
+TEST(ExtendedPlacement, AddsHighImpactSignals) {
+    PaperFixture f;
+    const auto report = extended_placement(f.pm);
+    auto decision = [&](const char* name) -> const PlacementDecision& {
+        return report[f.system.signal_id(name).index()];
+    };
+    // IsValue: zero exposure but impact 0.784 -> R3 selection.
+    EXPECT_TRUE(decision("IsValue").selected);
+    EXPECT_NE(decision("IsValue").motivation.find("impact"), std::string::npos);
+    ASSERT_TRUE(decision("IsValue").impact.has_value());
+    EXPECT_NEAR(*decision("IsValue").impact, 0.784, 0.0015);
+    // mscnt: impact 0.410.
+    EXPECT_TRUE(decision("mscnt").selected);
+    // ms_slot_nbr: perfect incoming permeability + internal error model.
+    EXPECT_TRUE(decision("ms_slot_nbr").selected);
+    EXPECT_NE(decision("ms_slot_nbr").motivation.find("permeability"),
+              std::string::npos);
+    // slow_speed: impact 0.691 but boolean -> still vetoed.
+    EXPECT_FALSE(decision("slow_speed").selected);
+    // stopped: impact 0.001 -> not selected.
+    EXPECT_FALSE(decision("stopped").selected);
+}
+
+TEST(ExtendedPlacement, InputErrorModelKeepsPaSelection) {
+    // Without the internal error model, ms_slot_nbr stays out (its
+    // selection in §10 is justified by the severe model reaching the
+    // whole memory space).
+    PaperFixture f;
+    ExtendedOptions options;
+    options.internal_error_model = false;
+    const auto report = extended_placement(f.pm, {}, options);
+    EXPECT_FALSE(report[f.system.signal_id("ms_slot_nbr").index()].selected);
+    EXPECT_TRUE(report[f.system.signal_id("IsValue").index()].selected);
+}
+
+TEST(ExtendedPlacement, CriticalityWeightsGateR3) {
+    // Downweighting the only output to zero criticality removes every
+    // impact-based addition.
+    PaperFixture f;
+    const auto toc2 = f.system.signal_id("TOC2");
+    ExtendedOptions options;
+    options.internal_error_model = false;
+    const auto report = extended_placement(f.pm, {{toc2, 0.0}}, options);
+    EXPECT_FALSE(report[f.system.signal_id("IsValue").index()].selected);
+    EXPECT_FALSE(report[f.system.signal_id("mscnt").index()].selected);
+    // Exposure-based selections (R1) are unaffected.
+    EXPECT_TRUE(report[f.system.signal_id("SetValue").index()].selected);
+}
+
+TEST(Placement, SelectedSignalsHelper) {
+    PaperFixture f;
+    const auto report = pa_placement(f.pm);
+    const auto selected = selected_signals(report);
+    std::size_t count = 0;
+    for (const auto& d : report) {
+        if (d.selected) ++count;
+    }
+    EXPECT_EQ(selected.size(), count);
+    EXPECT_EQ(selected.size(), 4U);
+}
+
+TEST(Placement, EhBaselineNamesMatchPaper) {
+    EXPECT_EQ(arrestment_eh_signal_names(), exp::paper_eh_signals());
+}
+
+}  // namespace
+}  // namespace epea::epic

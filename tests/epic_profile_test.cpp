@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "epic/estimator.hpp"
+#include "epic/impact.hpp"
+#include "epic/measures.hpp"
+#include "epic/profile.hpp"
+#include "exp/paper_data.hpp"
+#include "fi/injector.hpp"
+#include "synth/generator.hpp"
+#include "target/arrestment_system.hpp"
+
+namespace epea::epic {
+namespace {
+
+struct PaperFixture {
+    model::SystemModel system = target::make_arrestment_model();
+    PermeabilityMatrix pm = exp::paper_matrix(system);
+};
+
+std::vector<std::pair<model::SignalId, std::optional<double>>> exposure_values(
+    const PaperFixture& f) {
+    std::vector<std::pair<model::SignalId, std::optional<double>>> values;
+    for (const auto sid : f.system.all_signals()) {
+        values.emplace_back(sid, signal_exposure(f.pm, sid));
+    }
+    return values;
+}
+
+TEST(Profile, BandsPartitionByValue) {
+    PaperFixture f;
+    const auto entries = classify_profile(f.system, exposure_values(f));
+    ASSERT_EQ(entries.size(), f.system.signal_count());
+    auto band_of = [&](const char* name) {
+        return entries[f.system.signal_id(name).index()].band;
+    };
+    // Max exposure is OutValue (1.781): highest band starts at 2/3 max.
+    EXPECT_EQ(band_of("OutValue"), Band::kHighest);
+    EXPECT_EQ(band_of("i"), Band::kHighest);
+    EXPECT_EQ(band_of("SetValue"), Band::kHighest);
+    EXPECT_EQ(band_of("ms_slot_nbr"), Band::kHigh);
+    EXPECT_EQ(band_of("pulscnt"), Band::kHigh);
+    EXPECT_EQ(band_of("slow_speed"), Band::kLow);
+    EXPECT_EQ(band_of("mscnt"), Band::kZero);
+    EXPECT_EQ(band_of("PACNT"), Band::kUnassigned);
+}
+
+TEST(Profile, ImpactBandsShowTheFig6Contrast) {
+    PaperFixture f;
+    std::vector<std::pair<model::SignalId, std::optional<double>>> values;
+    const auto impacts = impact_profile(f.pm, f.system.signal_id("TOC2"));
+    for (const auto sid : f.system.all_signals()) {
+        values.emplace_back(sid, impacts[sid.index()].impact);
+    }
+    const auto entries = classify_profile(f.system, values);
+    auto band_of = [&](const char* name) {
+        return entries[f.system.signal_id(name).index()].band;
+    };
+    // The paper's headline: ms_slot_nbr flips from high exposure to zero
+    // impact; IsValue from zero exposure to highest impact.
+    EXPECT_EQ(band_of("ms_slot_nbr"), Band::kZero);
+    EXPECT_EQ(band_of("IsValue"), Band::kHighest);
+    EXPECT_EQ(band_of("mscnt"), Band::kHigh);
+    EXPECT_EQ(band_of("TOC2"), Band::kUnassigned);  // the sink itself
+}
+
+TEST(Profile, AllZeroValuesClassified) {
+    const model::SystemModel system = target::make_arrestment_model();
+    PermeabilityMatrix empty(system);
+    std::vector<std::pair<model::SignalId, std::optional<double>>> values;
+    for (const auto sid : system.all_signals()) {
+        values.emplace_back(sid, signal_exposure(empty, sid));
+    }
+    for (const auto& e : classify_profile(system, values)) {
+        EXPECT_TRUE(e.band == Band::kZero || e.band == Band::kUnassigned);
+    }
+}
+
+TEST(Profile, DotOutputUsesThicknessConvention) {
+    PaperFixture f;
+    std::ostringstream out;
+    write_profile_dot(out, f.system, exposure_values(f), "exposure");
+    const std::string s = out.str();
+    EXPECT_NE(s.find("digraph \"exposure\""), std::string::npos);
+    EXPECT_NE(s.find("penwidth"), std::string::npos);  // weighted edges
+    EXPECT_NE(s.find("dashed"), std::string::npos);    // zero-valued edges
+    EXPECT_NE(s.find("dotted"), std::string::npos);    // unassigned edges
+    // Edge labels carry the values.
+    EXPECT_NE(s.find("OutValue (1.781)"), std::string::npos);
+}
+
+// ------------------------------------------------- estimator ablation flags
+
+TEST(EstimatorAblations, NoAttributionNeverDecreasesEstimates) {
+    synth::BitmaskChainSystem chain({0xff00, 0x0f0f});
+    fi::Injector injector(chain.sim());
+    PermeabilityEstimator estimator(chain.sim(), injector);
+    EstimatorOptions base;
+    base.times_per_bit = 2;
+    base.max_ticks = 512;
+    EstimatorOptions no_attr = base;
+    no_attr.direct_attribution = false;
+
+    const PermeabilityMatrix with = estimator.estimate(1, [](std::size_t) {}, base);
+    const PermeabilityMatrix without =
+        estimator.estimate(1, [](std::size_t) {}, no_attr);
+    for (const auto& e : with.entries()) {
+        EXPECT_GE(without.get(e.module, e.in_port, e.out_port), e.value);
+    }
+}
+
+TEST(EstimatorAblations, MidpointTimesAreDeterministic) {
+    synth::BitmaskChainSystem chain({0xaaaa});
+    fi::Injector injector(chain.sim());
+    PermeabilityEstimator estimator(chain.sim(), injector);
+    EstimatorOptions options;
+    options.times_per_bit = 3;
+    options.max_ticks = 512;
+    options.stratified_times = false;
+    options.seed = 1;
+    const PermeabilityMatrix a = estimator.estimate(1, [](std::size_t) {}, options);
+    options.seed = 999;  // midpoint times must ignore the seed entirely
+    const PermeabilityMatrix b = estimator.estimate(1, [](std::size_t) {}, options);
+    for (const auto& e : a.entries()) {
+        EXPECT_DOUBLE_EQ(b.get(e.module, e.in_port, e.out_port), e.value);
+    }
+}
+
+}  // namespace
+}  // namespace epea::epic

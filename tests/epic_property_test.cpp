@@ -1,0 +1,218 @@
+// Property-based tests: invariants of the analysis framework checked over
+// randomly generated layered systems (parameterized gtest sweep on seeds).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "epic/impact.hpp"
+#include "epic/measures.hpp"
+#include "epic/paths.hpp"
+#include "epic/placement.hpp"
+#include "synth/generator.hpp"
+
+namespace epea::epic {
+namespace {
+
+synth::SyntheticSystem make_system(std::uint64_t seed) {
+    synth::LayeredOptions options;
+    options.layers = 3 + seed % 3;
+    options.modules_per_layer = 2 + seed % 3;
+    options.inputs_per_module = 2;
+    options.outputs_per_module = 2;
+    options.edge_density = 0.4 + 0.05 * static_cast<double>(seed % 5);
+    options.seed = seed;
+    return synth::random_layered_system(options);
+}
+
+class RandomSystemProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSystemProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST_P(RandomSystemProperty, ExposureEqualsColumnSum) {
+    const auto s = make_system(GetParam());
+    for (const auto sid : s.system->all_signals()) {
+        const auto producer = s.system->producer_of(sid);
+        const auto exposure = signal_exposure(s.matrix, sid);
+        if (!producer.has_value()) {
+            EXPECT_FALSE(exposure.has_value());
+            continue;
+        }
+        double expected = 0.0;
+        const auto& spec = s.system->module(producer->module);
+        for (std::uint32_t i = 0; i < spec.input_count(); ++i) {
+            expected += s.matrix.get(producer->module, i, producer->port);
+        }
+        ASSERT_TRUE(exposure.has_value());
+        EXPECT_NEAR(*exposure, expected, 1e-12);
+    }
+}
+
+TEST_P(RandomSystemProperty, ImpactIsAProbabilityLikeMeasure) {
+    const auto s = make_system(GetParam());
+    const auto outputs = s.system->signals_with_role(model::SignalRole::kSystemOutput);
+    for (const auto sid : s.system->all_signals()) {
+        for (const auto out : outputs) {
+            const double value = impact(s.matrix, sid, out);
+            EXPECT_GE(value, 0.0);
+            EXPECT_LE(value, 1.0);
+        }
+    }
+}
+
+TEST_P(RandomSystemProperty, ImpactBoundedByPathWeightSum) {
+    // 1 - prod(1 - w_i) <= sum w_i (union bound).
+    const auto s = make_system(GetParam());
+    const auto outputs = s.system->signals_with_role(model::SignalRole::kSystemOutput);
+    for (const auto sid : s.system->signals_with_role(model::SignalRole::kSystemInput)) {
+        const auto paths = forward_paths(s.matrix, sid);
+        for (const auto out : outputs) {
+            double sum = 0.0;
+            double max_weight = 0.0;
+            for (const auto& p : paths) {
+                if (p.terminal() != out) continue;
+                sum += p.weight();
+                max_weight = std::max(max_weight, p.weight());
+            }
+            const double value = impact(s.matrix, sid, out);
+            EXPECT_LE(value, sum + 1e-12);
+            EXPECT_GE(value, max_weight - 1e-12);  // at least the best path
+        }
+    }
+}
+
+TEST_P(RandomSystemProperty, ImpactMonotoneInPermeability) {
+    auto s = make_system(GetParam());
+    const auto outputs = s.system->signals_with_role(model::SignalRole::kSystemOutput);
+    const auto inputs = s.system->signals_with_role(model::SignalRole::kSystemInput);
+    if (outputs.empty() || inputs.empty()) return;
+    const auto sid = inputs.front();
+    const auto out = outputs.front();
+    const double before = impact(s.matrix, sid, out);
+
+    // Raise every edge permeability towards 1; impact must not decrease.
+    for (const auto mid : s.system->all_modules()) {
+        const auto& spec = s.system->module(mid);
+        for (std::uint32_t i = 0; i < spec.input_count(); ++i) {
+            for (std::uint32_t k = 0; k < spec.output_count(); ++k) {
+                const double p = s.matrix.get(mid, i, k);
+                s.matrix.set(mid, i, k, std::min(1.0, p + (1.0 - p) * 0.5));
+            }
+        }
+    }
+    const double after = impact(s.matrix, sid, out);
+    EXPECT_GE(after, before - 1e-12);
+}
+
+TEST_P(RandomSystemProperty, ForwardAndBackwardPathsAgree) {
+    const auto s = make_system(GetParam());
+    const auto outputs = s.system->signals_with_role(model::SignalRole::kSystemOutput);
+    const auto inputs = s.system->signals_with_role(model::SignalRole::kSystemInput);
+
+    // Count (input, output) path multiset from both directions.
+    std::map<std::pair<std::uint32_t, std::uint32_t>, int> forward_count;
+    for (const auto in : inputs) {
+        for (const auto& p : forward_paths(s.matrix, in)) {
+            const auto term = p.terminal();
+            if (s.system->signal(term).role == model::SignalRole::kSystemOutput) {
+                ++forward_count[{in.value, term.value}];
+            }
+        }
+    }
+    std::map<std::pair<std::uint32_t, std::uint32_t>, int> backward_count;
+    for (const auto out : outputs) {
+        for (const auto& p : backward_paths(s.matrix, out)) {
+            const auto origin = p.origin();
+            if (s.system->signal(origin).role == model::SignalRole::kSystemInput) {
+                ++backward_count[{origin.value, out.value}];
+            }
+        }
+    }
+    EXPECT_EQ(forward_count, backward_count);
+}
+
+TEST_P(RandomSystemProperty, PathsNeverRevisitSignals) {
+    const auto s = make_system(GetParam());
+    for (const auto sid : s.system->all_signals()) {
+        for (const auto& p : forward_paths(s.matrix, sid)) {
+            std::vector<std::uint32_t> visited;
+            visited.push_back(p.origin().value);
+            for (const auto& e : p.edges) visited.push_back(e.to.value);
+            std::sort(visited.begin(), visited.end());
+            EXPECT_TRUE(std::adjacent_find(visited.begin(), visited.end()) ==
+                        visited.end());
+        }
+    }
+}
+
+TEST_P(RandomSystemProperty, PathEdgesCarryMatrixValues) {
+    const auto s = make_system(GetParam());
+    for (const auto sid :
+         s.system->signals_with_role(model::SignalRole::kSystemInput)) {
+        for (const auto& p : forward_paths(s.matrix, sid)) {
+            for (const auto& e : p.edges) {
+                EXPECT_DOUBLE_EQ(e.permeability,
+                                 s.matrix.get(e.module, e.in_port, e.out_port));
+                EXPECT_GT(e.permeability, 0.0);
+            }
+        }
+    }
+}
+
+TEST_P(RandomSystemProperty, CriticalityBounds) {
+    const auto s = make_system(GetParam());
+    std::vector<OutputCriticality> outputs;
+    util::Rng rng(GetParam() * 31);
+    for (const auto out :
+         s.system->signals_with_role(model::SignalRole::kSystemOutput)) {
+        outputs.push_back({out, rng.uniform()});
+    }
+    for (const auto sid : s.system->all_signals()) {
+        const double c = criticality(s.matrix, sid, outputs);
+        EXPECT_GE(c, -1e-12);
+        EXPECT_LE(c, 1.0 + 1e-12);
+        // Criticality never exceeds the full-weight combination.
+        std::vector<OutputCriticality> full = outputs;
+        for (auto& oc : full) oc.criticality = 1.0;
+        EXPECT_LE(c, criticality(s.matrix, sid, full) + 1e-12);
+    }
+}
+
+TEST_P(RandomSystemProperty, PlacementRespectsStructuralVetoes) {
+    const auto s = make_system(GetParam());
+    for (const auto& d : pa_placement(s.matrix)) {
+        const auto& spec = s.system->signal(d.signal);
+        if (spec.role == model::SignalRole::kSystemInput) {
+            EXPECT_FALSE(d.selected);
+        }
+        if (d.selected) {
+            ASSERT_TRUE(d.exposure.has_value());
+            EXPECT_GT(*d.exposure, 0.0);
+        }
+    }
+}
+
+TEST_P(RandomSystemProperty, ExtendedPlacementIsSupersetOfPa) {
+    const auto s = make_system(GetParam());
+    const auto pa = selected_signals(pa_placement(s.matrix));
+    const auto ext = selected_signals(extended_placement(s.matrix));
+    for (const auto sid : pa) {
+        EXPECT_TRUE(std::find(ext.begin(), ext.end(), sid) != ext.end());
+    }
+}
+
+TEST_P(RandomSystemProperty, ModuleMeasuresWithinBounds) {
+    const auto s = make_system(GetParam());
+    for (const auto mid : s.system->all_modules()) {
+        const double p = relative_permeability(s.matrix, mid);
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+        EXPECT_GE(relative_permeability_unweighted(s.matrix, mid), p);
+        EXPECT_GE(module_exposure_unweighted(s.matrix, mid),
+                  module_exposure(s.matrix, mid) - 1e-12);
+    }
+}
+
+}  // namespace
+}  // namespace epea::epic

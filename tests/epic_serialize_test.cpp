@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "epic/serialize.hpp"
+#include "exp/paper_data.hpp"
+#include "synth/generator.hpp"
+#include "target/arrestment_system.hpp"
+
+namespace epea::epic {
+namespace {
+
+TEST(MatrixCsv, RoundTripsPaperMatrix) {
+    const model::SystemModel system = target::make_arrestment_model();
+    const PermeabilityMatrix pm = exp::paper_matrix(system);
+
+    std::stringstream buffer;
+    save_matrix_csv(buffer, pm);
+    const PermeabilityMatrix loaded = load_matrix_csv(buffer, system);
+
+    for (const auto& e : pm.entries()) {
+        EXPECT_NEAR(loaded.get(e.module, e.in_port, e.out_port), e.value, 1e-9);
+    }
+}
+
+TEST(MatrixCsv, RoundTripsCounts) {
+    const model::SystemModel system = target::make_arrestment_model();
+    PermeabilityMatrix pm(system);
+    pm.set_counts("V_REG", "SetValue", "OutValue", 885, 1000);
+    pm.set_counts("DIST_S", "PACNT", "pulscnt", 957, 1000);
+
+    std::stringstream buffer;
+    save_matrix_csv(buffer, pm);
+    const PermeabilityMatrix loaded = load_matrix_csv(buffer, system);
+
+    const util::Proportion p = loaded.counts(system.module_id("V_REG"), 0, 0);
+    EXPECT_EQ(p.hits, 885U);
+    EXPECT_EQ(p.trials, 1000U);
+    EXPECT_NEAR(loaded.get("V_REG", "SetValue", "OutValue"), 0.885, 1e-12);
+}
+
+TEST(MatrixCsv, HeaderPresent) {
+    const model::SystemModel system = target::make_arrestment_model();
+    std::stringstream buffer;
+    save_matrix_csv(buffer, PermeabilityMatrix(system));
+    std::string first;
+    std::getline(buffer, first);
+    EXPECT_EQ(first, "module,in_signal,out_signal,value,affected,active");
+}
+
+TEST(MatrixCsv, RejectsMalformedRows) {
+    const model::SystemModel system = target::make_arrestment_model();
+    {
+        std::stringstream in("CALC,i,SetValue,0.5\n");  // too few columns
+        EXPECT_THROW((void)load_matrix_csv(in, system), std::invalid_argument);
+    }
+    {
+        std::stringstream in("NOPE,i,SetValue,0.5,0,0\n");  // unknown module
+        EXPECT_THROW((void)load_matrix_csv(in, system), std::invalid_argument);
+    }
+    {
+        std::stringstream in("CALC,i,SetValue,abc,0,0\n");  // bad number
+        EXPECT_THROW((void)load_matrix_csv(in, system), std::invalid_argument);
+    }
+}
+
+TEST(MatrixCsv, MissingRowsStayZero) {
+    const model::SystemModel system = target::make_arrestment_model();
+    std::stringstream in("module,in_signal,out_signal,value,affected,active\n"
+                         "CALC,i,SetValue,0.25,0,0\n");
+    const PermeabilityMatrix pm = load_matrix_csv(in, system);
+    EXPECT_NEAR(pm.get("CALC", "i", "SetValue"), 0.25, 1e-12);
+    EXPECT_EQ(pm.get("V_REG", "SetValue", "OutValue"), 0.0);
+}
+
+TEST(SystemText, RoundTripsArrestmentModel) {
+    const model::SystemModel original = target::make_arrestment_model();
+    std::stringstream buffer;
+    save_system_text(buffer, original);
+    const model::SystemModel loaded = load_system_text(buffer);
+
+    EXPECT_EQ(loaded.signal_count(), original.signal_count());
+    EXPECT_EQ(loaded.module_count(), original.module_count());
+    EXPECT_EQ(loaded.pair_count(), original.pair_count());
+    for (const auto sid : original.all_signals()) {
+        const auto& a = original.signal(sid);
+        const auto found = loaded.find_signal(a.name);
+        ASSERT_TRUE(found.has_value()) << a.name;
+        const auto& b = loaded.signal(*found);
+        EXPECT_EQ(a.role, b.role) << a.name;
+        EXPECT_EQ(a.kind, b.kind) << a.name;
+        EXPECT_EQ(a.width, b.width) << a.name;
+    }
+    for (const auto mid : original.all_modules()) {
+        const auto& a = original.module(mid);
+        const auto& b = loaded.module(loaded.module_id(a.name));
+        ASSERT_EQ(a.input_count(), b.input_count()) << a.name;
+        for (std::size_t p = 0; p < a.input_count(); ++p) {
+            EXPECT_EQ(original.signal_name(a.inputs[p]),
+                      loaded.signal_name(b.inputs[p]));
+        }
+        ASSERT_EQ(a.output_count(), b.output_count()) << a.name;
+        for (std::size_t p = 0; p < a.output_count(); ++p) {
+            EXPECT_EQ(original.signal_name(a.outputs[p]),
+                      loaded.signal_name(b.outputs[p]));
+        }
+    }
+}
+
+TEST(SystemText, RoundTripsSyntheticSystems) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        synth::LayeredOptions options;
+        options.seed = seed;
+        const synth::SyntheticSystem s = synth::random_layered_system(options);
+        std::stringstream buffer;
+        save_system_text(buffer, *s.system);
+        const model::SystemModel loaded = load_system_text(buffer);
+        EXPECT_EQ(loaded.signal_count(), s.system->signal_count()) << seed;
+        EXPECT_EQ(loaded.pair_count(), s.system->pair_count()) << seed;
+    }
+}
+
+TEST(SystemText, SkipsCommentsAndBlankLines) {
+    std::stringstream in(
+        "# a comment\n"
+        "\n"
+        "signal in input continuous 8\n"
+        "signal out output continuous 16\n"
+        "module M in in out out\n");
+    const model::SystemModel loaded = load_system_text(in);
+    EXPECT_EQ(loaded.signal_count(), 2U);
+    EXPECT_EQ(loaded.module_count(), 1U);
+}
+
+TEST(SystemText, RejectsMalformedInput) {
+    {
+        std::stringstream in("signal x input continuous\n");  // missing width
+        EXPECT_THROW((void)load_system_text(in), std::invalid_argument);
+    }
+    {
+        std::stringstream in("signal x nowhere continuous 8\n");
+        EXPECT_THROW((void)load_system_text(in), std::invalid_argument);
+    }
+    {
+        std::stringstream in("widget x\n");
+        EXPECT_THROW((void)load_system_text(in), std::invalid_argument);
+    }
+    {
+        // Module referencing an unknown signal.
+        std::stringstream in("module M in nothere out alsono\n");
+        EXPECT_THROW((void)load_system_text(in), std::invalid_argument);
+    }
+}
+
+TEST(SerializeWorkflow, MeasureOnceAnalyseLater) {
+    // The intended workflow: persist a (small) measured matrix, reload it
+    // and re-derive the placement without re-running the campaign.
+    const model::SystemModel system = target::make_arrestment_model();
+    const PermeabilityMatrix pm = exp::paper_matrix(system);
+    std::stringstream buffer;
+    save_matrix_csv(buffer, pm);
+
+    std::stringstream sys_buffer;
+    save_system_text(sys_buffer, system);
+    const model::SystemModel loaded_system = load_system_text(sys_buffer);
+    const PermeabilityMatrix loaded = load_matrix_csv(buffer, loaded_system);
+    EXPECT_NEAR(loaded.get("CALC", "pulscnt", "i"), 0.494, 1e-9);
+}
+
+}  // namespace
+}  // namespace epea::epic

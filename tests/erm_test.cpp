@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "ea/calibrate.hpp"
+#include "erm/wrapper.hpp"
+#include "exp/recovery.hpp"
+#include "fi/golden.hpp"
+#include "fi/injector.hpp"
+#include "target/arrestment_system.hpp"
+
+namespace epea::erm {
+namespace {
+
+ea::EaParams continuous_params() {
+    ea::EaParams p;
+    p.type = ea::EaType::kContinuous;
+    p.min = 0;
+    p.max = 100;
+    p.max_rate_up = 10;
+    p.max_rate_down = 10;
+    return p;
+}
+
+struct StoreFixture {
+    model::SystemModel system = target::make_arrestment_model();
+    runtime::SignalStore store{system};
+    model::SignalId sid = system.signal_id("SetValue");
+};
+
+TEST(RecoveryWrapper, AcceptsGoodValues) {
+    StoreFixture f;
+    RecoveryWrapper w("ERM", f.sid, continuous_params(), RecoveryPolicy::kClamp);
+    f.store.set(f.sid, 50);
+    w.repair(f.store, 0);
+    EXPECT_EQ(f.store.get(f.sid), 50U);
+    EXPECT_EQ(w.repair_count(), 0U);
+}
+
+TEST(RecoveryWrapper, HoldLastGoodFreezes) {
+    StoreFixture f;
+    RecoveryWrapper w("ERM", f.sid, continuous_params(),
+                      RecoveryPolicy::kHoldLastGood);
+    f.store.set(f.sid, 50);
+    w.repair(f.store, 0);
+    f.store.set(f.sid, 999);  // out of bounds
+    w.repair(f.store, 1);
+    EXPECT_EQ(f.store.get(f.sid), 50U);
+    EXPECT_EQ(w.repair_count(), 1U);
+    EXPECT_EQ(w.first_repair(), 1U);
+}
+
+TEST(RecoveryWrapper, ClampProjectsOntoEnvelope) {
+    StoreFixture f;
+    RecoveryWrapper w("ERM", f.sid, continuous_params(), RecoveryPolicy::kClamp);
+    f.store.set(f.sid, 50);
+    w.repair(f.store, 0);
+    // 90 violates the rate limit (+40); clamp to last_good + rate = 60.
+    f.store.set(f.sid, 90);
+    w.repair(f.store, 1);
+    EXPECT_EQ(f.store.get(f.sid), 60U);
+    // Next tick: 90 is now within +10 of 60? No: 90-60=30 -> clamp to 70.
+    f.store.set(f.sid, 90);
+    w.repair(f.store, 2);
+    EXPECT_EQ(f.store.get(f.sid), 70U);
+}
+
+TEST(RecoveryWrapper, ClampRespectsBounds) {
+    StoreFixture f;
+    ea::EaParams p = continuous_params();
+    p.max_rate_down = 1000;
+    RecoveryWrapper w("ERM", f.sid, p, RecoveryPolicy::kClamp);
+    f.store.set(f.sid, 5);
+    w.repair(f.store, 0);
+    f.store.set_signed(f.sid, 300);  // above max=100; rate also violated
+    w.repair(f.store, 1);
+    EXPECT_LE(f.store.get(f.sid), 15U);  // within rate envelope of last good
+}
+
+TEST(RecoveryWrapper, MonotonicClampRatchets) {
+    StoreFixture f;
+    ea::EaParams p;
+    p.type = ea::EaType::kMonotonic;
+    p.floor = 0;
+    p.max_increment = 2;
+    RecoveryWrapper w("ERM", f.system.signal_id("pulscnt"), p,
+                      RecoveryPolicy::kClamp);
+    const auto sid = f.system.signal_id("pulscnt");
+    f.store.set(sid, 10);
+    w.repair(f.store, 0);
+    f.store.set(sid, 3);  // decrease: forbidden
+    w.repair(f.store, 1);
+    EXPECT_EQ(f.store.get(sid), 10U);  // clamped up to last good
+    f.store.set(sid, 200);  // jump: clamped to last_good + 2
+    w.repair(f.store, 2);
+    EXPECT_EQ(f.store.get(sid), 12U);
+}
+
+TEST(RecoveryWrapper, DiscreteHoldsLastGood) {
+    StoreFixture f;
+    ea::EaParams p;
+    p.type = ea::EaType::kDiscrete;
+    p.member_mask = 0x3ff;
+    for (std::uint32_t v = 0; v < 10; ++v) {
+        p.transition_mask[v] = (1U << v) | (1U << ((v + 1) % 10));
+    }
+    const auto sid = f.system.signal_id("ms_slot_nbr");
+    RecoveryWrapper w("ERM", sid, p, RecoveryPolicy::kClamp);
+    f.store.set(sid, 4);
+    w.repair(f.store, 0);
+    f.store.set(sid, 9);  // illegal transition 4 -> 9
+    w.repair(f.store, 1);
+    EXPECT_EQ(f.store.get(sid), 4U);
+}
+
+TEST(RecoveryWrapper, ResetClearsState) {
+    StoreFixture f;
+    RecoveryWrapper w("ERM", f.sid, continuous_params(),
+                      RecoveryPolicy::kHoldLastGood);
+    f.store.set(f.sid, 50);
+    w.repair(f.store, 0);
+    f.store.set(f.sid, 999);
+    w.repair(f.store, 1);
+    EXPECT_EQ(w.repair_count(), 1U);
+    w.reset();
+    EXPECT_EQ(w.repair_count(), 0U);
+    EXPECT_EQ(w.first_repair(), runtime::kInvalidTick);
+}
+
+TEST(ErmBank, CostsAndLookup) {
+    StoreFixture f;
+    ErmBank bank;
+    bank.add("ERM:SetValue", f.sid, continuous_params(), RecoveryPolicy::kClamp);
+    ea::EaParams mono;
+    mono.type = ea::EaType::kMonotonic;
+    bank.add("ERM:pulscnt", f.system.signal_id("pulscnt"), mono,
+             RecoveryPolicy::kClamp);
+    EXPECT_EQ(bank.size(), 2U);
+    EXPECT_EQ(bank.total_cost().rom, (50 + 12) + (25 + 12));
+    EXPECT_EQ(bank.total_cost().ram, (14 + 2) + (13 + 2));
+    EXPECT_EQ(bank.by_name("ERM:pulscnt").policy(), RecoveryPolicy::kClamp);
+    EXPECT_THROW((void)bank.by_name("nope"), std::invalid_argument);
+    EXPECT_THROW(bank.add("ERM:SetValue", f.sid, continuous_params(),
+                          RecoveryPolicy::kClamp),
+                 std::invalid_argument);
+}
+
+TEST(RecoveryIntegration, WrapperContainsInjectedSignalError) {
+    // Inject a huge persistent error into SetValue's producer path and
+    // verify the wrapper keeps the downstream value inside the envelope.
+    target::ArrestmentSystem sys;
+    sys.configure(target::standard_test_cases()[12]);
+    fi::Injector injector(sys.sim());
+    const fi::GoldenRun gr = fi::capture_golden_run(sys.sim(), target::kMaxRunTicks);
+
+    ea::EaCalibrator cal(sys.system());
+    cal.add_trace(gr.trace);
+    const auto sid = sys.system().signal_id("SetValue");
+    ErmBank bank;
+    bank.add("ERM:SetValue", sid, cal.calibrate(sid), RecoveryPolicy::kClamp);
+    bank.arm(sys.sim());
+
+    // Periodically flip the top bit of SetValue itself.
+    injector.arm({fi::Injection::into_signal(sid, 15, 3000)});
+    // kSignal injections fire pre-frame; the wrapper repaired last tick's
+    // value post-step, so consumers this tick see flipped-then-clean
+    // values; the post-step repair bounds what the plant and V_REG see.
+    sys.sim().reset();
+    sys.sim().run(target::kMaxRunTicks);
+
+    EXPECT_GE(bank.total_repairs(), 0U);
+    EXPECT_FALSE(sys.plant().failure_report().failed());
+    sys.sim().clear_recoverers();
+}
+
+TEST(RecoveryExperiment, ReducesFailureRate) {
+    target::ArrestmentSystem sys;
+    exp::CampaignOptions options;
+    options.case_count = 2;
+    const exp::RecoveryResult result = exp::recovery_experiment(
+        sys, options, {"SetValue", "IsValue", "i", "pulscnt", "mscnt", "OutValue"},
+        RecoveryPolicy::kClamp);
+    EXPECT_GT(result.runs, 100U);
+    EXPECT_GT(result.failures_baseline, 0U);
+    EXPECT_LT(result.failures_with_erm, result.failures_baseline);
+    EXPECT_GT(result.repairs, 0U);
+    EXPECT_GT(result.erm_cost.rom, 0U);
+}
+
+}  // namespace
+}  // namespace epea::erm

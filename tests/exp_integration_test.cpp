@@ -1,0 +1,282 @@
+// Integration tests: reduced-scale versions of the paper's experiments,
+// asserting the reproduced *shapes* (see DESIGN.md §4). The bench
+// binaries run the same drivers at full scale.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "epic/impact.hpp"
+#include "epic/measures.hpp"
+#include "epic/placement.hpp"
+#include "exp/arrestment_experiments.hpp"
+#include "exp/paper_data.hpp"
+
+namespace epea::exp {
+namespace {
+
+CampaignOptions reduced() {
+    CampaignOptions o;
+    o.case_count = 3;
+    o.times_per_bit = 3;
+    return o;
+}
+
+/// The measured matrix is expensive; share it across tests in the suite.
+class MeasuredMatrixTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        sys_ = new target::ArrestmentSystem();
+        matrix_ = new epic::PermeabilityMatrix(
+            estimate_arrestment_permeability(*sys_, reduced()));
+    }
+    static void TearDownTestSuite() {
+        delete matrix_;
+        matrix_ = nullptr;
+        delete sys_;
+        sys_ = nullptr;
+    }
+
+    static double get(const char* module, const char* in, const char* out) {
+        return matrix_->get(module, in, out);
+    }
+
+    static target::ArrestmentSystem* sys_;
+    static epic::PermeabilityMatrix* matrix_;
+};
+
+target::ArrestmentSystem* MeasuredMatrixTest::sys_ = nullptr;
+epic::PermeabilityMatrix* MeasuredMatrixTest::matrix_ = nullptr;
+
+TEST_F(MeasuredMatrixTest, ZeroPairsStayZero) {
+    // Table 1's structural zeros (allowing estimation noise < 0.02).
+    const char* zero_pairs[][3] = {
+        {"CLOCK", "i", "mscnt"},        {"DIST_S", "TIC1", "pulscnt"},
+        {"DIST_S", "TCNT", "pulscnt"},  {"DIST_S", "TIC1", "slow_speed"},
+        {"DIST_S", "TCNT", "slow_speed"}, {"DIST_S", "TIC1", "stopped"},
+        {"DIST_S", "TCNT", "stopped"},  {"PRES_S", "ADC", "IsValue"},
+        {"CALC", "mscnt", "i"},         {"CALC", "slow_speed", "i"},
+        {"CALC", "pulscnt", "SetValue"}, {"CALC", "stopped", "SetValue"},
+    };
+    for (const auto& pair : zero_pairs) {
+        EXPECT_LE(get(pair[0], pair[1], pair[2]), 0.02)
+            << pair[0] << ": " << pair[1] << " -> " << pair[2];
+    }
+}
+
+TEST_F(MeasuredMatrixTest, StrongPairsStayStrong) {
+    EXPECT_GE(get("CLOCK", "i", "ms_slot_nbr"), 0.95);
+    EXPECT_GE(get("DIST_S", "PACNT", "pulscnt"), 0.85);
+    EXPECT_GE(get("CALC", "i", "i"), 0.90);
+    EXPECT_GE(get("CALC", "slow_speed", "SetValue"), 0.80);
+    EXPECT_GE(get("V_REG", "SetValue", "OutValue"), 0.80);
+    EXPECT_GE(get("V_REG", "IsValue", "OutValue"), 0.80);
+    EXPECT_GE(get("PRES_A", "OutValue", "TOC2"), 0.80);
+}
+
+TEST_F(MeasuredMatrixTest, ModeratePairsInBand) {
+    // pulscnt -> i: the paper reports 0.494 (roughly half the bits).
+    EXPECT_GE(get("CALC", "pulscnt", "i"), 0.30);
+    EXPECT_LE(get("CALC", "pulscnt", "i"), 0.65);
+    // mscnt -> SetValue: moderate (paper 0.530; our program yields ~0.3).
+    EXPECT_GE(get("CALC", "mscnt", "SetValue"), 0.10);
+    EXPECT_LE(get("CALC", "mscnt", "SetValue"), 0.70);
+    // i -> SetValue: small but present (paper 0.056).
+    EXPECT_GE(get("CALC", "i", "SetValue"), 0.005);
+    EXPECT_LE(get("CALC", "i", "SetValue"), 0.20);
+}
+
+TEST_F(MeasuredMatrixTest, ExposureOrderingMatchesPaper) {
+    const auto& system = sys_->system();
+    auto x = [&](const char* name) {
+        return epic::signal_exposure(*matrix_, system.signal_id(name)).value_or(0.0);
+    };
+    // Table 2 ordering: the selected four dominate.
+    EXPECT_GT(x("OutValue"), x("TOC2"));
+    EXPECT_GT(x("i"), x("slow_speed"));
+    EXPECT_GT(x("SetValue"), x("slow_speed"));
+    EXPECT_GT(x("pulscnt"), x("slow_speed"));
+    EXPECT_LT(x("IsValue"), 0.02);
+    EXPECT_LT(x("mscnt"), 0.02);
+    EXPECT_LT(x("stopped"), 0.05);
+}
+
+TEST_F(MeasuredMatrixTest, PaPlacementSelectsPaperSet) {
+    const auto& system = sys_->system();
+    const auto selected = epic::selected_signals(epic::pa_placement(*matrix_));
+    std::vector<std::string> names;
+    for (const auto sid : selected) names.push_back(system.signal_name(sid));
+    std::sort(names.begin(), names.end());
+    auto expected = paper_pa_signals();
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(names, expected);
+}
+
+TEST_F(MeasuredMatrixTest, ExtendedPlacementSelectsEhSet) {
+    const auto& system = sys_->system();
+    const auto selected = epic::selected_signals(epic::extended_placement(*matrix_));
+    std::vector<std::string> names;
+    for (const auto sid : selected) names.push_back(system.signal_name(sid));
+    std::sort(names.begin(), names.end());
+    auto expected = paper_eh_signals();
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(names, expected);
+}
+
+TEST_F(MeasuredMatrixTest, ImpactShapeMatchesTable5) {
+    const auto& system = sys_->system();
+    const auto toc2 = system.signal_id("TOC2");
+    auto imp = [&](const char* name) {
+        return epic::impact(*matrix_, system.signal_id(name), toc2);
+    };
+    // Zero-impact signals.
+    EXPECT_LT(imp("TIC1"), 0.02);
+    EXPECT_LT(imp("TCNT"), 0.02);
+    EXPECT_LT(imp("ADC"), 0.02);
+    EXPECT_LT(imp("ms_slot_nbr"), 0.02);
+    // High-impact signals (>= the extended threshold).
+    EXPECT_GT(imp("OutValue"), 0.5);
+    EXPECT_GT(imp("SetValue"), 0.5);
+    EXPECT_GT(imp("IsValue"), 0.5);
+    EXPECT_GT(imp("slow_speed"), 0.5);
+    EXPECT_GT(imp("mscnt"), 0.15);
+    // Low-but-nonzero.
+    EXPECT_LT(imp("pulscnt"), 0.2);
+    EXPECT_LT(imp("i"), 0.2);
+}
+
+// --------------------------------------------------------------- Table 4
+
+class CoverageTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        sys_ = new target::ArrestmentSystem();
+        InputCoverageOptions options;
+        options.campaign = reduced();
+        const std::vector<SubsetSpec> subsets = {
+            {"EH-set", {"EA1", "EA2", "EA3", "EA4", "EA5", "EA6", "EA7"}},
+            {"PA-set", {"EA1", "EA3", "EA4", "EA7"}},
+        };
+        result_ = new InputCoverageResult(
+            input_coverage_experiment(*sys_, options, subsets));
+    }
+    static void TearDownTestSuite() {
+        delete result_;
+        result_ = nullptr;
+        delete sys_;
+        sys_ = nullptr;
+    }
+
+    static target::ArrestmentSystem* sys_;
+    static InputCoverageResult* result_;
+};
+
+target::ArrestmentSystem* CoverageTest::sys_ = nullptr;
+InputCoverageResult* CoverageTest::result_ = nullptr;
+
+TEST_F(CoverageTest, OnlyPacntErrorsDetected) {
+    ASSERT_EQ(result_->rows.size(), 3U);
+    EXPECT_EQ(result_->rows[0].signal, "PACNT");
+    EXPECT_GT(result_->rows[0].detected_any, 0U);
+    EXPECT_EQ(result_->rows[1].detected_any, 0U);  // TIC1
+    EXPECT_EQ(result_->rows[2].detected_any, 0U);  // TCNT
+}
+
+TEST_F(CoverageTest, PacntCoverageIsHigh) {
+    const auto& row = result_->rows[0];
+    ASSERT_GT(row.active, 0U);
+    const double coverage =
+        static_cast<double>(row.detected_any) / static_cast<double>(row.active);
+    EXPECT_GT(coverage, 0.85);  // paper: 0.975
+}
+
+TEST_F(CoverageTest, EhAndPaSetsObtainSameCoverage) {
+    // The paper's C1 headline: identical coverage for both sets.
+    for (const auto& row : result_->rows) {
+        EXPECT_EQ(row.detected_per_subset[0], row.detected_per_subset[1])
+            << row.signal;
+    }
+    EXPECT_EQ(result_->all.detected_per_subset[0], result_->all.detected_per_subset[1]);
+}
+
+TEST_F(CoverageTest, Ea4DominatesDetection) {
+    const auto& row = result_->rows[0];
+    const std::size_t ea4 = 3;  // EA1..EA7 -> indices 0..6
+    EXPECT_EQ(row.detected_per_ea[ea4], row.detected_any);
+    for (std::size_t e = 0; e < row.detected_per_ea.size(); ++e) {
+        EXPECT_LE(row.detected_per_ea[e], row.detected_per_ea[ea4]);
+    }
+}
+
+TEST_F(CoverageTest, SomeInjectionsAreInactive) {
+    // Injection moments deliberately overshoot the run; n_err < injected.
+    EXPECT_LT(result_->all.active, result_->all.injected);
+    EXPECT_GT(result_->all.active, result_->all.injected / 2);
+}
+
+TEST_F(CoverageTest, AllRowAggregates) {
+    std::uint64_t active = 0;
+    std::uint64_t detected = 0;
+    for (const auto& row : result_->rows) {
+        active += row.active;
+        detected += row.detected_any;
+    }
+    EXPECT_EQ(result_->all.active, active);
+    EXPECT_EQ(result_->all.detected_any, detected);
+}
+
+// ----------------------------------------------------------------- Fig 3
+
+TEST(SevereModel, EhOutperformsPa) {
+    target::ArrestmentSystem sys;
+    CampaignOptions options = reduced();
+    options.case_count = 2;
+    const std::vector<SubsetSpec> subsets = {
+        {"EH-set", {"EA1", "EA2", "EA3", "EA4", "EA5", "EA6", "EA7"}},
+        {"PA-set", {"EA1", "EA3", "EA4", "EA7"}},
+        {"EXT-set", {"EA1", "EA2", "EA3", "EA4", "EA5", "EA6", "EA7"}},
+    };
+    const SevereCoverageResult result =
+        severe_coverage_experiment(sys, options, subsets);
+
+    ASSERT_EQ(result.sets.size(), 3U);
+    const auto& eh = result.sets[0];
+    const auto& pa = result.sets[1];
+    const auto& ext = result.sets[2];
+
+    // Same runs for every set.
+    EXPECT_EQ(eh.cells[2][0].n, pa.cells[2][0].n);
+    EXPECT_GT(result.runs, 100U);
+
+    // C2: the PA set loses coverage under the severe model.
+    EXPECT_GT(eh.cells[0][0].coverage(), pa.cells[0][0].coverage());  // RAM
+    EXPECT_GE(eh.cells[2][0].coverage(), pa.cells[2][0].coverage());  // total
+
+    // C3: the extended set (== EH here) restores EH-level coverage.
+    EXPECT_EQ(ext.cells[2][0].detected, eh.cells[2][0].detected);
+
+    // Failure-causing errors are well covered by the full set.
+    if (eh.cells[2][1].n > 0) {
+        EXPECT_GT(eh.cells[2][1].coverage(), 0.8);
+    }
+
+    // Region bookkeeping.
+    EXPECT_EQ(eh.cells[0][0].n + eh.cells[1][0].n, eh.cells[2][0].n);
+    EXPECT_GT(result.ram_locations, 0U);
+    EXPECT_GT(result.stack_locations, 0U);
+}
+
+TEST(SevereModel, ClassificationPartitionsRuns) {
+    target::ArrestmentSystem sys;
+    CampaignOptions options = reduced();
+    options.case_count = 1;
+    const std::vector<SubsetSpec> subsets = {
+        {"PA-set", {"EA1", "EA3", "EA4", "EA7"}}};
+    const SevereCoverageResult result =
+        severe_coverage_experiment(sys, options, subsets);
+    const auto& cells = result.sets[0].cells[2];
+    EXPECT_EQ(cells[1].n + cells[2].n, cells[0].n);  // fail + nofail = tot
+    EXPECT_EQ(cells[0].n, result.runs);
+}
+
+}  // namespace
+}  // namespace epea::exp

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "exp/arrestment_experiments.hpp"
+#include "exp/parallel.hpp"
+
+namespace epea::exp {
+namespace {
+
+CampaignOptions tiny() {
+    CampaignOptions o;
+    o.case_count = 3;
+    o.times_per_bit = 2;
+    return o;
+}
+
+TEST(ParallelCampaign, MatchesSequentialExactly) {
+    target::ArrestmentSystem sys;
+    const epic::PermeabilityMatrix sequential =
+        estimate_arrestment_permeability(sys, tiny());
+    const epic::PermeabilityMatrix parallel =
+        estimate_arrestment_permeability_parallel(tiny(), /*threads=*/3);
+
+    const auto seq_entries = sequential.entries();
+    const auto par_entries = parallel.entries();
+    ASSERT_EQ(seq_entries.size(), par_entries.size());
+    for (std::size_t k = 0; k < seq_entries.size(); ++k) {
+        EXPECT_EQ(par_entries[k].affected, seq_entries[k].affected) << k;
+        EXPECT_EQ(par_entries[k].active, seq_entries[k].active) << k;
+        EXPECT_DOUBLE_EQ(par_entries[k].value, seq_entries[k].value) << k;
+    }
+}
+
+TEST(ParallelCampaign, ThreadCountDoesNotChangeResults) {
+    const epic::PermeabilityMatrix one =
+        estimate_arrestment_permeability_parallel(tiny(), 1);
+    const epic::PermeabilityMatrix many =
+        estimate_arrestment_permeability_parallel(tiny(), 8);
+    const auto a = one.entries();
+    const auto b = many.entries();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k) {
+        EXPECT_EQ(a[k].affected, b[k].affected) << k;
+        EXPECT_EQ(a[k].active, b[k].active) << k;
+    }
+}
+
+TEST(ParallelCampaign, AutoThreadCount) {
+    CampaignOptions o;
+    o.case_count = 1;
+    o.times_per_bit = 1;
+    const epic::PermeabilityMatrix pm =
+        estimate_arrestment_permeability_parallel(o, 0);
+    // Structure sanity: the strong CLOCK pair is measured.
+    EXPECT_GE(pm.get("CLOCK", "i", "ms_slot_nbr"), 0.9);
+}
+
+}  // namespace
+}  // namespace epea::exp

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "model/builder.hpp"
+#include "model/dot.hpp"
+#include "model/system_model.hpp"
+#include "target/arrestment_system.hpp"
+
+namespace epea::model {
+namespace {
+
+SystemModel tiny_system() {
+    SystemBuilder b;
+    b.input("in", SignalKind::kContinuous, 8);
+    b.intermediate("mid", SignalKind::kMonotonic, 16);
+    b.output("out", SignalKind::kContinuous, 16);
+    b.module("A").in("in").out("mid");
+    b.module("B").in("mid").out("out");
+    return b.build();
+}
+
+TEST(SystemModel, BasicCounts) {
+    const SystemModel m = tiny_system();
+    EXPECT_EQ(m.signal_count(), 3U);
+    EXPECT_EQ(m.module_count(), 2U);
+    EXPECT_EQ(m.pair_count(), 2U);
+}
+
+TEST(SystemModel, LookupByName) {
+    const SystemModel m = tiny_system();
+    EXPECT_TRUE(m.find_signal("mid").has_value());
+    EXPECT_FALSE(m.find_signal("nope").has_value());
+    EXPECT_TRUE(m.find_module("A").has_value());
+    EXPECT_FALSE(m.find_module("Z").has_value());
+    EXPECT_EQ(m.signal_name(m.signal_id("mid")), "mid");
+    EXPECT_EQ(m.module_name(m.module_id("B")), "B");
+    EXPECT_THROW((void)m.signal_id("nope"), std::invalid_argument);
+    EXPECT_THROW((void)m.module_id("nope"), std::invalid_argument);
+}
+
+TEST(SystemModel, ProducerAndConsumers) {
+    const SystemModel m = tiny_system();
+    const SignalId in = m.signal_id("in");
+    const SignalId mid = m.signal_id("mid");
+    const SignalId out = m.signal_id("out");
+
+    EXPECT_FALSE(m.producer_of(in).has_value());
+    ASSERT_TRUE(m.producer_of(mid).has_value());
+    EXPECT_EQ(m.producer_of(mid)->module, m.module_id("A"));
+    EXPECT_EQ(m.producer_of(mid)->port, 0U);
+    ASSERT_TRUE(m.producer_of(out).has_value());
+    EXPECT_EQ(m.producer_of(out)->module, m.module_id("B"));
+
+    EXPECT_EQ(m.consumers_of(in).size(), 1U);
+    EXPECT_EQ(m.consumers_of(mid).size(), 1U);
+    EXPECT_TRUE(m.consumers_of(out).empty());
+}
+
+TEST(SystemModel, RoleQueries) {
+    const SystemModel m = tiny_system();
+    EXPECT_EQ(m.signals_with_role(SignalRole::kSystemInput).size(), 1U);
+    EXPECT_EQ(m.signals_with_role(SignalRole::kIntermediate).size(), 1U);
+    EXPECT_EQ(m.signals_with_role(SignalRole::kSystemOutput).size(), 1U);
+}
+
+TEST(SystemModel, DuplicateSignalNameThrows) {
+    SystemModel m;
+    m.add_signal({"x", SignalRole::kSystemInput, SignalKind::kContinuous, 8});
+    EXPECT_THROW(
+        m.add_signal({"x", SignalRole::kSystemInput, SignalKind::kContinuous, 8}),
+        std::invalid_argument);
+}
+
+TEST(SystemModel, EmptySignalNameThrows) {
+    SystemModel m;
+    EXPECT_THROW(
+        m.add_signal({"", SignalRole::kSystemInput, SignalKind::kContinuous, 8}),
+        std::invalid_argument);
+}
+
+TEST(SystemModel, InvalidWidthThrows) {
+    SystemModel m;
+    EXPECT_THROW(
+        m.add_signal({"w0", SignalRole::kSystemInput, SignalKind::kContinuous, 0}),
+        std::invalid_argument);
+    EXPECT_THROW(
+        m.add_signal({"w33", SignalRole::kSystemInput, SignalKind::kContinuous, 33}),
+        std::invalid_argument);
+}
+
+TEST(SystemModel, DoubleProducerThrows) {
+    SystemModel m;
+    const SignalId a =
+        m.add_signal({"a", SignalRole::kIntermediate, SignalKind::kContinuous, 8});
+    const SignalId s =
+        m.add_signal({"s", SignalRole::kSystemInput, SignalKind::kContinuous, 8});
+    m.add_module(ModuleSpec{"M1", {s}, {a}});
+    EXPECT_THROW(m.add_module(ModuleSpec{"M2", {s}, {a}}), std::invalid_argument);
+}
+
+TEST(SystemModel, UnknownSignalIdInModuleThrows) {
+    SystemModel m;
+    EXPECT_THROW(m.add_module(ModuleSpec{"M", {SignalId{99}}, {}}),
+                 std::invalid_argument);
+}
+
+TEST(SystemModel, ValidationFindsOrphanSignal) {
+    SystemModel m;
+    m.add_signal({"orphan", SignalRole::kIntermediate, SignalKind::kContinuous, 8});
+    const auto problems = m.validate();
+    ASSERT_EQ(problems.size(), 1U);
+    EXPECT_NE(problems[0].find("orphan"), std::string::npos);
+    EXPECT_THROW(m.validate_or_throw(), std::invalid_argument);
+}
+
+TEST(SystemModel, ValidationFindsConsumedOutput) {
+    SystemModel m;
+    const SignalId in =
+        m.add_signal({"in", SignalRole::kSystemInput, SignalKind::kContinuous, 8});
+    const SignalId out =
+        m.add_signal({"out", SignalRole::kSystemOutput, SignalKind::kContinuous, 8});
+    m.add_module(ModuleSpec{"A", {in}, {out}});
+    m.add_signal({"x", SignalRole::kIntermediate, SignalKind::kContinuous, 8});
+    // Module consuming a system output:
+    SystemModel m2;
+    const SignalId i2 =
+        m2.add_signal({"in", SignalRole::kSystemInput, SignalKind::kContinuous, 8});
+    const SignalId o2 =
+        m2.add_signal({"out", SignalRole::kSystemOutput, SignalKind::kContinuous, 8});
+    const SignalId x2 =
+        m2.add_signal({"x", SignalRole::kIntermediate, SignalKind::kContinuous, 8});
+    m2.add_module(ModuleSpec{"A", {i2}, {o2}});
+    m2.add_module(ModuleSpec{"B", {o2}, {x2}});
+    const auto problems = m2.validate();
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("out"), std::string::npos);
+}
+
+TEST(SystemModel, InvalidIdsThrow) {
+    const SystemModel m = tiny_system();
+    EXPECT_THROW((void)m.signal(SignalId{}), std::out_of_range);
+    EXPECT_THROW((void)m.signal(SignalId{99}), std::out_of_range);
+    EXPECT_THROW((void)m.module(ModuleId{99}), std::out_of_range);
+    EXPECT_THROW((void)m.producer_of(SignalId{99}), std::out_of_range);
+    EXPECT_THROW((void)m.consumers_of(SignalId{99}), std::out_of_range);
+}
+
+TEST(SystemBuilder, UnknownPortSignalThrows) {
+    SystemBuilder b;
+    b.input("in", SignalKind::kContinuous, 8);
+    b.output("out", SignalKind::kContinuous, 8);
+    b.module("A").in("in").out("missing");
+    EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(SystemBuilder, CyclicSignalsAllowed) {
+    // The target feeds i back into CALC; cycles must build fine.
+    SystemBuilder b;
+    b.input("in", SignalKind::kContinuous, 8);
+    b.intermediate("loop", SignalKind::kMonotonic, 16);
+    b.output("out", SignalKind::kContinuous, 16);
+    b.module("M").in("in").in("loop").out("loop").out("out");
+    const SystemModel m = b.build();
+    EXPECT_EQ(m.consumers_of(m.signal_id("loop")).size(), 1U);
+    EXPECT_TRUE(m.producer_of(m.signal_id("loop")).has_value());
+}
+
+// --------------------------------------------------- arrestment topology
+
+TEST(ArrestmentModel, MatchesFig1) {
+    const SystemModel m = target::make_arrestment_model();
+    EXPECT_EQ(m.module_count(), 6U);
+    EXPECT_EQ(m.signal_count(), 14U);
+    // 25 input/output pairs as in Table 1.
+    EXPECT_EQ(m.pair_count(), 25U);
+
+    const auto& calc = m.module(m.module_id("CALC"));
+    ASSERT_EQ(calc.input_count(), 5U);
+    EXPECT_EQ(m.signal_name(calc.inputs[0]), "i");
+    EXPECT_EQ(m.signal_name(calc.inputs[1]), "mscnt");
+    EXPECT_EQ(m.signal_name(calc.inputs[2]), "pulscnt");
+    EXPECT_EQ(m.signal_name(calc.inputs[3]), "slow_speed");
+    EXPECT_EQ(m.signal_name(calc.inputs[4]), "stopped");
+    ASSERT_EQ(calc.output_count(), 2U);
+    EXPECT_EQ(m.signal_name(calc.outputs[0]), "i");
+    EXPECT_EQ(m.signal_name(calc.outputs[1]), "SetValue");
+}
+
+TEST(ArrestmentModel, SignalRolesAndWidths) {
+    const SystemModel m = target::make_arrestment_model();
+    EXPECT_EQ(m.signal(m.signal_id("PACNT")).width, 8U);
+    EXPECT_EQ(m.signal(m.signal_id("PACNT")).role, SignalRole::kSystemInput);
+    EXPECT_EQ(m.signal(m.signal_id("TCNT")).width, 16U);
+    EXPECT_EQ(m.signal(m.signal_id("ADC")).width, 8U);
+    EXPECT_EQ(m.signal(m.signal_id("TOC2")).role, SignalRole::kSystemOutput);
+    EXPECT_EQ(m.signal(m.signal_id("slow_speed")).kind, SignalKind::kBoolean);
+    EXPECT_EQ(m.signal(m.signal_id("ms_slot_nbr")).kind, SignalKind::kDiscrete);
+    EXPECT_EQ(m.signal(m.signal_id("pulscnt")).kind, SignalKind::kMonotonic);
+    // ms_slot_nbr is consumed by the scheduler, not by any module.
+    EXPECT_TRUE(m.consumers_of(m.signal_id("ms_slot_nbr")).empty());
+    // i is consumed by both CLOCK and CALC.
+    EXPECT_EQ(m.consumers_of(m.signal_id("i")).size(), 2U);
+}
+
+// -------------------------------------------------------------------- dot
+
+TEST(Dot, ContainsModulesAndSignals) {
+    const SystemModel m = target::make_arrestment_model();
+    std::ostringstream out;
+    write_dot(out, m);
+    const std::string s = out.str();
+    EXPECT_NE(s.find("digraph"), std::string::npos);
+    for (const char* name : {"CLOCK", "DIST_S", "CALC", "PRES_S", "V_REG", "PRES_A"}) {
+        EXPECT_NE(s.find("mod_" + std::string(name)), std::string::npos) << name;
+    }
+    EXPECT_NE(s.find("label=\"pulscnt"), std::string::npos);
+    EXPECT_NE(s.find("env_TOC2"), std::string::npos);
+}
+
+TEST(Dot, WeightedEdgesChangeStyle) {
+    const SystemModel m = tiny_system();
+    DotOptions options;
+    options.signal_weight = [&](SignalId sid) -> std::optional<double> {
+        if (m.signal_name(sid) == "mid") return 0.5;
+        if (m.signal_name(sid) == "out") return 0.0;
+        return std::nullopt;  // "in"
+    };
+    std::ostringstream out;
+    write_dot(out, m, options);
+    const std::string s = out.str();
+    EXPECT_NE(s.find("penwidth"), std::string::npos);   // weighted edge
+    EXPECT_NE(s.find("dashed"), std::string::npos);     // zero edge
+    EXPECT_NE(s.find("dotted"), std::string::npos);     // unassigned edge
+}
+
+}  // namespace
+}  // namespace epea::model

@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "model/builder.hpp"
+#include "runtime/memory_map.hpp"
+#include "runtime/signal_store.hpp"
+#include "runtime/simulator.hpp"
+#include "runtime/trace.hpp"
+
+namespace epea::runtime {
+namespace {
+
+model::SystemModel chain_model() {
+    model::SystemBuilder b;
+    b.input("src", model::SignalKind::kContinuous, 8);
+    b.intermediate("mid", model::SignalKind::kContinuous, 16);
+    b.output("dst", model::SignalKind::kContinuous, 16);
+    b.module("First").in("src").out("mid");
+    b.module("Second").in("mid").out("dst");
+    return b.build();
+}
+
+/// out = in + addend; counts its own invocations in injectable state.
+class AddBehaviour final : public ModuleBehaviour {
+public:
+    explicit AddBehaviour(std::uint32_t addend) : addend_(addend) {}
+
+    void init(InitContext& ctx) override { ctx.ram("calls", &calls_, 16); }
+    void reset() override { calls_ = 0; }
+    void step(ModuleContext& ctx) override {
+        calls_ = (calls_ + 1) & 0xffffU;
+        ctx.out(0, ctx.in(0) + addend_);
+    }
+
+    std::uint32_t calls_ = 0;
+    std::uint32_t addend_;
+};
+
+/// Environment: src counts up each tick; finishes after n ticks.
+class CountingEnv final : public Environment {
+public:
+    CountingEnv(model::SignalId src, Tick limit) : src_(src), limit_(limit) {}
+    void reset() override { t_ = 0; }
+    void sense(SignalStore& store, Tick) override { store.set(src_, t_++); }
+    void actuate(const SignalStore&, Tick) override {}
+    [[nodiscard]] bool finished() const override { return t_ >= limit_; }
+
+    model::SignalId src_;
+    Tick limit_;
+    Tick t_ = 0;
+};
+
+struct SimFixture {
+    model::SystemModel model = chain_model();
+    AddBehaviour* first = nullptr;
+    AddBehaviour* second = nullptr;
+    std::unique_ptr<CountingEnv> env;
+    std::unique_ptr<Simulator> sim;
+
+    explicit SimFixture(Tick limit = 100) {
+        auto b1 = std::make_unique<AddBehaviour>(10);
+        auto b2 = std::make_unique<AddBehaviour>(100);
+        first = b1.get();
+        second = b2.get();
+        std::vector<std::unique_ptr<ModuleBehaviour>> behaviours;
+        behaviours.push_back(std::move(b1));
+        behaviours.push_back(std::move(b2));
+        env = std::make_unique<CountingEnv>(model.signal_id("src"), limit);
+        sim = std::make_unique<Simulator>(model, std::move(behaviours), *env);
+    }
+};
+
+// ------------------------------------------------------------ SignalStore
+
+TEST(SignalStore, MasksToWidth) {
+    const model::SystemModel m = chain_model();
+    SignalStore store(m);
+    const auto src = m.signal_id("src");  // 8 bit
+    store.set(src, 0x1ff);
+    EXPECT_EQ(store.get(src), 0xffU);
+    EXPECT_EQ(store.width(src), 8U);
+}
+
+TEST(SignalStore, SignedRoundTrip) {
+    const model::SystemModel m = chain_model();
+    SignalStore store(m);
+    const auto mid = m.signal_id("mid");  // 16 bit
+    store.set_signed(mid, -5);
+    EXPECT_EQ(store.get_signed(mid), -5);
+    EXPECT_EQ(store.get(mid), 0xfffbU);
+}
+
+TEST(SignalStore, BoolAccess) {
+    const model::SystemModel m = chain_model();
+    SignalStore store(m);
+    const auto mid = m.signal_id("mid");
+    store.set_bool(mid, true);
+    EXPECT_TRUE(store.get_bool(mid));
+    store.set_bool(mid, false);
+    EXPECT_FALSE(store.get_bool(mid));
+}
+
+TEST(SignalStore, FlipBitWithinWidth) {
+    const model::SystemModel m = chain_model();
+    SignalStore store(m);
+    const auto src = m.signal_id("src");
+    store.set(src, 0);
+    EXPECT_TRUE(store.flip_bit(src, 3));
+    EXPECT_EQ(store.get(src), 8U);
+    // Above width: no change.
+    EXPECT_FALSE(store.flip_bit(src, 9));
+    EXPECT_EQ(store.get(src), 8U);
+}
+
+TEST(SignalStore, ResetZeroes) {
+    const model::SystemModel m = chain_model();
+    SignalStore store(m);
+    store.set(m.signal_id("mid"), 42);
+    store.reset();
+    EXPECT_EQ(store.get(m.signal_id("mid")), 0U);
+}
+
+// -------------------------------------------------------------- MemoryMap
+
+TEST(MemoryMap, RegistersAndCounts) {
+    MemoryMap map;
+    std::uint32_t w1 = 0;
+    std::uint32_t w2 = 0;
+    std::uint32_t w3 = 0;
+    map.register_word(Region::kRam, model::ModuleId{0}, "a", &w1, 16);
+    map.register_word(Region::kRam, model::ModuleId{0}, "b", &w2, 8);
+    map.register_word(Region::kStack, model::ModuleId{1}, "c", &w3, 32);
+    EXPECT_EQ(map.word_count(), 3U);
+    EXPECT_EQ(map.byte_count(Region::kRam), 3U);    // 2 + 1
+    EXPECT_EQ(map.byte_count(Region::kStack), 4U);  // 4
+    EXPECT_EQ(map.words_in(Region::kRam).size(), 2U);
+    EXPECT_EQ(map.words_in(Region::kStack).size(), 1U);
+}
+
+TEST(MemoryMap, FlipRespectsWidth) {
+    MemoryMap map;
+    std::uint32_t w = 0;
+    map.register_word(Region::kRam, model::ModuleId{0}, "w", &w, 8);
+    EXPECT_TRUE(map.flip_bit(0, 7));
+    EXPECT_EQ(w, 0x80U);
+    EXPECT_FALSE(map.flip_bit(0, 8));  // above width: unchanged
+    EXPECT_EQ(w, 0x80U);
+    EXPECT_FALSE(map.flip_bit(5, 0));  // unknown index
+}
+
+TEST(MemoryMap, RejectsBadRegistration) {
+    MemoryMap map;
+    std::uint32_t w = 0;
+    EXPECT_THROW(map.register_word(Region::kRam, model::ModuleId{0}, "n", nullptr, 8),
+                 std::invalid_argument);
+    EXPECT_THROW(map.register_word(Region::kRam, model::ModuleId{0}, "w0", &w, 0),
+                 std::invalid_argument);
+    EXPECT_THROW(map.register_word(Region::kRam, model::ModuleId{0}, "w33", &w, 33),
+                 std::invalid_argument);
+}
+
+// -------------------------------------------------------------- Simulator
+
+TEST(Simulator, RejectsBehaviourCountMismatch) {
+    const model::SystemModel m = chain_model();
+    CountingEnv env(m.signal_id("src"), 10);
+    std::vector<std::unique_ptr<ModuleBehaviour>> behaviours;
+    behaviours.push_back(std::make_unique<AddBehaviour>(1));
+    EXPECT_THROW(Simulator(m, std::move(behaviours), env), std::invalid_argument);
+}
+
+TEST(Simulator, RunsUntilEnvironmentFinishes) {
+    SimFixture f(25);
+    f.sim->reset();
+    const RunResult rr = f.sim->run(1000);
+    EXPECT_TRUE(rr.env_finished);
+    EXPECT_EQ(rr.ticks, 25U);
+}
+
+TEST(Simulator, RunsUntilTickCap) {
+    SimFixture f(1000);
+    f.sim->reset();
+    const RunResult rr = f.sim->run(30);
+    EXPECT_FALSE(rr.env_finished);
+    EXPECT_EQ(rr.ticks, 30U);
+}
+
+TEST(Simulator, UnitDelayDataflow) {
+    SimFixture f;
+    f.sim->reset();
+    // Tick 0: src=0 -> frames loaded (mid frame sees initial 0) ->
+    // First writes mid=10, Second writes dst=0+100 (stale mid).
+    f.sim->step_tick();
+    EXPECT_EQ(f.sim->signals().get(f.model.signal_id("mid")), 10U);
+    EXPECT_EQ(f.sim->signals().get(f.model.signal_id("dst")), 100U);
+    // Tick 1: src=1, Second now sees mid from tick 0 (=10) -> dst=110.
+    f.sim->step_tick();
+    EXPECT_EQ(f.sim->signals().get(f.model.signal_id("mid")), 11U);
+    EXPECT_EQ(f.sim->signals().get(f.model.signal_id("dst")), 110U);
+}
+
+TEST(Simulator, ResetRestoresEverything) {
+    SimFixture f;
+    f.sim->reset();
+    f.sim->run(20);
+    EXPECT_EQ(f.first->calls_, 20U);
+    f.sim->reset();
+    EXPECT_EQ(f.first->calls_, 0U);
+    EXPECT_EQ(f.sim->now(), 0U);
+    EXPECT_EQ(f.sim->signals().get(f.model.signal_id("mid")), 0U);
+    const RunResult rr = f.sim->run(20);
+    EXPECT_EQ(rr.ticks, 20U);
+    EXPECT_EQ(f.first->calls_, 20U);
+}
+
+TEST(Simulator, FramesAreRegisteredAsStack) {
+    SimFixture f;
+    const auto stack_words = f.sim->memory().words_in(Region::kStack);
+    // Two modules with one input each -> two frame words.
+    EXPECT_EQ(stack_words.size(), 2U);
+    // RAM: each AddBehaviour registered "calls".
+    EXPECT_EQ(f.sim->memory().words_in(Region::kRam).size(), 2U);
+}
+
+TEST(Simulator, PreFrameHookSeenByConsumers) {
+    SimFixture f;
+    f.sim->set_pre_frame_hook([&](Simulator& sim, Tick now) {
+        if (now == 5) sim.signals().set(f.model.signal_id("src"), 200);
+    });
+    f.sim->reset();
+    for (int i = 0; i < 6; ++i) f.sim->step_tick();
+    // At tick 5 the corrupted src (200) must be what First consumed.
+    EXPECT_EQ(f.sim->signals().get(f.model.signal_id("mid")), 210U);
+}
+
+TEST(Simulator, PostFrameHookAffectsOnlyTargetModule) {
+    SimFixture f;
+    f.sim->set_injection_hook([&](Simulator& sim, Tick now) {
+        if (now == 3) sim.frame(f.model.module_id("Second"))[0] = 1000;
+    });
+    f.sim->reset();
+    for (int i = 0; i < 4; ++i) f.sim->step_tick();
+    // Second computed from the corrupted frame...
+    EXPECT_EQ(f.sim->signals().get(f.model.signal_id("dst")), 1100U);
+    // ...but the mid signal itself stayed clean (src=3 -> mid=13).
+    EXPECT_EQ(f.sim->signals().get(f.model.signal_id("mid")), 13U);
+}
+
+TEST(Simulator, MonitorsObserveEveryTick) {
+    class CountingMonitor final : public SignalMonitor {
+    public:
+        void reset() override { observations = 0; }
+        void observe(const SignalStore&, Tick) override { ++observations; }
+        int observations = 0;
+    };
+    SimFixture f(10);
+    CountingMonitor monitor;
+    f.sim->add_monitor(&monitor);
+    f.sim->reset();
+    f.sim->run(100);
+    EXPECT_EQ(monitor.observations, 10);
+    f.sim->clear_monitors();
+}
+
+TEST(Simulator, TraceRecordsPostStepValues) {
+    SimFixture f(5);
+    f.sim->enable_trace(true);
+    f.sim->reset();
+    f.sim->run(100);
+    const Trace* trace = f.sim->trace();
+    ASSERT_NE(trace, nullptr);
+    EXPECT_EQ(trace->length(), 5U);
+    EXPECT_EQ(trace->at(f.model.signal_id("mid"), 0), 10U);
+    EXPECT_EQ(trace->at(f.model.signal_id("mid"), 4), 14U);
+    EXPECT_EQ(trace->at(f.model.signal_id("dst"), 4), 113U);
+}
+
+TEST(Simulator, TraceDisableDropsRecorder) {
+    SimFixture f(5);
+    f.sim->enable_trace(true);
+    EXPECT_NE(f.sim->trace(), nullptr);
+    f.sim->enable_trace(false);
+    EXPECT_EQ(f.sim->trace(), nullptr);
+}
+
+// ------------------------------------------------------------------ Trace
+
+TEST(Trace, FirstDifferenceSemantics) {
+    SimFixture f(10);
+    f.sim->enable_trace(true);
+    f.sim->reset();
+    f.sim->run(100);
+    const Trace golden = *f.sim->trace();
+
+    // Identical rerun: no difference on any signal.
+    f.sim->reset();
+    f.sim->run(100);
+    for (const auto sid : f.model.all_signals()) {
+        EXPECT_FALSE(f.sim->trace()->first_difference(golden, sid).has_value());
+    }
+
+    // Corrupt src at tick 4 via pre-frame hook: src differs at 4, the
+    // unit delay makes dst differ at 5.
+    f.sim->set_pre_frame_hook([&](Simulator& sim, Tick now) {
+        if (now == 4) sim.signals().flip_bit(f.model.signal_id("src"), 6);
+    });
+    f.sim->reset();
+    f.sim->run(100);
+    const auto src_diff =
+        f.sim->trace()->first_difference(golden, f.model.signal_id("src"));
+    const auto mid_diff =
+        f.sim->trace()->first_difference(golden, f.model.signal_id("mid"));
+    ASSERT_TRUE(src_diff.has_value());
+    EXPECT_EQ(*src_diff, 4U);
+    ASSERT_TRUE(mid_diff.has_value());
+    EXPECT_EQ(*mid_diff, 4U);  // First consumes src in the same tick
+}
+
+TEST(Trace, LengthMismatchCountsAsDifference) {
+    SimFixture f(10);
+    f.sim->enable_trace(true);
+    f.sim->reset();
+    f.sim->run(100);
+    const Trace long_trace = *f.sim->trace();
+
+    SimFixture g(6);
+    g.sim->enable_trace(true);
+    g.sim->reset();
+    g.sim->run(100);
+    const auto diff =
+        g.sim->trace()->first_difference(long_trace, g.model.signal_id("src"));
+    ASSERT_TRUE(diff.has_value());
+    EXPECT_EQ(*diff, 6U);  // first tick beyond the shorter trace
+}
+
+}  // namespace
+}  // namespace epea::runtime

@@ -1,0 +1,205 @@
+// Whole-system tests of the arrestment target: every test case must
+// arrest the aircraft within the MIL-spec constraints, deterministically.
+#include <gtest/gtest.h>
+
+#include "fi/golden.hpp"
+#include "target/arrestment_system.hpp"
+
+namespace epea::target {
+namespace {
+
+class ArrestmentCase : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArrestmentCase, ArrestsWithinConstraints) {
+    const auto cases = standard_test_cases();
+    const TestCase& tc = cases[static_cast<std::size_t>(GetParam())];
+
+    ArrestmentSystem sys;
+    sys.configure(tc);
+    const runtime::RunResult rr = sys.run_arrestment();
+    const FailureReport report = sys.plant().failure_report();
+
+    EXPECT_TRUE(rr.env_finished) << "arrestment did not complete in time";
+    EXPECT_FALSE(report.failed());
+    EXPECT_LT(report.final_distance_m, 335.0);
+    EXPECT_LT(report.peak_retardation_g, 3.5);
+    EXPECT_LT(report.peak_force_ratio, 1.0);
+    EXPECT_TRUE(report.stopped);
+    // The arrestment should use a meaningful part of the runway (i.e.,
+    // the controller is actually braking, not slamming or idling).
+    EXPECT_GT(report.final_distance_m, 50.0);
+    EXPECT_GT(report.peak_retardation_g, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(All25, ArrestmentCase, ::testing::Range(0, 25),
+                         [](const auto& info) {
+                             const auto cases = standard_test_cases();
+                             const auto& tc =
+                                 cases[static_cast<std::size_t>(info.param)];
+                             return "m" + std::to_string(static_cast<int>(tc.mass_kg)) +
+                                    "_v" +
+                                    std::to_string(static_cast<int>(tc.engage_speed_mps));
+                         });
+
+TEST(TestCases, ExactlyTwentyFive) {
+    EXPECT_EQ(standard_test_cases().size(), 25U);
+}
+
+TEST(TestCases, TargetRetardationRespectsLimits) {
+    for (const TestCase& tc : standard_test_cases()) {
+        const double a = target_retardation(tc);
+        EXPECT_GT(a, 0.0);
+        EXPECT_LT(a, 2.5 * kGravity);
+        EXPECT_LT(tc.mass_kg * a,
+                  max_retardation_force_n(tc.mass_kg, tc.engage_speed_mps));
+    }
+}
+
+TEST(SoftwareConfigTest, ScalesWithAircraft) {
+    const PlantConstants pc;
+    const SoftwareConfig light =
+        SoftwareConfig::for_test_case(TestCase{0, 8000.0, 40.0}, pc);
+    const SoftwareConfig heavy =
+        SoftwareConfig::for_test_case(TestCase{1, 25000.0, 80.0}, pc);
+    EXPECT_LT(light.plateau_pressure, heavy.plateau_pressure);
+    EXPECT_LE(light.slow_pressure, heavy.slow_pressure);
+    EXPECT_GT(heavy.plateau_pressure, 0U);
+    EXPECT_LE(heavy.plateau_pressure, 1000U);
+}
+
+TEST(GoldenRuns, Deterministic) {
+    ArrestmentSystem sys;
+    sys.configure(standard_test_cases()[7]);
+    const fi::GoldenRun a = fi::capture_golden_run(sys.sim(), kMaxRunTicks);
+    const fi::GoldenRun b = fi::capture_golden_run(sys.sim(), kMaxRunTicks);
+    EXPECT_EQ(a.length, b.length);
+    for (const auto sid : sys.system().all_signals()) {
+        EXPECT_FALSE(b.trace.first_difference(a.trace, sid).has_value())
+            << sys.system().signal_name(sid);
+    }
+}
+
+TEST(GoldenRuns, ReconfigurationChangesBehaviour) {
+    ArrestmentSystem sys;
+    sys.configure(standard_test_cases()[0]);   // 8 t @ 40 m/s
+    const fi::GoldenRun light = fi::capture_golden_run(sys.sim(), kMaxRunTicks);
+    sys.configure(standard_test_cases()[24]);  // 25 t @ 80 m/s
+    const fi::GoldenRun heavy = fi::capture_golden_run(sys.sim(), kMaxRunTicks);
+    // Different scenario, different SetValue trajectory.
+    EXPECT_TRUE(heavy.trace
+                    .first_difference(light.trace, sys.system().signal_id("SetValue"))
+                    .has_value());
+}
+
+TEST(GoldenRuns, SoftwareObservesArrestmentLifecycle) {
+    ArrestmentSystem sys;
+    sys.configure(standard_test_cases()[12]);
+    const fi::GoldenRun gr = fi::capture_golden_run(sys.sim(), kMaxRunTicks);
+    const auto& system = sys.system();
+
+    // pulscnt grows monotonically and substantially.
+    const auto& pulscnt = gr.trace.series(system.signal_id("pulscnt"));
+    for (std::size_t t = 1; t < pulscnt.size(); ++t) {
+        ASSERT_GE(pulscnt[t], pulscnt[t - 1]) << "tick " << t;
+    }
+    EXPECT_GT(pulscnt.back(), 1000U);
+
+    // slow_speed and stopped both assert before the end.
+    EXPECT_EQ(gr.trace.series(system.signal_id("slow_speed")).back(), 1U);
+    EXPECT_EQ(gr.trace.series(system.signal_id("stopped")).back(), 1U);
+
+    // IsValue tracks SetValue at the plateau (mid-run sample).
+    const auto mid = gr.length / 2;
+    const auto set = gr.trace.at(system.signal_id("SetValue"), mid);
+    const auto isv = gr.trace.at(system.signal_id("IsValue"), mid);
+    EXPECT_NEAR(static_cast<double>(isv), static_cast<double>(set),
+                0.1 * static_cast<double>(set) + 8.0);
+}
+
+TEST(Plant, SensorRegistersStayInWidth) {
+    ArrestmentSystem sys;
+    sys.configure(standard_test_cases()[20]);
+    const fi::GoldenRun gr = fi::capture_golden_run(sys.sim(), kMaxRunTicks);
+    const auto& system = sys.system();
+    for (const char* name : {"PACNT", "ADC"}) {
+        for (const std::uint32_t v : gr.trace.series(system.signal_id(name))) {
+            ASSERT_LE(v, 0xffU) << name;
+        }
+    }
+    for (const char* name : {"TIC1", "TCNT", "TOC2"}) {
+        for (const std::uint32_t v : gr.trace.series(system.signal_id(name))) {
+            ASSERT_LE(v, 0xffffU) << name;
+        }
+    }
+}
+
+TEST(Plant, FailureClassifierDetectsRunawayPressure) {
+    // Drive the plant directly with full actuator command on a light
+    // aircraft: retardation exceeds the 3.5 g limit -> failure.
+    const model::SystemModel system = make_arrestment_model();
+    Plant plant(system, PlantConstants{});
+    TestCase tc;
+    tc.mass_kg = 8000.0;
+    tc.engage_speed_mps = 80.0;
+    plant.configure(tc);
+    plant.reset();
+
+    runtime::SignalStore store(system);
+    store.set(system.signal_id("TOC2"), 0xffff);  // full pressure command
+    for (runtime::Tick t = 0; t < 4000 && !plant.finished(); ++t) {
+        plant.sense(store, t);
+        plant.actuate(store, t);
+    }
+    const FailureReport report = plant.failure_report();
+    EXPECT_TRUE(report.failed());
+    EXPECT_TRUE(report.retardation_exceeded || report.force_exceeded);
+}
+
+TEST(Plant, FailureClassifierDetectsOverrun) {
+    // No braking at all: the aircraft must leave the 335 m runway.
+    const model::SystemModel system = make_arrestment_model();
+    Plant plant(system, PlantConstants{});
+    TestCase tc;
+    tc.mass_kg = 20000.0;
+    tc.engage_speed_mps = 80.0;
+    plant.configure(tc);
+    plant.reset();
+
+    runtime::SignalStore store(system);
+    store.set(system.signal_id("TOC2"), 0);
+    for (runtime::Tick t = 0; t < 20000 && !plant.finished(); ++t) {
+        plant.sense(store, t);
+        plant.actuate(store, t);
+    }
+    EXPECT_TRUE(plant.failure_report().overran_runway);
+    EXPECT_TRUE(plant.failure_report().failed());
+}
+
+TEST(Plant, AdcReflectsPressure) {
+    const model::SystemModel system = make_arrestment_model();
+    Plant plant(system, PlantConstants{});
+    plant.configure(TestCase{0, 16000.0, 60.0});
+    plant.reset();
+    runtime::SignalStore store(system);
+    store.set(system.signal_id("TOC2"), 32768);  // half command
+    for (runtime::Tick t = 0; t < 2000; ++t) {
+        plant.sense(store, t);
+        plant.actuate(store, t);
+    }
+    // First-order lag settled: pressure_norm ~ 0.5 -> ADC ~ 127.
+    EXPECT_NEAR(static_cast<double>(store.get(system.signal_id("ADC"))), 127.0, 4.0);
+}
+
+TEST(MemoryMapOfTarget, RegionSizesNearPaper) {
+    ArrestmentSystem sys;
+    const std::size_t ram = sys.sim().memory().byte_count(runtime::Region::kRam);
+    const std::size_t stack = sys.sim().memory().byte_count(runtime::Region::kStack);
+    // Paper: 150 RAM and 50 stack locations; we land in the same range.
+    EXPECT_GE(ram, 80U);
+    EXPECT_LE(ram, 200U);
+    EXPECT_GE(stack, 30U);
+    EXPECT_LE(stack, 70U);
+}
+
+}  // namespace
+}  // namespace epea::target

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/bitops.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace epea::util {
+namespace {
+
+// ----------------------------------------------------------------- bitops
+
+TEST(Bitops, FlipBitToggles) {
+    EXPECT_EQ(flip_bit(0b0000U, 0), 0b0001U);
+    EXPECT_EQ(flip_bit(0b0001U, 0), 0b0000U);
+    EXPECT_EQ(flip_bit(0b1000U, 3), 0b0000U);
+    EXPECT_EQ(flip_bit(0U, 31), 0x80000000U);
+}
+
+TEST(Bitops, FlipBitRespectsWidth) {
+    EXPECT_EQ(flip_bit(0xffU, 8, 8), 0xffU);   // bit above width: no-op
+    EXPECT_EQ(flip_bit(0xffU, 7, 8), 0x7fU);   // top bit of 8-bit value
+    EXPECT_EQ(flip_bit(0U, 15, 8), 0U);
+}
+
+TEST(Bitops, FlipBitIsInvolution) {
+    for (unsigned bit = 0; bit < 16; ++bit) {
+        const std::uint32_t v = 0xa5a5U;
+        EXPECT_EQ(flip_bit(flip_bit(v, bit, 16), bit, 16), v);
+    }
+}
+
+TEST(Bitops, MaskWidth) {
+    EXPECT_EQ(mask_width(0xffffffffU, 8), 0xffU);
+    EXPECT_EQ(mask_width(0xffffffffU, 1), 1U);
+    EXPECT_EQ(mask_width(0x1234U, 16), 0x1234U);
+    EXPECT_EQ(mask_width(0xdeadbeefU, 32), 0xdeadbeefU);
+}
+
+TEST(Bitops, SignExtend) {
+    EXPECT_EQ(sign_extend(0xffU, 8), -1);
+    EXPECT_EQ(sign_extend(0x7fU, 8), 127);
+    EXPECT_EQ(sign_extend(0x80U, 8), -128);
+    EXPECT_EQ(sign_extend(0xffffU, 16), -1);
+    EXPECT_EQ(sign_extend(0x8000U, 16), -32768);
+    EXPECT_EQ(sign_extend(0x7fffU, 16), 32767);
+    EXPECT_EQ(sign_extend(0x1U, 1), -1);
+    EXPECT_EQ(sign_extend(0x0U, 1), 0);
+}
+
+TEST(Bitops, SignExtendIgnoresHighGarbage) {
+    // Bits above the width must be masked before extension.
+    EXPECT_EQ(sign_extend(0xffffff01U, 8), 1);
+}
+
+// -------------------------------------------------------------------- csv
+
+TEST(Csv, PlainRow) {
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.row({"a", "b", "c"});
+    EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesWhenNeeded) {
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("with,comma"), "\"with,comma\"");
+    EXPECT_EQ(CsvWriter::escape("with\"quote"), "\"with\"\"quote\"");
+    EXPECT_EQ(CsvWriter::escape("with\nnewline"), "\"with\nnewline\"");
+}
+
+TEST(Csv, CellInterface) {
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.cell("name").cell(1.5, 2).cell(std::int64_t{-3}).cell(std::uint64_t{7});
+    csv.end_row();
+    EXPECT_EQ(out.str(), "name,1.50,-3,7\n");
+}
+
+TEST(Csv, MultipleRows) {
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.row({"h1", "h2"});
+    csv.row({"v1", "v2"});
+    EXPECT_EQ(out.str(), "h1,h2\nv1,v2\n");
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(TextTable, RendersAlignedColumns) {
+    TextTable t({"Name", "Value"}, {Align::kLeft, Align::kRight});
+    t.add_row({"x", "1"});
+    t.add_row({"longer", "22"});
+    std::ostringstream out;
+    out << t;
+    const std::string s = out.str();
+    EXPECT_NE(s.find("| Name   | Value |"), std::string::npos);
+    EXPECT_NE(s.find("| x      |     1 |"), std::string::npos);
+    EXPECT_NE(s.find("| longer |    22 |"), std::string::npos);
+}
+
+TEST(TextTable, PadsMissingCells) {
+    TextTable t({"a", "b", "c"});
+    t.add_row({"only"});
+    std::ostringstream out;
+    out << t;
+    EXPECT_NE(out.str().find("| only |"), std::string::npos);
+}
+
+TEST(TextTable, RuleSeparatesSections) {
+    TextTable t({"h"});
+    t.add_row({"above"});
+    t.add_rule();
+    t.add_row({"below"});
+    std::ostringstream out;
+    out << t;
+    const std::string s = out.str();
+    // Expect 5 horizontal rules: top, under header, mid, bottom... the
+    // renderer draws top, header, mid (requested), bottom = 4.
+    std::size_t rules = 0;
+    std::size_t pos = 0;
+    while ((pos = s.find("+--", pos)) != std::string::npos) {
+        ++rules;
+        pos += 3;
+    }
+    EXPECT_EQ(rules, 4U);
+}
+
+TEST(TextTable, NumFormatting) {
+    EXPECT_EQ(TextTable::num(1.23456, 3), "1.235");
+    EXPECT_EQ(TextTable::num(0.5, 1), "0.5");
+    EXPECT_EQ(TextTable::num(std::uint64_t{42}), "42");
+    EXPECT_EQ(TextTable::num(std::int64_t{-42}), "-42");
+}
+
+TEST(TextTable, RowCount) {
+    TextTable t({"h"});
+    EXPECT_EQ(t.row_count(), 0U);
+    t.add_row({"1"});
+    t.add_row({"2"});
+    EXPECT_EQ(t.row_count(), 2U);
+}
+
+// -------------------------------------------------------------------- log
+
+TEST(Log, LevelThresholding) {
+    const LogLevel original = log_level();
+    set_log_level(LogLevel::kError);
+    EXPECT_EQ(log_level(), LogLevel::kError);
+    set_log_level(LogLevel::kOff);
+    // Nothing observable to assert beyond the getter; ensure no crash.
+    EPEA_LOG(kDebug, "test") << "suppressed";
+    set_log_level(original);
+}
+
+}  // namespace
+}  // namespace epea::util

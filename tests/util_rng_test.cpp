@@ -1,0 +1,180 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace epea::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_EQ(a(), b());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a() == b()) ++equal;
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+    Rng a(7);
+    const std::uint64_t first = a();
+    a();
+    a();
+    a.reseed(7);
+    EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+    Rng rng(3);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i) {
+            EXPECT_LT(rng.below(bound), bound);
+        }
+    }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+    Rng rng(5);
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0U);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i) seen.insert(rng.below(7));
+    EXPECT_EQ(seen.size(), 7U);
+}
+
+TEST(Rng, RangeInclusive) {
+    Rng rng(13);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.range(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RangeDegenerate) {
+    Rng rng(17);
+    EXPECT_EQ(rng.range(5, 5), 5);
+    EXPECT_EQ(rng.range(5, 4), 5);  // inverted collapses to lo
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(19);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Rng rng(23);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-2.5, 4.5);
+        ASSERT_GE(u, -2.5);
+        ASSERT_LT(u, 4.5);
+    }
+}
+
+TEST(Rng, GaussianMomentsAreSane) {
+    Rng rng(29);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ChanceExtremes) {
+    Rng rng(31);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceFrequency) {
+    Rng rng(37);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i) hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+    Rng parent(41);
+    Rng c1 = parent.fork(1);
+    Rng c2 = parent.fork(2);
+    EXPECT_NE(c1(), c2());
+
+    Rng parent2(41);
+    Rng c1_again = parent2.fork(1);
+    EXPECT_EQ(c1_again(), Rng(41).fork(1)());
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+    Rng rng(43);
+    std::vector<int> v(50);
+    std::iota(v.begin(), v.end(), 0);
+    std::vector<int> shuffled = v;
+    rng.shuffle(shuffled);
+    EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SplitmixAdvancesState) {
+    std::uint64_t s = 0;
+    const std::uint64_t a = splitmix64(s);
+    const std::uint64_t b = splitmix64(s);
+    EXPECT_NE(a, b);
+    EXPECT_NE(s, 0U);
+}
+
+/// Bit-balance sanity: each of the 64 output bits should be set roughly
+/// half the time.
+TEST(Rng, OutputBitsBalanced) {
+    Rng rng(47);
+    std::array<int, 64> counts{};
+    const int n = 4096;
+    for (int i = 0; i < n; ++i) {
+        std::uint64_t x = rng();
+        for (int b = 0; b < 64; ++b) {
+            counts[b] += static_cast<int>((x >> b) & 1U);
+        }
+    }
+    for (int b = 0; b < 64; ++b) {
+        EXPECT_NEAR(static_cast<double>(counts[b]) / n, 0.5, 0.06) << "bit " << b;
+    }
+}
+
+}  // namespace
+}  // namespace epea::util

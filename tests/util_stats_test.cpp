@@ -1,0 +1,176 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace epea::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0U);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+    RunningStats s;
+    s.add(4.5);
+    EXPECT_EQ(s.count(), 1U);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 4.5);
+    EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStats, KnownMoments) {
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance with n-1 = 7: sum sq dev = 32 -> 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+    RunningStats all;
+    RunningStats a;
+    RunningStats b;
+    for (int i = 0; i < 100; ++i) {
+        const double x = std::sin(i) * 10.0;
+        all.add(x);
+        (i < 37 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+    RunningStats a;
+    a.add(1.0);
+    a.add(3.0);
+    RunningStats empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2U);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+    RunningStats target;
+    target.merge(a);
+    EXPECT_EQ(target.count(), 2U);
+    EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+}
+
+TEST(Wilson, ZeroTrials) {
+    const Proportion p = wilson_interval(0, 0);
+    EXPECT_EQ(p.point, 0.0);
+    EXPECT_EQ(p.lo, 0.0);
+    EXPECT_EQ(p.hi, 0.0);
+}
+
+TEST(Wilson, PointEstimate) {
+    const Proportion p = wilson_interval(30, 100);
+    EXPECT_DOUBLE_EQ(p.point, 0.3);
+    EXPECT_LT(p.lo, 0.3);
+    EXPECT_GT(p.hi, 0.3);
+}
+
+TEST(Wilson, BoundsWithinUnitInterval) {
+    for (std::uint64_t hits : {0ULL, 1ULL, 50ULL, 99ULL, 100ULL}) {
+        const Proportion p = wilson_interval(hits, 100);
+        EXPECT_GE(p.lo, 0.0);
+        EXPECT_LE(p.hi, 1.0);
+        EXPECT_LE(p.lo, p.point + 1e-12);
+        EXPECT_GE(p.hi, p.point - 1e-12);
+    }
+}
+
+TEST(Wilson, ZeroHitsHasPositiveUpperBound) {
+    const Proportion p = wilson_interval(0, 50);
+    EXPECT_EQ(p.point, 0.0);
+    EXPECT_EQ(p.lo, 0.0);
+    EXPECT_GT(p.hi, 0.0);  // the key property vs a naive interval
+}
+
+TEST(Wilson, IntervalShrinksWithSamples) {
+    const Proportion small = wilson_interval(5, 10);
+    const Proportion large = wilson_interval(500, 1000);
+    EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(Wilson, KnownValue) {
+    // 95% Wilson interval for 8/10 is approximately [0.490, 0.943].
+    const Proportion p = wilson_interval(8, 10);
+    EXPECT_NEAR(p.lo, 0.490, 0.005);
+    EXPECT_NEAR(p.hi, 0.943, 0.005);
+}
+
+TEST(Quantile, EmptyAndSingle) {
+    EXPECT_EQ(quantile({}, 0.5), 0.0);
+    EXPECT_EQ(quantile({7.0}, 0.0), 7.0);
+    EXPECT_EQ(quantile({7.0}, 1.0), 7.0);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+    const std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(Quantile, Interpolates) {
+    const std::vector<double> v = {0.0, 10.0};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.75), 7.5);
+}
+
+TEST(Quantile, ClampsOutOfRangeQ) {
+    const std::vector<double> v = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(quantile(v, -0.5), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.5), 3.0);
+}
+
+TEST(Spearman, PerfectMonotone) {
+    const std::vector<double> a = {1, 2, 3, 4, 5};
+    const std::vector<double> b = {10, 20, 30, 40, 50};
+    EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+}
+
+TEST(Spearman, PerfectInverse) {
+    const std::vector<double> a = {1, 2, 3, 4, 5};
+    const std::vector<double> b = {50, 40, 30, 20, 10};
+    EXPECT_NEAR(spearman(a, b), -1.0, 1e-12);
+}
+
+TEST(Spearman, InvariantToMonotoneTransform) {
+    const std::vector<double> a = {1, 2, 3, 4, 5, 6};
+    std::vector<double> b;
+    for (double x : a) b.push_back(std::exp(x));
+    EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+}
+
+TEST(Spearman, HandlesTies) {
+    const std::vector<double> a = {1, 2, 2, 3};
+    const std::vector<double> b = {1, 2, 2, 3};
+    EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+}
+
+TEST(Spearman, DegenerateInputs) {
+    EXPECT_EQ(spearman({}, {}), 0.0);
+    EXPECT_EQ(spearman({1.0}, {2.0}), 0.0);
+    EXPECT_EQ(spearman({1.0, 2.0}, {1.0}), 0.0);  // size mismatch
+    // Constant vector: zero variance -> correlation defined as 0.
+    EXPECT_EQ(spearman({1.0, 1.0, 1.0}, {1.0, 2.0, 3.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace epea::util

@@ -1,0 +1,18 @@
+# End-to-end CLI pipeline: estimate a tiny matrix, then analyze it.
+execute_process(COMMAND ${TOOL} estimate --cases 1 --times 1
+                        --out ${WORKDIR}/cli_matrix.csv
+                RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "estimate failed: ${rc1}")
+endif()
+execute_process(COMMAND ${TOOL} analyze ${WORKDIR}/cli_matrix.csv --sink TOC2
+                OUTPUT_VARIABLE out RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "analyze failed: ${rc2}")
+endif()
+foreach(needle "OutValue" "Backtrack tree" "High error exposure")
+  string(FIND "${out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "analyze output missing '${needle}'")
+  endif()
+endforeach()

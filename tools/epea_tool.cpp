@@ -1,0 +1,211 @@
+// epea_tool — command-line front end for the library's main workflows.
+//
+//   epea_tool describe [--dot]                   print the target's structure
+//   epea_tool simulate [--mass KG --speed MPS]   run one arrestment
+//   epea_tool estimate [--cases N --times M]     FI campaign -> matrix CSV
+//   epea_tool analyze FILE [--sink SIGNAL]       profile + placement from CSV
+//   epea_tool inject --signal S --bit B --at T   one injection, EA report
+//
+// Matrices written by `estimate` feed `analyze`, so the expensive
+// campaign runs once and the analysis can be repeated offline.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "epic/impact.hpp"
+#include "epic/measures.hpp"
+#include "epic/paths.hpp"
+#include "epic/placement.hpp"
+#include "epic/serialize.hpp"
+#include "exp/arrestment_experiments.hpp"
+#include "exp/parallel.hpp"
+#include "fi/golden.hpp"
+#include "fi/injector.hpp"
+#include "model/dot.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace epea;
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: epea_tool <command> [options]\n"
+                 "  describe [--dot]\n"
+                 "  simulate [--mass KG] [--speed MPS]\n"
+                 "  estimate [--cases N] [--times M] [--out FILE]\n"
+                 "  analyze FILE [--sink SIGNAL]\n"
+                 "  inject --signal NAME --bit B --at TICK\n");
+    return 2;
+}
+
+/// Fetches the value following `flag`, if present.
+std::optional<std::string> flag_value(const std::vector<std::string>& args,
+                                      const char* flag) {
+    for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+        if (args[i] == flag) return args[i + 1];
+    }
+    return std::nullopt;
+}
+
+bool has_flag(const std::vector<std::string>& args, const char* flag) {
+    for (const auto& a : args) {
+        if (a == flag) return true;
+    }
+    return false;
+}
+
+int cmd_describe(const std::vector<std::string>& args) {
+    const model::SystemModel system = target::make_arrestment_model();
+    if (has_flag(args, "--dot")) {
+        model::write_dot(std::cout, system);
+        return 0;
+    }
+    epic::save_system_text(std::cout, system);
+    std::printf("# %zu modules, %zu signals, %zu input/output pairs\n",
+                system.module_count(), system.signal_count(), system.pair_count());
+    return 0;
+}
+
+int cmd_simulate(const std::vector<std::string>& args) {
+    target::TestCase tc;
+    if (const auto m = flag_value(args, "--mass")) tc.mass_kg = std::stod(*m);
+    if (const auto v = flag_value(args, "--speed")) tc.engage_speed_mps = std::stod(*v);
+
+    target::ArrestmentSystem sys;
+    sys.configure(tc);
+    const runtime::RunResult rr = sys.run_arrestment();
+    const target::FailureReport report = sys.plant().failure_report();
+    std::printf("%s: %.0f kg @ %.0f m/s stopped in %u ms at %.1f m "
+                "(peak %.2f g, %.0f %% of allowed force)\n",
+                report.failed() ? "FAILURE" : "OK", tc.mass_kg, tc.engage_speed_mps,
+                rr.ticks, report.final_distance_m, report.peak_retardation_g,
+                report.peak_force_ratio * 100.0);
+    return report.failed() ? 1 : 0;
+}
+
+int cmd_estimate(const std::vector<std::string>& args) {
+    exp::CampaignOptions options = exp::CampaignOptions::from_env();
+    if (const auto c = flag_value(args, "--cases")) {
+        options.case_count = static_cast<std::size_t>(std::stoul(*c));
+    }
+    if (const auto t = flag_value(args, "--times")) {
+        options.times_per_bit = static_cast<std::size_t>(std::stoul(*t));
+    }
+    std::fprintf(stderr, "estimating (%zu cases x %zu times/bit)...\n",
+                 options.case_count, options.times_per_bit);
+    const epic::PermeabilityMatrix pm =
+        exp::estimate_arrestment_permeability_parallel(options);
+
+    if (const auto out = flag_value(args, "--out")) {
+        std::ofstream file(*out);
+        if (!file) {
+            std::fprintf(stderr, "cannot write %s\n", out->c_str());
+            return 1;
+        }
+        epic::save_matrix_csv(file, pm);
+        std::fprintf(stderr, "wrote %s\n", out->c_str());
+    } else {
+        epic::save_matrix_csv(std::cout, pm);
+    }
+    return 0;
+}
+
+int cmd_analyze(const std::vector<std::string>& args) {
+    if (args.empty()) return usage();
+    static const model::SystemModel system = target::make_arrestment_model();
+    std::ifstream file(args[0]);
+    if (!file) {
+        std::fprintf(stderr, "cannot read %s\n", args[0].c_str());
+        return 1;
+    }
+    const epic::PermeabilityMatrix pm = epic::load_matrix_csv(file, system);
+    const std::string sink_name = flag_value(args, "--sink").value_or("TOC2");
+    const model::SignalId sink = system.signal_id(sink_name);
+
+    util::TextTable table({"Signal", "X_s", "impact -> " + sink_name, "PA", "EXT",
+                           "Motivation (extended)"},
+                          {util::Align::kLeft, util::Align::kRight,
+                           util::Align::kRight, util::Align::kLeft,
+                           util::Align::kLeft, util::Align::kLeft});
+    const auto pa = epic::pa_placement(pm);
+    const auto ext = epic::extended_placement(pm);
+    for (const auto& row : epic::exposure_profile(pm)) {
+        const auto imp = row.signal == sink
+                             ? std::optional<double>{}
+                             : std::optional<double>{epic::impact(pm, row.signal, sink)};
+        table.add_row({system.signal_name(row.signal),
+                       row.exposure ? util::TextTable::num(*row.exposure) : "-",
+                       imp ? util::TextTable::num(*imp) : "-",
+                       pa[row.signal.index()].selected ? "x" : "-",
+                       ext[row.signal.index()].selected ? "x" : "-",
+                       ext[row.signal.index()].motivation});
+    }
+    std::cout << table;
+
+    std::printf("\nBacktrack tree of %s:\n%s", sink_name.c_str(),
+                epic::render_tree(system, epic::backward_paths(pm, sink), true)
+                    .c_str());
+    return 0;
+}
+
+int cmd_inject(const std::vector<std::string>& args) {
+    const auto signal = flag_value(args, "--signal");
+    const auto bit = flag_value(args, "--bit");
+    const auto at = flag_value(args, "--at");
+    if (!signal || !bit || !at) return usage();
+
+    target::ArrestmentSystem sys;
+    sys.configure(target::standard_test_cases()[12]);
+    const model::SignalId sid = sys.system().signal_id(*signal);
+
+    fi::Injector injector(sys.sim());
+    const fi::GoldenRun gr = fi::capture_golden_run(sys.sim(), target::kMaxRunTicks);
+    ea::EaBank bank = exp::make_calibrated_bank(sys.system(), {gr.trace});
+    bank.arm(sys.sim());
+
+    injector.arm({fi::Injection::into_signal(
+        sid, static_cast<unsigned>(std::stoul(*bit)),
+        static_cast<runtime::Tick>(std::stoul(*at)))});
+    sys.sim().reset();
+    sys.sim().run(target::kMaxRunTicks);
+
+    std::printf("injected %s bit %s at t=%s (fired %zu time(s))\n", signal->c_str(),
+                bit->c_str(), at->c_str(), injector.fired_count());
+    for (const auto sid2 : sys.system().all_signals()) {
+        if (const auto t = sys.sim().trace()->first_difference(gr.trace, sid2)) {
+            std::printf("  deviation: %-12s first differs at t=%u\n",
+                        sys.system().signal_name(sid2).c_str(), *t);
+        }
+    }
+    bool detected = false;
+    for (std::size_t e = 0; e < bank.size(); ++e) {
+        if (!bank.at(e).triggered()) continue;
+        detected = true;
+        std::printf("  detected by %s at t=%u\n", bank.at(e).name().c_str(),
+                    bank.at(e).first_detection());
+    }
+    if (!detected) std::printf("  no EA detected the error\n");
+    std::printf("outcome: %s\n",
+                sys.plant().failure_report().failed() ? "SYSTEM FAILURE" : "arrested OK");
+    sys.sim().clear_monitors();
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    if (command == "describe") return cmd_describe(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "estimate") return cmd_estimate(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "inject") return cmd_inject(args);
+    return usage();
+}
