@@ -1,0 +1,227 @@
+#include "target/arrestment_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/builder.hpp"
+#include "target/modules.hpp"
+
+namespace epea::target {
+
+namespace {
+
+/// Nominal cable run-out the pressure program aims for [m].
+constexpr double kNominalStopDistance = 230.0;
+
+/// SetValue / IsValue full-scale (ADC full scale 255 x 4).
+constexpr double kPressureScale = 1020.0;
+
+}  // namespace
+
+std::vector<TestCase> standard_test_cases() {
+    std::vector<TestCase> out;
+    int id = 0;
+    for (const double mass : {8000.0, 12000.0, 16000.0, 20000.0, 25000.0}) {
+        for (const double speed : {40.0, 50.0, 60.0, 70.0, 80.0}) {
+            out.push_back(TestCase{id++, mass, speed});
+        }
+    }
+    return out;
+}
+
+double target_retardation(const TestCase& tc) {
+    return tc.engage_speed_mps * tc.engage_speed_mps / (2.0 * kNominalStopDistance);
+}
+
+double max_retardation_force_n(double mass_kg, double speed_mps) {
+    return mass_kg * kGravity * (1.0 + speed_mps / 30.0);
+}
+
+SoftwareConfig SoftwareConfig::for_test_case(const TestCase& tc,
+                                             const PlantConstants& pc) {
+    const double a_t = target_retardation(tc);
+    SoftwareConfig cfg;
+    cfg.plateau_pressure = static_cast<std::uint32_t>(
+        std::lround(kPressureScale * tc.mass_kg * a_t / pc.full_force_n));
+    cfg.slow_pressure = std::max<std::uint32_t>(20, cfg.plateau_pressure / 5);
+    cfg.stop_age_counts =
+        static_cast<std::uint32_t>(std::lround(250.0 * pc.tcnt_per_ms));
+    // Predicted arrestment time at the target retardation; the program
+    // tapers off at 92% of it and releases everything at 250%.
+    const double t_est_ms = 1000.0 * tc.engage_speed_mps / a_t;
+    cfg.taper_end_ms = static_cast<std::uint32_t>(
+        std::min(65535L, std::lround(0.92 * t_est_ms)));
+    cfg.emergency_ms = static_cast<std::uint32_t>(
+        std::min(65535L, std::lround(2.5 * t_est_ms)));
+    return cfg;
+}
+
+model::SystemModel make_arrestment_model() {
+    using model::SignalKind;
+    model::SystemBuilder b;
+    b.input("PACNT", SignalKind::kMonotonic, 8);
+    b.input("TIC1", SignalKind::kContinuous, 16);
+    b.input("TCNT", SignalKind::kMonotonic, 16);
+    b.input("ADC", SignalKind::kContinuous, 8);
+    b.intermediate("ms_slot_nbr", SignalKind::kDiscrete, 8);
+    b.intermediate("mscnt", SignalKind::kMonotonic, 16);
+    b.intermediate("pulscnt", SignalKind::kMonotonic, 16);
+    b.intermediate("slow_speed", SignalKind::kBoolean, 1);
+    b.intermediate("stopped", SignalKind::kBoolean, 1);
+    b.intermediate("i", SignalKind::kMonotonic, 16);
+    b.intermediate("SetValue", SignalKind::kContinuous, 16);
+    b.intermediate("IsValue", SignalKind::kContinuous, 16);
+    b.intermediate("OutValue", SignalKind::kContinuous, 16);
+    b.output("TOC2", SignalKind::kContinuous, 16);
+
+    b.module("CLOCK").in("i").out("ms_slot_nbr").out("mscnt");
+    b.module("DIST_S")
+        .in("PACNT")
+        .in("TIC1")
+        .in("TCNT")
+        .out("pulscnt")
+        .out("slow_speed")
+        .out("stopped");
+    b.module("CALC")
+        .in("i")
+        .in("mscnt")
+        .in("pulscnt")
+        .in("slow_speed")
+        .in("stopped")
+        .out("i")
+        .out("SetValue");
+    b.module("PRES_S").in("ADC").out("IsValue");
+    b.module("V_REG").in("SetValue").in("IsValue").out("OutValue");
+    b.module("PRES_A").in("OutValue").out("TOC2");
+    return b.build();
+}
+
+// ------------------------------------------------------------------ Plant
+
+Plant::Plant(const model::SystemModel& system, const PlantConstants& pc)
+    : sig_pacnt_(system.signal_id("PACNT")),
+      sig_tic1_(system.signal_id("TIC1")),
+      sig_tcnt_(system.signal_id("TCNT")),
+      sig_adc_(system.signal_id("ADC")),
+      sig_toc2_(system.signal_id("TOC2")),
+      pc_(pc) {}
+
+void Plant::configure(const TestCase& tc) { tc_ = tc; }
+
+void Plant::reset() {
+    speed_mps_ = tc_.engage_speed_mps;
+    distance_m_ = 0.0;
+    pressure_norm_ = 0.0;
+    cmd_norm_ = 0.0;
+    pulse_accum_ = 0.0;
+    pacnt_ = 0;
+    tic1_ = 0;
+    tcnt_ = 0;
+    settle_ = 0;
+    report_ = FailureReport{};
+}
+
+void Plant::sense(runtime::SignalStore& store, runtime::Tick /*now*/) {
+    // Brake pressure follows the valve command with a first-order lag.
+    pressure_norm_ += (cmd_norm_ - pressure_norm_) / pc_.pressure_tau_ms;
+
+    if (speed_mps_ > 0.0) {
+        const double force_n = pressure_norm_ * pc_.full_force_n;
+        const double a = force_n / tc_.mass_kg;
+        const double ratio =
+            force_n / max_retardation_force_n(tc_.mass_kg, speed_mps_);
+        report_.peak_retardation_g =
+            std::max(report_.peak_retardation_g, a / kGravity);
+        report_.peak_force_ratio = std::max(report_.peak_force_ratio, ratio);
+        if (a > pc_.retardation_limit_g * kGravity) {
+            report_.retardation_exceeded = true;
+        }
+        if (ratio >= 1.0) report_.force_exceeded = true;
+
+        speed_mps_ -= a * 0.001;
+        if (speed_mps_ <= pc_.stop_speed_mps) {
+            // The cable holds the aircraft statically from here.
+            speed_mps_ = 0.0;
+            report_.stopped = true;
+        }
+        distance_m_ += speed_mps_ * 0.001;
+    } else {
+        ++settle_;
+    }
+    report_.final_distance_m = distance_m_;
+    if (distance_m_ > pc_.runway_limit_m) report_.overran_runway = true;
+
+    // Cable-drum pulses into the 8-bit counter; TIC1 captures the timer
+    // at the most recent pulse, TCNT free-runs at tcnt_per_ms.
+    pulse_accum_ += speed_mps_ * 0.001 * pc_.pulses_per_m;
+    if (pulse_accum_ >= 1.0) {
+        const auto pulses = static_cast<std::uint32_t>(pulse_accum_);
+        pulse_accum_ -= pulses;
+        pacnt_ = (pacnt_ + pulses) & 0xffU;
+        tic1_ = tcnt_;
+    }
+    tcnt_ = (tcnt_ + static_cast<std::uint32_t>(pc_.tcnt_per_ms)) & 0xffffU;
+
+    store.set(sig_pacnt_, pacnt_);
+    store.set(sig_tic1_, tic1_);
+    store.set(sig_tcnt_, tcnt_);
+    store.set(sig_adc_, std::min<std::uint32_t>(
+                            255, static_cast<std::uint32_t>(std::lround(
+                                     std::max(0.0, pressure_norm_) * 255.0))));
+}
+
+void Plant::actuate(const runtime::SignalStore& store, runtime::Tick /*now*/) {
+    cmd_norm_ = std::clamp(
+        static_cast<double>(store.get(sig_toc2_)) / 65535.0, 0.0, 1.0);
+}
+
+bool Plant::finished() const {
+    return report_.overran_runway ||
+           (report_.stopped && settle_ >= pc_.settle_ticks);
+}
+
+// ------------------------------------------------------------- the system
+
+ArrestmentSystem::ArrestmentSystem()
+    : model_(std::make_unique<model::SystemModel>(make_arrestment_model())),
+      plant_(std::make_unique<Plant>(*model_, PlantConstants{})) {
+    const TestCase tc;
+    const SoftwareConfig cfg = SoftwareConfig::for_test_case(tc, PlantConstants{});
+
+    auto clock = std::make_unique<ClockModule>();
+    auto dist = std::make_unique<DistSModule>(cfg);
+    auto calc = std::make_unique<CalcModule>(cfg);
+    auto pres_s = std::make_unique<PresSModule>();
+    auto v_reg = std::make_unique<VRegModule>();
+    auto pres_a = std::make_unique<PresAModule>();
+    dist_ = dist.get();
+    calc_ = calc.get();
+
+    std::vector<std::unique_ptr<runtime::ModuleBehaviour>> behaviours;
+    behaviours.push_back(std::move(clock));
+    behaviours.push_back(std::move(dist));
+    behaviours.push_back(std::move(calc));
+    behaviours.push_back(std::move(pres_s));
+    behaviours.push_back(std::move(v_reg));
+    behaviours.push_back(std::move(pres_a));
+
+    plant_->configure(tc);
+    sim_ = std::make_unique<runtime::Simulator>(*model_, std::move(behaviours),
+                                                *plant_);
+}
+
+ArrestmentSystem::~ArrestmentSystem() = default;
+
+void ArrestmentSystem::configure(const TestCase& tc) {
+    const SoftwareConfig cfg = SoftwareConfig::for_test_case(tc, PlantConstants{});
+    dist_->set_config(cfg);
+    calc_->set_config(cfg);
+    plant_->configure(tc);
+}
+
+runtime::RunResult ArrestmentSystem::run_arrestment() {
+    sim_->reset();
+    return sim_->run(kMaxRunTicks);
+}
+
+}  // namespace epea::target

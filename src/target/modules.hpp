@@ -1,0 +1,149 @@
+// The six software modules of the arrestment controller (paper §4, Fig 2).
+// Each is a black-box ModuleBehaviour computing outputs from its input
+// frame; persistent state lives in registered RAM words, per-invocation
+// temporaries in registered stack words (both injectable).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "runtime/module_behaviour.hpp"
+#include "target/arrestment_system.hpp"
+
+namespace epea::target {
+
+/// CLOCK: millisecond counter and slot-schedule pointer. `mscnt` counts
+/// ticks (16 bit); `ms_slot_nbr` maps the distance index i into one of
+/// the ten schedule slots via a ROM-initialised map (identity).
+class ClockModule final : public runtime::ModuleBehaviour {
+public:
+    static constexpr std::uint32_t kSlots = 10;
+
+    void init(runtime::InitContext& ctx) override;
+    void reset() override;
+    void step(runtime::ModuleContext& ctx) override;
+
+private:
+    std::uint32_t mscnt_ = 0;
+    std::array<std::uint32_t, kSlots> slot_map_{};
+};
+
+/// DIST_S: distance/speed sensing from the cable-drum pulse counter
+/// (PACNT) and the capture timer pair (TIC1/TCNT). Outputs the decoded
+/// pulse count, a debounced slow-speed flag (from a 128 ms windowed
+/// rate) and a latched stopped flag (from the age of the last pulse).
+class DistSModule final : public runtime::ModuleBehaviour {
+public:
+    static constexpr std::uint32_t kMaxPlausibleDelta = 8;  ///< pulses/ms
+    static constexpr std::uint32_t kBins = 16;              ///< 8 ms bins
+    static constexpr std::uint32_t kBinMs = 8;              ///< window 128 ms
+    static constexpr std::uint32_t kSlowRateThreshold = 4;  ///< pulses/128 ms
+    static constexpr std::uint32_t kSlowDebounce = 50;      ///< ms
+    static constexpr std::uint32_t kStopDebounce = 16;      ///< ms
+
+    explicit DistSModule(const SoftwareConfig& cfg) : cfg_(cfg) {}
+
+    void set_config(const SoftwareConfig& cfg) { cfg_ = cfg; }
+
+    void init(runtime::InitContext& ctx) override;
+    void reset() override;
+    void step(runtime::ModuleContext& ctx) override;
+
+private:
+    SoftwareConfig cfg_;
+    std::uint32_t prev_ = 0;
+    std::uint32_t pulscnt_ = 0;
+    std::array<std::uint32_t, kBins> bins_{};
+    std::uint32_t acc_ = 0;
+    std::uint32_t phase_ = 0;
+    std::uint32_t bin_idx_ = 0;
+    std::uint32_t rate_ = 0;
+    std::uint32_t slow_deb_ = 0;
+    std::uint32_t stop_deb_ = 0;
+    std::uint32_t stop_latch_ = 0;
+    bool first_ = true;
+    std::uint32_t delta_scratch_ = 0;
+};
+
+/// CALC: the pressure program. Ratchets the distance index i towards
+/// pulscnt/32 and computes SetValue from the time-indexed pressure table,
+/// capped by a distance-based soft start, tapered near the predicted
+/// stop, overridden at slow speed and zeroed at the emergency deadline.
+class CalcModule final : public runtime::ModuleBehaviour {
+public:
+    static constexpr std::uint32_t kProgSteps = 16;
+    static constexpr std::uint32_t kProgStepMs = 512;  ///< mscnt >> 9
+    static constexpr std::uint32_t kTaperMs = 512;
+    static constexpr std::uint32_t kTaperFloorMargin = 4;
+
+    explicit CalcModule(const SoftwareConfig& cfg) : cfg_(cfg) {}
+
+    void set_config(const SoftwareConfig& cfg);
+
+    void init(runtime::InitContext& ctx) override;
+    void reset() override;
+    void step(runtime::ModuleContext& ctx) override;
+
+private:
+    void rebuild_program();
+
+    SoftwareConfig cfg_;
+    std::array<std::uint32_t, kProgSteps> prog_{};
+    std::uint32_t base_scratch_ = 0;
+    std::uint32_t cap_scratch_ = 0;
+};
+
+/// PRES_S: brake pressure sensing. Median-of-5 despiking of the ADC,
+/// x4 scaling into SetValue units and slew-limited tracking.
+class PresSModule final : public runtime::ModuleBehaviour {
+public:
+    static constexpr int kMaxSlewPerMs = 10;
+    static constexpr std::uint32_t kTaps = 5;
+
+    void init(runtime::InitContext& ctx) override;
+    void reset() override;
+    void step(runtime::ModuleContext& ctx) override;
+
+private:
+    std::array<std::uint32_t, kTaps> buf_{};
+    std::uint32_t idx_ = 0;
+    std::uint32_t filt_ = 0;
+    std::uint32_t med_scratch_ = 0;
+};
+
+/// V_REG: pressure regulator. Feed-forward from SetValue plus PI action
+/// on the SetValue-IsValue error (deadband wider than the 4-unit ADC
+/// quantum so the loop settles instead of hunting, clamped integrator,
+/// saturation-aware wind-up protection).
+class VRegModule final : public runtime::ModuleBehaviour {
+public:
+    static constexpr std::int32_t kDeadband = 5;
+    static constexpr std::int32_t kIntegLimit = 3000;
+
+    void init(runtime::InitContext& ctx) override;
+    void reset() override;
+    void step(runtime::ModuleContext& ctx) override;
+
+private:
+    std::uint32_t integ_ = 0;
+    std::uint32_t prev_out_ = 0;
+    std::uint32_t err_scratch_ = 0;
+};
+
+/// PRES_A: valve actuation. Slew-limits the regulator output and
+/// quantises it to the PWM resolution before writing TOC2.
+class PresAModule final : public runtime::ModuleBehaviour {
+public:
+    static constexpr int kMaxSlewPerMs = 4096;
+    static constexpr std::uint32_t kPwmMask = 0xfffcU;
+
+    void init(runtime::InitContext& ctx) override;
+    void reset() override;
+    void step(runtime::ModuleContext& ctx) override;
+
+private:
+    std::uint32_t cmd_ = 0;
+    std::uint32_t tgt_scratch_ = 0;
+};
+
+}  // namespace epea::target
