@@ -5,14 +5,24 @@
 // over RAM, stack and all locations.
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "campaign/executor.hpp"
 #include "exp/arrestment_experiments.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace epea;
     using util::Align;
     using util::TextTable;
+
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    std::string campaign_dir;
+    for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+        if (args[i] == "--campaign-dir") campaign_dir = args[i + 1];
+    }
 
     target::ArrestmentSystem sys;
     const exp::CampaignOptions options = exp::CampaignOptions::from_env();
@@ -26,8 +36,24 @@ int main() {
     std::printf("Periodic bit flips (period %u ms) into module RAM and stack words\n\n",
                 options.severe_period);
 
-    const exp::SevereCoverageResult result =
-        exp::severe_coverage_experiment(sys, options, subsets);
+    exp::SevereCoverageResult result;
+    if (campaign_dir.empty()) {
+        result = exp::severe_coverage_experiment(sys, options, subsets);
+    } else {
+        // Sharded, checkpointed and resumable; bit-identical to the
+        // in-process run (streams are keyed by global case index).
+        campaign::CampaignSpec spec =
+            campaign::CampaignSpec::defaults(campaign::CampaignKind::kSevere);
+        spec.case_ids.resize(options.case_count);
+        spec.subsets = subsets;
+        campaign::CampaignExecutor exec(campaign_dir, std::move(spec));
+        campaign::ExecutorOptions eopt;
+        eopt.threads = std::max(1u, std::thread::hardware_concurrency());
+        exec.run(eopt);
+        result = exec.merged_severe();
+        std::printf("Campaign directory: %s (%zu shards)\n\n", campaign_dir.c_str(),
+                    exec.completed().size());
+    }
 
     std::printf("Injectable locations: %zu RAM bytes, %zu stack bytes "
                 "(paper: 150 RAM + 50 stack)\n",

@@ -3,17 +3,30 @@
 // next to the paper's published values.
 //
 // Full scale: 25 test cases x 10 injection moments per bit (~40k runs).
-// Scale down with EPEA_CASES / EPEA_TIMES.
+// Scale down with EPEA_CASES / EPEA_TIMES. With --campaign-dir DIR the
+// campaign runs sharded and checkpointed through the campaign executor
+// (kill + rerun resumes; counts are bit-identical to the in-process run).
 #include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "campaign/executor.hpp"
 #include "exp/arrestment_experiments.hpp"
 #include "exp/parallel.hpp"
 #include "exp/paper_data.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace epea;
+
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    std::string campaign_dir;
+    for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+        if (args[i] == "--campaign-dir") campaign_dir = args[i + 1];
+    }
 
     target::ArrestmentSystem sys;
     const exp::CampaignOptions options = exp::CampaignOptions::from_env();
@@ -22,8 +35,22 @@ int main() {
     std::printf("Campaign: %zu test cases, %zu injection moments per bit\n\n",
                 options.case_count, options.times_per_bit);
 
-    const epic::PermeabilityMatrix measured =
-        exp::estimate_arrestment_permeability_parallel(options);
+    epic::PermeabilityMatrix measured(sys.system());
+    if (campaign_dir.empty()) {
+        measured = exp::estimate_arrestment_permeability_parallel(options);
+    } else {
+        campaign::CampaignSpec spec =
+            campaign::CampaignSpec::defaults(campaign::CampaignKind::kPermeability);
+        spec.case_ids.resize(options.case_count);
+        spec.times_per_bit = options.times_per_bit;
+        campaign::CampaignExecutor exec(campaign_dir, std::move(spec));
+        campaign::ExecutorOptions eopt;
+        eopt.threads = std::max(1u, std::thread::hardware_concurrency());
+        exec.run(eopt);
+        measured = exec.merged_matrix(sys.system());
+        std::printf("Campaign directory: %s (%zu shards)\n\n", campaign_dir.c_str(),
+                    exec.completed().size());
+    }
 
     const epic::PermeabilityMatrix paper = exp::paper_matrix(sys.system());
     const auto& system = sys.system();

@@ -1,0 +1,115 @@
+#include "campaign/adaptive.hpp"
+
+#include <map>
+
+#include "util/stats.hpp"
+
+namespace epea::campaign {
+
+namespace {
+
+struct Counts {
+    std::uint64_t hits = 0;
+    std::uint64_t trials = 0;
+};
+
+TrackedProportion finish(const std::string& name, Counts c, double z) {
+    TrackedProportion p;
+    p.name = name;
+    p.hits = c.hits;
+    p.trials = c.trials;
+    if (c.trials > 0) {
+        const util::Proportion w = util::wilson_interval(c.hits, c.trials, z);
+        p.half_width = (w.hi - w.lo) / 2.0;
+    } else {
+        p.half_width = 0.5;  // a completely unknown proportion
+    }
+    return p;
+}
+
+}  // namespace
+
+std::vector<TrackedProportion> tracked_proportions(
+    CampaignKind kind, const std::vector<ShardResult>& done, double z) {
+    // std::map keys keep the output deterministic across shard orderings.
+    std::map<std::string, Counts> merged;
+
+    for (const ShardResult& shard : done) {
+        switch (kind) {
+            case CampaignKind::kPermeability:
+                for (const auto& pair : shard.pairs) {
+                    auto& c = merged["P[" + pair.module + ":" +
+                                     std::to_string(pair.in_port) + "->" +
+                                     std::to_string(pair.out_port) + "]"];
+                    c.hits += pair.affected;
+                    c.trials += pair.active;
+                }
+                break;
+            case CampaignKind::kSevere: {
+                auto& fail = merged["failure_rate"];
+                fail.hits += shard.severe.failures;
+                fail.trials += shard.severe.runs;
+                for (const auto& set : shard.severe.sets) {
+                    auto& c = merged["c_tot[" + set.set_name + "]"];
+                    c.hits += set.cells[2][0].detected;
+                    c.trials += set.cells[2][0].n;
+                }
+                break;
+            }
+            case CampaignKind::kRecovery: {
+                auto& base = merged["failure_rate_baseline"];
+                base.hits += shard.recovery.failures_baseline;
+                base.trials += shard.recovery.runs;
+                auto& erm = merged["failure_rate_erm"];
+                erm.hits += shard.recovery.failures_with_erm;
+                erm.trials += shard.recovery.runs;
+                break;
+            }
+        }
+    }
+
+    std::vector<TrackedProportion> out;
+    out.reserve(merged.size());
+    for (const auto& [name, counts] : merged) {
+        out.push_back(finish(name, counts, z));
+    }
+    return out;
+}
+
+AdaptiveDecision evaluate_convergence(const AdaptiveOptions& options,
+                                      CampaignKind kind,
+                                      const std::vector<ShardResult>& done) {
+    AdaptiveDecision decision;
+    decision.tracked = tracked_proportions(kind, done, options.z);
+    if (!options.enabled || decision.tracked.empty() || done.empty()) {
+        decision.converged = false;
+        for (const auto& p : decision.tracked) {
+            if (p.half_width >= decision.worst_half_width) {
+                decision.worst_half_width = p.half_width;
+                decision.limiting = p.name;
+            }
+        }
+        return decision;
+    }
+
+    decision.converged = true;
+    decision.min_trials_seen = decision.tracked.front().trials;
+    double worst_rank = -1.0;
+    for (const auto& p : decision.tracked) {
+        decision.min_trials_seen = std::min(decision.min_trials_seen, p.trials);
+        const bool starved = p.trials < options.min_trials;
+        const bool wide = p.half_width > options.half_width;
+        if (starved || wide) decision.converged = false;
+        // The limiting proportion: starved ones dominate, then the widest
+        // interval.
+        const double rank = (starved ? 1.0 : 0.0) + p.half_width;
+        if (rank > worst_rank) {
+            worst_rank = rank;
+            decision.worst_half_width = p.half_width;
+            decision.limiting = p.name;
+        }
+    }
+    return decision;
+}
+
+}  // namespace epea::campaign

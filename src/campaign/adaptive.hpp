@@ -1,0 +1,48 @@
+// Adaptive early stopping. After each completed shard the executor asks
+// whether every proportion the campaign estimates is already known
+// tightly enough — Wilson score interval half-width at or below the
+// spec's threshold, with a minimum trial count so empty intervals don't
+// count as converged. When the answer is yes, no further shards are
+// scheduled and the runs they would have cost are reported as saved.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/checkpoint.hpp"
+#include "campaign/spec.hpp"
+
+namespace epea::campaign {
+
+/// One monitored proportion with its current Wilson interval.
+struct TrackedProportion {
+    std::string name;
+    std::uint64_t hits = 0;
+    std::uint64_t trials = 0;
+    double half_width = 0.0;  ///< (hi - lo) / 2 of the Wilson interval
+};
+
+struct AdaptiveDecision {
+    bool converged = false;
+    /// The proportion farthest from convergence (widest interval, or
+    /// fewest trials when below min_trials).
+    std::string limiting;
+    double worst_half_width = 0.0;
+    std::uint64_t min_trials_seen = 0;
+    std::vector<TrackedProportion> tracked;
+};
+
+/// The proportions a campaign of this kind estimates, merged over the
+/// completed shards: permeability tracks every pair's P value, severe
+/// tracks each set's total coverage plus the failure rate, recovery
+/// tracks the baseline and with-ERM failure rates.
+[[nodiscard]] std::vector<TrackedProportion> tracked_proportions(
+    CampaignKind kind, const std::vector<ShardResult>& done, double z);
+
+/// Applies the spec's convergence rule to the completed shards.
+[[nodiscard]] AdaptiveDecision evaluate_convergence(
+    const AdaptiveOptions& options, CampaignKind kind,
+    const std::vector<ShardResult>& done);
+
+}  // namespace epea::campaign

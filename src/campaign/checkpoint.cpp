@@ -1,0 +1,197 @@
+#include "campaign/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "campaign/json.hpp"
+
+namespace epea::campaign {
+
+namespace {
+
+JsonValue severe_to_json(const exp::SevereCoverageResult& r) {
+    JsonObject o;
+    o.emplace("runs", JsonValue(r.runs));
+    o.emplace("failures", JsonValue(r.failures));
+    o.emplace("ram_locations", JsonValue(r.ram_locations));
+    o.emplace("stack_locations", JsonValue(r.stack_locations));
+    JsonArray sets;
+    for (const auto& set : r.sets) {
+        JsonObject so;
+        so.emplace("name", JsonValue(set.set_name));
+        JsonArray cells;
+        for (const auto& region : set.cells) {
+            for (const auto& cell : region) {
+                JsonObject co;
+                co.emplace("n", JsonValue(cell.n));
+                co.emplace("detected", JsonValue(cell.detected));
+                cells.emplace_back(std::move(co));
+            }
+        }
+        so.emplace("cells", JsonValue(std::move(cells)));
+        sets.emplace_back(std::move(so));
+    }
+    o.emplace("sets", JsonValue(std::move(sets)));
+    return JsonValue(std::move(o));
+}
+
+exp::SevereCoverageResult severe_from_json(const JsonValue& v) {
+    exp::SevereCoverageResult r;
+    r.runs = static_cast<std::uint64_t>(v.at("runs").as_int());
+    r.failures = static_cast<std::uint64_t>(v.at("failures").as_int());
+    r.ram_locations = static_cast<std::size_t>(v.at("ram_locations").as_int());
+    r.stack_locations = static_cast<std::size_t>(v.at("stack_locations").as_int());
+    for (const auto& sv : v.at("sets").as_array()) {
+        exp::SevereSetResult set;
+        set.set_name = sv.at("name").as_string();
+        const auto& cells = sv.at("cells").as_array();
+        if (cells.size() != 9) throw std::runtime_error("severe set needs 9 cells");
+        std::size_t i = 0;
+        for (auto& region : set.cells) {
+            for (auto& cell : region) {
+                cell.n = static_cast<std::uint64_t>(cells[i].at("n").as_int());
+                cell.detected =
+                    static_cast<std::uint64_t>(cells[i].at("detected").as_int());
+                ++i;
+            }
+        }
+        r.sets.push_back(std::move(set));
+    }
+    return r;
+}
+
+JsonValue recovery_to_json(const exp::RecoveryResult& r) {
+    JsonObject o;
+    o.emplace("runs", JsonValue(r.runs));
+    o.emplace("failures_baseline", JsonValue(r.failures_baseline));
+    o.emplace("failures_with_erm", JsonValue(r.failures_with_erm));
+    o.emplace("repairs", JsonValue(r.repairs));
+    o.emplace("erm_rom", JsonValue(static_cast<std::int64_t>(r.erm_cost.rom)));
+    o.emplace("erm_ram", JsonValue(static_cast<std::int64_t>(r.erm_cost.ram)));
+    return JsonValue(std::move(o));
+}
+
+exp::RecoveryResult recovery_from_json(const JsonValue& v) {
+    exp::RecoveryResult r;
+    r.runs = static_cast<std::uint64_t>(v.at("runs").as_int());
+    r.failures_baseline = static_cast<std::uint64_t>(v.at("failures_baseline").as_int());
+    r.failures_with_erm = static_cast<std::uint64_t>(v.at("failures_with_erm").as_int());
+    r.repairs = static_cast<std::uint64_t>(v.at("repairs").as_int());
+    r.erm_cost.rom = static_cast<std::uint32_t>(v.at("erm_rom").as_int());
+    r.erm_cost.ram = static_cast<std::uint32_t>(v.at("erm_ram").as_int());
+    return r;
+}
+
+}  // namespace
+
+std::string ShardResult::to_json() const {
+    JsonObject o;
+    o.emplace("shard", JsonValue(shard));
+    o.emplace("kind", JsonValue(to_string(kind)));
+    JsonArray ids;
+    for (const std::size_t c : case_ids) ids.emplace_back(c);
+    o.emplace("case_ids", JsonValue(std::move(ids)));
+    o.emplace("runs", JsonValue(runs));
+    o.emplace("wall_seconds", JsonValue(wall_seconds));
+
+    switch (kind) {
+        case CampaignKind::kPermeability: {
+            JsonArray arr;
+            for (const auto& p : pairs) {
+                JsonObject po;
+                po.emplace("module", JsonValue(p.module));
+                po.emplace("in_port", JsonValue(static_cast<std::int64_t>(p.in_port)));
+                po.emplace("out_port", JsonValue(static_cast<std::int64_t>(p.out_port)));
+                po.emplace("affected", JsonValue(p.affected));
+                po.emplace("active", JsonValue(p.active));
+                arr.emplace_back(std::move(po));
+            }
+            o.emplace("pairs", JsonValue(std::move(arr)));
+            break;
+        }
+        case CampaignKind::kSevere:
+            o.emplace("severe", severe_to_json(severe));
+            break;
+        case CampaignKind::kRecovery:
+            o.emplace("recovery", recovery_to_json(recovery));
+            break;
+    }
+    return JsonValue(std::move(o)).dump();
+}
+
+ShardResult ShardResult::from_json(const std::string& text) {
+    const JsonValue root = JsonValue::parse(text);
+    ShardResult r;
+    r.shard = static_cast<std::size_t>(root.at("shard").as_int());
+    r.kind = campaign_kind_from_string(root.at("kind").as_string());
+    for (const auto& v : root.at("case_ids").as_array()) {
+        r.case_ids.push_back(static_cast<std::size_t>(v.as_int()));
+    }
+    r.runs = static_cast<std::uint64_t>(root.at("runs").as_int());
+    r.wall_seconds = root.at("wall_seconds").as_double();
+
+    switch (r.kind) {
+        case CampaignKind::kPermeability:
+            for (const auto& v : root.at("pairs").as_array()) {
+                PairCountRecord p;
+                p.module = v.at("module").as_string();
+                p.in_port = static_cast<std::uint32_t>(v.at("in_port").as_int());
+                p.out_port = static_cast<std::uint32_t>(v.at("out_port").as_int());
+                p.affected = static_cast<std::uint64_t>(v.at("affected").as_int());
+                p.active = static_cast<std::uint64_t>(v.at("active").as_int());
+                r.pairs.push_back(std::move(p));
+            }
+            break;
+        case CampaignKind::kSevere:
+            r.severe = severe_from_json(root.at("severe"));
+            break;
+        case CampaignKind::kRecovery:
+            r.recovery = recovery_from_json(root.at("recovery"));
+            break;
+    }
+    return r;
+}
+
+void atomic_write_file(const std::string& path, const std::string& content) {
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) throw std::runtime_error("cannot write " + tmp);
+        out << content;
+        out.flush();
+        if (!out) throw std::runtime_error("short write to " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("cannot rename " + tmp + " -> " + path);
+    }
+}
+
+std::string shard_file_name(std::size_t shard) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "shard-%03zu.json", shard);
+    return buf;
+}
+
+void save_shard(const std::string& dir, const ShardResult& result) {
+    atomic_write_file(dir + "/" + shard_file_name(result.shard),
+                      result.to_json() + "\n");
+}
+
+std::optional<ShardResult> load_shard(const std::string& dir, std::size_t shard) {
+    std::ifstream in(dir + "/" + shard_file_name(shard), std::ios::binary);
+    if (!in) return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+        ShardResult r = ShardResult::from_json(buf.str());
+        if (r.shard != shard) return std::nullopt;  // misnamed/foreign file
+        return r;
+    } catch (const std::runtime_error&) {
+        return std::nullopt;  // corrupt checkpoint: treat as absent
+    }
+}
+
+}  // namespace epea::campaign

@@ -1,0 +1,393 @@
+#include "campaign/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+
+#include "campaign/adaptive.hpp"
+#include "exp/arrestment_experiments.hpp"
+#include "target/arrestment_system.hpp"
+
+namespace epea::campaign {
+
+namespace {
+
+void merge_severe(exp::SevereCoverageResult& dst,
+                  const exp::SevereCoverageResult& src) {
+    dst.runs += src.runs;
+    dst.failures += src.failures;
+    dst.ram_locations = src.ram_locations;
+    dst.stack_locations = src.stack_locations;
+    if (dst.sets.empty()) {
+        for (const auto& set : src.sets) {
+            dst.sets.push_back(exp::SevereSetResult{set.set_name, {}});
+        }
+    }
+    if (dst.sets.size() != src.sets.size()) {
+        throw std::runtime_error("campaign: severe subset mismatch while merging");
+    }
+    for (std::size_t s = 0; s < src.sets.size(); ++s) {
+        for (std::size_t r = 0; r < 3; ++r) {
+            for (std::size_t k = 0; k < 3; ++k) {
+                dst.sets[s].cells[r][k].n += src.sets[s].cells[r][k].n;
+                dst.sets[s].cells[r][k].detected += src.sets[s].cells[r][k].detected;
+            }
+        }
+    }
+}
+
+void merge_recovery(exp::RecoveryResult& dst, const exp::RecoveryResult& src) {
+    dst.runs += src.runs;
+    dst.failures_baseline += src.failures_baseline;
+    dst.failures_with_erm += src.failures_with_erm;
+    dst.repairs += src.repairs;
+    // Identical wrapper set in every window: the cost is a constant, not
+    // a sum.
+    dst.erm_cost = src.erm_cost;
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return {};
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+}  // namespace
+
+CampaignExecutor::CampaignExecutor(std::string dir, CampaignSpec spec)
+    : dir_(std::move(dir)), spec_(std::move(spec)) {
+    if (spec_.target != "arrestment") {
+        throw std::runtime_error("campaign: unknown target '" + spec_.target + "'");
+    }
+    if (spec_.case_ids.empty()) {
+        throw std::runtime_error("campaign: spec has no test cases");
+    }
+    const auto n_cases = target::standard_test_cases().size();
+    for (const std::size_t c : spec_.case_ids) {
+        if (c >= n_cases) {
+            throw std::runtime_error("campaign: case id " + std::to_string(c) +
+                                     " out of range (target has " +
+                                     std::to_string(n_cases) + " cases)");
+        }
+    }
+
+    std::filesystem::create_directories(dir_);
+    const std::string spec_path = dir_ + "/spec.json";
+    const std::string serialized = spec_.to_json() + "\n";
+    if (std::filesystem::exists(spec_path)) {
+        const std::string stored = read_file(spec_path);
+        if (stored != serialized) {
+            throw std::runtime_error(
+                "campaign: " + spec_path +
+                " holds a different spec; refusing to mix campaigns in one "
+                "directory");
+        }
+    } else {
+        atomic_write_file(spec_path, serialized);
+    }
+}
+
+CampaignExecutor CampaignExecutor::open(const std::string& dir) {
+    const std::string text = read_file(dir + "/spec.json");
+    if (text.empty()) {
+        throw std::runtime_error("campaign: no readable spec at " + dir +
+                                 "/spec.json");
+    }
+    return CampaignExecutor(dir, CampaignSpec::from_json(text));
+}
+
+exp::CampaignOptions CampaignExecutor::case_options(std::size_t case_id) const {
+    exp::CampaignOptions o;
+    o.case_first = case_id;
+    o.case_count = 1;
+    o.times_per_bit = spec_.times_per_bit;
+    o.seed = spec_.seed;
+    o.max_ticks = static_cast<runtime::Tick>(
+        std::min<std::uint64_t>(spec_.max_ticks, target::kMaxRunTicks));
+    o.severe_period = static_cast<runtime::Tick>(spec_.severe_period);
+    return o;
+}
+
+ShardResult CampaignExecutor::run_shard(std::size_t shard) const {
+    const auto start = std::chrono::steady_clock::now();
+    ShardResult result;
+    result.shard = shard;
+    result.kind = spec_.kind;
+    result.case_ids = spec_.shard_cases(shard);
+
+    target::ArrestmentSystem sys;
+    // (module, in_port, out_port) -> (affected, active), sorted for a
+    // deterministic checkpoint file.
+    std::map<std::tuple<std::string, std::uint32_t, std::uint32_t>,
+             std::pair<std::uint64_t, std::uint64_t>>
+        pair_counts;
+
+    for (const std::size_t case_id : result.case_ids) {
+        const exp::CampaignOptions options = case_options(case_id);
+        switch (spec_.kind) {
+            case CampaignKind::kPermeability: {
+                std::size_t planned = 0;
+                const epic::EstimatorProgress progress =
+                    [&planned](std::size_t, std::size_t total) { planned = total; };
+                const epic::PermeabilityMatrix matrix =
+                    exp::estimate_arrestment_permeability(sys, options, progress);
+                result.runs += planned;
+                for (const epic::PairEntry& e : matrix.entries()) {
+                    auto& acc = pair_counts[{sys.system().module_name(e.module),
+                                             e.in_port, e.out_port}];
+                    acc.first += e.affected;
+                    acc.second += e.active;
+                }
+                break;
+            }
+            case CampaignKind::kSevere: {
+                const exp::SevereCoverageResult severe =
+                    exp::severe_coverage_experiment(sys, options, spec_.subsets);
+                merge_severe(result.severe, severe);
+                result.runs += severe.runs;
+                break;
+            }
+            case CampaignKind::kRecovery: {
+                const exp::RecoveryResult recovery = exp::recovery_experiment(
+                    sys, options, spec_.guarded_signals);
+                merge_recovery(result.recovery, recovery);
+                result.runs += recovery.runs;
+                break;
+            }
+        }
+    }
+
+    for (const auto& [key, counts] : pair_counts) {
+        PairCountRecord rec;
+        rec.module = std::get<0>(key);
+        rec.in_port = std::get<1>(key);
+        rec.out_port = std::get<2>(key);
+        rec.affected = counts.first;
+        rec.active = counts.second;
+        result.pairs.push_back(std::move(rec));
+    }
+
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return result;
+}
+
+void CampaignExecutor::load_checkpoints(CampaignObserver& observer) {
+    completed_.clear();
+    for (std::size_t s = 0; s < spec_.effective_shards(); ++s) {
+        if (auto shard = load_shard(dir_, s)) {
+            JsonObject f;
+            f.emplace("shard", JsonValue(s));
+            f.emplace("runs", JsonValue(shard->runs));
+            observer.emit("shard_resume", std::move(f));
+            completed_.push_back(std::move(*shard));
+        }
+    }
+}
+
+bool CampaignExecutor::run(const ExecutorOptions& options) {
+    CampaignObserver observer(dir_, options.echo_events);
+    timers_ = PhaseTimers{};
+    adaptive_stopped_ = false;
+    saved_runs_ = 0;
+
+    timers_.begin("checkpoint-scan");
+    load_checkpoints(observer);
+    timers_.end("checkpoint-scan");
+
+    const std::size_t total_shards = spec_.effective_shards();
+    {
+        JsonObject f;
+        f.emplace("name", JsonValue(spec_.name));
+        f.emplace("kind", JsonValue(to_string(spec_.kind)));
+        f.emplace("cases", JsonValue(spec_.case_ids.size()));
+        f.emplace("shards", JsonValue(total_shards));
+        f.emplace("resumed_shards", JsonValue(completed_.size()));
+        observer.emit("campaign_start", std::move(f));
+    }
+
+    std::vector<std::size_t> pending;
+    for (std::size_t s = 0; s < total_shards; ++s) {
+        const bool done = std::any_of(completed_.begin(), completed_.end(),
+                                      [s](const ShardResult& r) { return r.shard == s; });
+        if (!done) pending.push_back(s);
+    }
+
+    const auto cases_of = [this](const std::vector<std::size_t>& shards) {
+        std::size_t n = 0;
+        for (const std::size_t s : shards) n += spec_.shard_cases(s).size();
+        return n;
+    };
+    const auto finish_adaptive = [&](const AdaptiveDecision& decision) {
+        adaptive_stopped_ = true;
+        std::vector<std::size_t> remaining;
+        for (const std::size_t s : pending) {
+            const bool done =
+                std::any_of(completed_.begin(), completed_.end(),
+                            [s](const ShardResult& r) { return r.shard == s; });
+            if (!done) remaining.push_back(s);
+        }
+        std::size_t done_cases = 0;
+        std::uint64_t done_runs = 0;
+        for (const ShardResult& r : completed_) {
+            done_cases += r.case_ids.size();
+            done_runs += r.runs;
+        }
+        // Every case carries the same injection plan, so runs-per-case
+        // from the executed shards extrapolates exactly.
+        const double per_case =
+            done_cases ? static_cast<double>(done_runs) / static_cast<double>(done_cases)
+                       : 0.0;
+        saved_runs_ = static_cast<std::uint64_t>(
+            std::llround(per_case * static_cast<double>(cases_of(remaining))));
+        JsonObject f;
+        f.emplace("saved_runs", JsonValue(saved_runs_));
+        f.emplace("skipped_shards", JsonValue(remaining.size()));
+        f.emplace("limiting", JsonValue(decision.limiting));
+        f.emplace("half_width", JsonValue(decision.worst_half_width));
+        f.emplace("min_trials", JsonValue(decision.min_trials_seen));
+        observer.emit("adaptive_stop", std::move(f));
+    };
+
+    // Converged already (e.g. resuming a finished adaptive campaign)?
+    if (spec_.adaptive.enabled && !pending.empty() && !completed_.empty()) {
+        const AdaptiveDecision decision =
+            evaluate_convergence(spec_.adaptive, spec_.kind, completed_);
+        if (decision.converged) finish_adaptive(decision);
+    }
+
+    if (!pending.empty() && !adaptive_stopped_) {
+        timers_.begin("execute");
+        std::atomic<std::size_t> next{0};
+        std::atomic<bool> stop{false};
+        std::mutex mutex;
+        AdaptiveDecision stop_decision;
+
+        const auto worker = [&]() {
+            while (!stop.load()) {
+                const std::size_t idx = next.fetch_add(1);
+                if (idx >= pending.size() || idx >= options.max_shards) break;
+                const std::size_t shard = pending[idx];
+                ShardResult result = run_shard(shard);
+                save_shard(dir_, result);
+
+                const std::lock_guard<std::mutex> lock(mutex);
+                completed_.push_back(result);
+                const std::size_t done = completed_.size();
+                std::uint64_t runs = 0;
+                double wall = 0.0;
+                for (const ShardResult& r : completed_) {
+                    runs += r.runs;
+                    wall += r.wall_seconds;
+                }
+                const double rate = wall > 0.0 ? static_cast<double>(runs) / wall : 0.0;
+                JsonObject f;
+                f.emplace("shard", JsonValue(shard));
+                f.emplace("cases", JsonValue(result.case_ids.size()));
+                f.emplace("runs", JsonValue(result.runs));
+                f.emplace("wall_s", JsonValue(result.wall_seconds));
+                f.emplace("done", JsonValue(done));
+                f.emplace("total", JsonValue(total_shards));
+                f.emplace("runs_per_s", JsonValue(rate));
+                f.emplace("eta_s",
+                          JsonValue(done ? wall / static_cast<double>(done) *
+                                               static_cast<double>(total_shards - done)
+                                         : 0.0));
+                observer.emit("shard_done", std::move(f));
+
+                if (spec_.adaptive.enabled && done < total_shards) {
+                    const AdaptiveDecision decision =
+                        evaluate_convergence(spec_.adaptive, spec_.kind, completed_);
+                    JsonObject cf;
+                    cf.emplace("converged", JsonValue(decision.converged));
+                    cf.emplace("limiting", JsonValue(decision.limiting));
+                    cf.emplace("half_width", JsonValue(decision.worst_half_width));
+                    observer.emit("adaptive_check", std::move(cf));
+                    if (decision.converged && !stop.exchange(true)) {
+                        stop_decision = decision;
+                    }
+                }
+            }
+        };
+
+        const std::size_t n_workers =
+            std::max<std::size_t>(1, std::min({options.threads, pending.size(),
+                                               options.max_shards}));
+        if (n_workers == 1) {
+            worker();
+        } else {
+            std::vector<std::thread> threads;
+            for (std::size_t i = 0; i < n_workers; ++i) threads.emplace_back(worker);
+            for (auto& t : threads) t.join();
+        }
+        timers_.end("execute");
+
+        if (stop.load() && spec_.adaptive.enabled && !adaptive_stopped_) {
+            finish_adaptive(stop_decision);
+        }
+    }
+
+    std::sort(completed_.begin(), completed_.end(),
+              [](const ShardResult& a, const ShardResult& b) { return a.shard < b.shard; });
+
+    const bool complete = completed_.size() == total_shards || adaptive_stopped_;
+    std::uint64_t runs = 0;
+    double wall = 0.0;
+    for (const ShardResult& r : completed_) {
+        runs += r.runs;
+        wall += r.wall_seconds;
+    }
+    JsonObject f;
+    f.emplace("done", JsonValue(completed_.size()));
+    f.emplace("total", JsonValue(total_shards));
+    f.emplace("runs", JsonValue(runs));
+    f.emplace("shard_wall_s", JsonValue(wall));
+    observer.emit(complete ? "campaign_done" : "campaign_pause", std::move(f));
+    return complete;
+}
+
+epic::PermeabilityMatrix CampaignExecutor::merged_matrix(
+    const model::SystemModel& system) const {
+    std::map<std::tuple<std::string, std::uint32_t, std::uint32_t>,
+             std::pair<std::uint64_t, std::uint64_t>>
+        acc;
+    for (const ShardResult& shard : completed_) {
+        for (const PairCountRecord& p : shard.pairs) {
+            auto& counts = acc[{p.module, p.in_port, p.out_port}];
+            counts.first += p.affected;
+            counts.second += p.active;
+        }
+    }
+    epic::PermeabilityMatrix matrix(system);
+    for (const auto& [key, counts] : acc) {
+        matrix.set_counts(system.module_id(std::get<0>(key)), std::get<1>(key),
+                          std::get<2>(key), counts.first, counts.second);
+    }
+    return matrix;
+}
+
+exp::SevereCoverageResult CampaignExecutor::merged_severe() const {
+    exp::SevereCoverageResult out;
+    for (const ShardResult& shard : completed_) merge_severe(out, shard.severe);
+    return out;
+}
+
+exp::RecoveryResult CampaignExecutor::merged_recovery() const {
+    exp::RecoveryResult out;
+    for (const ShardResult& shard : completed_) merge_recovery(out, shard.recovery);
+    return out;
+}
+
+}  // namespace epea::campaign

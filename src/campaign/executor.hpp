@@ -1,0 +1,82 @@
+// CampaignExecutor — runs a CampaignSpec to completion over a worker
+// pool. The case matrix is dealt round-robin into shards; each shard
+// runs its cases through the src/exp/ drivers with the case window set
+// to one global case at a time, so the merged counts are bit-identical
+// to a sequential uninterrupted campaign (the drivers key every
+// injection stream by the global case index). Completed shards are
+// checkpointed atomically; a killed campaign resumes from the last
+// completed shard. Progress is journaled to events.jsonl.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "campaign/checkpoint.hpp"
+#include "campaign/observer.hpp"
+#include "campaign/spec.hpp"
+#include "epic/matrix.hpp"
+#include "exp/recovery.hpp"
+
+namespace epea::campaign {
+
+struct ExecutorOptions {
+    /// Worker threads; each worker owns a private ArrestmentSystem.
+    std::size_t threads = 1;
+    /// Execute at most this many *new* shards, then pause (checkpointed).
+    /// Tests use 1 to simulate a campaign killed between shards.
+    std::size_t max_shards = std::numeric_limits<std::size_t>::max();
+    /// Mirror journal events to stderr.
+    bool echo_events = false;
+};
+
+class CampaignExecutor {
+public:
+    /// Creates (or resumes) the campaign in `dir`. Writes spec.json when
+    /// absent; when present, the stored spec must serialize identically
+    /// to `spec` (resuming under a different spec throws).
+    CampaignExecutor(std::string dir, CampaignSpec spec);
+
+    /// Resumes from an existing campaign directory's spec.json.
+    [[nodiscard]] static CampaignExecutor open(const std::string& dir);
+
+    /// Executes pending shards. Returns true when the campaign is
+    /// finished (every shard done, or adaptive stopping converged);
+    /// false when paused by max_shards with work remaining.
+    bool run(const ExecutorOptions& options = {});
+
+    [[nodiscard]] const CampaignSpec& spec() const { return spec_; }
+    [[nodiscard]] const std::string& dir() const { return dir_; }
+    /// Completed shards (loaded checkpoints + shards run here), sorted.
+    [[nodiscard]] const std::vector<ShardResult>& completed() const {
+        return completed_;
+    }
+    [[nodiscard]] bool adaptive_stopped() const { return adaptive_stopped_; }
+    /// Runs skipped by adaptive stopping (0 unless it triggered).
+    [[nodiscard]] std::uint64_t saved_runs() const { return saved_runs_; }
+    /// Per-phase wall-clock of the last run() call.
+    [[nodiscard]] const PhaseTimers& timers() const { return timers_; }
+
+    /// Merged results over the completed shards — integer count sums, so
+    /// the result is independent of shard execution order.
+    [[nodiscard]] epic::PermeabilityMatrix merged_matrix(
+        const model::SystemModel& system) const;
+    [[nodiscard]] exp::SevereCoverageResult merged_severe() const;
+    [[nodiscard]] exp::RecoveryResult merged_recovery() const;
+
+private:
+    [[nodiscard]] ShardResult run_shard(std::size_t shard) const;
+    void load_checkpoints(CampaignObserver& observer);
+    [[nodiscard]] exp::CampaignOptions case_options(std::size_t case_id) const;
+
+    std::string dir_;
+    CampaignSpec spec_;
+    std::vector<ShardResult> completed_;
+    bool adaptive_stopped_ = false;
+    std::uint64_t saved_runs_ = 0;
+    PhaseTimers timers_;
+};
+
+}  // namespace epea::campaign

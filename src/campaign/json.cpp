@@ -1,0 +1,292 @@
+#include "campaign/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace epea::campaign {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw std::runtime_error("json: " + what); }
+
+void append_escaped(std::string& out, const std::string& s) {
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+struct Parser {
+    const std::string& text;
+    std::size_t pos = 0;
+
+    void skip_ws() {
+        while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+    }
+    [[nodiscard]] char peek() {
+        skip_ws();
+        if (pos >= text.size()) fail("unexpected end of input");
+        return text[pos];
+    }
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "' at offset " +
+                              std::to_string(pos));
+        ++pos;
+    }
+    bool consume(char c) {
+        if (pos < text.size() && peek() == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+    bool literal(const char* s) {
+        const std::size_t n = std::string(s).size();
+        if (text.compare(pos, n, s) == 0) {
+            pos += n;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue value() {
+        switch (peek()) {
+            case '{': return object();
+            case '[': return array();
+            case '"': return JsonValue(string());
+            case 't':
+                if (literal("true")) return JsonValue(true);
+                fail("bad literal");
+            case 'f':
+                if (literal("false")) return JsonValue(false);
+                fail("bad literal");
+            case 'n':
+                if (literal("null")) return JsonValue(nullptr);
+                fail("bad literal");
+            default: return number();
+        }
+    }
+
+    std::string string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= text.size()) fail("unterminated string");
+            const char c = text[pos++];
+            if (c == '"') break;
+            if (c == '\\') {
+                if (pos >= text.size()) fail("unterminated escape");
+                const char e = text[pos++];
+                switch (e) {
+                    case '"': out += '"'; break;
+                    case '\\': out += '\\'; break;
+                    case '/': out += '/'; break;
+                    case 'n': out += '\n'; break;
+                    case 'r': out += '\r'; break;
+                    case 't': out += '\t'; break;
+                    case 'u': {
+                        if (pos + 4 > text.size()) fail("bad \\u escape");
+                        const unsigned code =
+                            static_cast<unsigned>(std::stoul(text.substr(pos, 4), nullptr, 16));
+                        pos += 4;
+                        // Campaign files are ASCII; decode BMP code points naively.
+                        if (code < 0x80) {
+                            out += static_cast<char>(code);
+                        } else if (code < 0x800) {
+                            out += static_cast<char>(0xc0 | (code >> 6));
+                            out += static_cast<char>(0x80 | (code & 0x3f));
+                        } else {
+                            out += static_cast<char>(0xe0 | (code >> 12));
+                            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                            out += static_cast<char>(0x80 | (code & 0x3f));
+                        }
+                        break;
+                    }
+                    default: fail("bad escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return out;
+    }
+
+    JsonValue number() {
+        const std::size_t start = pos;
+        if (consume('-')) {}
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) || text[pos] == '.' ||
+                text[pos] == 'e' || text[pos] == 'E' || text[pos] == '+' ||
+                text[pos] == '-')) {
+            ++pos;
+        }
+        const std::string tok = text.substr(start, pos - start);
+        if (tok.empty() || tok == "-") fail("bad number at offset " + std::to_string(start));
+        if (tok.find_first_of(".eE") == std::string::npos) {
+            return JsonValue(static_cast<std::int64_t>(std::stoll(tok)));
+        }
+        return JsonValue(std::stod(tok));
+    }
+
+    JsonValue array() {
+        expect('[');
+        JsonArray out;
+        if (consume(']')) return JsonValue(std::move(out));
+        while (true) {
+            out.push_back(value());
+            if (consume(']')) break;
+            expect(',');
+        }
+        return JsonValue(std::move(out));
+    }
+
+    JsonValue object() {
+        expect('{');
+        JsonObject out;
+        if (consume('}')) return JsonValue(std::move(out));
+        while (true) {
+            skip_ws();
+            std::string key = string();
+            expect(':');
+            out.emplace(std::move(key), value());
+            if (consume('}')) break;
+            expect(',');
+        }
+        return JsonValue(std::move(out));
+    }
+};
+
+void dump_to(std::string& out, const JsonValue& v);
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+    if (const auto* b = std::get_if<bool>(&v_)) return *b;
+    fail("not a bool");
+}
+
+std::int64_t JsonValue::as_int() const {
+    if (const auto* n = std::get_if<std::int64_t>(&v_)) return *n;
+    if (const auto* d = std::get_if<double>(&v_)) {
+        if (*d == std::floor(*d)) return static_cast<std::int64_t>(*d);
+    }
+    fail("not an integer");
+}
+
+double JsonValue::as_double() const {
+    if (const auto* d = std::get_if<double>(&v_)) return *d;
+    if (const auto* n = std::get_if<std::int64_t>(&v_)) return static_cast<double>(*n);
+    fail("not a number");
+}
+
+const std::string& JsonValue::as_string() const {
+    if (const auto* s = std::get_if<std::string>(&v_)) return *s;
+    fail("not a string");
+}
+
+const JsonArray& JsonValue::as_array() const {
+    if (const auto* a = std::get_if<JsonArray>(&v_)) return *a;
+    fail("not an array");
+}
+
+const JsonObject& JsonValue::as_object() const {
+    if (const auto* o = std::get_if<JsonObject>(&v_)) return *o;
+    fail("not an object");
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+    const auto& obj = as_object();
+    const auto it = obj.find(key);
+    if (it == obj.end()) fail("missing field '" + key + "'");
+    return it->second;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+    const auto& obj = as_object();
+    const auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+void dump_to(std::string& out, const JsonValue& v) {
+    if (v.is_null()) {
+        out += "null";
+    } else if (v.is_object()) {
+        out += '{';
+        bool first = true;
+        for (const auto& [k, val] : v.as_object()) {
+            if (!first) out += ',';
+            first = false;
+            append_escaped(out, k);
+            out += ':';
+            dump_to(out, val);
+        }
+        out += '}';
+    } else if (v.is_array()) {
+        out += '[';
+        bool first = true;
+        for (const auto& e : v.as_array()) {
+            if (!first) out += ',';
+            first = false;
+            dump_to(out, e);
+        }
+        out += ']';
+    } else {
+        // Scalar: try each in turn.
+        try {
+            const std::int64_t n = v.as_int();
+            out += std::to_string(n);
+            return;
+        } catch (const std::runtime_error&) {}
+        try {
+            const double d = v.as_double();
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.17g", d);
+            out += buf;
+            return;
+        } catch (const std::runtime_error&) {}
+        try {
+            out += v.as_bool() ? "true" : "false";
+            return;
+        } catch (const std::runtime_error&) {}
+        append_escaped(out, v.as_string());
+    }
+}
+
+}  // namespace
+
+std::string JsonValue::dump() const {
+    std::string out;
+    dump_to(out, *this);
+    return out;
+}
+
+JsonValue JsonValue::parse(const std::string& text) {
+    Parser p{text};
+    JsonValue v = p.value();
+    p.skip_ws();
+    if (p.pos != text.size()) fail("trailing garbage at offset " + std::to_string(p.pos));
+    return v;
+}
+
+}  // namespace epea::campaign

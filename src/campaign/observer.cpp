@@ -1,0 +1,143 @@
+#include "campaign/observer.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "campaign/checkpoint.hpp"
+
+namespace epea::campaign {
+
+void PhaseTimers::begin(const std::string& phase) { open_[phase] = Clock::now(); }
+
+void PhaseTimers::end(const std::string& phase) {
+    const auto it = open_.find(phase);
+    if (it == open_.end()) return;
+    total_[phase] += std::chrono::duration<double>(Clock::now() - it->second).count();
+    open_.erase(it);
+}
+
+double PhaseTimers::seconds(const std::string& phase) const {
+    const auto it = total_.find(phase);
+    return it == total_.end() ? 0.0 : it->second;
+}
+
+std::string PhaseTimers::summary() const {
+    std::ostringstream out;
+    for (const auto& [name, secs] : total_) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.2f", secs);
+        out << "  " << name << ": " << buf << " s\n";
+    }
+    return out.str();
+}
+
+CampaignObserver::CampaignObserver(const std::string& dir, bool echo_stderr)
+    : echo_(echo_stderr) {
+    out_.open(dir + "/events.jsonl", std::ios::app);
+    if (!out_) throw std::runtime_error("cannot open " + dir + "/events.jsonl");
+}
+
+void CampaignObserver::emit(const std::string& type, JsonObject fields) {
+    if (!out_.is_open()) return;
+    fields.emplace("type", JsonValue(type));
+    fields.emplace("elapsed_s", JsonValue(elapsed_seconds()));
+    const std::string line = JsonValue(std::move(fields)).dump();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out_ << line << '\n';
+    out_.flush();
+    if (echo_) std::cerr << "[campaign] " << line << '\n';
+}
+
+double CampaignObserver::elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+}
+
+CampaignStatus read_status(const std::string& dir) {
+    CampaignStatus status;
+    {
+        std::ifstream in(dir + "/spec.json", std::ios::binary);
+        if (!in) throw std::runtime_error("no campaign spec at " + dir + "/spec.json");
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        status.spec = CampaignSpec::from_json(buf.str());
+    }
+
+    status.shards_total = status.spec.effective_shards();
+    for (std::size_t s = 0; s < status.shards_total; ++s) {
+        if (const auto shard = load_shard(dir, s)) {
+            status.done_shards.push_back(s);
+            status.runs += shard->runs;
+            status.wall_seconds += shard->wall_seconds;
+        } else {
+            status.pending_shards.push_back(s);
+        }
+    }
+    status.shards_done = status.done_shards.size();
+    if (status.wall_seconds > 0.0) {
+        status.run_rate = static_cast<double>(status.runs) / status.wall_seconds;
+    }
+    if (status.shards_done > 0) {
+        const double avg =
+            status.wall_seconds / static_cast<double>(status.shards_done);
+        status.eta_seconds =
+            avg * static_cast<double>(status.shards_total - status.shards_done);
+    }
+
+    std::ifstream journal(dir + "/events.jsonl", std::ios::binary);
+    std::string line;
+    while (std::getline(journal, line)) {
+        if (line.empty()) continue;
+        ++status.events;
+        status.last_event = line;
+        try {
+            const JsonValue ev = JsonValue::parse(line);
+            if (ev.at("type").as_string() == "adaptive_stop") {
+                status.adaptive_stopped = true;
+                if (const JsonValue* saved = ev.find("saved_runs")) {
+                    status.saved_runs = static_cast<std::uint64_t>(saved->as_int());
+                }
+            }
+        } catch (const std::runtime_error&) {
+            // A torn last line from a killed run is expected; skip it.
+        }
+    }
+    return status;
+}
+
+std::string render_status(const CampaignStatus& status) {
+    std::ostringstream out;
+    char buf[128];
+    out << "campaign '" << status.spec.name << "' (" << to_string(status.spec.kind)
+        << ", " << status.spec.case_ids.size() << " cases, "
+        << status.shards_total << " shards)\n";
+    std::snprintf(buf, sizeof buf, "  shards done: %zu/%zu", status.shards_done,
+                  status.shards_total);
+    out << buf;
+    if (status.adaptive_stopped) out << "  [adaptive stop]";
+    out << '\n';
+    std::snprintf(buf, sizeof buf,
+                  "  runs: %llu  (%.1f runs/s over %.1f s of shard wall-clock)\n",
+                  static_cast<unsigned long long>(status.runs), status.run_rate,
+                  status.wall_seconds);
+    out << buf;
+    if (status.complete()) {
+        out << "  complete";
+        if (status.saved_runs > 0) {
+            std::snprintf(buf, sizeof buf, " — adaptive stopping saved %llu runs",
+                          static_cast<unsigned long long>(status.saved_runs));
+            out << buf;
+        }
+        out << '\n';
+    } else {
+        std::snprintf(buf, sizeof buf, "  eta: %.1f s (%zu shards pending)\n",
+                      status.eta_seconds, status.pending_shards.size());
+        out << buf;
+    }
+    out << "  journal: " << status.events << " events\n";
+    return out.str();
+}
+
+}  // namespace epea::campaign

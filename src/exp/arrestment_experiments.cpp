@@ -64,15 +64,20 @@ epic::PermeabilityMatrix estimate_arrestment_permeability(
     target::ArrestmentSystem& sys, const CampaignOptions& options,
     const epic::EstimatorProgress& progress) {
     const auto cases = target::standard_test_cases();
-    const std::size_t case_count = std::min(options.case_count, cases.size());
+    const std::size_t case_count = std::min(
+        options.case_count, cases.size() - std::min(options.case_first, cases.size()));
 
     fi::Injector injector(sys.sim());
     epic::PermeabilityEstimator estimator(sys.sim(), injector);
     epic::EstimatorOptions eopt;
     eopt.times_per_bit = options.times_per_bit;
     eopt.max_ticks = options.max_ticks;
+    eopt.seed = options.seed;
+    eopt.case_index_offset = options.case_first;
     return estimator.estimate(
-        case_count, [&](std::size_t c) { sys.configure(cases[c]); }, eopt, progress);
+        case_count,
+        [&](std::size_t c) { sys.configure(cases[options.case_first + c]); }, eopt,
+        progress);
 }
 
 InputCoverageResult input_coverage_experiment(target::ArrestmentSystem& sys,
@@ -187,7 +192,9 @@ SevereCoverageResult severe_coverage_experiment(target::ArrestmentSystem& sys,
                                                 const std::vector<SubsetSpec>& subsets) {
     const auto& system = sys.system();
     const auto cases = target::standard_test_cases();
-    const std::size_t case_count = std::min(options.case_count, cases.size());
+    const std::size_t case_first = std::min(options.case_first, cases.size());
+    const std::size_t case_count =
+        std::min(options.case_count, cases.size() - case_first);
 
     sys.sim().clear_monitors();
     fi::Injector injector(sys.sim());
@@ -203,15 +210,17 @@ SevereCoverageResult severe_coverage_experiment(target::ArrestmentSystem& sys,
     std::vector<std::vector<std::size_t>> subset_indices;
 
     const std::size_t word_count = sys.sim().memory().word_count();
-    std::uint64_t seed = 0x5e7e8eULL;
 
-    for (std::size_t c = 0; c < case_count; ++c) {
+    for (std::size_t c = case_first; c < case_first + case_count; ++c) {
+        // Injection streams keyed by the global case index: running any
+        // case window reproduces the flips of the full sequential campaign.
+        std::uint64_t seed = 0x5e7e8eULL + static_cast<std::uint64_t>(c) * word_count;
         sys.configure(cases[c]);
         injector.disarm();
         const fi::GoldenRun gr = fi::capture_golden_run(sys.sim(), options.max_ticks);
         sys.sim().enable_trace(false);  // severe runs need no traces
 
-        if (c == 0) {
+        if (c == case_first) {
             std::vector<runtime::Trace> traces{gr.trace};
             bank = make_calibrated_bank(system, traces, options.ea_margins);
             bank.arm(sys.sim());

@@ -24,7 +24,16 @@ namespace epea::exp {
 /// variables scale it down for quick runs.
 struct CampaignOptions {
     std::size_t case_count = 25;
+    /// First test-case index of the campaign window. The drivers key every
+    /// injection stream by the *global* case index, so running cases
+    /// [first, first+count) here is bit-identical to the same slice of a
+    /// full sequential campaign — the property the sharded campaign
+    /// executor (src/campaign/) is built on.
+    std::size_t case_first = 0;
     std::size_t times_per_bit = 10;
+    /// Base seed of the permeability estimator's injection-time streams
+    /// (severe/recovery campaigns use fixed bases of their own).
+    std::uint64_t seed = 0x7ab1e1ULL;
     runtime::Tick max_ticks = target::kMaxRunTicks;
     /// Severe model (Fig 3): injection period in ticks (paper: 20 ms).
     runtime::Tick severe_period = 20;

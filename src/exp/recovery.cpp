@@ -14,7 +14,9 @@ RecoveryResult recovery_experiment(target::ArrestmentSystem& sys,
                                    erm::RecoveryPolicy policy) {
     const auto& system = sys.system();
     const auto cases = target::standard_test_cases();
-    const std::size_t case_count = std::min(options.case_count, cases.size());
+    const std::size_t case_first = std::min(options.case_first, cases.size());
+    const std::size_t case_count =
+        std::min(options.case_count, cases.size() - case_first);
 
     sys.sim().clear_monitors();
     sys.sim().clear_recoverers();
@@ -23,9 +25,10 @@ RecoveryResult recovery_experiment(target::ArrestmentSystem& sys,
     RecoveryResult result;
     erm::ErmBank bank;
     const std::size_t word_count = sys.sim().memory().word_count();
-    std::uint64_t seed = 0xeca4e1ULL;
 
-    for (std::size_t c = 0; c < case_count; ++c) {
+    for (std::size_t c = case_first; c < case_first + case_count; ++c) {
+        // Global-case-index keying, as in severe_coverage_experiment.
+        std::uint64_t seed = 0xeca4e1ULL + static_cast<std::uint64_t>(c) * word_count;
         sys.configure(cases[c]);
         injector.disarm();
         sys.sim().clear_recoverers();
@@ -35,7 +38,7 @@ RecoveryResult recovery_experiment(target::ArrestmentSystem& sys,
         // (Re)calibrate the wrappers from this configuration's golden run.
         ea::EaCalibrator cal(system);
         cal.add_trace(gr.trace);
-        if (c == 0) {
+        if (c == case_first) {
             for (const auto& name : guarded_signals) {
                 const model::SignalId sid = system.signal_id(name);
                 bank.add("ERM:" + name, sid, cal.calibrate(sid), policy);

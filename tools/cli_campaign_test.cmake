@@ -1,0 +1,48 @@
+# End-to-end campaign CLI: run a tiny sharded campaign in two steps
+# (pause after one shard, resume), then check status reports completion.
+set(DIR ${WORKDIR}/cli_campaign)
+file(REMOVE_RECURSE ${DIR})
+
+execute_process(COMMAND ${TOOL} campaign run --dir ${DIR}
+                        --cases 2 --times 1 --shards 2 --max-shards 1
+                OUTPUT_VARIABLE out1 RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "campaign run failed: ${rc1}")
+endif()
+string(FIND "${out1}" "campaign paused" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "expected a paused campaign after --max-shards 1:\n${out1}")
+endif()
+
+execute_process(COMMAND ${TOOL} campaign status --dir ${DIR}
+                OUTPUT_VARIABLE out2 RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "campaign status failed: ${rc2}")
+endif()
+string(FIND "${out2}" "shards done: 1/2" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "status did not report 1/2 shards:\n${out2}")
+endif()
+
+execute_process(COMMAND ${TOOL} campaign resume --dir ${DIR}
+                OUTPUT_VARIABLE out3 RESULT_VARIABLE rc3)
+if(NOT rc3 EQUAL 0)
+  message(FATAL_ERROR "campaign resume failed: ${rc3}")
+endif()
+string(FIND "${out3}" "module,in_signal,out_signal" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "resume did not print the merged matrix CSV:\n${out3}")
+endif()
+
+execute_process(COMMAND ${TOOL} campaign status --dir ${DIR}
+                OUTPUT_VARIABLE out4 RESULT_VARIABLE rc4)
+if(NOT rc4 EQUAL 0)
+  message(FATAL_ERROR "campaign status (final) failed: ${rc4}")
+endif()
+string(FIND "${out4}" "complete" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "final status not complete:\n${out4}")
+endif()
+if(NOT EXISTS ${DIR}/events.jsonl)
+  message(FATAL_ERROR "events.jsonl missing")
+endif()

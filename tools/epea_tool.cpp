@@ -5,17 +5,23 @@
 //   epea_tool estimate [--cases N --times M]     FI campaign -> matrix CSV
 //   epea_tool analyze FILE [--sink SIGNAL]       profile + placement from CSV
 //   epea_tool inject --signal S --bit B --at T   one injection, EA report
+//   epea_tool campaign run|resume|status ...     sharded checkpointed campaigns
 //
 // Matrices written by `estimate` feed `analyze`, so the expensive
-// campaign runs once and the analysis can be repeated offline.
+// campaign runs once and the analysis can be repeated offline. The
+// `campaign` subcommands manage a campaign directory (spec.json, shard
+// checkpoints, events.jsonl) that survives kills and resumes.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "campaign/executor.hpp"
+#include "campaign/observer.hpp"
 #include "epic/impact.hpp"
 #include "epic/measures.hpp"
 #include "epic/paths.hpp"
@@ -39,7 +45,13 @@ int usage() {
                  "  simulate [--mass KG] [--speed MPS]\n"
                  "  estimate [--cases N] [--times M] [--out FILE]\n"
                  "  analyze FILE [--sink SIGNAL]\n"
-                 "  inject --signal NAME --bit B --at TICK\n");
+                 "  inject --signal NAME --bit B --at TICK\n"
+                 "  campaign run --dir DIR [--spec FILE] [--kind K] [--cases N]\n"
+                 "               [--times M] [--shards S] [--threads T]\n"
+                 "               [--max-shards N] [--adaptive HALF_WIDTH]\n"
+                 "               [--min-trials N] [--out FILE]\n"
+                 "  campaign resume --dir DIR [--threads T] [--max-shards N] [--out FILE]\n"
+                 "  campaign status --dir DIR\n");
     return 2;
 }
 
@@ -196,6 +208,136 @@ int cmd_inject(const std::vector<std::string>& args) {
     return 0;
 }
 
+void print_campaign_result(campaign::CampaignExecutor& exec,
+                           const std::vector<std::string>& args) {
+    switch (exec.spec().kind) {
+        case campaign::CampaignKind::kPermeability: {
+            static const model::SystemModel system = target::make_arrestment_model();
+            const epic::PermeabilityMatrix pm = exec.merged_matrix(system);
+            if (const auto out = flag_value(args, "--out")) {
+                std::ofstream file(*out);
+                if (!file) {
+                    std::fprintf(stderr, "cannot write %s\n", out->c_str());
+                    return;
+                }
+                epic::save_matrix_csv(file, pm);
+                std::fprintf(stderr, "wrote %s\n", out->c_str());
+            } else {
+                epic::save_matrix_csv(std::cout, pm);
+            }
+            break;
+        }
+        case campaign::CampaignKind::kSevere: {
+            const exp::SevereCoverageResult severe = exec.merged_severe();
+            std::printf("severe model: %llu runs, %llu failures\n",
+                        static_cast<unsigned long long>(severe.runs),
+                        static_cast<unsigned long long>(severe.failures));
+            for (const auto& set : severe.sets) {
+                std::printf("  %s: c_tot %.3f  c_fail %.3f  c_nofail %.3f\n",
+                            set.set_name.c_str(), set.cells[2][0].coverage(),
+                            set.cells[2][1].coverage(), set.cells[2][2].coverage());
+            }
+            break;
+        }
+        case campaign::CampaignKind::kRecovery: {
+            const exp::RecoveryResult rec = exec.merged_recovery();
+            std::printf("recovery: %llu runs, failure rate %.4f baseline -> %.4f "
+                        "with ERMs (%llu repairs)\n",
+                        static_cast<unsigned long long>(rec.runs),
+                        rec.baseline_failure_rate(), rec.erm_failure_rate(),
+                        static_cast<unsigned long long>(rec.repairs));
+            break;
+        }
+    }
+}
+
+int run_and_report(campaign::CampaignExecutor& exec,
+                   const std::vector<std::string>& args) {
+    campaign::ExecutorOptions opts;
+    if (const auto t = flag_value(args, "--threads")) {
+        opts.threads = static_cast<std::size_t>(std::stoul(*t));
+    }
+    if (const auto m = flag_value(args, "--max-shards")) {
+        opts.max_shards = static_cast<std::size_t>(std::stoul(*m));
+    }
+    opts.echo_events = has_flag(args, "--verbose");
+
+    const bool complete = exec.run(opts);
+    std::printf("%s", campaign::render_status(campaign::read_status(exec.dir())).c_str());
+    std::printf("phase wall-clock:\n%s", exec.timers().summary().c_str());
+    if (exec.adaptive_stopped()) {
+        std::printf("adaptive stopping saved %llu runs\n",
+                    static_cast<unsigned long long>(exec.saved_runs()));
+    }
+    if (!complete) {
+        std::printf("campaign paused; `epea_tool campaign resume --dir %s` continues\n",
+                    exec.dir().c_str());
+        return 0;
+    }
+    print_campaign_result(exec, args);
+    return 0;
+}
+
+int cmd_campaign(const std::vector<std::string>& args) {
+    if (args.empty()) return usage();
+    const std::string sub = args[0];
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    const auto dir = flag_value(rest, "--dir");
+    if (!dir) return usage();
+
+    try {
+        if (sub == "status") {
+            const campaign::CampaignStatus status = campaign::read_status(*dir);
+            std::printf("%s", campaign::render_status(status).c_str());
+            return 0;
+        }
+        if (sub == "resume") {
+            campaign::CampaignExecutor exec = campaign::CampaignExecutor::open(*dir);
+            return run_and_report(exec, rest);
+        }
+        if (sub != "run") return usage();
+
+        campaign::CampaignSpec spec;
+        if (const auto spec_file = flag_value(rest, "--spec")) {
+            std::ifstream in(*spec_file);
+            if (!in) {
+                std::fprintf(stderr, "cannot read %s\n", spec_file->c_str());
+                return 1;
+            }
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            spec = campaign::CampaignSpec::from_json(buf.str());
+        } else {
+            const std::string kind = flag_value(rest, "--kind").value_or("permeability");
+            spec = campaign::CampaignSpec::defaults(
+                campaign::campaign_kind_from_string(kind));
+            if (const auto c = flag_value(rest, "--cases")) {
+                spec.case_ids.resize(std::min<std::size_t>(
+                    std::stoul(*c), spec.case_ids.size()));
+            }
+            if (const auto t = flag_value(rest, "--times")) {
+                spec.times_per_bit = static_cast<std::size_t>(std::stoul(*t));
+            }
+            if (const auto s = flag_value(rest, "--shards")) {
+                spec.shards = static_cast<std::size_t>(std::stoul(*s));
+            }
+            if (const auto w = flag_value(rest, "--adaptive")) {
+                spec.adaptive.enabled = true;
+                spec.adaptive.half_width = std::stod(*w);
+            }
+            if (const auto m = flag_value(rest, "--min-trials")) {
+                spec.adaptive.min_trials =
+                    static_cast<std::uint64_t>(std::stoul(*m));
+            }
+        }
+        campaign::CampaignExecutor exec(*dir, std::move(spec));
+        return run_and_report(exec, rest);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "campaign: %s\n", e.what());
+        return 1;
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -207,5 +349,6 @@ int main(int argc, char** argv) {
     if (command == "estimate") return cmd_estimate(args);
     if (command == "analyze") return cmd_analyze(args);
     if (command == "inject") return cmd_inject(args);
+    if (command == "campaign") return cmd_campaign(args);
     return usage();
 }
