@@ -1,8 +1,11 @@
 // Regenerates Table 3: the EA setup and the ROM/RAM requirements of the
 // EH-set versus the PA-set (the paper's headline ~40 % memory reduction).
+// `--json` emits the same data as a machine-readable document.
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 
+#include "campaign/json.hpp"
 #include "ea/assertion.hpp"
 #include "exp/arrestment_experiments.hpp"
 #include "exp/paper_data.hpp"
@@ -10,10 +13,15 @@
 #include "target/arrestment_system.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace epea;
     using util::Align;
     using util::TextTable;
+
+    bool json = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) json = true;
+    }
 
     target::ArrestmentSystem sys;
     const auto& system = sys.system();
@@ -40,6 +48,7 @@ int main() {
 
     ea::EaCost eh_total;
     ea::EaCost pa_total;
+    campaign::JsonArray ea_rows;
     for (std::size_t i = 0; i < bank.size(); ++i) {
         const auto& ea_obj = bank.at(i);
         const std::string sig = system.signal_name(ea_obj.signal());
@@ -52,6 +61,15 @@ int main() {
                        in_eh ? "x" : "-", in_pa ? "x" : "-",
                        TextTable::num(static_cast<std::uint64_t>(cost.rom)),
                        TextTable::num(static_cast<std::uint64_t>(cost.ram))});
+        campaign::JsonObject row;
+        row["signal"] = sig;
+        row["ea"] = ea_obj.name();
+        row["type"] = to_string(ea_obj.params().type);
+        row["eh"] = in_eh;
+        row["pa"] = in_pa;
+        row["rom"] = cost.rom;
+        row["ram"] = cost.ram;
+        ea_rows.emplace_back(std::move(row));
     }
     table.add_rule();
     table.add_row({"Total EH (ROM/RAM)", "", "", "", "",
@@ -61,12 +79,32 @@ int main() {
                    TextTable::num(static_cast<std::uint64_t>(pa_total.rom)),
                    TextTable::num(static_cast<std::uint64_t>(pa_total.ram))});
 
-    std::printf("Table 3 — EA setup and memory requirements\n");
-    std::cout << table;
-
     const double reduction =
         100.0 * (1.0 - static_cast<double>(pa_total.rom + pa_total.ram) /
                            static_cast<double>(eh_total.rom + eh_total.ram));
+
+    if (json) {
+        campaign::JsonObject totals;
+        campaign::JsonObject eh_obj;
+        eh_obj["rom"] = eh_total.rom;
+        eh_obj["ram"] = eh_total.ram;
+        campaign::JsonObject pa_obj;
+        pa_obj["rom"] = pa_total.rom;
+        pa_obj["ram"] = pa_total.ram;
+        totals["eh"] = std::move(eh_obj);
+        totals["pa"] = std::move(pa_obj);
+        campaign::JsonObject root;
+        root["table"] = "table3_resources";
+        root["eas"] = std::move(ea_rows);
+        root["totals"] = std::move(totals);
+        root["reduction_percent"] = reduction;
+        std::printf("%s\n", campaign::JsonValue(std::move(root)).dump().c_str());
+        return 0;
+    }
+
+    std::printf("Table 3 — EA setup and memory requirements\n");
+    std::cout << table;
+
     std::printf("\nPaper: EH 262/94, PA 150/54 bytes ROM/RAM (~40%% reduction).\n");
     std::printf("Measured reduction (ROM+RAM): %.1f %%\n", reduction);
     return 0;

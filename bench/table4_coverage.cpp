@@ -1,17 +1,44 @@
 // Regenerates Table 4: per-EA detection coverage for single bit-flip
 // errors injected into the system input signals (error model A), for the
-// EH-based and PA-based EA placements.
+// EH-based and PA-based EA placements. `--json` emits the raw counts as
+// a machine-readable document.
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 
+#include "campaign/json.hpp"
 #include "exp/arrestment_experiments.hpp"
 #include "exp/paper_data.hpp"
 #include "util/table.hpp"
 
-int main() {
+namespace {
+
+epea::campaign::JsonObject row_to_json(const epea::exp::InputCoverageRow& row) {
+    epea::campaign::JsonObject o;
+    o["signal"] = row.signal;
+    o["injected"] = row.injected;
+    o["active"] = row.active;
+    o["detected_any"] = row.detected_any;
+    epea::campaign::JsonArray per_ea;
+    for (const auto d : row.detected_per_ea) per_ea.emplace_back(d);
+    o["detected_per_ea"] = std::move(per_ea);
+    epea::campaign::JsonArray per_subset;
+    for (const auto d : row.detected_per_subset) per_subset.emplace_back(d);
+    o["detected_per_subset"] = std::move(per_subset);
+    return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
     using namespace epea;
     using util::Align;
     using util::TextTable;
+
+    bool json = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) json = true;
+    }
 
     target::ArrestmentSystem sys;
     exp::InputCoverageOptions options;
@@ -23,14 +50,41 @@ int main() {
         {"PA-set", {"EA1", "EA3", "EA4", "EA7"}},
     };
 
-    std::printf("Table 4 — detection coverage, errors injected at system inputs\n");
-    std::printf("Campaign: %zu cases x %zu times/bit\n",
-                options.campaign.case_count, options.campaign.times_per_bit);
-    std::printf("(ADC excluded: permeability ADC->IsValue is zero — nothing to "
-                "detect; see Table 1)\n\n");
+    if (!json) {
+        std::printf("Table 4 — detection coverage, errors injected at system inputs\n");
+        std::printf("Campaign: %zu cases x %zu times/bit\n",
+                    options.campaign.case_count, options.campaign.times_per_bit);
+        std::printf("(ADC excluded: permeability ADC->IsValue is zero — nothing to "
+                    "detect; see Table 1)\n\n");
+    }
 
     const exp::InputCoverageResult result =
         exp::input_coverage_experiment(sys, options, subsets);
+
+    if (json) {
+        campaign::JsonObject root;
+        root["table"] = "table4_coverage";
+        root["cases"] = options.campaign.case_count;
+        root["times_per_bit"] = options.campaign.times_per_bit;
+        campaign::JsonArray ea_names;
+        for (const auto& n : result.ea_names) ea_names.emplace_back(n);
+        root["ea_names"] = std::move(ea_names);
+        campaign::JsonArray subset_names;
+        for (const auto& n : result.subset_names) subset_names.emplace_back(n);
+        root["subset_names"] = std::move(subset_names);
+        campaign::JsonArray rows;
+        for (const auto& row : result.rows) rows.emplace_back(row_to_json(row));
+        root["rows"] = std::move(rows);
+        root["all"] = row_to_json(result.all);
+        campaign::JsonObject latency;
+        latency["n"] = result.all.latency.count();
+        latency["mean_ms"] =
+            result.all.latency.count() ? result.all.latency.mean() : 0.0;
+        latency["max_ms"] = result.all.latency.count() ? result.all.latency.max() : 0.0;
+        root["latency"] = std::move(latency);
+        std::printf("%s\n", campaign::JsonValue(std::move(root)).dump().c_str());
+        return 0;
+    }
 
     std::vector<std::string> header = {"Signal", "n_err"};
     for (const auto& n : result.ea_names) header.push_back(n);

@@ -65,6 +65,14 @@ std::vector<TrackedProportion> tracked_proportions(
                 erm.trials += shard.recovery.runs;
                 break;
             }
+            case CampaignKind::kInput: {
+                for (std::size_t s = 0; s < shard.input.subset_names.size(); ++s) {
+                    auto& c = merged["c[" + shard.input.subset_names[s] + "]"];
+                    c.hits += shard.input.all.detected_per_subset[s];
+                    c.trials += shard.input.all.active;
+                }
+                break;
+            }
         }
     }
 

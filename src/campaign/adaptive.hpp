@@ -36,7 +36,8 @@ struct AdaptiveDecision {
 /// The proportions a campaign of this kind estimates, merged over the
 /// completed shards: permeability tracks every pair's P value, severe
 /// tracks each set's total coverage plus the failure rate, recovery
-/// tracks the baseline and with-ERM failure rates.
+/// tracks the baseline and with-ERM failure rates, input tracks each
+/// EA subset's detection coverage over activated errors.
 [[nodiscard]] std::vector<TrackedProportion> tracked_proportions(
     CampaignKind kind, const std::vector<ShardResult>& done, double z);
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "campaign/json.hpp"
+#include "util/stats.hpp"
 
 namespace epea::campaign {
 
@@ -84,6 +85,86 @@ exp::RecoveryResult recovery_from_json(const JsonValue& v) {
     return r;
 }
 
+JsonValue stats_to_json(const util::RunningStats& s) {
+    JsonObject o;
+    o.emplace("n", JsonValue(s.count()));
+    o.emplace("mean", JsonValue(s.mean()));
+    o.emplace("m2", JsonValue(s.m2()));
+    o.emplace("sum", JsonValue(s.sum()));
+    o.emplace("min", JsonValue(s.min()));
+    o.emplace("max", JsonValue(s.max()));
+    return JsonValue(std::move(o));
+}
+
+util::RunningStats stats_from_json(const JsonValue& v) {
+    return util::RunningStats::restore(
+        static_cast<std::size_t>(v.at("n").as_int()), v.at("mean").as_double(),
+        v.at("m2").as_double(), v.at("sum").as_double(), v.at("min").as_double(),
+        v.at("max").as_double());
+}
+
+JsonValue coverage_row_to_json(const exp::InputCoverageRow& row) {
+    JsonObject o;
+    o.emplace("signal", JsonValue(row.signal));
+    o.emplace("injected", JsonValue(row.injected));
+    o.emplace("active", JsonValue(row.active));
+    o.emplace("detected_any", JsonValue(row.detected_any));
+    JsonArray per_ea;
+    for (const std::uint64_t d : row.detected_per_ea) per_ea.emplace_back(d);
+    o.emplace("per_ea", JsonValue(std::move(per_ea)));
+    JsonArray per_subset;
+    for (const std::uint64_t d : row.detected_per_subset) per_subset.emplace_back(d);
+    o.emplace("per_subset", JsonValue(std::move(per_subset)));
+    o.emplace("latency", stats_to_json(row.latency));
+    return JsonValue(std::move(o));
+}
+
+exp::InputCoverageRow coverage_row_from_json(const JsonValue& v) {
+    exp::InputCoverageRow row;
+    row.signal = v.at("signal").as_string();
+    row.injected = static_cast<std::uint64_t>(v.at("injected").as_int());
+    row.active = static_cast<std::uint64_t>(v.at("active").as_int());
+    row.detected_any = static_cast<std::uint64_t>(v.at("detected_any").as_int());
+    for (const auto& d : v.at("per_ea").as_array()) {
+        row.detected_per_ea.push_back(static_cast<std::uint64_t>(d.as_int()));
+    }
+    for (const auto& d : v.at("per_subset").as_array()) {
+        row.detected_per_subset.push_back(static_cast<std::uint64_t>(d.as_int()));
+    }
+    row.latency = stats_from_json(v.at("latency"));
+    return row;
+}
+
+JsonValue input_to_json(const exp::InputCoverageResult& r) {
+    JsonObject o;
+    JsonArray eas;
+    for (const auto& n : r.ea_names) eas.emplace_back(n);
+    o.emplace("ea_names", JsonValue(std::move(eas)));
+    JsonArray subs;
+    for (const auto& n : r.subset_names) subs.emplace_back(n);
+    o.emplace("subset_names", JsonValue(std::move(subs)));
+    JsonArray rows;
+    for (const auto& row : r.rows) rows.emplace_back(coverage_row_to_json(row));
+    o.emplace("rows", JsonValue(std::move(rows)));
+    o.emplace("all", coverage_row_to_json(r.all));
+    return JsonValue(std::move(o));
+}
+
+exp::InputCoverageResult input_from_json(const JsonValue& v) {
+    exp::InputCoverageResult r;
+    for (const auto& n : v.at("ea_names").as_array()) {
+        r.ea_names.push_back(n.as_string());
+    }
+    for (const auto& n : v.at("subset_names").as_array()) {
+        r.subset_names.push_back(n.as_string());
+    }
+    for (const auto& row : v.at("rows").as_array()) {
+        r.rows.push_back(coverage_row_from_json(row));
+    }
+    r.all = coverage_row_from_json(v.at("all"));
+    return r;
+}
+
 }  // namespace
 
 std::string ShardResult::to_json() const {
@@ -117,6 +198,9 @@ std::string ShardResult::to_json() const {
         case CampaignKind::kRecovery:
             o.emplace("recovery", recovery_to_json(recovery));
             break;
+        case CampaignKind::kInput:
+            o.emplace("input", input_to_json(input));
+            break;
     }
     return JsonValue(std::move(o)).dump();
 }
@@ -149,6 +233,9 @@ ShardResult ShardResult::from_json(const std::string& text) {
             break;
         case CampaignKind::kRecovery:
             r.recovery = recovery_from_json(root.at("recovery"));
+            break;
+        case CampaignKind::kInput:
+            r.input = input_from_json(root.at("input"));
             break;
     }
     return r;

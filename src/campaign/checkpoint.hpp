@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "campaign/spec.hpp"
+#include "exp/arrestment_experiments.hpp"
 #include "exp/recovery.hpp"
 
 namespace epea::campaign {
@@ -37,6 +38,7 @@ struct ShardResult {
     std::vector<PairCountRecord> pairs;     ///< kind == kPermeability
     exp::SevereCoverageResult severe;       ///< kind == kSevere
     exp::RecoveryResult recovery;           ///< kind == kRecovery
+    exp::InputCoverageResult input;         ///< kind == kInput
 
     [[nodiscard]] std::string to_json() const;
     [[nodiscard]] static ShardResult from_json(const std::string& text);

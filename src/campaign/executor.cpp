@@ -45,6 +45,51 @@ void merge_severe(exp::SevereCoverageResult& dst,
     }
 }
 
+void merge_coverage_row(exp::InputCoverageRow& dst, const exp::InputCoverageRow& src) {
+    dst.injected += src.injected;
+    dst.active += src.active;
+    dst.detected_any += src.detected_any;
+    if (dst.detected_per_ea.empty()) dst.detected_per_ea.resize(src.detected_per_ea.size());
+    if (dst.detected_per_subset.empty()) {
+        dst.detected_per_subset.resize(src.detected_per_subset.size());
+    }
+    if (dst.detected_per_ea.size() != src.detected_per_ea.size() ||
+        dst.detected_per_subset.size() != src.detected_per_subset.size()) {
+        throw std::runtime_error("campaign: input-coverage row shape mismatch");
+    }
+    for (std::size_t i = 0; i < src.detected_per_ea.size(); ++i) {
+        dst.detected_per_ea[i] += src.detected_per_ea[i];
+    }
+    for (std::size_t i = 0; i < src.detected_per_subset.size(); ++i) {
+        dst.detected_per_subset[i] += src.detected_per_subset[i];
+    }
+    dst.latency.merge(src.latency);
+}
+
+void merge_input(exp::InputCoverageResult& dst, const exp::InputCoverageResult& src) {
+    if (dst.rows.empty()) {
+        dst.ea_names = src.ea_names;
+        dst.subset_names = src.subset_names;
+        for (const auto& row : src.rows) {
+            exp::InputCoverageRow empty;
+            empty.signal = row.signal;
+            dst.rows.push_back(std::move(empty));
+        }
+        dst.all.signal = src.all.signal;
+    }
+    if (dst.rows.size() != src.rows.size() || dst.ea_names != src.ea_names ||
+        dst.subset_names != src.subset_names) {
+        throw std::runtime_error("campaign: input-coverage subset mismatch while merging");
+    }
+    for (std::size_t r = 0; r < src.rows.size(); ++r) {
+        if (dst.rows[r].signal != src.rows[r].signal) {
+            throw std::runtime_error("campaign: input-coverage row order mismatch");
+        }
+        merge_coverage_row(dst.rows[r], src.rows[r]);
+    }
+    merge_coverage_row(dst.all, src.all);
+}
+
 void merge_recovery(exp::RecoveryResult& dst, const exp::RecoveryResult& src) {
     dst.runs += src.runs;
     dst.failures_baseline += src.failures_baseline;
@@ -163,6 +208,15 @@ ShardResult CampaignExecutor::run_shard(std::size_t shard) const {
                     sys, options, spec_.guarded_signals);
                 merge_recovery(result.recovery, recovery);
                 result.runs += recovery.runs;
+                break;
+            }
+            case CampaignKind::kInput: {
+                exp::InputCoverageOptions icopt;
+                icopt.campaign = options;
+                const exp::InputCoverageResult coverage =
+                    exp::input_coverage_experiment(sys, icopt, spec_.subsets);
+                merge_input(result.input, coverage);
+                result.runs += coverage.all.injected;
                 break;
             }
         }
@@ -387,6 +441,12 @@ exp::SevereCoverageResult CampaignExecutor::merged_severe() const {
 exp::RecoveryResult CampaignExecutor::merged_recovery() const {
     exp::RecoveryResult out;
     for (const ShardResult& shard : completed_) merge_recovery(out, shard.recovery);
+    return out;
+}
+
+exp::InputCoverageResult CampaignExecutor::merged_input() const {
+    exp::InputCoverageResult out;
+    for (const ShardResult& shard : completed_) merge_input(out, shard.input);
     return out;
 }
 

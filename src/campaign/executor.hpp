@@ -65,6 +65,7 @@ public:
         const model::SystemModel& system) const;
     [[nodiscard]] exp::SevereCoverageResult merged_severe() const;
     [[nodiscard]] exp::RecoveryResult merged_recovery() const;
+    [[nodiscard]] exp::InputCoverageResult merged_input() const;
 
 private:
     [[nodiscard]] ShardResult run_shard(std::size_t shard) const;

@@ -13,6 +13,7 @@ const char* to_string(CampaignKind kind) {
         case CampaignKind::kPermeability: return "permeability";
         case CampaignKind::kSevere: return "severe";
         case CampaignKind::kRecovery: return "recovery";
+        case CampaignKind::kInput: return "input";
     }
     return "permeability";
 }
@@ -21,6 +22,7 @@ CampaignKind campaign_kind_from_string(const std::string& s) {
     if (s == "permeability") return CampaignKind::kPermeability;
     if (s == "severe") return CampaignKind::kSevere;
     if (s == "recovery") return CampaignKind::kRecovery;
+    if (s == "input") return CampaignKind::kInput;
     throw std::runtime_error("unknown campaign kind '" + s + "'");
 }
 

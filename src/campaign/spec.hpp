@@ -20,6 +20,7 @@ enum class CampaignKind {
     kPermeability,  ///< Table 1: per-pair error permeability (error model A)
     kSevere,        ///< Fig 3: RAM/stack coverage under the severe model
     kRecovery,      ///< §extension: paired baseline/ERM severe runs
+    kInput,         ///< Table 4: EA-subset coverage for input errors (model A)
 };
 
 [[nodiscard]] const char* to_string(CampaignKind kind);

@@ -53,6 +53,21 @@ struct EaCost {
     return EaCost{};
 }
 
+/// Worst-case comparisons per violates() evaluation, the execution-time
+/// half of the placement cost model (the paper reports memory in Table 3;
+/// time overhead scales with the per-tick check count). Continuous: two
+/// bound checks, two rate checks and the two settled-band checks;
+/// monotonic: floor, direction and increment; discrete: membership plus
+/// transition lookup (counted with their mask extractions).
+[[nodiscard]] constexpr std::uint32_t check_cycles_of(EaType t) noexcept {
+    switch (t) {
+        case EaType::kContinuous: return 6;
+        case EaType::kMonotonic: return 3;
+        case EaType::kDiscrete: return 4;
+    }
+    return 0;
+}
+
 /// Allowed-behaviour parameters of one EA (the EA's "ROM contents").
 struct EaParams {
     EaType type = EaType::kContinuous;

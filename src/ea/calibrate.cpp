@@ -7,6 +7,20 @@
 namespace epea::ea {
 
 void EaCalibrator::add_trace(const runtime::Trace& trace, double settle_fraction) {
+    if (settle_fraction < 0.0 || settle_fraction > 1.0) {
+        throw std::invalid_argument("EaCalibrator: settle_fraction must be in [0,1]");
+    }
+    if (trace.length() == 0) {
+        throw std::invalid_argument(
+            "EaCalibrator: empty trace carries no envelope to calibrate from");
+    }
+    if (settle_fraction_ == kUnsetFraction) {
+        settle_fraction_ = settle_fraction;
+    } else if (std::abs(settle_fraction - settle_fraction_) > 1e-9) {
+        throw std::invalid_argument(
+            "EaCalibrator: settle_fraction differs from the one earlier traces "
+            "were folded with; the settled-band envelope would be inconsistent");
+    }
     if (envelopes_.empty()) envelopes_.resize(system_->signal_count());
     for (const model::SignalId sid : system_->all_signals()) {
         Envelope& env = envelopes_[sid.index()];
@@ -59,6 +73,12 @@ void EaCalibrator::add_trace(const runtime::Trace& trace, double settle_fraction
 
 EaParams EaCalibrator::calibrate(model::SignalId signal,
                                  const CalibrationMargins& m) const {
+    if (settle_fraction_ != kUnsetFraction &&
+        std::abs(m.settle_fraction - settle_fraction_) > 1e-9) {
+        throw std::invalid_argument(
+            "EaCalibrator: margins.settle_fraction does not match the fraction "
+            "the traces were folded with (add_trace)");
+    }
     if (envelopes_.empty() || !envelopes_[signal.index()].seen) {
         throw std::logic_error("EaCalibrator: no traces folded in for signal " +
                                system_->signal_name(signal));

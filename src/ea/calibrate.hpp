@@ -34,7 +34,11 @@ public:
     explicit EaCalibrator(const model::SystemModel& system) : system_(&system) {}
 
     /// Folds one golden-run trace into the per-signal envelopes.
-    /// `settle_fraction` must match the margins later used in calibrate().
+    /// `settle_fraction` must match the margins later used in calibrate();
+    /// the first call pins it and later calls (and calibrate()) with a
+    /// different fraction throw std::invalid_argument — the settled-band
+    /// envelope is only meaningful when every trace used the same split.
+    /// Empty traces are rejected the same way: they carry no envelope.
     void add_trace(const runtime::Trace& trace, double settle_fraction = 0.30);
 
     /// Produces parameters for an EA of the type implied by the signal's
@@ -47,6 +51,8 @@ public:
     [[nodiscard]] std::size_t trace_count() const noexcept { return traces_; }
 
 private:
+    static constexpr double kUnsetFraction = -1.0;
+
     struct Envelope {
         bool seen = false;
         std::int64_t min = 0;
@@ -66,6 +72,7 @@ private:
     const model::SystemModel* system_;
     std::vector<Envelope> envelopes_;
     std::size_t traces_ = 0;
+    double settle_fraction_ = kUnsetFraction;  ///< pinned by the first add_trace
 };
 
 }  // namespace epea::ea

@@ -133,6 +133,18 @@ std::vector<model::SignalId> selected_signals(
     return out;
 }
 
+std::vector<model::SignalId> ea_candidate_signals(const model::SystemModel& system,
+                                                  bool veto_boolean) {
+    std::vector<model::SignalId> out;
+    for (const model::SignalId s : system.all_signals()) {
+        const auto& spec = system.signal(s);
+        if (spec.role == model::SignalRole::kSystemInput) continue;
+        if (veto_boolean && spec.kind == model::SignalKind::kBoolean) continue;
+        out.push_back(s);
+    }
+    return out;
+}
+
 std::vector<std::string> arrestment_eh_signal_names() {
     // §5.1: selected by the four-step experience/heuristic process before
     // the propagation framework existed.

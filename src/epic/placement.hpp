@@ -79,4 +79,13 @@ struct ExtendedOptions {
 /// SetValue, IsValue, i, pulscnt, ms_slot_nbr, mscnt, OutValue.
 [[nodiscard]] std::vector<std::string> arrestment_eh_signal_names();
 
+/// The full pool of signals that could host an EA at all — every signal
+/// that survives the structural vetoes of pa_placement (not a raw system
+/// input, not boolean when the veto is on), regardless of its exposure.
+/// This is the search space of the placement optimizer (src/opt/): the
+/// threshold rules above pick one point from it, the optimizer explores
+/// the whole subset lattice.
+[[nodiscard]] std::vector<model::SignalId> ea_candidate_signals(
+    const model::SystemModel& system, bool veto_boolean = true);
+
 }  // namespace epea::epic

@@ -85,11 +85,12 @@ InputCoverageResult input_coverage_experiment(target::ArrestmentSystem& sys,
                                               const std::vector<SubsetSpec>& subsets) {
     const auto& system = sys.system();
     const auto cases = target::standard_test_cases();
-    const std::size_t case_count = std::min(options.campaign.case_count, cases.size());
+    const std::size_t case_first = std::min(options.campaign.case_first, cases.size());
+    const std::size_t case_count =
+        std::min(options.campaign.case_count, cases.size() - case_first);
 
     sys.sim().clear_monitors();
     fi::Injector injector(sys.sim());
-    util::Rng time_rng(0xc0ffeeULL);
 
     // Bank built once; parameters recalibrated per test case.
     InputCoverageResult result;
@@ -112,12 +113,17 @@ InputCoverageResult input_coverage_experiment(target::ArrestmentSystem& sys,
     ea::EaBank bank;
     std::vector<std::vector<std::size_t>> subset_indices;
 
-    for (std::size_t c = 0; c < case_count; ++c) {
+    for (std::size_t c = case_first; c < case_first + case_count; ++c) {
+        // Injection-time stream keyed by the *global* case index (like the
+        // severe/recovery campaigns): any case window reproduces the same
+        // per-case injection moments as the full sequential campaign, which
+        // is what lets the sharded campaign executor split this experiment.
+        util::Rng time_rng(0xc0ffeeULL + static_cast<std::uint64_t>(c) * 0x9e3779b9ULL);
         sys.configure(cases[c]);
         injector.disarm();
         const fi::GoldenRun gr = fi::capture_golden_run(sys.sim(), options.campaign.max_ticks);
 
-        if (c == 0) {
+        if (c == case_first) {
             std::vector<runtime::Trace> traces{gr.trace};
             bank = make_calibrated_bank(system, traces, options.campaign.ea_margins);
             bank.arm(sys.sim());

@@ -104,6 +104,10 @@ struct InputCoverageOptions {
     std::vector<std::string> target_signals{"PACNT", "TIC1", "TCNT"};
 };
 
+/// Honours options.campaign.case_first/case_count windowing with
+/// injection-time streams keyed by the global case index, so shard windows
+/// merge bit-identically to a sequential run (the property the campaign
+/// executor's kInput kind relies on).
 [[nodiscard]] InputCoverageResult input_coverage_experiment(
     target::ArrestmentSystem& sys, const InputCoverageOptions& options,
     const std::vector<SubsetSpec>& subsets);

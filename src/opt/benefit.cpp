@@ -1,0 +1,74 @@
+#include "opt/benefit.hpp"
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "epic/paths.hpp"
+
+namespace epea::opt {
+
+double visibility(const epic::PermeabilityMatrix& pm, model::SignalId source,
+                  model::SignalId observer) {
+    if (source == observer) return 1.0;
+    // Maximal forward paths share prefixes; collect the *distinct*
+    // prefixes ending at the observer so a shared prefix is composed once.
+    std::set<std::vector<std::size_t>> seen;
+    double survive = 1.0;
+    for (const epic::PropPath& path : epic::forward_paths(pm, source)) {
+        for (std::size_t n = 0; n < path.edges.size(); ++n) {
+            if (path.edges[n].to != observer) continue;
+            std::vector<std::size_t> signature;
+            double weight = 1.0;
+            for (std::size_t e = 0; e <= n; ++e) {
+                signature.push_back(path.edges[e].module.index());
+                signature.push_back(path.edges[e].in_port);
+                signature.push_back(path.edges[e].out_port);
+                weight *= path.edges[e].permeability;
+            }
+            if (seen.insert(std::move(signature)).second) {
+                survive *= 1.0 - weight;
+            }
+            break;  // a path never revisits a signal
+        }
+    }
+    return 1.0 - survive;
+}
+
+AnalyticBenefit::AnalyticBenefit(const epic::PermeabilityMatrix& pm, ErrorModel model,
+                                 std::vector<model::SignalId> candidates)
+    : candidates_(std::move(candidates)) {
+    if (candidates_.empty()) {
+        throw std::invalid_argument("AnalyticBenefit: no candidate locations");
+    }
+    const model::SystemModel& system = pm.system();
+    const std::vector<model::SignalId> sites =
+        model == ErrorModel::kInput
+            ? system.signals_with_role(model::SignalRole::kSystemInput)
+            : system.all_signals();
+
+    detect_.reserve(sites.size());
+    for (const model::SignalId site : sites) {
+        std::vector<double>& row = detect_.emplace_back();
+        row.reserve(candidates_.size());
+        for (const model::SignalId cand : candidates_) {
+            row.push_back(visibility(pm, site, cand));
+        }
+    }
+}
+
+double AnalyticBenefit::coverage(const std::vector<std::size_t>& subset) const {
+    ++evaluations_;
+    if (detect_.empty()) return 0.0;
+    double sum = 0.0;
+    for (const std::vector<double>& row : detect_) {
+        double miss = 1.0;
+        for (const std::size_t c : subset) {
+            miss *= 1.0 - row.at(c);
+        }
+        sum += 1.0 - miss;
+    }
+    return sum / static_cast<double>(detect_.size());
+}
+
+}  // namespace epea::opt

@@ -1,0 +1,59 @@
+// Fast analytic benefit estimator. Instead of running a fault-injection
+// campaign per candidate subset, it composes the epic propagation
+// measures: the probability that an EA at candidate location c detects an
+// error born at site e is approximated by the error's *visibility* at c —
+// the Eq.-2-style composition over the prefixes of forward propagation
+// paths that reach c (impact() itself only credits paths *terminating*
+// at the sink, which is correct for system outputs but scores an EA on
+// an intermediate signal as zero). A subset's coverage is then the mean,
+// over the error sites of the chosen model, of the probability that at
+// least one selected location sees the error:
+//
+//   coverage(S) = mean_e [ 1 - prod_{c in S} (1 - D[e][c]) ]
+//
+// The independence assumption across locations mirrors the paper's own
+// caveat for impact (§8): the estimate is a *ranking* device for search,
+// to be confirmed by the campaign-backed ground-truth evaluator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "epic/matrix.hpp"
+#include "opt/types.hpp"
+
+namespace epea::opt {
+
+/// Probability that an error born at `source` becomes visible at
+/// `observer`: 1 - prod over the distinct forward-path prefixes from
+/// source to observer of (1 - prefix weight). `source == observer` is
+/// the degenerate 1.0; 0 when no path reaches the observer.
+[[nodiscard]] double visibility(const epic::PermeabilityMatrix& pm,
+                                model::SignalId source, model::SignalId observer);
+
+class AnalyticBenefit {
+public:
+    /// Precomputes D[site][candidate] for every error site of `model`
+    /// (input model: system-input signals; severe model: every signal,
+    /// since RAM flips can corrupt any of them). The matrix (and its
+    /// system) must outlive this object.
+    AnalyticBenefit(const epic::PermeabilityMatrix& pm, ErrorModel model,
+                    std::vector<model::SignalId> candidates);
+
+    /// Estimated coverage of a subset, given as indices into candidates().
+    [[nodiscard]] double coverage(const std::vector<std::size_t>& subset) const;
+
+    [[nodiscard]] const std::vector<model::SignalId>& candidates() const noexcept {
+        return candidates_;
+    }
+    [[nodiscard]] std::size_t site_count() const noexcept { return detect_.size(); }
+    /// Number of coverage() calls served (search-effort metric).
+    [[nodiscard]] std::size_t evaluations() const noexcept { return evaluations_; }
+
+private:
+    std::vector<model::SignalId> candidates_;
+    std::vector<std::vector<double>> detect_;  // [site][candidate]
+    mutable std::size_t evaluations_ = 0;
+};
+
+}  // namespace epea::opt

@@ -1,0 +1,52 @@
+#include "opt/cost.hpp"
+
+#include <stdexcept>
+
+#include "ea/assertion.hpp"
+
+namespace epea::opt {
+
+void CostModel::set(const std::string& signal, PlacementCost cost) {
+    costs_[signal] = cost;
+}
+
+PlacementCost CostModel::of(const std::string& signal) const {
+    const auto it = costs_.find(signal);
+    if (it == costs_.end()) {
+        throw std::out_of_range("CostModel: no cost entry for signal '" + signal + "'");
+    }
+    return it->second;
+}
+
+bool CostModel::has(const std::string& signal) const {
+    return costs_.find(signal) != costs_.end();
+}
+
+PlacementCost CostModel::subset_cost(const std::vector<std::string>& signals) const {
+    PlacementCost total;
+    for (const std::string& s : signals) total = total + of(s);
+    return total;
+}
+
+CostModel CostModel::from_signal_kinds(const model::SystemModel& system,
+                                       const std::vector<model::SignalId>& signals) {
+    CostModel cm;
+    for (const model::SignalId id : signals) {
+        const model::SignalSpec& spec = system.signal(id);
+        ea::EaType type;
+        switch (spec.kind) {
+            case model::SignalKind::kContinuous: type = ea::EaType::kContinuous; break;
+            case model::SignalKind::kMonotonic: type = ea::EaType::kMonotonic; break;
+            case model::SignalKind::kDiscrete: type = ea::EaType::kDiscrete; break;
+            case model::SignalKind::kBoolean:
+                continue;  // no EA type guards boolean signals (§5.1)
+        }
+        const ea::EaCost bytes = ea::cost_of(type);
+        cm.set(spec.name,
+               PlacementCost{static_cast<double>(bytes.rom + bytes.ram),
+                             static_cast<double>(ea::check_cycles_of(type))});
+    }
+    return cm;
+}
+
+}  // namespace epea::opt

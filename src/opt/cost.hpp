@@ -1,0 +1,65 @@
+// The cost half of the placement-optimization problem. Every EA location
+// carries a two-dimensional cost — memory (ROM + RAM bytes, the Table-3
+// resource data) and execution time (worst-case comparisons per tick) —
+// and a placement's cost is the sum over its locations. Budgets bound
+// the subset search per dimension.
+#pragma once
+
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/system_model.hpp"
+
+namespace epea::opt {
+
+/// Cost of one EA location (or a whole placement) in both dimensions.
+struct PlacementCost {
+    double memory = 0.0;  ///< ROM + RAM bytes (Table 3)
+    double time = 0.0;    ///< worst-case comparisons per tick
+
+    /// Scalar used where a single ordering is needed (greedy density,
+    /// reports). Bytes and comparisons are deliberately weighted 1:1 —
+    /// both dimensions are small integers of comparable magnitude per EA.
+    [[nodiscard]] double total() const noexcept { return memory + time; }
+
+    friend PlacementCost operator+(PlacementCost a, PlacementCost b) noexcept {
+        return PlacementCost{a.memory + b.memory, a.time + b.time};
+    }
+};
+
+/// Per-dimension upper bounds; default is unbounded.
+struct CostBudget {
+    double memory = std::numeric_limits<double>::infinity();
+    double time = std::numeric_limits<double>::infinity();
+
+    [[nodiscard]] bool admits(const PlacementCost& cost) const noexcept {
+        return cost.memory <= memory && cost.time <= time;
+    }
+};
+
+/// Signal-name -> cost table.
+class CostModel {
+public:
+    void set(const std::string& signal, PlacementCost cost);
+    /// Throws std::out_of_range for signals without a cost entry.
+    [[nodiscard]] PlacementCost of(const std::string& signal) const;
+    [[nodiscard]] bool has(const std::string& signal) const;
+    [[nodiscard]] PlacementCost subset_cost(const std::vector<std::string>& signals) const;
+    [[nodiscard]] std::size_t size() const noexcept { return costs_.size(); }
+
+    /// Costs derived from the declared signal kinds: an EA guarding a
+    /// continuous/monotonic/discrete signal is of the corresponding EA
+    /// type, whose footprint (ea::cost_of) and check count
+    /// (ea::check_cycles_of) are fixed — placement cost depends on the
+    /// location's type, not on the calibrated parameters. Boolean signals
+    /// are skipped (no boolean EA exists).
+    [[nodiscard]] static CostModel from_signal_kinds(
+        const model::SystemModel& system, const std::vector<model::SignalId>& signals);
+
+private:
+    std::map<std::string, PlacementCost> costs_;
+};
+
+}  // namespace epea::opt

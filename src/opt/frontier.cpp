@@ -1,0 +1,163 @@
+#include "opt/frontier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "campaign/json.hpp"
+#include "opt/types.hpp"
+
+namespace epea::opt {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+bool dominates(const FrontierPoint& a, const FrontierPoint& b) {
+    const bool ge_cov = a.coverage >= b.coverage - kEps;
+    const bool le_mem = a.cost.memory <= b.cost.memory + kEps;
+    const bool le_time = a.cost.time <= b.cost.time + kEps;
+    if (!(ge_cov && le_mem && le_time)) return false;
+    return a.coverage > b.coverage + kEps || a.cost.memory < b.cost.memory - kEps ||
+           a.cost.time < b.cost.time - kEps;
+}
+
+void mark_frontier(std::vector<FrontierPoint>& points) {
+    for (FrontierPoint& p : points) {
+        p.on_frontier = true;
+        for (const FrontierPoint& q : points) {
+            if (&q != &p && dominates(q, p)) {
+                p.on_frontier = false;
+                break;
+            }
+        }
+    }
+}
+
+double coverage_slack(const std::vector<FrontierPoint>& points, const FrontierPoint& p) {
+    double best = p.coverage;
+    for (const FrontierPoint& q : points) {
+        if (!q.on_frontier) continue;
+        if (q.cost.memory <= p.cost.memory + kEps && q.cost.time <= p.cost.time + kEps) {
+            best = std::max(best, q.coverage);
+        }
+    }
+    return best - p.coverage;
+}
+
+std::vector<FrontierPoint> Frontier::frontier_points() const {
+    std::vector<FrontierPoint> out;
+    for (const FrontierPoint& p : points) {
+        if (p.on_frontier) out.push_back(p);
+    }
+    std::sort(out.begin(), out.end(), [](const FrontierPoint& a, const FrontierPoint& b) {
+        if (a.cost.memory != b.cost.memory) return a.cost.memory < b.cost.memory;
+        return a.coverage < b.coverage;
+    });
+    return out;
+}
+
+Frontier enumerate_frontier(const std::vector<Candidate>& candidates,
+                            const BenefitFn& benefit, std::size_t max_candidates) {
+    const std::size_t n = candidates.size();
+    if (n > max_candidates) {
+        throw std::invalid_argument(
+            "enumerate_frontier: " + std::to_string(n) + " candidates exceed " +
+            std::to_string(max_candidates) + " (2^n subsets infeasible)");
+    }
+    Frontier result;
+    const std::size_t total = (std::size_t{1} << n) - 1;
+    result.points.reserve(total);
+    for (std::size_t mask = 1; mask <= total; ++mask) {
+        FrontierPoint p;
+        std::vector<std::size_t> subset;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (mask & (std::size_t{1} << i)) {
+                subset.push_back(i);
+                p.signals.push_back(candidates[i].name);
+                p.cost = p.cost + candidates[i].cost;
+            }
+        }
+        p.coverage = benefit(subset);
+        result.points.push_back(std::move(p));
+    }
+    mark_frontier(result.points);
+    return result;
+}
+
+void write_frontier_csv(std::ostream& os, const Frontier& frontier) {
+    os << "subset,label,size,coverage,memory,time,on_frontier\n";
+    for (const FrontierPoint& p : frontier.points) {
+        os << canonical_subset(p.signals) << ',' << p.label << ',' << p.signals.size()
+           << ',' << p.coverage << ',' << p.cost.memory << ',' << p.cost.time << ','
+           << (p.on_frontier ? 1 : 0) << '\n';
+    }
+}
+
+void write_frontier_json(std::ostream& os, const Frontier& frontier) {
+    campaign::JsonArray points;
+    for (const FrontierPoint& p : frontier.points) {
+        campaign::JsonObject o;
+        campaign::JsonArray signals;
+        for (const std::string& s : p.signals) signals.emplace_back(s);
+        o["signals"] = std::move(signals);
+        if (!p.label.empty()) o["label"] = p.label;
+        o["coverage"] = p.coverage;
+        o["memory"] = p.cost.memory;
+        o["time"] = p.cost.time;
+        o["on_frontier"] = p.on_frontier;
+        points.emplace_back(std::move(o));
+    }
+    campaign::JsonObject root;
+    root["points"] = std::move(points);
+    os << campaign::JsonValue(std::move(root)).dump() << '\n';
+}
+
+void write_frontier_dot(std::ostream& os, const Frontier& frontier,
+                        const std::string& title) {
+    // Scatter in (memory, coverage) space rendered with pinned node
+    // positions — the same neato-based convention as fig5/fig6.
+    double max_mem = 1.0;
+    for (const FrontierPoint& p : frontier.points) {
+        max_mem = std::max(max_mem, p.cost.memory);
+    }
+    const double x_scale = 8.0 / max_mem;  // inches
+    const double y_scale = 5.0;
+
+    os << "graph frontier {\n";
+    os << "  label=\"" << title << "\";\n";
+    os << "  labelloc=top;\n";
+    os << "  node [shape=circle, width=0.12, fixedsize=true, label=\"\"];\n";
+
+    std::size_t id = 0;
+    std::vector<std::pair<double, std::size_t>> frontier_order;
+    for (const FrontierPoint& p : frontier.points) {
+        const double x = p.cost.memory * x_scale;
+        const double y = p.coverage * y_scale;
+        os << "  p" << id << " [pos=\"" << x << ',' << y << "!\"";
+        if (p.on_frontier) {
+            os << ", style=filled, fillcolor=black";
+            frontier_order.emplace_back(p.cost.memory, id);
+        } else {
+            os << ", color=gray60";
+        }
+        if (!p.label.empty()) {
+            os << ", xlabel=\"" << p.label << "\", shape=doublecircle, width=0.16";
+        }
+        os << "];\n";
+        ++id;
+    }
+
+    std::sort(frontier_order.begin(), frontier_order.end());
+    for (std::size_t i = 1; i < frontier_order.size(); ++i) {
+        os << "  p" << frontier_order[i - 1].second << " -- p"
+           << frontier_order[i].second << " [color=black];\n";
+    }
+
+    os << "  // axes: x = memory [bytes] (max " << max_mem << "), y = coverage\n";
+    os << "}\n";
+}
+
+}  // namespace epea::opt

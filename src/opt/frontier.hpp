@@ -1,0 +1,63 @@
+// Pareto-frontier enumeration over coverage (maximize), memory and
+// execution time (minimize). For small candidate counts the full subset
+// lattice is enumerated and every non-dominated point marked; reference
+// placements (the paper's EH/PA/§10-extended sets) are labelled so the
+// paper's cost-effectiveness claims can be read directly off the
+// frontier. Export formats: CSV, JSON and Graphviz .dot (plotted
+// alongside fig5/fig6).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "opt/search.hpp"
+
+namespace epea::opt {
+
+struct FrontierPoint {
+    /// Non-empty for labelled reference placements ("EH-set", ...).
+    std::string label;
+    std::vector<std::string> signals;
+    double coverage = 0.0;
+    PlacementCost cost;
+    bool on_frontier = false;
+};
+
+/// True when `a` is at least as good as `b` in all three objectives and
+/// strictly better in at least one.
+[[nodiscard]] bool dominates(const FrontierPoint& a, const FrontierPoint& b);
+
+/// Sets on_frontier on every non-dominated point.
+void mark_frontier(std::vector<FrontierPoint>& points);
+
+/// How far below the frontier `p` sits: the best coverage achieved by any
+/// frontier point that costs no more than `p` (both dimensions), minus
+/// p's coverage. <= 0 means no cheaper-or-equal point covers more; a
+/// small positive slack means "near the frontier" (the tolerance the
+/// validation applies to the paper's EH/PA sets).
+[[nodiscard]] double coverage_slack(const std::vector<FrontierPoint>& points,
+                                    const FrontierPoint& p);
+
+struct Frontier {
+    std::vector<FrontierPoint> points;
+
+    /// The non-dominated points, sorted by ascending memory cost.
+    [[nodiscard]] std::vector<FrontierPoint> frontier_points() const;
+};
+
+/// Enumerates every non-empty subset of `candidates` (2^n - 1 points;
+/// throws std::invalid_argument beyond max_candidates) and marks the
+/// frontier. `benefit` is called once per subset.
+[[nodiscard]] Frontier enumerate_frontier(const std::vector<Candidate>& candidates,
+                                          const BenefitFn& benefit,
+                                          std::size_t max_candidates = 16);
+
+void write_frontier_csv(std::ostream& os, const Frontier& frontier);
+void write_frontier_json(std::ostream& os, const Frontier& frontier);
+/// Graphviz scatter of memory (x) vs coverage (y): frontier points
+/// filled, reference sets labelled, frontier polyline drawn in cost order.
+void write_frontier_dot(std::ostream& os, const Frontier& frontier,
+                        const std::string& title);
+
+}  // namespace epea::opt

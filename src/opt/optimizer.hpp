@@ -1,0 +1,98 @@
+// PlacementOptimizer — the subsystem facade tying cost model, benefit
+// model and search together (DESIGN.md §8). Construct one of:
+//
+//  - analytic(pm, model):    benefits from the fast compositional
+//                            estimator over a permeability matrix;
+//  - ground_truth(options):  benefits measured by sharded fault-injection
+//                            campaigns, memoized on disk.
+//
+// and ask for a budgeted optimum (optimize), the full Pareto frontier
+// (frontier), or a report validating the paper's placements against the
+// frontier (explain).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "epic/matrix.hpp"
+#include "opt/benefit.hpp"
+#include "opt/evaluator.hpp"
+#include "opt/frontier.hpp"
+#include "opt/search.hpp"
+
+namespace epea::opt {
+
+/// A named placement from the paper, for labelling frontier points.
+struct ReferenceSet {
+    std::string label;
+    std::vector<std::string> signals;
+};
+
+/// The paper's placements on the arrestment target: the heuristic EH-set
+/// (§5.1), the propagation-analysis PA-set (§5.3) and the §10 extended
+/// set (PA plus the globally-exposed ms_slot_nbr).
+[[nodiscard]] std::vector<ReferenceSet> arrestment_reference_sets();
+
+class PlacementOptimizer {
+public:
+    /// Analytic benefits over `pm` for the EA-carrying signals of the
+    /// arrestment target. `pm` must outlive the optimizer.
+    [[nodiscard]] static PlacementOptimizer analytic(const epic::PermeabilityMatrix& pm,
+                                                     ErrorModel model);
+
+    /// Analytic benefits over `pm` for an explicit candidate list (used
+    /// for synthetic systems, where candidates come from
+    /// epic::ea_candidate_signals).
+    [[nodiscard]] static PlacementOptimizer analytic(
+        const epic::PermeabilityMatrix& pm, ErrorModel model,
+        const std::vector<model::SignalId>& candidates);
+
+    /// Campaign-backed benefits, cached under options.dir.
+    [[nodiscard]] static PlacementOptimizer ground_truth(EvaluatorOptions options);
+
+    [[nodiscard]] const std::vector<Candidate>& candidates() const noexcept {
+        return candidates_;
+    }
+
+    /// Benefit of an explicit placement (signal names).
+    [[nodiscard]] double coverage(const std::vector<std::string>& signals);
+
+    /// Best placement within the budget: exact branch-and-bound when the
+    /// candidate count allows it, greedy marginal-gain-per-cost beyond.
+    [[nodiscard]] SearchResult optimize(const SearchOptions& options = {});
+
+    /// Full subset-lattice Pareto frontier, with the paper's reference
+    /// sets labelled where they appear. Ground-truth mode batches every
+    /// uncached subset into a single campaign.
+    [[nodiscard]] Frontier frontier();
+
+    /// Human-readable frontier report: each reference set's coverage,
+    /// cost, frontier membership and coverage slack (distance below the
+    /// frontier at its own cost), plus the PA/EH cost ratio the paper's
+    /// ~40 % resource-saving claim rests on.
+    [[nodiscard]] std::string explain(const Frontier& frontier) const;
+
+    /// Campaigns run so far (always 0 in analytic mode).
+    [[nodiscard]] std::size_t campaigns_executed() const noexcept {
+        return evaluator_ ? evaluator_->campaigns_executed() : 0;
+    }
+    [[nodiscard]] CampaignEvaluator* evaluator() noexcept { return evaluator_.get(); }
+
+private:
+    PlacementOptimizer() = default;
+
+    /// In ground-truth mode, measure the whole lattice in one campaign so
+    /// subsequent benefit lookups are pure cache reads.
+    void ensure_ground_truth_lattice();
+    [[nodiscard]] BenefitFn benefit_fn();
+
+    std::vector<Candidate> candidates_;
+    std::shared_ptr<AnalyticBenefit> analytic_;
+    std::shared_ptr<CampaignEvaluator> evaluator_;
+    /// canonical subset -> measured coverage (ground-truth mode).
+    std::map<std::string, double> measured_;
+    bool lattice_measured_ = false;
+};
+
+}  // namespace epea::opt

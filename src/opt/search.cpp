@@ -1,0 +1,156 @@
+#include "opt/search.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace epea::opt {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+PlacementCost cost_of_indices(const std::vector<Candidate>& candidates,
+                              const std::vector<std::size_t>& subset) {
+    PlacementCost total;
+    for (const std::size_t i : subset) total = total + candidates.at(i).cost;
+    return total;
+}
+
+}  // namespace
+
+std::vector<std::string> SearchResult::selected_names(
+    const std::vector<Candidate>& candidates) const {
+    std::vector<std::string> names;
+    names.reserve(selected.size());
+    for (const std::size_t i : selected) names.push_back(candidates.at(i).name);
+    return names;
+}
+
+SearchResult greedy_search(const std::vector<Candidate>& candidates,
+                           const BenefitFn& benefit, const SearchOptions& options) {
+    SearchResult result;
+    std::vector<bool> taken(candidates.size(), false);
+    double current = 0.0;
+
+    for (;;) {
+        std::size_t best = candidates.size();
+        double best_density = 0.0;
+        double best_coverage = current;
+
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+            if (taken[i]) continue;
+            const PlacementCost with = result.cost + candidates[i].cost;
+            if (!options.budget.admits(with)) continue;
+
+            std::vector<std::size_t> trial = result.selected;
+            trial.insert(std::lower_bound(trial.begin(), trial.end(), i), i);
+            const double cov = benefit(trial);
+            ++result.evaluations;
+
+            const double gain = cov - current;
+            if (gain < options.min_gain) continue;
+            // Marginal gain per unit scalar cost; a zero-cost candidate
+            // with positive gain is always worth taking.
+            const double denom = std::max(candidates[i].cost.total(), kEps);
+            const double density = gain / denom;
+            if (density > best_density + kEps ||
+                (density > best_density - kEps && cov > best_coverage + kEps)) {
+                best = i;
+                best_density = density;
+                best_coverage = cov;
+            }
+        }
+
+        if (best == candidates.size()) break;
+        taken[best] = true;
+        result.selected.insert(
+            std::lower_bound(result.selected.begin(), result.selected.end(), best),
+            best);
+        result.cost = result.cost + candidates[best].cost;
+        current = best_coverage;
+    }
+
+    result.coverage = current;
+    result.exact = false;
+    return result;
+}
+
+namespace {
+
+struct BnbState {
+    const std::vector<Candidate>* candidates = nullptr;
+    const BenefitFn* benefit = nullptr;
+    const SearchOptions* options = nullptr;
+    std::vector<std::size_t> chosen;
+    SearchResult best;
+    std::size_t evaluations = 0;
+
+    double eval(const std::vector<std::size_t>& subset) {
+        ++evaluations;
+        return (*benefit)(subset);
+    }
+
+    // Optimistic bound at a node: the coverage of (chosen so far) plus
+    // every not-yet-decided candidate that individually still fits the
+    // residual budget. Monotonicity makes this an upper bound on any
+    // completion of the node.
+    double bound(std::size_t next, const PlacementCost& cost) {
+        std::vector<std::size_t> optimistic = chosen;
+        for (std::size_t i = next; i < candidates->size(); ++i) {
+            if (options->budget.admits(cost + (*candidates)[i].cost)) {
+                optimistic.push_back(i);
+            }
+        }
+        std::sort(optimistic.begin(), optimistic.end());
+        return eval(optimistic);
+    }
+
+    void visit(std::size_t next, const PlacementCost& cost) {
+        const double cov = eval(chosen);
+        const bool better = cov > best.coverage + kEps;
+        const bool tie_cheaper = cov > best.coverage - kEps &&
+                                 cost.total() < best.cost.total() - kEps;
+        if (better || tie_cheaper) {
+            best.selected = chosen;
+            std::sort(best.selected.begin(), best.selected.end());
+            best.coverage = cov;
+            best.cost = cost;
+        }
+        if (next >= candidates->size()) return;
+        if (bound(next, cost) <= best.coverage + kEps) return;  // prune
+
+        const PlacementCost with = cost + (*candidates)[next].cost;
+        if (options->budget.admits(with)) {
+            chosen.push_back(next);
+            visit(next + 1, with);
+            chosen.pop_back();
+        }
+        visit(next + 1, cost);
+    }
+};
+
+}  // namespace
+
+SearchResult branch_and_bound(const std::vector<Candidate>& candidates,
+                              const BenefitFn& benefit, const SearchOptions& options) {
+    if (candidates.size() > options.max_exact_candidates) {
+        throw std::invalid_argument(
+            "branch_and_bound: " + std::to_string(candidates.size()) +
+            " candidates exceed max_exact_candidates=" +
+            std::to_string(options.max_exact_candidates) +
+            " (2^n lattice infeasible; use greedy_search)");
+    }
+    BnbState state;
+    state.candidates = &candidates;
+    state.benefit = &benefit;
+    state.options = &options;
+    state.best.coverage = -1.0;  // so the empty set is recorded first
+    state.visit(0, PlacementCost{});
+    state.best.evaluations = state.evaluations;
+    state.best.exact = true;
+    if (state.best.coverage < 0.0) state.best.coverage = 0.0;
+    return state.best;
+}
+
+}  // namespace epea::opt

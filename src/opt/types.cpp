@@ -1,0 +1,33 @@
+#include "opt/types.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace epea::opt {
+
+const char* to_string(ErrorModel model) {
+    switch (model) {
+        case ErrorModel::kInput: return "input";
+        case ErrorModel::kSevere: return "severe";
+    }
+    return "?";
+}
+
+ErrorModel error_model_from_string(const std::string& s) {
+    if (s == "input") return ErrorModel::kInput;
+    if (s == "severe") return ErrorModel::kSevere;
+    throw std::runtime_error("unknown error model: '" + s +
+                             "' (expected 'input' or 'severe')");
+}
+
+std::string canonical_subset(std::vector<std::string> signals) {
+    std::sort(signals.begin(), signals.end());
+    std::string out;
+    for (std::size_t i = 0; i < signals.size(); ++i) {
+        if (i) out += '+';
+        out += signals[i];
+    }
+    return out;
+}
+
+}  // namespace epea::opt

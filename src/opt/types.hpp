@@ -1,0 +1,25 @@
+// Shared vocabulary of the placement optimizer: which error model a
+// benefit is measured under, and the canonical (order-independent) string
+// form of an EA-location subset used as cache key and report label.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace epea::opt {
+
+/// The error models the optimizer can price a placement against (§4.1 /
+/// §7 of the paper): input — single bit flips in system input signals
+/// (error model A, Table 4); severe — periodic bit flips anywhere in RAM
+/// and stack (Fig 3, the §10 motivation).
+enum class ErrorModel : std::uint8_t { kInput, kSevere };
+
+[[nodiscard]] const char* to_string(ErrorModel model);
+[[nodiscard]] ErrorModel error_model_from_string(const std::string& s);
+
+/// Sorted, "+"-joined signal names: the identity of a subset regardless
+/// of selection order. Used for cache keys and display.
+[[nodiscard]] std::string canonical_subset(std::vector<std::string> signals);
+
+}  // namespace epea::opt

@@ -44,6 +44,18 @@ void RunningStats::merge(const RunningStats& other) noexcept {
     max_ = std::max(max_, other.max_);
 }
 
+RunningStats RunningStats::restore(std::size_t n, double mean, double m2, double sum,
+                                   double min, double max) noexcept {
+    RunningStats s;
+    s.n_ = n;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.sum_ = sum;
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+}
+
 Proportion wilson_interval(std::uint64_t hits, std::uint64_t trials, double z) noexcept {
     Proportion p{.hits = hits, .trials = trials};
     if (trials == 0) return p;

@@ -28,6 +28,16 @@ public:
     /// Merges another accumulator into this one (parallel-friendly).
     void merge(const RunningStats& other) noexcept;
 
+    /// Second central moment sum (n * population variance). Together with
+    /// count/mean/sum/min/max this is the full accumulator state, so a
+    /// checkpointed accumulator can be restored losslessly.
+    [[nodiscard]] double m2() const noexcept { return m2_; }
+
+    /// Rebuilds an accumulator from persisted state (see m2()).
+    [[nodiscard]] static RunningStats restore(std::size_t n, double mean, double m2,
+                                              double sum, double min,
+                                              double max) noexcept;
+
 private:
     std::size_t n_ = 0;
     double mean_ = 0.0;

@@ -197,6 +197,67 @@ TEST(Calibrator, BooleanSignalRejected) {
                  std::logic_error);
 }
 
+TEST(Calibrator, EmptyTraceRejected) {
+    target::ArrestmentSystem sys;
+    EaCalibrator cal(sys.system());
+    const runtime::Trace empty(sys.system().signal_count());
+    EXPECT_THROW(cal.add_trace(empty), std::invalid_argument);
+    EXPECT_EQ(cal.trace_count(), 0U);
+}
+
+TEST(Calibrator, SingleSampleTraceIsDeterministic) {
+    // A single-tick trace has no deltas: rate/increment envelopes stay
+    // degenerate and calibration is well-defined, not UB.
+    target::ArrestmentSystem sys;
+    sys.configure(target::standard_test_cases()[12]);
+    const fi::GoldenRun one = fi::capture_golden_run(sys.sim(), 1);
+    ASSERT_GE(one.trace.length(), 1U);
+
+    EaCalibrator cal(sys.system());
+    cal.add_trace(one.trace);
+    EXPECT_EQ(cal.trace_count(), 1U);
+
+    const auto sid = sys.system().signal_id("SetValue");
+    const EaParams a = cal.calibrate(sid);
+    const EaParams b = cal.calibrate(sid);
+    // Deterministic across repeated calibrations...
+    EXPECT_EQ(a.min, b.min);
+    EXPECT_EQ(a.max, b.max);
+    EXPECT_EQ(a.max_rate_up, b.max_rate_up);
+    // ...with the envelope covering the observed sample.
+    const auto v = static_cast<std::int64_t>(one.trace.series(sid)[0]);
+    EXPECT_LE(a.min, v);
+    EXPECT_GE(a.max, v);
+}
+
+TEST(Calibrator, SettleFractionOutOfRangeRejected) {
+    CalibratedFixture f;
+    EaCalibrator cal(f.sys.system());
+    EXPECT_THROW(cal.add_trace(f.gr.trace, -0.1), std::invalid_argument);
+    EXPECT_THROW(cal.add_trace(f.gr.trace, 1.5), std::invalid_argument);
+}
+
+TEST(Calibrator, SettleFractionMismatchRejected) {
+    CalibratedFixture f;
+
+    // Mismatch between two add_trace calls: the first call pins it.
+    EaCalibrator cal(f.sys.system());
+    cal.add_trace(f.gr.trace, 0.30);
+    EXPECT_THROW(cal.add_trace(f.gr.trace, 0.50), std::invalid_argument);
+    cal.add_trace(f.gr.trace, 0.30);  // matching fraction still accepted
+    EXPECT_EQ(cal.trace_count(), 2U);
+
+    // Mismatch between add_trace and calibrate margins: rejected too —
+    // the settled band was computed over a different suffix.
+    CalibrationMargins margins;
+    margins.settle_fraction = 0.50;
+    EXPECT_THROW((void)cal.calibrate(f.sys.system().signal_id("SetValue"), margins),
+                 std::invalid_argument);
+    margins.settle_fraction = 0.30;
+    EXPECT_EQ(cal.calibrate(f.sys.system().signal_id("SetValue"), margins).type,
+              EaType::kContinuous);
+}
+
 TEST(Calibrator, NoFalsePositivesOnGoldenRun) {
     CalibratedFixture f;
     // Arm the full bank and replay the fault-free scenario.

@@ -16,3 +16,35 @@ foreach(needle "OutValue" "Backtrack tree" "High error exposure")
     message(FATAL_ERROR "analyze output missing '${needle}'")
   endif()
 endforeach()
+
+# Strict argument handling: version reports the build, while unknown
+# subcommands and unknown flags exit 2 with usage on stderr.
+execute_process(COMMAND ${TOOL} version
+                OUTPUT_VARIABLE ver RESULT_VARIABLE rc3)
+if(NOT rc3 EQUAL 0 OR NOT ver MATCHES "^epea_tool [0-9]+\\.[0-9]+")
+  message(FATAL_ERROR "version failed: rc=${rc3} out='${ver}'")
+endif()
+
+execute_process(COMMAND ${TOOL} frobnicate
+                ERROR_VARIABLE err4 RESULT_VARIABLE rc4)
+if(NOT rc4 EQUAL 2)
+  message(FATAL_ERROR "unknown subcommand should exit 2, got ${rc4}")
+endif()
+if(NOT err4 MATCHES "unknown command" OR NOT err4 MATCHES "usage:")
+  message(FATAL_ERROR "unknown subcommand missing diagnostics: ${err4}")
+endif()
+
+execute_process(COMMAND ${TOOL} describe --bogus
+                ERROR_VARIABLE err5 RESULT_VARIABLE rc5)
+if(NOT rc5 EQUAL 2)
+  message(FATAL_ERROR "unknown flag should exit 2, got ${rc5}")
+endif()
+if(NOT err5 MATCHES "unknown flag --bogus" OR NOT err5 MATCHES "usage:")
+  message(FATAL_ERROR "unknown flag missing diagnostics: ${err5}")
+endif()
+
+execute_process(COMMAND ${TOOL} estimate --cases
+                RESULT_VARIABLE rc6)
+if(NOT rc6 EQUAL 2)
+  message(FATAL_ERROR "flag missing its value should exit 2, got ${rc6}")
+endif()

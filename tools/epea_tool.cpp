@@ -6,15 +6,24 @@
 //   epea_tool analyze FILE [--sink SIGNAL]       profile + placement from CSV
 //   epea_tool inject --signal S --bit B --at T   one injection, EA report
 //   epea_tool campaign run|resume|status ...     sharded checkpointed campaigns
+//   epea_tool place optimize|frontier|explain    cost-aware EA placement search
+//   epea_tool version                            print the tool version
 //
 // Matrices written by `estimate` feed `analyze`, so the expensive
 // campaign runs once and the analysis can be repeated offline. The
 // `campaign` subcommands manage a campaign directory (spec.json, shard
-// checkpoints, events.jsonl) that survives kills and resumes.
+// checkpoints, events.jsonl) that survives kills and resumes. `place`
+// runs the src/opt/ placement optimizer — analytic by default, campaign-
+// backed with --ground-truth (memoized under --dir).
+//
+// Unknown commands and unknown flags are rejected with the usage text
+// and exit status 2, so scripts fail loudly on typos.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -29,10 +38,16 @@
 #include "epic/serialize.hpp"
 #include "exp/arrestment_experiments.hpp"
 #include "exp/parallel.hpp"
+#include "exp/paper_data.hpp"
 #include "fi/golden.hpp"
 #include "fi/injector.hpp"
 #include "model/dot.hpp"
+#include "opt/optimizer.hpp"
 #include "util/table.hpp"
+
+#ifndef EPEA_VERSION
+#define EPEA_VERSION "0.0.0-dev"
+#endif
 
 namespace {
 
@@ -51,8 +66,49 @@ int usage() {
                  "               [--max-shards N] [--adaptive HALF_WIDTH]\n"
                  "               [--min-trials N] [--out FILE]\n"
                  "  campaign resume --dir DIR [--threads T] [--max-shards N] [--out FILE]\n"
-                 "  campaign status --dir DIR\n");
+                 "  campaign status --dir DIR\n"
+                 "  place optimize [--error-model input|severe] [--budget-memory B]\n"
+                 "                 [--budget-time T] [--ground-truth --dir DIR]\n"
+                 "                 [--cases N] [--times M] [--shards S] [--threads T]\n"
+                 "  place frontier [--error-model M] [--out-prefix PATH]\n"
+                 "                 [--ground-truth --dir DIR] [--cases N] [--times M]\n"
+                 "                 [--shards S] [--threads T]\n"
+                 "  place explain  [same options as frontier]\n"
+                 "  version\n");
     return 2;
+}
+
+/// Strict argument validation: every --flag must be declared (value flags
+/// consume the next token), and at most `max_positionals` bare arguments
+/// are accepted. Typos fail loudly instead of being silently ignored.
+bool flags_ok(const std::vector<std::string>& args,
+              std::initializer_list<const char*> value_flags,
+              std::initializer_list<const char*> bool_flags,
+              std::size_t max_positionals = 0) {
+    std::size_t positionals = 0;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& a = args[i];
+        if (a.rfind("--", 0) == 0) {
+            const auto match = [&a](const char* f) { return a == f; };
+            if (std::any_of(value_flags.begin(), value_flags.end(), match)) {
+                if (i + 1 >= args.size()) {
+                    std::fprintf(stderr, "epea_tool: flag %s needs a value\n",
+                                 a.c_str());
+                    return false;
+                }
+                ++i;
+                continue;
+            }
+            if (std::any_of(bool_flags.begin(), bool_flags.end(), match)) continue;
+            std::fprintf(stderr, "epea_tool: unknown flag %s\n", a.c_str());
+            return false;
+        }
+        if (++positionals > max_positionals) {
+            std::fprintf(stderr, "epea_tool: unexpected argument '%s'\n", a.c_str());
+            return false;
+        }
+    }
+    return true;
 }
 
 /// Fetches the value following `flag`, if present.
@@ -72,6 +128,7 @@ bool has_flag(const std::vector<std::string>& args, const char* flag) {
 }
 
 int cmd_describe(const std::vector<std::string>& args) {
+    if (!flags_ok(args, {}, {"--dot"})) return usage();
     const model::SystemModel system = target::make_arrestment_model();
     if (has_flag(args, "--dot")) {
         model::write_dot(std::cout, system);
@@ -84,6 +141,7 @@ int cmd_describe(const std::vector<std::string>& args) {
 }
 
 int cmd_simulate(const std::vector<std::string>& args) {
+    if (!flags_ok(args, {"--mass", "--speed"}, {})) return usage();
     target::TestCase tc;
     if (const auto m = flag_value(args, "--mass")) tc.mass_kg = std::stod(*m);
     if (const auto v = flag_value(args, "--speed")) tc.engage_speed_mps = std::stod(*v);
@@ -101,6 +159,7 @@ int cmd_simulate(const std::vector<std::string>& args) {
 }
 
 int cmd_estimate(const std::vector<std::string>& args) {
+    if (!flags_ok(args, {"--cases", "--times", "--out"}, {})) return usage();
     exp::CampaignOptions options = exp::CampaignOptions::from_env();
     if (const auto c = flag_value(args, "--cases")) {
         options.case_count = static_cast<std::size_t>(std::stoul(*c));
@@ -129,6 +188,7 @@ int cmd_estimate(const std::vector<std::string>& args) {
 
 int cmd_analyze(const std::vector<std::string>& args) {
     if (args.empty()) return usage();
+    if (!flags_ok(args, {"--sink"}, {}, 1)) return usage();
     static const model::SystemModel system = target::make_arrestment_model();
     std::ifstream file(args[0]);
     if (!file) {
@@ -166,6 +226,7 @@ int cmd_analyze(const std::vector<std::string>& args) {
 }
 
 int cmd_inject(const std::vector<std::string>& args) {
+    if (!flags_ok(args, {"--signal", "--bit", "--at"}, {})) return usage();
     const auto signal = flag_value(args, "--signal");
     const auto bit = flag_value(args, "--bit");
     const auto at = flag_value(args, "--at");
@@ -248,6 +309,21 @@ void print_campaign_result(campaign::CampaignExecutor& exec,
                         static_cast<unsigned long long>(rec.repairs));
             break;
         }
+        case campaign::CampaignKind::kInput: {
+            const exp::InputCoverageResult input = exec.merged_input();
+            std::printf("input model: %llu injections, %llu active\n",
+                        static_cast<unsigned long long>(input.all.injected),
+                        static_cast<unsigned long long>(input.all.active));
+            for (std::size_t s = 0; s < input.subset_names.size(); ++s) {
+                const double c =
+                    input.all.active
+                        ? static_cast<double>(input.all.detected_per_subset[s]) /
+                              static_cast<double>(input.all.active)
+                        : 0.0;
+                std::printf("  %s: coverage %.3f\n", input.subset_names[s].c_str(), c);
+            }
+            break;
+        }
     }
 }
 
@@ -287,15 +363,27 @@ int cmd_campaign(const std::vector<std::string>& args) {
 
     try {
         if (sub == "status") {
+            if (!flags_ok(rest, {"--dir"}, {})) return usage();
             const campaign::CampaignStatus status = campaign::read_status(*dir);
             std::printf("%s", campaign::render_status(status).c_str());
             return 0;
         }
         if (sub == "resume") {
+            if (!flags_ok(rest, {"--dir", "--threads", "--max-shards", "--out"},
+                          {"--verbose"})) {
+                return usage();
+            }
             campaign::CampaignExecutor exec = campaign::CampaignExecutor::open(*dir);
             return run_and_report(exec, rest);
         }
         if (sub != "run") return usage();
+        if (!flags_ok(rest,
+                      {"--dir", "--spec", "--kind", "--cases", "--times", "--shards",
+                       "--threads", "--max-shards", "--adaptive", "--min-trials",
+                       "--out"},
+                      {"--verbose"})) {
+            return usage();
+        }
 
         campaign::CampaignSpec spec;
         if (const auto spec_file = flag_value(rest, "--spec")) {
@@ -338,6 +426,121 @@ int cmd_campaign(const std::vector<std::string>& args) {
     }
 }
 
+/// Builds the optimizer requested by the `place` flags. The permeability
+/// matrix backing analytic mode must outlive the optimizer, hence the
+/// out-parameter holder.
+opt::PlacementOptimizer make_place_optimizer(
+    const std::vector<std::string>& args, opt::ErrorModel model,
+    std::unique_ptr<epic::PermeabilityMatrix>& pm_holder,
+    const model::SystemModel& system) {
+    if (has_flag(args, "--ground-truth")) {
+        const auto dir = flag_value(args, "--dir");
+        if (!dir) {
+            throw std::invalid_argument("--ground-truth requires --dir DIR");
+        }
+        opt::EvaluatorOptions options;
+        options.model = model;
+        options.dir = *dir;
+        if (const auto c = flag_value(args, "--cases")) {
+            options.cases = static_cast<std::size_t>(std::stoul(*c));
+        }
+        if (const auto t = flag_value(args, "--times")) {
+            options.times_per_bit = static_cast<std::size_t>(std::stoul(*t));
+        }
+        if (const auto s = flag_value(args, "--shards")) {
+            options.shards = static_cast<std::size_t>(std::stoul(*s));
+        }
+        if (const auto t = flag_value(args, "--threads")) {
+            options.threads = static_cast<std::size_t>(std::stoul(*t));
+        }
+        options.echo_events = has_flag(args, "--verbose");
+        return opt::PlacementOptimizer::ground_truth(std::move(options));
+    }
+    pm_holder = std::make_unique<epic::PermeabilityMatrix>(exp::paper_matrix(system));
+    return opt::PlacementOptimizer::analytic(*pm_holder, model);
+}
+
+int cmd_place(const std::vector<std::string>& args) {
+    if (args.empty()) return usage();
+    const std::string sub = args[0];
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    if (sub != "optimize" && sub != "frontier" && sub != "explain") return usage();
+    if (!flags_ok(rest,
+                  {"--error-model", "--budget-memory", "--budget-time", "--dir",
+                   "--cases", "--times", "--shards", "--threads", "--out-prefix"},
+                  {"--ground-truth", "--verbose"})) {
+        return usage();
+    }
+
+    try {
+        const opt::ErrorModel model = opt::error_model_from_string(
+            flag_value(rest, "--error-model").value_or("input"));
+        static const model::SystemModel system = target::make_arrestment_model();
+        std::unique_ptr<epic::PermeabilityMatrix> pm_holder;
+        opt::PlacementOptimizer optimizer =
+            make_place_optimizer(rest, model, pm_holder, system);
+        const char* mode = pm_holder ? "analytic" : "ground-truth";
+
+        if (sub == "optimize") {
+            opt::SearchOptions options;
+            if (const auto b = flag_value(rest, "--budget-memory")) {
+                options.budget.memory = std::stod(*b);
+            }
+            if (const auto b = flag_value(rest, "--budget-time")) {
+                options.budget.time = std::stod(*b);
+            }
+            const opt::SearchResult result = optimizer.optimize(options);
+            std::printf("placement (%s, %s model, %s): {%s}\n", mode,
+                        opt::to_string(model), result.exact ? "exact" : "greedy",
+                        opt::canonical_subset(
+                            result.selected_names(optimizer.candidates()))
+                            .c_str());
+            std::printf("  coverage %.4f, memory %.0f B, time %.0f cmp/tick, "
+                        "%zu benefit evaluations\n",
+                        result.coverage, result.cost.memory, result.cost.time,
+                        result.evaluations);
+            return 0;
+        }
+
+        const opt::Frontier frontier = optimizer.frontier();
+        if (sub == "explain") {
+            std::printf("%s", optimizer.explain(frontier).c_str());
+        } else if (const auto prefix = flag_value(rest, "--out-prefix")) {
+            std::ofstream csv(*prefix + ".csv");
+            std::ofstream json(*prefix + ".json");
+            std::ofstream dot(*prefix + ".dot");
+            if (!csv || !json || !dot) {
+                std::fprintf(stderr, "cannot write %s.{csv,json,dot}\n",
+                             prefix->c_str());
+                return 1;
+            }
+            opt::write_frontier_csv(csv, frontier);
+            opt::write_frontier_json(json, frontier);
+            opt::write_frontier_dot(dot, frontier,
+                                    std::string("EA placement frontier (") +
+                                        opt::to_string(model) + " model, " + mode +
+                                        ")");
+            std::fprintf(stderr, "wrote %s.{csv,json,dot}\n", prefix->c_str());
+        } else {
+            opt::write_frontier_csv(std::cout, frontier);
+        }
+        if (optimizer.campaigns_executed() > 0 || !pm_holder) {
+            std::fprintf(stderr, "ground truth: %zu campaign(s) executed\n",
+                         optimizer.campaigns_executed());
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "place: %s\n", e.what());
+        return 1;
+    }
+}
+
+int cmd_version(const std::vector<std::string>& args) {
+    if (!flags_ok(args, {}, {})) return usage();
+    std::printf("epea_tool %s\n", EPEA_VERSION);
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -350,5 +553,8 @@ int main(int argc, char** argv) {
     if (command == "analyze") return cmd_analyze(args);
     if (command == "inject") return cmd_inject(args);
     if (command == "campaign") return cmd_campaign(args);
+    if (command == "place") return cmd_place(args);
+    if (command == "version") return cmd_version(args);
+    std::fprintf(stderr, "epea_tool: unknown command '%s'\n", command.c_str());
     return usage();
 }
