@@ -1,8 +1,17 @@
 // Micro-benchmarks (google-benchmark): simulation kernel throughput, EA
 // evaluation overhead (the execution-time side of Table 3's resource
-// argument), golden-run capture, and analysis-algorithm scaling on
-// synthetic layered systems.
+// argument), golden-run capture, fault-injection fast-path speedup, and
+// analysis-algorithm scaling on synthetic layered systems.
+//
+// With --fastpath-json=PATH the binary skips the benchmark registry and
+// instead times one paired permeability campaign — fast path vs
+// --no-fastpath — writing a machine-readable comparison (ticks/s, runs/s,
+// pruned %, speedup) to PATH. Scale with EPEA_CASES / EPEA_TIMES.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
 
 #include "ea/calibrate.hpp"
 #include "epic/impact.hpp"
@@ -10,6 +19,8 @@
 #include "epic/paths.hpp"
 #include "exp/arrestment_experiments.hpp"
 #include "exp/paper_data.hpp"
+#include "exp/parallel.hpp"
+#include "fi/fastpath.hpp"
 #include "fi/golden.hpp"
 #include "synth/generator.hpp"
 #include "target/arrestment_system.hpp"
@@ -126,6 +137,137 @@ void BM_ExposureProfileSynthetic(benchmark::State& state) {
 }
 BENCHMARK(BM_ExposureProfileSynthetic)->Arg(4)->Arg(16)->Arg(64);
 
+/// One small permeability campaign (2 cases, 1 moment per bit), fast path
+/// vs slow path selected by the arg — the per-iteration time ratio is the
+/// fast-path speedup at micro scale.
+void BM_CampaignFastpath(benchmark::State& state) {
+    target::ArrestmentSystem sys;
+    exp::CampaignOptions options;
+    options.case_count = 2;
+    options.times_per_bit = 1;
+    options.use_fastpath = state.range(0) != 0;
+    fi::FastPathStats stats;
+    options.fastpath_out = &stats;
+    fi::GoldenCache cache;  // keep goldens warm across iterations
+    options.golden_cache = &cache;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(exp::estimate_arrestment_permeability(sys, options));
+    }
+    const auto runs = static_cast<double>(stats.runs());
+    const auto covered = static_cast<double>(stats.ticks_executed + stats.ticks_saved);
+    state.counters["runs/s"] = benchmark::Counter(runs, benchmark::Counter::kIsRate);
+    state.counters["ticks/s"] = benchmark::Counter(covered, benchmark::Counter::kIsRate);
+    state.counters["pruned_pct"] =
+        runs > 0 ? 100.0 * static_cast<double>(stats.pruned_runs) / runs : 0.0;
+}
+BENCHMARK(BM_CampaignFastpath)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------- --fastpath-json mode
+
+struct FastpathTiming {
+    double wall_s = 0.0;
+    std::size_t runs = 0;
+    fi::FastPathStats stats;
+};
+
+FastpathTiming time_permeability_campaign(const exp::CampaignOptions& base, bool fastpath) {
+    exp::CampaignOptions options = base;
+    options.use_fastpath = fastpath;
+    FastpathTiming t;
+    options.fastpath_out = &t.stats;
+    const auto t0 = std::chrono::steady_clock::now();
+    const epic::PermeabilityMatrix pm =
+        exp::estimate_arrestment_permeability_parallel(options);
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(&pm);
+    t.wall_s = std::chrono::duration<double>(t1 - t0).count();
+    t.runs = static_cast<std::size_t>(t.stats.runs());
+    return t;
+}
+
+void print_timing_json(std::FILE* f, const char* name, const FastpathTiming& t) {
+    const double covered =
+        static_cast<double>(t.stats.ticks_executed + t.stats.ticks_saved);
+    std::fprintf(f,
+                 "  \"%s\": {\n"
+                 "    \"wall_s\": %.6f,\n"
+                 "    \"runs\": %zu,\n"
+                 "    \"runs_per_s\": %.1f,\n"
+                 "    \"ticks_executed\": %llu,\n"
+                 "    \"ticks_saved\": %llu,\n"
+                 "    \"ticks_per_s\": %.1f,\n"
+                 "    \"forked_runs\": %llu,\n"
+                 "    \"pruned_runs\": %llu,\n"
+                 "    \"skipped_runs\": %llu,\n"
+                 "    \"pruned_pct\": %.2f,\n"
+                 "    \"cache_hits\": %llu,\n"
+                 "    \"cache_misses\": %llu\n"
+                 "  }",
+                 name, t.wall_s, t.runs,
+                 t.wall_s > 0 ? static_cast<double>(t.runs) / t.wall_s : 0.0,
+                 static_cast<unsigned long long>(t.stats.ticks_executed),
+                 static_cast<unsigned long long>(t.stats.ticks_saved),
+                 t.wall_s > 0 ? covered / t.wall_s : 0.0,
+                 static_cast<unsigned long long>(t.stats.forked_runs),
+                 static_cast<unsigned long long>(t.stats.pruned_runs),
+                 static_cast<unsigned long long>(t.stats.skipped_runs),
+                 t.runs > 0 ? 100.0 * static_cast<double>(t.stats.pruned_runs) /
+                                  static_cast<double>(t.runs)
+                            : 0.0,
+                 static_cast<unsigned long long>(t.stats.cache_hits),
+                 static_cast<unsigned long long>(t.stats.cache_misses));
+}
+
+/// Paired fast-vs-slow Table-1 permeability campaign; writes the
+/// comparison to `path` and returns a process exit code.
+int write_fastpath_json(const std::string& path) {
+    const exp::CampaignOptions options = exp::CampaignOptions::from_env();
+    std::fprintf(stderr, "fastpath bench: %zu cases x %zu moments per bit\n",
+                 options.case_count, options.times_per_bit);
+    const FastpathTiming slow = time_permeability_campaign(options, false);
+    std::fprintf(stderr, "  slow (--no-fastpath): %.2fs, %zu runs\n", slow.wall_s,
+                 slow.runs);
+    const FastpathTiming fast = time_permeability_campaign(options, true);
+    std::fprintf(stderr, "  fast:                 %.2fs, %zu runs\n", fast.wall_s,
+                 fast.runs);
+    if (fast.runs != slow.runs) {
+        std::fprintf(stderr, "error: run counts differ (fast %zu vs slow %zu)\n",
+                     fast.runs, slow.runs);
+        return 1;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"BM_CampaignFastpath\",\n");
+    std::fprintf(f, "  \"campaign\": \"table1_permeability\",\n");
+    std::fprintf(f, "  \"cases\": %zu,\n  \"times_per_bit\": %zu,\n",
+                 options.case_count, options.times_per_bit);
+    print_timing_json(f, "slow", slow);
+    std::fprintf(f, ",\n");
+    print_timing_json(f, "fast", fast);
+    std::fprintf(f, ",\n  \"speedup\": %.2f\n}\n",
+                 fast.wall_s > 0 ? slow.wall_s / fast.wall_s : 0.0);
+    std::fclose(f);
+    std::fprintf(stderr, "  speedup: %.2fx -> %s\n",
+                 fast.wall_s > 0 ? slow.wall_s / fast.wall_s : 0.0, path.c_str());
+    return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const std::string prefix = "--fastpath-json=";
+        if (arg.rfind(prefix, 0) == 0) {
+            return write_fastpath_json(arg.substr(prefix.size()));
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -124,6 +124,10 @@ public:
         ctx.out(0, rate_);  // demand
     }
 
+    // `first_` is not registered with the memory map; snapshots carry it.
+    void save_state(runtime::StateWriter& w) const override { w.boolean(first_); }
+    void restore_state(runtime::StateReader& r) override { first_ = r.boolean(); }
+
 private:
     std::uint32_t prev_ = 0;
     std::array<std::uint32_t, kBins> bins_{};
@@ -297,6 +301,32 @@ public:
 
     [[nodiscard]] bool finished() const override {
         return ticks_ >= scenario_.duration_ms;
+    }
+
+    [[nodiscard]] bool snapshot_supported() const override { return true; }
+
+    void save_state(runtime::StateWriter& w) const override {
+        w.f64(level_frac_);
+        w.f64(valve_norm_);
+        w.f64(pulse_accum_);
+        w.u32(flow_cnt_);
+        w.tick(ticks_);
+        w.f64(report_.min_level);
+        w.f64(report_.max_level);
+        w.boolean(report_.overflowed);
+        w.boolean(report_.ran_dry);
+    }
+
+    void restore_state(runtime::StateReader& r) override {
+        level_frac_ = r.f64();
+        valve_norm_ = r.f64();
+        pulse_accum_ = r.f64();
+        flow_cnt_ = r.u32();
+        ticks_ = r.tick();
+        report_.min_level = r.f64();
+        report_.max_level = r.f64();
+        report_.overflowed = r.boolean();
+        report_.ran_dry = r.boolean();
     }
 
     [[nodiscard]] TankReport report() const { return report_; }

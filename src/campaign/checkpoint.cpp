@@ -165,6 +165,32 @@ exp::InputCoverageResult input_from_json(const JsonValue& v) {
     return r;
 }
 
+JsonValue fastpath_to_json(const fi::FastPathStats& s) {
+    JsonObject o;
+    o.emplace("full_runs", JsonValue(s.full_runs));
+    o.emplace("forked_runs", JsonValue(s.forked_runs));
+    o.emplace("pruned_runs", JsonValue(s.pruned_runs));
+    o.emplace("skipped_runs", JsonValue(s.skipped_runs));
+    o.emplace("ticks_executed", JsonValue(s.ticks_executed));
+    o.emplace("ticks_saved", JsonValue(s.ticks_saved));
+    o.emplace("cache_hits", JsonValue(s.cache_hits));
+    o.emplace("cache_misses", JsonValue(s.cache_misses));
+    return JsonValue(std::move(o));
+}
+
+fi::FastPathStats fastpath_from_json(const JsonValue& v) {
+    fi::FastPathStats s;
+    s.full_runs = static_cast<std::uint64_t>(v.at("full_runs").as_int());
+    s.forked_runs = static_cast<std::uint64_t>(v.at("forked_runs").as_int());
+    s.pruned_runs = static_cast<std::uint64_t>(v.at("pruned_runs").as_int());
+    s.skipped_runs = static_cast<std::uint64_t>(v.at("skipped_runs").as_int());
+    s.ticks_executed = static_cast<std::uint64_t>(v.at("ticks_executed").as_int());
+    s.ticks_saved = static_cast<std::uint64_t>(v.at("ticks_saved").as_int());
+    s.cache_hits = static_cast<std::uint64_t>(v.at("cache_hits").as_int());
+    s.cache_misses = static_cast<std::uint64_t>(v.at("cache_misses").as_int());
+    return s;
+}
+
 }  // namespace
 
 std::string ShardResult::to_json() const {
@@ -176,6 +202,8 @@ std::string ShardResult::to_json() const {
     o.emplace("case_ids", JsonValue(std::move(ids)));
     o.emplace("runs", JsonValue(runs));
     o.emplace("wall_seconds", JsonValue(wall_seconds));
+    o.emplace("fastpath", fastpath_to_json(fastpath));
+    o.emplace("threads", JsonValue(threads));
 
     switch (kind) {
         case CampaignKind::kPermeability: {
@@ -215,6 +243,14 @@ ShardResult ShardResult::from_json(const std::string& text) {
     }
     r.runs = static_cast<std::uint64_t>(root.at("runs").as_int());
     r.wall_seconds = root.at("wall_seconds").as_double();
+    // Optional fields: absent in checkpoints written before the fast path
+    // existed — such shards still load and merge (counters stay zero).
+    if (const JsonValue* fp = root.find("fastpath")) {
+        r.fastpath = fastpath_from_json(*fp);
+    }
+    if (const JsonValue* th = root.find("threads")) {
+        r.threads = static_cast<std::size_t>(th->as_int());
+    }
 
     switch (r.kind) {
         case CampaignKind::kPermeability:

@@ -164,7 +164,9 @@ exp::CampaignOptions CampaignExecutor::case_options(std::size_t case_id) const {
     return o;
 }
 
-ShardResult CampaignExecutor::run_shard(std::size_t shard) const {
+ShardResult CampaignExecutor::run_shard(std::size_t shard,
+                                        const ExecutorOptions& exec_options,
+                                        fi::GoldenCache& cache) const {
     const auto start = std::chrono::steady_clock::now();
     ShardResult result;
     result.shard = shard;
@@ -179,7 +181,10 @@ ShardResult CampaignExecutor::run_shard(std::size_t shard) const {
         pair_counts;
 
     for (const std::size_t case_id : result.case_ids) {
-        const exp::CampaignOptions options = case_options(case_id);
+        exp::CampaignOptions options = case_options(case_id);
+        options.use_fastpath = exec_options.use_fastpath;
+        options.golden_cache = &cache;
+        options.fastpath_out = &result.fastpath;
         switch (spec_.kind) {
             case CampaignKind::kPermeability: {
                 std::size_t planned = 0;
@@ -329,12 +334,27 @@ bool CampaignExecutor::run(const ExecutorOptions& options) {
         std::mutex mutex;
         AdaptiveDecision stop_decision;
 
+        // The golden cache is shared across the worker pool (it is
+        // mutex-protected and snapshot data is value-based); an external
+        // cache additionally survives across run() calls.
+        fi::GoldenCache local_cache;
+        fi::GoldenCache& cache =
+            options.golden_cache ? *options.golden_cache : local_cache;
+
+        const std::size_t n_workers = std::max<std::size_t>(
+            1, std::min({options.threads != 0
+                             ? options.threads
+                             : std::max<std::size_t>(
+                                   1, std::thread::hardware_concurrency()),
+                         pending.size(), options.max_shards}));
+
         const auto worker = [&]() {
             while (!stop.load()) {
                 const std::size_t idx = next.fetch_add(1);
                 if (idx >= pending.size() || idx >= options.max_shards) break;
                 const std::size_t shard = pending[idx];
-                ShardResult result = run_shard(shard);
+                ShardResult result = run_shard(shard, options, cache);
+                result.threads = n_workers;
                 save_shard(dir_, result);
 
                 const std::lock_guard<std::mutex> lock(mutex);
@@ -352,6 +372,12 @@ bool CampaignExecutor::run(const ExecutorOptions& options) {
                 f.emplace("cases", JsonValue(result.case_ids.size()));
                 f.emplace("runs", JsonValue(result.runs));
                 f.emplace("wall_s", JsonValue(result.wall_seconds));
+                f.emplace("forked_runs", JsonValue(result.fastpath.forked_runs));
+                f.emplace("pruned_runs", JsonValue(result.fastpath.pruned_runs));
+                f.emplace("skipped_runs", JsonValue(result.fastpath.skipped_runs));
+                f.emplace("ticks_saved", JsonValue(result.fastpath.ticks_saved));
+                f.emplace("cache_hits", JsonValue(result.fastpath.cache_hits));
+                f.emplace("threads", JsonValue(n_workers));
                 f.emplace("done", JsonValue(done));
                 f.emplace("total", JsonValue(total_shards));
                 f.emplace("runs_per_s", JsonValue(rate));
@@ -376,9 +402,6 @@ bool CampaignExecutor::run(const ExecutorOptions& options) {
             }
         };
 
-        const std::size_t n_workers =
-            std::max<std::size_t>(1, std::min({options.threads, pending.size(),
-                                               options.max_shards}));
         if (n_workers == 1) {
             worker();
         } else {
@@ -403,13 +426,25 @@ bool CampaignExecutor::run(const ExecutorOptions& options) {
         runs += r.runs;
         wall += r.wall_seconds;
     }
+    const fi::FastPathStats fp = fastpath_totals();
     JsonObject f;
     f.emplace("done", JsonValue(completed_.size()));
     f.emplace("total", JsonValue(total_shards));
     f.emplace("runs", JsonValue(runs));
     f.emplace("shard_wall_s", JsonValue(wall));
+    f.emplace("forked_runs", JsonValue(fp.forked_runs));
+    f.emplace("pruned_runs", JsonValue(fp.pruned_runs));
+    f.emplace("skipped_runs", JsonValue(fp.skipped_runs));
+    f.emplace("ticks_saved", JsonValue(fp.ticks_saved));
+    f.emplace("cache_hits", JsonValue(fp.cache_hits));
     observer.emit(complete ? "campaign_done" : "campaign_pause", std::move(f));
     return complete;
+}
+
+fi::FastPathStats CampaignExecutor::fastpath_totals() const {
+    fi::FastPathStats total;
+    for (const ShardResult& r : completed_) total.merge(r.fastpath);
+    return total;
 }
 
 epic::PermeabilityMatrix CampaignExecutor::merged_matrix(

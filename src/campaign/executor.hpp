@@ -19,17 +19,28 @@
 #include "campaign/spec.hpp"
 #include "epic/matrix.hpp"
 #include "exp/recovery.hpp"
+#include "fi/fastpath.hpp"
 
 namespace epea::campaign {
 
 struct ExecutorOptions {
     /// Worker threads; each worker owns a private ArrestmentSystem.
-    std::size_t threads = 1;
+    /// 0 = auto: one per hardware thread, clamped by the pending shard
+    /// count (and max_shards).
+    std::size_t threads = 0;
     /// Execute at most this many *new* shards, then pause (checkpointed).
     /// Tests use 1 to simulate a campaign killed between shards.
     std::size_t max_shards = std::numeric_limits<std::size_t>::max();
     /// Mirror journal events to stderr.
     bool echo_events = false;
+    /// Fast path (DESIGN.md §9): fork injection runs from golden boundary
+    /// snapshots and prune on state re-convergence. Merged campaign
+    /// results are bit-identical either way; off = reference oracle.
+    bool use_fastpath = true;
+    /// Shared golden cache (e.g. the opt:: evaluator's, for cross-batch
+    /// reuse); null uses a cache private to this run() call. The cache is
+    /// mutex-protected and shared across the worker pool.
+    fi::GoldenCache* golden_cache = nullptr;
 };
 
 class CampaignExecutor {
@@ -58,6 +69,8 @@ public:
     [[nodiscard]] std::uint64_t saved_runs() const { return saved_runs_; }
     /// Per-phase wall-clock of the last run() call.
     [[nodiscard]] const PhaseTimers& timers() const { return timers_; }
+    /// Fast-path counters summed over the completed shards.
+    [[nodiscard]] fi::FastPathStats fastpath_totals() const;
 
     /// Merged results over the completed shards — integer count sums, so
     /// the result is independent of shard execution order.
@@ -68,7 +81,9 @@ public:
     [[nodiscard]] exp::InputCoverageResult merged_input() const;
 
 private:
-    [[nodiscard]] ShardResult run_shard(std::size_t shard) const;
+    [[nodiscard]] ShardResult run_shard(std::size_t shard,
+                                        const ExecutorOptions& options,
+                                        fi::GoldenCache& cache) const;
     void load_checkpoints(CampaignObserver& observer);
     [[nodiscard]] exp::CampaignOptions case_options(std::size_t case_id) const;
 

@@ -71,6 +71,8 @@ CampaignStatus read_status(const std::string& dir) {
             status.done_shards.push_back(s);
             status.runs += shard->runs;
             status.wall_seconds += shard->wall_seconds;
+            status.fastpath.merge(shard->fastpath);
+            status.shard_threads.push_back(shard->threads);
         } else {
             status.pending_shards.push_back(s);
         }
@@ -123,6 +125,30 @@ std::string render_status(const CampaignStatus& status) {
                   static_cast<unsigned long long>(status.runs), status.run_rate,
                   status.wall_seconds);
     out << buf;
+    const fi::FastPathStats& fp = status.fastpath;
+    if (fp.runs() > 0) {
+        std::snprintf(buf, sizeof buf,
+                      "  fast path: %llu forked, %llu pruned, %llu skipped, "
+                      "%llu ticks saved\n",
+                      static_cast<unsigned long long>(fp.forked_runs),
+                      static_cast<unsigned long long>(fp.pruned_runs),
+                      static_cast<unsigned long long>(fp.skipped_runs),
+                      static_cast<unsigned long long>(fp.ticks_saved));
+        out << buf;
+        std::snprintf(buf, sizeof buf, "  golden cache: %llu hits, %llu misses\n",
+                      static_cast<unsigned long long>(fp.cache_hits),
+                      static_cast<unsigned long long>(fp.cache_misses));
+        out << buf;
+    }
+    if (!status.shard_threads.empty()) {
+        out << "  threads per shard:";
+        for (std::size_t i = 0; i < status.done_shards.size(); ++i) {
+            std::snprintf(buf, sizeof buf, " %03zu:%zu", status.done_shards[i],
+                          status.shard_threads[i]);
+            out << buf;
+        }
+        out << '\n';
+    }
     if (status.complete()) {
         out << "  complete";
         if (status.saved_runs > 0) {

@@ -14,6 +14,7 @@
 
 #include "campaign/json.hpp"
 #include "campaign/spec.hpp"
+#include "fi/fastpath.hpp"
 
 namespace epea::campaign {
 
@@ -68,6 +69,10 @@ struct CampaignStatus {
     std::string last_event;            ///< raw JSONL of the newest event
     bool adaptive_stopped = false;     ///< journal saw an adaptive_stop event
     std::uint64_t saved_runs = 0;      ///< runs skipped by adaptive stopping
+    fi::FastPathStats fastpath;        ///< summed over done shards
+    /// Worker-pool size each done shard ran under, aligned with
+    /// done_shards (checkpoints without the field report 1).
+    std::vector<std::size_t> shard_threads;
 
     [[nodiscard]] bool complete() const {
         return shards_done == shards_total || adaptive_stopped;

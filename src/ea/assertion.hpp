@@ -107,6 +107,20 @@ public:
     void reset() override;
     void observe(const runtime::SignalStore& store, runtime::Tick now) override;
 
+    void save_state(runtime::StateWriter& w) const override {
+        w.i64(last_value_);
+        w.boolean(have_last_);
+        w.tick(first_detection_);
+        w.u64(violations_);
+    }
+
+    void restore_state(runtime::StateReader& r) override {
+        last_value_ = r.i64();
+        have_last_ = r.boolean();
+        first_detection_ = r.tick();
+        violations_ = static_cast<std::size_t>(r.u64());
+    }
+
     /// True if the assertion has fired at least once since reset().
     [[nodiscard]] bool triggered() const noexcept {
         return first_detection_ != runtime::kInvalidTick;

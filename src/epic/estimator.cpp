@@ -29,13 +29,29 @@ PermeabilityMatrix PermeabilityEstimator::estimate(
     }
     const std::size_t total_runs = case_count * total_bits * options.times_per_bit;
 
+    fi::GoldenCache local_cache;
+    fi::GoldenCache* cache = options.golden_cache ? options.golden_cache : &local_cache;
+    fi::InjectionRunner runner(*sim_, *injector_);
+    runner.set_enabled(options.use_fastpath);
+
     runs_ = 0;
+    fastpath_ = {};
     for (std::size_t c = 0; c < case_count; ++c) {
         std::uint64_t stream = options.seed + options.case_index_offset + c;
         util::Rng time_rng(util::splitmix64(stream));
         configure_case(c);
         injector_->disarm();
-        const fi::GoldenRun gr = fi::capture_golden_run(*sim_, options.max_ticks);
+        // Golden run from the shared cache; with the fast path on, the
+        // entry also carries per-tick boundary snapshots ("perm" context:
+        // no monitors armed during permeability estimation).
+        const bool fast = options.use_fastpath && sim_->snapshot_supported();
+        const std::size_t case_key = options.case_index_offset + c;
+        const auto golden = cache->get_or_capture(
+            fi::golden_key(fast ? "perm" : "trace", case_key),
+            [&] { return fi::capture_golden_data(*sim_, options.max_ticks, fast); },
+            &fastpath_);
+        runner.set_golden(fast ? golden : nullptr);
+        const fi::GoldenRun& gr = golden->run;
 
         for (const model::ModuleId mid : system.all_modules()) {
             const auto& spec = system.module(mid);
@@ -46,10 +62,8 @@ PermeabilityMatrix PermeabilityEstimator::estimate(
                         0, gr.length, options.times_per_bit,
                         options.stratified_times ? &time_rng : nullptr);
                     for (const runtime::Tick t : ticks) {
-                        injector_->arm({fi::Injection::into_module_input(mid, port,
-                                                                         bit, t)});
-                        sim_->reset();
-                        sim_->run(options.max_ticks);
+                        runner.run({fi::Injection::into_module_input(mid, port, bit, t)},
+                                   options.max_ticks);
                         ++runs_;
                         if (progress) progress(runs_, total_runs);
                         if (injector_->fired_count() == 0) continue;  // inactive
@@ -72,6 +86,7 @@ PermeabilityMatrix PermeabilityEstimator::estimate(
         }
     }
     injector_->disarm();
+    fastpath_.merge(runner.stats());
 
     PermeabilityMatrix pm(system);
     for (const model::ModuleId mid : system.all_modules()) {

@@ -9,6 +9,7 @@
 
 #include "epic/matrix.hpp"
 #include "fi/comparison.hpp"
+#include "fi/fastpath.hpp"
 #include "fi/injector.hpp"
 #include "runtime/simulator.hpp"
 
@@ -33,6 +34,13 @@ struct EstimatorOptions {
     ///   stratum midpoints are used (exposes alignment artifacts between
     ///   injection times and run-fraction-locked events).
     bool stratified_times = true;
+    /// Fast path (DESIGN.md §9): fork injection runs from golden boundary
+    /// snapshots and prune on state re-convergence. Bit-identical results;
+    /// disable to use the slow path as the reference oracle.
+    bool use_fastpath = true;
+    /// Shared golden-run cache (campaign executors pass theirs so golden
+    /// data is captured once per case); null uses a private per-call cache.
+    fi::GoldenCache* golden_cache = nullptr;
 };
 
 /// Progress callback: (runs completed, total runs planned).
@@ -55,10 +63,16 @@ public:
     /// Total injection runs executed by the last estimate() call.
     [[nodiscard]] std::size_t runs_executed() const noexcept { return runs_; }
 
+    /// Fast-path counters of the last estimate() call.
+    [[nodiscard]] const fi::FastPathStats& fastpath_stats() const noexcept {
+        return fastpath_;
+    }
+
 private:
     runtime::Simulator* sim_;
     fi::Injector* injector_;
     std::size_t runs_ = 0;
+    fi::FastPathStats fastpath_;
 };
 
 }  // namespace epea::epic

@@ -50,6 +50,20 @@ public:
     void reset() override;
     void repair(runtime::SignalStore& store, runtime::Tick now) override;
 
+    void save_state(runtime::StateWriter& w) const override {
+        w.i64(last_good_);
+        w.boolean(have_last_);
+        w.u64(repairs_);
+        w.tick(first_repair_);
+    }
+
+    void restore_state(runtime::StateReader& r) override {
+        last_good_ = r.i64();
+        have_last_ = r.boolean();
+        repairs_ = static_cast<std::size_t>(r.u64());
+        first_repair_ = r.tick();
+    }
+
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
     [[nodiscard]] model::SignalId signal() const noexcept { return signal_; }
     [[nodiscard]] RecoveryPolicy policy() const noexcept { return policy_; }

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "ea/calibrate.hpp"
+#include "fi/fastpath.hpp"
 #include "fi/golden.hpp"
 #include "fi/injector.hpp"
 
@@ -17,6 +18,18 @@ std::size_t env_size(const char* name, std::size_t fallback) {
         if (v > 0) return static_cast<std::size_t>(v);
     }
     return fallback;
+}
+
+/// Bare (trace-only) golden run for case `c` from the shared cache — the
+/// capture every driver used to repeat per experiment, hoisted into one
+/// cached entry. Monitors never alter signals, so the fault-free trace is
+/// context-free and shareable across drivers.
+std::shared_ptr<const fi::GoldenCaseData> cached_bare_golden(
+    fi::GoldenCache& cache, target::ArrestmentSystem& sys, std::size_t c,
+    runtime::Tick max_ticks, fi::FastPathStats& stats) {
+    return cache.get_or_capture(
+        fi::golden_key("trace", c),
+        [&] { return fi::capture_golden_data(sys.sim(), max_ticks, false); }, &stats);
 }
 
 }  // namespace
@@ -74,10 +87,14 @@ epic::PermeabilityMatrix estimate_arrestment_permeability(
     eopt.max_ticks = options.max_ticks;
     eopt.seed = options.seed;
     eopt.case_index_offset = options.case_first;
-    return estimator.estimate(
+    eopt.use_fastpath = options.use_fastpath;
+    eopt.golden_cache = options.golden_cache;
+    epic::PermeabilityMatrix pm = estimator.estimate(
         case_count,
         [&](std::size_t c) { sys.configure(cases[options.case_first + c]); }, eopt,
         progress);
+    if (options.fastpath_out) options.fastpath_out->merge(estimator.fastpath_stats());
+    return pm;
 }
 
 InputCoverageResult input_coverage_experiment(target::ArrestmentSystem& sys,
@@ -113,6 +130,13 @@ InputCoverageResult input_coverage_experiment(target::ArrestmentSystem& sys,
     ea::EaBank bank;
     std::vector<std::vector<std::size_t>> subset_indices;
 
+    fi::GoldenCache local_cache;
+    fi::GoldenCache& cache =
+        options.campaign.golden_cache ? *options.campaign.golden_cache : local_cache;
+    fi::FastPathStats stats;
+    fi::InjectionRunner runner(sys.sim(), injector);
+    runner.set_enabled(options.campaign.use_fastpath);
+
     for (std::size_t c = case_first; c < case_first + case_count; ++c) {
         // Injection-time stream keyed by the *global* case index (like the
         // severe/recovery campaigns): any case window reproduces the same
@@ -121,7 +145,9 @@ InputCoverageResult input_coverage_experiment(target::ArrestmentSystem& sys,
         util::Rng time_rng(0xc0ffeeULL + static_cast<std::uint64_t>(c) * 0x9e3779b9ULL);
         sys.configure(cases[c]);
         injector.disarm();
-        const fi::GoldenRun gr = fi::capture_golden_run(sys.sim(), options.campaign.max_ticks);
+        const auto bare =
+            cached_bare_golden(cache, sys, c, options.campaign.max_ticks, stats);
+        const fi::GoldenRun& gr = bare->run;
 
         if (c == case_first) {
             std::vector<runtime::Trace> traces{gr.trace};
@@ -135,6 +161,21 @@ InputCoverageResult input_coverage_experiment(target::ArrestmentSystem& sys,
         } else {
             recalibrate_bank(bank, system, gr.trace, options.campaign.ea_margins);
         }
+
+        // Snapshot golden for forking/pruning, captured under the armed,
+        // freshly calibrated bank — monitor state is part of the snapshot,
+        // so the capture context must match the injection runs exactly.
+        std::shared_ptr<const fi::GoldenCaseData> full;
+        if (runner.enabled() && sys.sim().snapshot_supported()) {
+            full = cache.get_or_capture(
+                fi::golden_key("input", c),
+                [&] {
+                    return fi::capture_golden_data(sys.sim(), options.campaign.max_ticks,
+                                                   true);
+                },
+                &stats);
+        }
+        runner.set_golden(full);
 
         // Injection moments deliberately overshoot the golden-run length
         // slightly so a realistic share of injections lands after the
@@ -150,9 +191,8 @@ InputCoverageResult input_coverage_experiment(target::ArrestmentSystem& sys,
                 const auto ticks = fi::spread_ticks(
                     0, window_end, options.campaign.times_per_bit, &time_rng);
                 for (const runtime::Tick t : ticks) {
-                    injector.arm({fi::Injection::into_signal(sid, bit, t)});
-                    sys.sim().reset();
-                    sys.sim().run(options.campaign.max_ticks);
+                    runner.run({fi::Injection::into_signal(sid, bit, t)},
+                               options.campaign.max_ticks);
 
                     auto& row = result.rows[r];
                     ++row.injected;
@@ -190,6 +230,8 @@ InputCoverageResult input_coverage_experiment(target::ArrestmentSystem& sys,
         }
     }
     sys.sim().clear_monitors();
+    stats.merge(runner.stats());
+    if (options.campaign.fastpath_out) options.campaign.fastpath_out->merge(stats);
     return result;
 }
 
@@ -217,13 +259,27 @@ SevereCoverageResult severe_coverage_experiment(target::ArrestmentSystem& sys,
 
     const std::size_t word_count = sys.sim().memory().word_count();
 
+    fi::GoldenCache local_cache;
+    fi::GoldenCache& cache =
+        options.golden_cache ? *options.golden_cache : local_cache;
+    fi::FastPathStats stats;
+    fi::InjectionRunner runner(sys.sim(), injector);
+    runner.set_enabled(options.use_fastpath);
+    // Periodic plans re-perturb the state every `severe_period` ticks, so
+    // convergence pruning is unsound and forking to tick 10 saves almost
+    // nothing against the cost of capturing boundary snapshots: the severe
+    // model stays on the slow path (DESIGN.md §9), but the golden trace for
+    // EA calibration still comes from the shared cache.
+    runner.set_golden(nullptr);
+
     for (std::size_t c = case_first; c < case_first + case_count; ++c) {
         // Injection streams keyed by the global case index: running any
         // case window reproduces the flips of the full sequential campaign.
         std::uint64_t seed = 0x5e7e8eULL + static_cast<std::uint64_t>(c) * word_count;
         sys.configure(cases[c]);
         injector.disarm();
-        const fi::GoldenRun gr = fi::capture_golden_run(sys.sim(), options.max_ticks);
+        const auto bare = cached_bare_golden(cache, sys, c, options.max_ticks, stats);
+        const fi::GoldenRun& gr = bare->run;
         sys.sim().enable_trace(false);  // severe runs need no traces
 
         if (c == case_first) {
@@ -243,11 +299,9 @@ SevereCoverageResult severe_coverage_experiment(target::ArrestmentSystem& sys,
             const runtime::Region region = sys.sim().memory().word(w).region;
             const std::size_t region_idx = region == runtime::Region::kRam ? 0 : 1;
 
-            injector.arm({fi::Injection::into_memory(w, fi::kRandomBit, /*at=*/10,
-                                                     options.severe_period)},
-                         ++seed);
-            sys.sim().reset();
-            sys.sim().run(options.max_ticks);
+            runner.run({fi::Injection::into_memory(w, fi::kRandomBit, /*at=*/10,
+                                                   options.severe_period)},
+                       options.max_ticks, ++seed);
             ++result.runs;
 
             const bool failed = sys.plant().failure_report().failed();
@@ -269,6 +323,8 @@ SevereCoverageResult severe_coverage_experiment(target::ArrestmentSystem& sys,
     }
     sys.sim().enable_trace(true);
     sys.sim().clear_monitors();
+    stats.merge(runner.stats());
+    if (options.fastpath_out) options.fastpath_out->merge(stats);
     return result;
 }
 
@@ -278,12 +334,19 @@ std::vector<std::string> false_positive_check(target::ArrestmentSystem& sys,
     const auto cases = target::standard_test_cases();
     const std::size_t case_count = std::min(options.case_count, cases.size());
 
+    fi::GoldenCache local_cache;
+    fi::GoldenCache& cache =
+        options.golden_cache ? *options.golden_cache : local_cache;
+    fi::FastPathStats stats;
+
     std::vector<std::string> fired;
     for (std::size_t c = 0; c < case_count; ++c) {
         sys.configure(cases[c]);
         sys.sim().clear_monitors();
-        const fi::GoldenRun gr = fi::capture_golden_run(sys.sim(), options.max_ticks);
-        std::vector<runtime::Trace> traces{gr.trace};
+        // The golden trace only calibrates the bank here; the fault-free
+        // monitored run below IS the measurement and cannot be elided.
+        const auto bare = cached_bare_golden(cache, sys, c, options.max_ticks, stats);
+        std::vector<runtime::Trace> traces{bare->run.trace};
         ea::EaBank bank = make_calibrated_bank(system, traces);
         bank.arm(sys.sim());
         sys.sim().reset();
@@ -293,6 +356,7 @@ std::vector<std::string> false_positive_check(target::ArrestmentSystem& sys,
         }
         sys.sim().clear_monitors();
     }
+    if (options.fastpath_out) options.fastpath_out->merge(stats);
     return fired;
 }
 

@@ -15,6 +15,7 @@
 #include "ea/calibrate.hpp"
 #include "epic/estimator.hpp"
 #include "epic/matrix.hpp"
+#include "fi/fastpath.hpp"
 #include "target/arrestment_system.hpp"
 
 namespace epea::exp {
@@ -40,6 +41,17 @@ struct CampaignOptions {
     /// EA calibration margins (ablation hook: setting settle_fraction to
     /// 1.0 disables the continuous EAs' steady-state band).
     ea::CalibrationMargins ea_margins{};
+
+    /// Fast path (DESIGN.md §9): fork injection runs from cached golden
+    /// boundary snapshots and prune on state re-convergence. Results are
+    /// bit-identical either way; disable for the reference oracle.
+    bool use_fastpath = true;
+    /// Shared golden-run cache (the campaign executor passes its own so
+    /// goldens are captured once per case across drivers and worker
+    /// threads); null uses a private per-driver cache.
+    fi::GoldenCache* golden_cache = nullptr;
+    /// When set, drivers accumulate their fast-path counters here.
+    fi::FastPathStats* fastpath_out = nullptr;
 
     /// Applies EPEA_CASES / EPEA_TIMES overrides when set.
     [[nodiscard]] static CampaignOptions from_env();

@@ -34,6 +34,7 @@ epic::PermeabilityMatrix estimate_arrestment_permeability_parallel(
     };
     std::mutex merge_mutex;
     std::vector<PairCount> merged;
+    fi::FastPathStats merged_stats;
     std::exception_ptr first_error;
 
     auto worker = [&]() {
@@ -43,6 +44,7 @@ epic::PermeabilityMatrix estimate_arrestment_permeability_parallel(
             epic::PermeabilityEstimator estimator(sys.sim(), injector);
 
             std::vector<PairCount> local;
+            fi::FastPathStats local_stats;
             for (;;) {
                 const std::size_t c = next_case.fetch_add(1);
                 if (c >= case_count) break;
@@ -51,8 +53,13 @@ epic::PermeabilityMatrix estimate_arrestment_permeability_parallel(
                 eopt.times_per_bit = options.times_per_bit;
                 eopt.max_ticks = options.max_ticks;
                 eopt.case_index_offset = c;  // global stream key
+                eopt.use_fastpath = options.use_fastpath;
+                // The GoldenCache is mutex-protected and snapshot data is
+                // value-based, so a shared cache is safe across workers.
+                eopt.golden_cache = options.golden_cache;
                 const epic::PermeabilityMatrix pm = estimator.estimate(
                     1, [&](std::size_t) { sys.configure(cases[c]); }, eopt);
+                local_stats.merge(estimator.fastpath_stats());
 
                 const auto entries = pm.entries();
                 if (local.empty()) local.resize(entries.size());
@@ -71,6 +78,7 @@ epic::PermeabilityMatrix estimate_arrestment_permeability_parallel(
                 merged[k].affected += local[k].affected;
                 merged[k].active += local[k].active;
             }
+            merged_stats.merge(local_stats);
         } catch (...) {
             const std::scoped_lock lock(merge_mutex);
             if (!first_error) first_error = std::current_exception();
@@ -82,6 +90,7 @@ epic::PermeabilityMatrix estimate_arrestment_permeability_parallel(
     for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (auto& t : pool) t.join();
     if (first_error) std::rethrow_exception(first_error);
+    if (options.fastpath_out) options.fastpath_out->merge(merged_stats);
 
     // The returned matrix must reference a SystemModel that outlives it;
     // a process-lifetime instance of the (immutable) arrestment model

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ea/calibrate.hpp"
+#include "fi/fastpath.hpp"
 #include "fi/golden.hpp"
 #include "fi/injector.hpp"
 
@@ -26,13 +27,28 @@ RecoveryResult recovery_experiment(target::ArrestmentSystem& sys,
     erm::ErmBank bank;
     const std::size_t word_count = sys.sim().memory().word_count();
 
+    fi::GoldenCache local_cache;
+    fi::GoldenCache& cache =
+        options.golden_cache ? *options.golden_cache : local_cache;
+    fi::FastPathStats stats;
+    fi::InjectionRunner runner(sys.sim(), injector);
+    runner.set_enabled(options.use_fastpath);
+    // Like the severe model, the recovery experiment injects periodic
+    // plans, so it stays on the slow path (DESIGN.md §9); only the golden
+    // trace for wrapper calibration is shared through the cache.
+    runner.set_golden(nullptr);
+
     for (std::size_t c = case_first; c < case_first + case_count; ++c) {
         // Global-case-index keying, as in severe_coverage_experiment.
         std::uint64_t seed = 0xeca4e1ULL + static_cast<std::uint64_t>(c) * word_count;
         sys.configure(cases[c]);
         injector.disarm();
         sys.sim().clear_recoverers();
-        const fi::GoldenRun gr = fi::capture_golden_run(sys.sim(), options.max_ticks);
+        const auto bare = cache.get_or_capture(
+            fi::golden_key("trace", c),
+            [&] { return fi::capture_golden_data(sys.sim(), options.max_ticks, false); },
+            &stats);
+        const fi::GoldenRun& gr = bare->run;
         sys.sim().enable_trace(false);
 
         // (Re)calibrate the wrappers from this configuration's golden run.
@@ -56,26 +72,24 @@ RecoveryResult recovery_experiment(target::ArrestmentSystem& sys,
 
             // Baseline: identical flips, no recovery.
             sys.sim().clear_recoverers();
-            injector.arm({fi::Injection::into_memory(w, fi::kRandomBit, 10,
-                                                     options.severe_period)},
-                         seed);
-            sys.sim().reset();
-            sys.sim().run(options.max_ticks);
+            runner.run({fi::Injection::into_memory(w, fi::kRandomBit, 10,
+                                                   options.severe_period)},
+                       options.max_ticks, seed);
             if (sys.plant().failure_report().failed()) ++result.failures_baseline;
 
             // With recovery wrappers armed.
             bank.arm(sys.sim());
-            injector.arm({fi::Injection::into_memory(w, fi::kRandomBit, 10,
-                                                     options.severe_period)},
-                         seed);
-            sys.sim().reset();
-            sys.sim().run(options.max_ticks);
+            runner.run({fi::Injection::into_memory(w, fi::kRandomBit, 10,
+                                                   options.severe_period)},
+                       options.max_ticks, seed);
             if (sys.plant().failure_report().failed()) ++result.failures_with_erm;
             result.repairs += bank.total_repairs();
             sys.sim().clear_recoverers();
         }
     }
     sys.sim().enable_trace(true);
+    stats.merge(runner.stats());
+    if (options.fastpath_out) options.fastpath_out->merge(stats);
     return result;
 }
 

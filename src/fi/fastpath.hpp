@@ -1,0 +1,180 @@
+// Fault-injection fast path (DESIGN.md §9).
+//
+// Three cooperating pieces:
+//  - GoldenCaseData / capture_golden_data: a golden run captured once per
+//    test case, with per-tick boundary snapshots and state hashes.
+//  - GoldenCache: a thread-safe, byte-budgeted cache of golden data keyed
+//    by (context tag, test case) — shared across experiment drivers,
+//    campaign worker threads and the opt:: subset evaluator.
+//  - InjectionRunner: executes one injection run, forking from the golden
+//    boundary snapshot at the injection tick instead of replaying from
+//    tick 0, and pruning the run as soon as its full mutable state
+//    re-converges with the golden run's.
+//
+// The fast path is bit-identical to the slow path by construction: a
+// forked run starts from state that is provably equal to what replay
+// would have produced (the pre-injection prefix is fault-free), and a
+// pruned run's remaining evolution is the golden run's (the kernel is
+// deterministic, so equal state implies an equal future). Hash matches
+// are always confirmed with a full state comparison before pruning.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fi/golden.hpp"
+#include "fi/injector.hpp"
+#include "runtime/simulator.hpp"
+#include "runtime/snapshot.hpp"
+
+namespace epea::fi {
+
+/// Observability counters for the fast path (per-shard in campaigns;
+/// surfaced in events.jsonl and `campaign status`).
+struct FastPathStats {
+    std::uint64_t full_runs = 0;     ///< runs simulated from tick 0
+    std::uint64_t forked_runs = 0;   ///< runs resumed from a golden boundary snapshot
+    /// Runs terminated early on state re-convergence; overlaps with
+    /// forked_runs/full_runs (a forked run can also prune).
+    std::uint64_t pruned_runs = 0;
+    std::uint64_t skipped_runs = 0;  ///< runs elided (injection tick beyond golden end)
+    std::uint64_t ticks_executed = 0;  ///< ticks actually simulated
+    std::uint64_t ticks_saved = 0;     ///< golden ticks reused instead of simulated
+    std::uint64_t cache_hits = 0;      ///< golden-cache lookups served from memory
+    std::uint64_t cache_misses = 0;    ///< golden-cache lookups that captured fresh
+
+    void merge(const FastPathStats& o) noexcept {
+        full_runs += o.full_runs;
+        forked_runs += o.forked_runs;
+        pruned_runs += o.pruned_runs;
+        skipped_runs += o.skipped_runs;
+        ticks_executed += o.ticks_executed;
+        ticks_saved += o.ticks_saved;
+        cache_hits += o.cache_hits;
+        cache_misses += o.cache_misses;
+    }
+
+    [[nodiscard]] std::uint64_t runs() const noexcept {
+        return full_runs + forked_runs + skipped_runs;
+    }
+};
+
+/// One test case's golden run, optionally with per-tick boundary
+/// snapshots: boundary[t] is the complete mutable state after t completed
+/// ticks (t = 0..run.length), hash[t] its 64-bit digest.
+struct GoldenCaseData {
+    GoldenRun run;
+    runtime::Tick max_ticks = 0;  ///< tick budget the run was captured under
+    std::vector<runtime::Snapshot> boundary;
+    std::vector<std::uint64_t> hash;
+
+    [[nodiscard]] bool has_snapshots() const noexcept { return !boundary.empty(); }
+    [[nodiscard]] std::size_t approx_bytes() const noexcept;
+};
+
+/// Captures a golden run from a reset. With `with_snapshots`, a boundary
+/// snapshot + hash is stored for every tick (requires
+/// sim.snapshot_supported()). Tracing is left enabled, matching
+/// capture_golden_run.
+[[nodiscard]] GoldenCaseData capture_golden_data(runtime::Simulator& sim,
+                                                 runtime::Tick max_ticks,
+                                                 bool with_snapshots);
+
+/// Canonical cache key for golden data: `tag` names the capture context
+/// (which monitors/recoverers were armed and calibrated), `case_index`
+/// the global test case. "trace" is the conventional tag for bare,
+/// context-free golden traces (monitors never alter signals, so the
+/// trace of a fault-free run is the same in every context).
+[[nodiscard]] std::string golden_key(const std::string& tag, std::size_t case_index);
+
+/// Thread-safe golden-run cache with least-recently-used eviction above a
+/// byte budget. Entries are immutable and shared; an entry still in use
+/// (a live shared_ptr outside the cache) is never evicted.
+class GoldenCache {
+public:
+    static constexpr std::size_t kDefaultByteBudget = 512ULL * 1024 * 1024;
+
+    explicit GoldenCache(std::size_t byte_budget = kDefaultByteBudget)
+        : byte_budget_(byte_budget) {}
+
+    /// Returns the cached entry for `key`, or runs `capture` and caches
+    /// its result. `stats` (optional) receives the hit/miss count.
+    std::shared_ptr<const GoldenCaseData> get_or_capture(
+        const std::string& key, const std::function<GoldenCaseData()>& capture,
+        FastPathStats* stats = nullptr);
+
+    void clear();
+    [[nodiscard]] std::size_t entry_count() const;
+    [[nodiscard]] std::size_t byte_count() const;
+
+private:
+    /// Evicts least-recently-used entries until within budget. Entries
+    /// with a live shared_ptr outside the cache are never evicted;
+    /// `just_inserted` (the entry whose data the caller is about to
+    /// receive) gets one reference discounted so its own return value
+    /// does not pin it — an over-budget insert while everything else is
+    /// in use simply declines to keep the new entry.
+    void evict_locked(const GoldenCaseData* just_inserted);
+
+    struct Entry {
+        std::shared_ptr<const GoldenCaseData> data;
+        std::size_t bytes = 0;
+        std::uint64_t last_used = 0;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_;
+    std::size_t byte_budget_;
+    std::size_t bytes_ = 0;
+    std::uint64_t clock_ = 0;
+};
+
+/// Executes injection runs through the fast path. Drop-in replacement for
+/// the `injector.arm(plan, seed); sim.reset(); sim.run(max_ticks)`
+/// sequence of the slow path — bit-identical results, including the
+/// injector's fired_count, the simulator's trace (backfilled from the
+/// golden trace where ticks were reused) and all observable end state.
+class InjectionRunner {
+public:
+    InjectionRunner(runtime::Simulator& sim, Injector& injector) noexcept
+        : sim_(&sim), injector_(&injector) {}
+
+    /// Disabling routes every run through the slow path (`--no-fastpath`).
+    void set_enabled(bool on) noexcept { enabled_ = on; }
+    [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+    /// Golden data for the currently configured test case; null (or data
+    /// without snapshots) forces the slow path.
+    void set_golden(std::shared_ptr<const GoldenCaseData> golden) noexcept {
+        golden_ = std::move(golden);
+    }
+
+    /// Runs one injection run (arms, forks or resets, simulates, prunes).
+    runtime::RunResult run(std::vector<Injection> plan, runtime::Tick max_ticks,
+                           std::uint64_t seed = 1);
+
+    [[nodiscard]] const FastPathStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] FastPathStats& stats() noexcept { return stats_; }
+
+private:
+    runtime::RunResult slow_run(std::vector<Injection> plan, runtime::Tick max_ticks,
+                                std::uint64_t seed);
+    [[nodiscard]] bool signals_match_golden(runtime::Tick boundary_tick) const;
+    void backfill_trace(runtime::Tick first, runtime::Tick last);
+    void clear_trace();
+
+    runtime::Simulator* sim_;
+    Injector* injector_;
+    std::shared_ptr<const GoldenCaseData> golden_;
+    bool enabled_ = true;
+    FastPathStats stats_;
+    runtime::Snapshot scratch_;
+};
+
+}  // namespace epea::fi

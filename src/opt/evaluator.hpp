@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "fi/fastpath.hpp"
 #include "opt/cache.hpp"
 #include "opt/types.hpp"
 
@@ -28,6 +29,9 @@ struct EvaluatorOptions {
     std::size_t shards = 5;
     std::size_t threads = 1;
     bool echo_events = false;
+    /// Fast path (DESIGN.md §9) for the underlying campaigns; ground
+    /// truth is bit-identical either way.
+    bool use_fastpath = true;
 };
 
 class CampaignEvaluator {
@@ -62,6 +66,11 @@ private:
     std::size_t campaigns_executed_ = 0;
     std::size_t cache_hits_ = 0;
     std::size_t cache_misses_ = 0;
+    /// Golden-run cache shared across every campaign this evaluator
+    /// executes: batches re-running the same cases (e.g. input + severe
+    /// ground truth, or successive search iterations) reuse the captured
+    /// golden data instead of re-running fault-free campaigns.
+    fi::GoldenCache golden_cache_;
 };
 
 }  // namespace epea::opt

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "runtime/signal_store.hpp"
+#include "runtime/snapshot.hpp"
 #include "runtime/types.hpp"
 
 namespace epea::runtime {
@@ -29,6 +30,20 @@ public:
     /// aircraft has been arrested); the simulator stops at the first tick
     /// where this holds.
     [[nodiscard]] virtual bool finished() const = 0;
+
+    // -- snapshot support (fault-injection fast path, DESIGN.md §9) ---------
+
+    /// True when save_state/restore_state round-trip the *complete*
+    /// mutable plant state. Environments that do not opt in force the
+    /// simulator onto the slow path (Simulator::snapshot_supported).
+    [[nodiscard]] virtual bool snapshot_supported() const { return false; }
+
+    /// Serializes every mutable plant variable (only called when
+    /// snapshot_supported() is true).
+    virtual void save_state(StateWriter& w) const { (void)w; }
+
+    /// Restores exactly what save_state wrote, in the same order.
+    virtual void restore_state(StateReader& r) { (void)r; }
 };
 
 }  // namespace epea::runtime

@@ -17,6 +17,7 @@
 #include "model/system_model.hpp"
 #include "runtime/memory_map.hpp"
 #include "runtime/signal_store.hpp"
+#include "runtime/snapshot.hpp"
 #include "runtime/types.hpp"
 #include "util/bitops.hpp"
 
@@ -109,6 +110,14 @@ public:
 
     /// One invocation in the slot schedule.
     virtual void step(ModuleContext& ctx) = 0;
+
+    /// Serializes mutable state *not* registered with the memory map
+    /// (registered words are captured directly by the simulator). The
+    /// default is correct for behaviours whose whole state is registered.
+    virtual void save_state(StateWriter& w) const { (void)w; }
+
+    /// Restores exactly what save_state wrote, in the same order.
+    virtual void restore_state(StateReader& r) { (void)r; }
 };
 
 }  // namespace epea::runtime

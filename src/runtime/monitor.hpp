@@ -3,6 +3,7 @@
 #pragma once
 
 #include "runtime/signal_store.hpp"
+#include "runtime/snapshot.hpp"
 #include "runtime/types.hpp"
 
 namespace epea::runtime {
@@ -16,6 +17,11 @@ public:
 
     /// Observes the post-step signal values of tick `now`.
     virtual void observe(const SignalStore& store, Tick now) = 0;
+
+    /// Serializes mutable detection state for simulator snapshots
+    /// (DESIGN.md §9). Monitors with state must override both.
+    virtual void save_state(StateWriter& w) const { (void)w; }
+    virtual void restore_state(StateReader& r) { (void)r; }
 };
 
 /// SignalRecoverer — error *recovery* mechanism hook (the ERM side of the
@@ -30,6 +36,10 @@ public:
 
     /// May overwrite corrupted signal values for tick `now`.
     virtual void repair(SignalStore& store, Tick now) = 0;
+
+    /// Serializes mutable recovery state for simulator snapshots.
+    virtual void save_state(StateWriter& w) const { (void)w; }
+    virtual void restore_state(StateReader& r) { (void)r; }
 };
 
 }  // namespace epea::runtime

@@ -60,6 +60,16 @@ public:
         return widths_[id.index()];
     }
 
+    /// Raw value vector (snapshot capture).
+    [[nodiscard]] const std::vector<std::uint32_t>& raw_values() const noexcept {
+        return values_;
+    }
+
+    /// Bulk restore from a snapshot (values are already width-masked).
+    void restore_values(const std::vector<std::uint32_t>& values) noexcept {
+        values_ = values;
+    }
+
 private:
     std::vector<std::uint32_t> values_;
     std::vector<std::uint8_t> widths_;

@@ -81,6 +81,69 @@ void Simulator::step_tick() {
     ++now_;
 }
 
+void Simulator::capture_snapshot(Snapshot& out) const {
+    out.clear();
+    out.tick = now_;
+    out.signals = store_.raw_values();
+    out.memory.reserve(memory_.word_count());
+    for (const MemWord& w : memory_.words()) out.memory.push_back(*w.word);
+    {
+        StateWriter w(out.behaviours);
+        for (const auto& b : behaviours_) b->save_state(w);
+    }
+    {
+        StateWriter w(out.environment);
+        env_->save_state(w);
+    }
+    {
+        StateWriter w(out.monitors);
+        for (const auto* m : monitors_) m->save_state(w);
+    }
+    {
+        StateWriter w(out.recoverers);
+        for (const auto* r : recoverers_) r->save_state(w);
+    }
+}
+
+void Simulator::restore_snapshot(const Snapshot& snap) {
+    if (snap.signals.size() != store_.size() || snap.memory.size() != memory_.word_count()) {
+        throw std::invalid_argument("Simulator: snapshot layout does not match this system");
+    }
+    now_ = snap.tick;
+    store_.restore_values(snap.signals);
+    for (std::size_t i = 0; i < snap.memory.size(); ++i) {
+        *memory_.word(i).word = snap.memory[i];
+    }
+    {
+        StateReader r(snap.behaviours);
+        for (auto& b : behaviours_) b->restore_state(r);
+        if (!r.exhausted()) {
+            throw std::runtime_error("Simulator: behaviour snapshot section not consumed");
+        }
+    }
+    {
+        StateReader r(snap.environment);
+        env_->restore_state(r);
+        if (!r.exhausted()) {
+            throw std::runtime_error("Simulator: environment snapshot section not consumed");
+        }
+    }
+    {
+        StateReader r(snap.monitors);
+        for (auto* m : monitors_) m->restore_state(r);
+        if (!r.exhausted()) {
+            throw std::runtime_error("Simulator: monitor snapshot section not consumed");
+        }
+    }
+    {
+        StateReader r(snap.recoverers);
+        for (auto* rec : recoverers_) rec->restore_state(r);
+        if (!r.exhausted()) {
+            throw std::runtime_error("Simulator: recoverer snapshot section not consumed");
+        }
+    }
+}
+
 RunResult Simulator::run(Tick max_ticks) {
     RunResult result;
     while (now_ < max_ticks) {

@@ -24,6 +24,7 @@
 #include "runtime/module_behaviour.hpp"
 #include "runtime/monitor.hpp"
 #include "runtime/signal_store.hpp"
+#include "runtime/snapshot.hpp"
 #include "runtime/trace.hpp"
 #include "runtime/types.hpp"
 
@@ -85,6 +86,23 @@ public:
     /// Executes exactly one tick (exposed for fine-grained tests).
     void step_tick();
 
+    // -- snapshots (fault-injection fast path, DESIGN.md §9) ----------------
+
+    /// True when every mutable-state holder round-trips through the
+    /// snapshot API. Gated on the environment's opt-in: a custom test
+    /// environment without snapshot support silently forces the slow path.
+    [[nodiscard]] bool snapshot_supported() const { return env_->snapshot_supported(); }
+
+    /// Captures the complete mutable state into `out` (cleared first,
+    /// capacity reused). Valid only at a tick boundary (between ticks).
+    void capture_snapshot(Snapshot& out) const;
+
+    /// Restores a state previously captured from a simulator with the
+    /// identical model/behaviour layout; now() becomes snap.tick. The
+    /// trace is left untouched — it is history, not state, and the fast
+    /// path splices it explicitly (clear at fork, backfill golden rows).
+    void restore_snapshot(const Snapshot& snap);
+
     // -- access -------------------------------------------------------------
 
     [[nodiscard]] const model::SystemModel& system() const noexcept { return *model_; }
@@ -94,6 +112,7 @@ public:
     [[nodiscard]] const MemoryMap& memory() const noexcept { return memory_; }
     [[nodiscard]] Tick now() const noexcept { return now_; }
     [[nodiscard]] const Trace* trace() const noexcept { return trace_.get(); }
+    [[nodiscard]] Trace* trace() noexcept { return trace_.get(); }
     [[nodiscard]] Environment& environment() noexcept { return *env_; }
 
     /// Direct access to a module's frame words (used by tests and by the

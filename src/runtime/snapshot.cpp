@@ -1,0 +1,35 @@
+#include "runtime/snapshot.hpp"
+
+namespace epea::runtime {
+
+namespace {
+
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+template <typename Word>
+void mix_section(std::uint64_t& h, const std::vector<Word>& section) noexcept {
+    h = splitmix64(h ^ section.size());
+    for (const Word w : section) {
+        h = splitmix64(h ^ static_cast<std::uint64_t>(w));
+    }
+}
+
+}  // namespace
+
+std::uint64_t Snapshot::state_hash() const noexcept {
+    std::uint64_t h = 0x5eedULL;
+    mix_section(h, signals);
+    mix_section(h, memory);
+    mix_section(h, behaviours);
+    mix_section(h, environment);
+    mix_section(h, monitors);
+    mix_section(h, recoverers);
+    return h;
+}
+
+}  // namespace epea::runtime

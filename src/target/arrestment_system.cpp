@@ -180,6 +180,44 @@ bool Plant::finished() const {
            (report_.stopped && settle_ >= pc_.settle_ticks);
 }
 
+void Plant::save_state(runtime::StateWriter& w) const {
+    w.f64(speed_mps_);
+    w.f64(distance_m_);
+    w.f64(pressure_norm_);
+    w.f64(cmd_norm_);
+    w.f64(pulse_accum_);
+    w.u32(pacnt_);
+    w.u32(tic1_);
+    w.u32(tcnt_);
+    w.u32(settle_);
+    w.boolean(report_.stopped);
+    w.f64(report_.final_distance_m);
+    w.f64(report_.peak_retardation_g);
+    w.f64(report_.peak_force_ratio);
+    w.boolean(report_.retardation_exceeded);
+    w.boolean(report_.force_exceeded);
+    w.boolean(report_.overran_runway);
+}
+
+void Plant::restore_state(runtime::StateReader& r) {
+    speed_mps_ = r.f64();
+    distance_m_ = r.f64();
+    pressure_norm_ = r.f64();
+    cmd_norm_ = r.f64();
+    pulse_accum_ = r.f64();
+    pacnt_ = r.u32();
+    tic1_ = r.u32();
+    tcnt_ = r.u32();
+    settle_ = r.u32();
+    report_.stopped = r.boolean();
+    report_.final_distance_m = r.f64();
+    report_.peak_retardation_g = r.f64();
+    report_.peak_force_ratio = r.f64();
+    report_.retardation_exceeded = r.boolean();
+    report_.force_exceeded = r.boolean();
+    report_.overran_runway = r.boolean();
+}
+
 // ------------------------------------------------------------- the system
 
 ArrestmentSystem::ArrestmentSystem()

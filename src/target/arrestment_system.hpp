@@ -99,6 +99,10 @@ public:
     void actuate(const runtime::SignalStore& store, runtime::Tick now) override;
     [[nodiscard]] bool finished() const override;
 
+    [[nodiscard]] bool snapshot_supported() const override { return true; }
+    void save_state(runtime::StateWriter& w) const override;
+    void restore_state(runtime::StateReader& r) override;
+
     [[nodiscard]] FailureReport failure_report() const { return report_; }
     [[nodiscard]] const PlantConstants& constants() const { return pc_; }
 

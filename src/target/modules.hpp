@@ -49,6 +49,12 @@ public:
     void reset() override;
     void step(runtime::ModuleContext& ctx) override;
 
+    // `first_` is the only state word not registered with the memory map
+    // (a one-shot latch, deliberately not injectable); snapshots must
+    // carry it explicitly.
+    void save_state(runtime::StateWriter& w) const override { w.boolean(first_); }
+    void restore_state(runtime::StateReader& r) override { first_ = r.boolean(); }
+
 private:
     SoftwareConfig cfg_;
     std::uint32_t prev_ = 0;

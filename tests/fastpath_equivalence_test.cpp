@@ -1,0 +1,273 @@
+// Fast-vs-full equivalence proofs (DESIGN.md §9): every campaign kind —
+// permeability, input coverage, severe, recovery — and the opt:: subset
+// evaluator must produce bit-identical results with the fast path on and
+// off. These are the paired runs the acceptance criteria require; the
+// small-scale mechanics are covered by fastpath_test.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "campaign/executor.hpp"
+#include "epic/serialize.hpp"
+#include "exp/arrestment_experiments.hpp"
+#include "exp/recovery.hpp"
+#include "opt/evaluator.hpp"
+#include "target/arrestment_system.hpp"
+
+namespace {
+
+using namespace epea;
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+    fs::path path;
+    explicit TempDir(const std::string& name)
+        : path(fs::temp_directory_path() / ("epea_fastpath_" + name)) {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+};
+
+exp::CampaignOptions tiny_campaign(bool fastpath, fi::FastPathStats* stats) {
+    exp::CampaignOptions o;
+    o.case_count = 2;
+    o.times_per_bit = 2;
+    o.use_fastpath = fastpath;
+    o.fastpath_out = stats;
+    return o;
+}
+
+std::string matrix_csv(const epic::PermeabilityMatrix& pm) {
+    std::ostringstream out;
+    epic::save_matrix_csv(out, pm);
+    return out.str();
+}
+
+TEST(FastpathEquivalence, PermeabilityMatrixBitIdentical) {
+    target::ArrestmentSystem sys;
+    fi::FastPathStats fast_stats;
+    fi::FastPathStats slow_stats;
+
+    const epic::PermeabilityMatrix fast =
+        exp::estimate_arrestment_permeability(sys, tiny_campaign(true, &fast_stats));
+    const epic::PermeabilityMatrix slow =
+        exp::estimate_arrestment_permeability(sys, tiny_campaign(false, &slow_stats));
+
+    EXPECT_EQ(matrix_csv(fast), matrix_csv(slow));
+    // The fast path actually engaged: runs forked from snapshots and a
+    // meaningful share of golden ticks was reused.
+    EXPECT_GT(fast_stats.forked_runs, 0U);
+    EXPECT_GT(fast_stats.ticks_saved, fast_stats.ticks_executed);
+    EXPECT_EQ(slow_stats.forked_runs, 0U);
+    EXPECT_EQ(slow_stats.pruned_runs, 0U);
+    EXPECT_EQ(fast_stats.runs(), slow_stats.runs());
+}
+
+std::vector<exp::SubsetSpec> paper_subsets() {
+    return {{"EH", {"EA1", "EA3", "EA6"}}, {"PA", {"EA2", "EA4", "EA5", "EA7"}}};
+}
+
+void expect_rows_equal(const exp::InputCoverageRow& a, const exp::InputCoverageRow& b) {
+    EXPECT_EQ(a.signal, b.signal);
+    EXPECT_EQ(a.injected, b.injected);
+    EXPECT_EQ(a.active, b.active);
+    EXPECT_EQ(a.detected_any, b.detected_any);
+    EXPECT_EQ(a.detected_per_ea, b.detected_per_ea);
+    EXPECT_EQ(a.detected_per_subset, b.detected_per_subset);
+    EXPECT_EQ(a.latency.count(), b.latency.count());
+    EXPECT_EQ(a.latency.sum(), b.latency.sum());
+    EXPECT_EQ(a.latency.min(), b.latency.min());
+    EXPECT_EQ(a.latency.max(), b.latency.max());
+}
+
+TEST(FastpathEquivalence, InputCoverageBitIdentical) {
+    target::ArrestmentSystem sys;
+    fi::FastPathStats fast_stats;
+    fi::FastPathStats slow_stats;
+
+    exp::InputCoverageOptions fast_opt;
+    fast_opt.campaign = tiny_campaign(true, &fast_stats);
+    exp::InputCoverageOptions slow_opt;
+    slow_opt.campaign = tiny_campaign(false, &slow_stats);
+
+    const exp::InputCoverageResult fast =
+        exp::input_coverage_experiment(sys, fast_opt, paper_subsets());
+    const exp::InputCoverageResult slow =
+        exp::input_coverage_experiment(sys, slow_opt, paper_subsets());
+
+    ASSERT_EQ(fast.rows.size(), slow.rows.size());
+    EXPECT_EQ(fast.ea_names, slow.ea_names);
+    for (std::size_t r = 0; r < fast.rows.size(); ++r) {
+        expect_rows_equal(fast.rows[r], slow.rows[r]);
+    }
+    expect_rows_equal(fast.all, slow.all);
+    EXPECT_GT(fast_stats.forked_runs + fast_stats.skipped_runs, 0U);
+    EXPECT_EQ(slow_stats.forked_runs, 0U);
+}
+
+TEST(FastpathEquivalence, SevereCoverageBitIdentical) {
+    target::ArrestmentSystem sys;
+    fi::FastPathStats fast_stats;
+    fi::FastPathStats slow_stats;
+
+    exp::CampaignOptions fast_opt = tiny_campaign(true, &fast_stats);
+    fast_opt.case_count = 1;
+    exp::CampaignOptions slow_opt = tiny_campaign(false, &slow_stats);
+    slow_opt.case_count = 1;
+
+    const exp::SevereCoverageResult fast =
+        exp::severe_coverage_experiment(sys, fast_opt, paper_subsets());
+    const exp::SevereCoverageResult slow =
+        exp::severe_coverage_experiment(sys, slow_opt, paper_subsets());
+
+    EXPECT_EQ(fast.runs, slow.runs);
+    EXPECT_EQ(fast.failures, slow.failures);
+    ASSERT_EQ(fast.sets.size(), slow.sets.size());
+    for (std::size_t s = 0; s < fast.sets.size(); ++s) {
+        for (std::size_t r = 0; r < 3; ++r) {
+            for (std::size_t k = 0; k < 3; ++k) {
+                EXPECT_EQ(fast.sets[s].cells[r][k].n, slow.sets[s].cells[r][k].n);
+                EXPECT_EQ(fast.sets[s].cells[r][k].detected,
+                          slow.sets[s].cells[r][k].detected);
+            }
+        }
+    }
+    // Periodic plans stay on the slow path by design, but the golden
+    // trace for calibration comes through the cache.
+    EXPECT_EQ(fast_stats.forked_runs, 0U);
+    EXPECT_EQ(fast_stats.pruned_runs, 0U);
+    EXPECT_EQ(fast_stats.cache_misses, 1U);
+}
+
+TEST(FastpathEquivalence, RecoveryBitIdentical) {
+    target::ArrestmentSystem sys;
+    fi::FastPathStats fast_stats;
+
+    exp::CampaignOptions fast_opt = tiny_campaign(true, &fast_stats);
+    fast_opt.case_count = 1;
+    exp::CampaignOptions slow_opt = tiny_campaign(false, nullptr);
+    slow_opt.case_count = 1;
+
+    const exp::RecoveryResult fast =
+        exp::recovery_experiment(sys, fast_opt, {"pulscnt", "SetValue"});
+    const exp::RecoveryResult slow =
+        exp::recovery_experiment(sys, slow_opt, {"pulscnt", "SetValue"});
+
+    EXPECT_EQ(fast.runs, slow.runs);
+    EXPECT_EQ(fast.failures_baseline, slow.failures_baseline);
+    EXPECT_EQ(fast.failures_with_erm, slow.failures_with_erm);
+    EXPECT_EQ(fast.repairs, slow.repairs);
+    EXPECT_EQ(fast_stats.forked_runs, 0U);  // periodic: slow path
+    EXPECT_EQ(fast_stats.runs(), fast.runs * 2);
+}
+
+/// One campaign per (kind, fastpath) in its own directory; returns the
+/// executor after a full run for result extraction.
+campaign::CampaignExecutor run_campaign(const std::string& dir,
+                                        campaign::CampaignKind kind, bool fastpath) {
+    campaign::CampaignSpec spec = campaign::CampaignSpec::defaults(kind);
+    spec.case_ids.resize(2);
+    spec.times_per_bit = 1;
+    spec.shards = 2;
+    campaign::CampaignExecutor exec(dir, std::move(spec));
+    campaign::ExecutorOptions options;
+    options.threads = 2;
+    options.use_fastpath = fastpath;
+    EXPECT_TRUE(exec.run(options));
+    return exec;
+}
+
+TEST(FastpathEquivalence, CampaignExecutorMergedResultsBitIdentical) {
+    TempDir tmp("campaign");
+    static const model::SystemModel system = target::make_arrestment_model();
+
+    const auto fast = run_campaign((tmp.path / "fast").string(),
+                                   campaign::CampaignKind::kPermeability, true);
+    const auto slow = run_campaign((tmp.path / "slow").string(),
+                                   campaign::CampaignKind::kPermeability, false);
+    EXPECT_EQ(matrix_csv(fast.merged_matrix(system)),
+              matrix_csv(slow.merged_matrix(system)));
+
+    // Counters surface per shard: the checkpoints carry fastpath stats
+    // and the thread count, and the totals reflect actual forking.
+    const fi::FastPathStats totals = fast.fastpath_totals();
+    EXPECT_GT(totals.forked_runs, 0U);
+    EXPECT_GT(totals.ticks_saved, 0U);
+    EXPECT_EQ(slow.fastpath_totals().forked_runs, 0U);
+    for (const campaign::ShardResult& shard : fast.completed()) {
+        EXPECT_EQ(shard.threads, 2U);
+    }
+
+    // And through the status reader (what `campaign status` renders).
+    const campaign::CampaignStatus status =
+        campaign::read_status((tmp.path / "fast").string());
+    EXPECT_EQ(status.fastpath.forked_runs, totals.forked_runs);
+    EXPECT_EQ(status.shard_threads, (std::vector<std::size_t>{2, 2}));
+    const std::string rendered = campaign::render_status(status);
+    EXPECT_NE(rendered.find("fast path:"), std::string::npos);
+    EXPECT_NE(rendered.find("threads per shard:"), std::string::npos);
+}
+
+TEST(FastpathEquivalence, SevereAndRecoveryCampaignsBitIdentical) {
+    TempDir tmp("campaign_sr");
+
+    const auto fast_sev = run_campaign((tmp.path / "fast-sev").string(),
+                                       campaign::CampaignKind::kSevere, true);
+    const auto slow_sev = run_campaign((tmp.path / "slow-sev").string(),
+                                       campaign::CampaignKind::kSevere, false);
+    const exp::SevereCoverageResult fs = fast_sev.merged_severe();
+    const exp::SevereCoverageResult ss = slow_sev.merged_severe();
+    EXPECT_EQ(fs.runs, ss.runs);
+    EXPECT_EQ(fs.failures, ss.failures);
+    ASSERT_EQ(fs.sets.size(), ss.sets.size());
+    for (std::size_t s = 0; s < fs.sets.size(); ++s) {
+        for (std::size_t r = 0; r < 3; ++r) {
+            for (std::size_t k = 0; k < 3; ++k) {
+                EXPECT_EQ(fs.sets[s].cells[r][k].detected,
+                          ss.sets[s].cells[r][k].detected);
+            }
+        }
+    }
+
+    const auto fast_rec = run_campaign((tmp.path / "fast-rec").string(),
+                                       campaign::CampaignKind::kRecovery, true);
+    const auto slow_rec = run_campaign((tmp.path / "slow-rec").string(),
+                                       campaign::CampaignKind::kRecovery, false);
+    const exp::RecoveryResult fr = fast_rec.merged_recovery();
+    const exp::RecoveryResult sr = slow_rec.merged_recovery();
+    EXPECT_EQ(fr.runs, sr.runs);
+    EXPECT_EQ(fr.failures_baseline, sr.failures_baseline);
+    EXPECT_EQ(fr.failures_with_erm, sr.failures_with_erm);
+    EXPECT_EQ(fr.repairs, sr.repairs);
+}
+
+TEST(FastpathEquivalence, EvaluatorGroundTruthBitIdentical) {
+    TempDir tmp("evaluator");
+    opt::EvaluatorOptions fast_opt;
+    fast_opt.model = opt::ErrorModel::kInput;
+    fast_opt.dir = (tmp.path / "fast").string();
+    fast_opt.cases = 2;
+    fast_opt.times_per_bit = 1;
+    fast_opt.shards = 2;
+    opt::EvaluatorOptions slow_opt = fast_opt;
+    slow_opt.dir = (tmp.path / "slow").string();
+    slow_opt.use_fastpath = false;
+
+    opt::CampaignEvaluator fast(fast_opt);
+    opt::CampaignEvaluator slow(slow_opt);
+    const std::vector<std::vector<std::string>> subsets{{"pulscnt", "SetValue"},
+                                                        {"IsValue"}};
+    const auto fast_entries = fast.evaluate(subsets);
+    const auto slow_entries = slow.evaluate(subsets);
+    ASSERT_EQ(fast_entries.size(), slow_entries.size());
+    for (std::size_t i = 0; i < fast_entries.size(); ++i) {
+        EXPECT_EQ(fast_entries[i].detected, slow_entries[i].detected);
+        EXPECT_EQ(fast_entries[i].active, slow_entries[i].active);
+        EXPECT_DOUBLE_EQ(fast_entries[i].coverage, slow_entries[i].coverage);
+    }
+}
+
+}  // namespace

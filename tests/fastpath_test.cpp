@@ -1,0 +1,361 @@
+// Fast-path unit tests (src/fi/fastpath.*, src/runtime/snapshot.*):
+// snapshot round-trips, snapshot-resumed determinism on both targets
+// (including armed monitors and mid-run injections), the injection
+// runner's fork/skip/prune equivalence with the slow path at small scale,
+// and the golden-cache hit/miss/eviction behaviour. The campaign-scale
+// fast-vs-full equivalence proofs live in fastpath_equivalence_test.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "alt/tank_system.hpp"
+#include "exp/arrestment_experiments.hpp"
+#include "fi/fastpath.hpp"
+#include "fi/golden.hpp"
+#include "fi/injector.hpp"
+#include "runtime/snapshot.hpp"
+#include "target/arrestment_system.hpp"
+
+namespace {
+
+using namespace epea;
+
+TEST(StateWriter, RoundTripsEveryFieldType) {
+    std::vector<std::uint64_t> buf;
+    runtime::StateWriter w(buf);
+    w.u32(0xdeadbeefU);
+    w.u64(0x0123456789abcdefULL);
+    w.i64(-42);
+    w.f64(3.141592653589793);
+    w.boolean(true);
+    w.boolean(false);
+    w.tick(runtime::kInvalidTick);
+    w.tick(1234);
+
+    runtime::StateReader r(buf);
+    EXPECT_EQ(r.u32(), 0xdeadbeefU);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+    EXPECT_EQ(r.i64(), -42);
+    EXPECT_DOUBLE_EQ(r.f64(), 3.141592653589793);
+    EXPECT_TRUE(r.boolean());
+    EXPECT_FALSE(r.boolean());
+    EXPECT_EQ(r.tick(), runtime::kInvalidTick);
+    EXPECT_EQ(r.tick(), 1234);
+    EXPECT_TRUE(r.exhausted());
+    EXPECT_THROW((void)r.u32(), std::runtime_error);  // underrun
+}
+
+TEST(Snapshot, HashAndEqualityTrackState) {
+    target::ArrestmentSystem sys;
+    sys.configure(target::standard_test_cases()[0]);
+    sys.sim().reset();
+    runtime::Snapshot a;
+    sys.sim().capture_snapshot(a);
+    sys.sim().step_tick();
+    runtime::Snapshot b;
+    sys.sim().capture_snapshot(b);
+
+    EXPECT_FALSE(a.same_state(b));
+    EXPECT_NE(a.state_hash(), b.state_hash());
+
+    // Identical state, different tick: same_state ignores the tick (the
+    // prune comparison aligns ticks explicitly).
+    runtime::Snapshot c = a;
+    c.tick = 999;
+    EXPECT_TRUE(a.same_state(c));
+    EXPECT_EQ(a.state_hash(), c.state_hash());
+    EXPECT_GT(a.approx_bytes(), 0U);
+}
+
+/// Restoring a mid-run boundary snapshot and stepping to the end must
+/// land bit-exactly on the uninterrupted run's end state.
+template <typename System>
+void expect_snapshot_resume_deterministic(System& sys, runtime::Tick max_ticks) {
+    ASSERT_TRUE(sys.sim().snapshot_supported());
+    const fi::GoldenCaseData golden =
+        fi::capture_golden_data(sys.sim(), max_ticks, /*with_snapshots=*/true);
+    const runtime::Tick len = golden.run.length;
+    ASSERT_GT(len, 10U);
+    ASSERT_EQ(golden.boundary.size(), static_cast<std::size_t>(len) + 1);
+
+    const runtime::Tick mid = len / 2;
+    sys.sim().restore_snapshot(golden.boundary[mid]);
+    EXPECT_EQ(sys.sim().now(), mid);
+    while (sys.sim().now() < max_ticks) {
+        sys.sim().step_tick();
+        // Every boundary passed through must match the recorded one.
+        const runtime::Tick k = sys.sim().now();
+        runtime::Snapshot snap;
+        sys.sim().capture_snapshot(snap);
+        ASSERT_TRUE(snap.same_state(golden.boundary[k])) << "diverged at tick " << k;
+        ASSERT_EQ(snap.state_hash(), golden.hash[k]);
+        if (sys.sim().environment().finished()) break;
+    }
+    EXPECT_EQ(sys.sim().now(), len);
+}
+
+TEST(SnapshotResume, DeterministicOnArrestment) {
+    target::ArrestmentSystem sys;
+    sys.configure(target::standard_test_cases()[3]);
+    expect_snapshot_resume_deterministic(sys, target::kMaxRunTicks);
+}
+
+TEST(SnapshotResume, DeterministicOnTank) {
+    alt::TankSystem sys;
+    sys.configure(alt::standard_tank_scenarios()[4]);
+    expect_snapshot_resume_deterministic(sys, 20000);
+}
+
+TEST(SnapshotResume, DeterministicWithArmedEasAndInjection) {
+    target::ArrestmentSystem sys;
+    sys.configure(target::standard_test_cases()[1]);
+    fi::Injector injector(sys.sim());
+
+    // Calibrate and arm the full EA bank: monitor state is now part of
+    // the snapshot sections.
+    const fi::GoldenRun gr = fi::capture_golden_run(sys.sim(), target::kMaxRunTicks);
+    ea::EaBank bank = exp::make_calibrated_bank(sys.system(), {gr.trace});
+    bank.arm(sys.sim());
+
+    const runtime::Tick snap_at = gr.length / 3;
+    const runtime::Tick inject_at = gr.length / 2;  // after the snapshot
+    const model::SignalId sid = sys.system().signal_id("TIC1");
+    const std::vector<fi::Injection> plan{fi::Injection::into_signal(sid, 9, inject_at)};
+
+    // Uninterrupted reference run.
+    injector.arm(plan, /*seed=*/7);
+    sys.sim().reset();
+    const runtime::RunResult ref = sys.sim().run(target::kMaxRunTicks);
+    runtime::Snapshot ref_end;
+    sys.sim().capture_snapshot(ref_end);
+    const std::vector<std::size_t> ref_triggered = bank.triggered();
+
+    // Same run, but snapshotted before the injection and resumed after a
+    // scrambling detour.
+    injector.arm(plan, 7);
+    sys.sim().reset();
+    (void)sys.sim().run(snap_at);
+    runtime::Snapshot mid;
+    sys.sim().capture_snapshot(mid);
+    sys.sim().reset();
+    (void)sys.sim().run(target::kMaxRunTicks);  // scramble the live state
+    injector.arm(plan, 7);                      // restore injector state too
+    sys.sim().restore_snapshot(mid);
+    const runtime::RunResult resumed = sys.sim().run(target::kMaxRunTicks);
+
+    EXPECT_EQ(resumed.ticks, ref.ticks);
+    EXPECT_EQ(resumed.env_finished, ref.env_finished);
+    EXPECT_EQ(injector.fired_count(), 1U);
+    runtime::Snapshot end;
+    sys.sim().capture_snapshot(end);
+    EXPECT_TRUE(end.same_state(ref_end));
+    EXPECT_EQ(bank.triggered(), ref_triggered);
+    sys.sim().clear_monitors();
+}
+
+// ------------------------------------------------------------ runner
+
+struct RunnerFixture {
+    target::ArrestmentSystem sys;
+    fi::Injector injector{sys.sim()};
+    std::shared_ptr<const fi::GoldenCaseData> golden;
+
+    explicit RunnerFixture(std::size_t test_case) {
+        sys.configure(target::standard_test_cases()[test_case]);
+        golden = std::make_shared<const fi::GoldenCaseData>(
+            fi::capture_golden_data(sys.sim(), target::kMaxRunTicks, true));
+    }
+
+    /// Slow-path reference for one plan: arm + reset + run.
+    runtime::RunResult slow(const std::vector<fi::Injection>& plan,
+                            std::uint64_t seed) {
+        injector.arm(plan, seed);
+        sys.sim().reset();
+        return sys.sim().run(target::kMaxRunTicks);
+    }
+};
+
+void expect_traces_equal(const runtime::Trace& a, const runtime::Trace& b,
+                         const model::SystemModel& system) {
+    for (const model::SignalId sid : system.all_signals()) {
+        ASSERT_EQ(a.series(sid), b.series(sid))
+            << "trace mismatch on " << system.signal_name(sid);
+    }
+}
+
+TEST(InjectionRunner, ForkedRunMatchesSlowPath) {
+    RunnerFixture fx(0);
+    const runtime::Tick len = fx.golden->run.length;
+    const model::ModuleId calc = fx.sys.system().module_id("CALC");
+    const std::vector<fi::Injection> plan{
+        fi::Injection::into_module_input(calc, 2, 5, len / 2)};
+
+    const runtime::RunResult slow = fx.slow(plan, 11);
+    const std::size_t slow_fired = fx.injector.fired_count();
+    runtime::Snapshot slow_end;
+    fx.sys.sim().capture_snapshot(slow_end);
+    const runtime::Trace slow_trace = *fx.sys.sim().trace();
+
+    fi::InjectionRunner runner(fx.sys.sim(), fx.injector);
+    runner.set_golden(fx.golden);
+    const runtime::RunResult fast = runner.run(plan, target::kMaxRunTicks, 11);
+
+    EXPECT_EQ(fast.ticks, slow.ticks);
+    EXPECT_EQ(fast.env_finished, slow.env_finished);
+    EXPECT_EQ(fx.injector.fired_count(), slow_fired);
+    runtime::Snapshot fast_end;
+    fx.sys.sim().capture_snapshot(fast_end);
+    EXPECT_TRUE(fast_end.same_state(slow_end));
+    expect_traces_equal(*fx.sys.sim().trace(), slow_trace, fx.sys.system());
+    EXPECT_EQ(runner.stats().forked_runs, 1U);
+    EXPECT_GT(runner.stats().ticks_saved, 0U);
+}
+
+TEST(InjectionRunner, SkipsRunsInjectedAfterGoldenEnd) {
+    RunnerFixture fx(0);
+    const runtime::Tick len = fx.golden->run.length;
+    const model::SignalId sid = fx.sys.system().signal_id("PACNT");
+    const std::vector<fi::Injection> plan{fi::Injection::into_signal(sid, 3, len + 5)};
+
+    const runtime::RunResult slow = fx.slow(plan, 3);
+    EXPECT_EQ(fx.injector.fired_count(), 0U);  // inactive on the slow path
+    runtime::Snapshot slow_end;
+    fx.sys.sim().capture_snapshot(slow_end);
+    const runtime::Trace slow_trace = *fx.sys.sim().trace();
+
+    fi::InjectionRunner runner(fx.sys.sim(), fx.injector);
+    runner.set_golden(fx.golden);
+    const runtime::RunResult fast = runner.run(plan, target::kMaxRunTicks, 3);
+
+    EXPECT_EQ(fast.ticks, slow.ticks);
+    EXPECT_EQ(fast.env_finished, slow.env_finished);
+    EXPECT_EQ(fx.injector.fired_count(), 0U);
+    runtime::Snapshot fast_end;
+    fx.sys.sim().capture_snapshot(fast_end);
+    EXPECT_TRUE(fast_end.same_state(slow_end));
+    expect_traces_equal(*fx.sys.sim().trace(), slow_trace, fx.sys.system());
+    EXPECT_EQ(runner.stats().skipped_runs, 1U);
+    EXPECT_EQ(runner.stats().ticks_executed, 0U);
+}
+
+TEST(InjectionRunner, PrunesConvergedRunBitIdentically) {
+    RunnerFixture fx(0);
+    const runtime::Tick len = fx.golden->run.length;
+    // CLOCK's only input feeds ms_slot_nbr, which no module consumes, and
+    // leaves CLOCK's internal state untouched: the corrupted state washes
+    // out after one tick and the run re-converges with the golden run.
+    const model::ModuleId clock = fx.sys.system().module_id("CLOCK");
+    const std::vector<fi::Injection> plan{
+        fi::Injection::into_module_input(clock, 0, 2, len / 2)};
+
+    const runtime::RunResult slow = fx.slow(plan, 5);
+    const std::size_t slow_fired = fx.injector.fired_count();
+    runtime::Snapshot slow_end;
+    fx.sys.sim().capture_snapshot(slow_end);
+    const runtime::Trace slow_trace = *fx.sys.sim().trace();
+
+    fi::InjectionRunner runner(fx.sys.sim(), fx.injector);
+    runner.set_golden(fx.golden);
+    const runtime::RunResult fast = runner.run(plan, target::kMaxRunTicks, 5);
+
+    EXPECT_EQ(fast.ticks, slow.ticks);
+    EXPECT_EQ(fast.env_finished, slow.env_finished);
+    EXPECT_EQ(fx.injector.fired_count(), slow_fired);
+    runtime::Snapshot fast_end;
+    fx.sys.sim().capture_snapshot(fast_end);
+    EXPECT_TRUE(fast_end.same_state(slow_end));
+    expect_traces_equal(*fx.sys.sim().trace(), slow_trace, fx.sys.system());
+    EXPECT_EQ(runner.stats().pruned_runs, 1U);
+    // Forked to len/2 and pruned shortly after: almost the whole run is
+    // reused from the golden data.
+    EXPECT_LT(runner.stats().ticks_executed, 16U);
+}
+
+TEST(InjectionRunner, DisabledOrNullGoldenUsesSlowPath) {
+    RunnerFixture fx(0);
+    const model::SignalId sid = fx.sys.system().signal_id("TCNT");
+    const std::vector<fi::Injection> plan{
+        fi::Injection::into_signal(sid, 1, fx.golden->run.length / 2)};
+
+    fi::InjectionRunner runner(fx.sys.sim(), fx.injector);
+    runner.set_golden(fx.golden);
+    runner.set_enabled(false);  // --no-fastpath
+    (void)runner.run(plan, target::kMaxRunTicks, 1);
+    EXPECT_EQ(runner.stats().full_runs, 1U);
+    EXPECT_EQ(runner.stats().forked_runs, 0U);
+
+    runner.set_enabled(true);
+    runner.set_golden(nullptr);  // periodic models route this way
+    (void)runner.run(plan, target::kMaxRunTicks, 1);
+    EXPECT_EQ(runner.stats().full_runs, 2U);
+    EXPECT_EQ(runner.stats().forked_runs, 0U);
+
+    // A golden captured under a different tick budget is rejected too.
+    runner.set_golden(fx.golden);
+    (void)runner.run(plan, target::kMaxRunTicks - 1, 1);
+    EXPECT_EQ(runner.stats().full_runs, 3U);
+    EXPECT_EQ(runner.stats().runs(), 3U);
+}
+
+// ------------------------------------------------------------ cache
+
+fi::GoldenCaseData tiny_golden(runtime::Tick length) {
+    fi::GoldenCaseData data;
+    data.run.length = length;
+    data.max_ticks = length;
+    data.hash.assign(16, 0);  // some payload bytes
+    return data;
+}
+
+TEST(GoldenCache, CountsHitsAndMisses) {
+    fi::GoldenCache cache;
+    fi::FastPathStats stats;
+    std::size_t captures = 0;
+    const auto factory = [&captures] {
+        ++captures;
+        return tiny_golden(10);
+    };
+    const auto a = cache.get_or_capture(fi::golden_key("trace", 0), factory, &stats);
+    const auto b = cache.get_or_capture(fi::golden_key("trace", 0), factory, &stats);
+    const auto c = cache.get_or_capture(fi::golden_key("perm", 0), factory, &stats);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_NE(a.get(), c.get());  // same case, different capture context
+    EXPECT_EQ(captures, 2U);
+    EXPECT_EQ(stats.cache_hits, 1U);
+    EXPECT_EQ(stats.cache_misses, 2U);
+    EXPECT_EQ(cache.entry_count(), 2U);
+}
+
+TEST(GoldenCache, EvictsLruButNeverLiveEntries) {
+    // Budget below two entries: inserting the second must evict the
+    // least-recently-used one — unless a live shared_ptr pins it.
+    const std::size_t entry_bytes = tiny_golden(10).approx_bytes();
+    fi::GoldenCache cache(entry_bytes + entry_bytes / 2);
+
+    auto pinned = cache.get_or_capture("a", [] { return tiny_golden(10); });
+    (void)cache.get_or_capture("b", [] { return tiny_golden(10); });
+    // "a" is pinned by `pinned`, so "b" (the only evictable entry) went.
+    EXPECT_EQ(cache.entry_count(), 1U);
+    std::size_t recaptured = 0;
+    (void)cache.get_or_capture("a", [&] {
+        ++recaptured;
+        return tiny_golden(10);
+    });
+    EXPECT_EQ(recaptured, 0U);
+
+    pinned.reset();
+    (void)cache.get_or_capture("c", [] { return tiny_golden(10); });
+    // With "a" unpinned, inserting "c" evicts it.
+    EXPECT_EQ(cache.entry_count(), 1U);
+    (void)cache.get_or_capture("a", [&] {
+        ++recaptured;
+        return tiny_golden(10);
+    });
+    EXPECT_EQ(recaptured, 1U);
+
+    cache.clear();
+    EXPECT_EQ(cache.entry_count(), 0U);
+    EXPECT_EQ(cache.byte_count(), 0U);
+}
+
+}  // namespace

@@ -58,18 +58,20 @@ int usage() {
                  "usage: epea_tool <command> [options]\n"
                  "  describe [--dot]\n"
                  "  simulate [--mass KG] [--speed MPS]\n"
-                 "  estimate [--cases N] [--times M] [--out FILE]\n"
+                 "  estimate [--cases N] [--times M] [--out FILE] [--no-fastpath]\n"
                  "  analyze FILE [--sink SIGNAL]\n"
                  "  inject --signal NAME --bit B --at TICK\n"
                  "  campaign run --dir DIR [--spec FILE] [--kind K] [--cases N]\n"
                  "               [--times M] [--shards S] [--threads T]\n"
                  "               [--max-shards N] [--adaptive HALF_WIDTH]\n"
-                 "               [--min-trials N] [--out FILE]\n"
-                 "  campaign resume --dir DIR [--threads T] [--max-shards N] [--out FILE]\n"
+                 "               [--min-trials N] [--out FILE] [--no-fastpath]\n"
+                 "  campaign resume --dir DIR [--threads T] [--max-shards N]\n"
+                 "                  [--out FILE] [--no-fastpath]\n"
                  "  campaign status --dir DIR\n"
                  "  place optimize [--error-model input|severe] [--budget-memory B]\n"
                  "                 [--budget-time T] [--ground-truth --dir DIR]\n"
                  "                 [--cases N] [--times M] [--shards S] [--threads T]\n"
+                 "                 [--no-fastpath]\n"
                  "  place frontier [--error-model M] [--out-prefix PATH]\n"
                  "                 [--ground-truth --dir DIR] [--cases N] [--times M]\n"
                  "                 [--shards S] [--threads T]\n"
@@ -159,7 +161,9 @@ int cmd_simulate(const std::vector<std::string>& args) {
 }
 
 int cmd_estimate(const std::vector<std::string>& args) {
-    if (!flags_ok(args, {"--cases", "--times", "--out"}, {})) return usage();
+    if (!flags_ok(args, {"--cases", "--times", "--out"}, {"--no-fastpath"})) {
+        return usage();
+    }
     exp::CampaignOptions options = exp::CampaignOptions::from_env();
     if (const auto c = flag_value(args, "--cases")) {
         options.case_count = static_cast<std::size_t>(std::stoul(*c));
@@ -167,6 +171,7 @@ int cmd_estimate(const std::vector<std::string>& args) {
     if (const auto t = flag_value(args, "--times")) {
         options.times_per_bit = static_cast<std::size_t>(std::stoul(*t));
     }
+    options.use_fastpath = !has_flag(args, "--no-fastpath");
     std::fprintf(stderr, "estimating (%zu cases x %zu times/bit)...\n",
                  options.case_count, options.times_per_bit);
     const epic::PermeabilityMatrix pm =
@@ -329,7 +334,7 @@ void print_campaign_result(campaign::CampaignExecutor& exec,
 
 int run_and_report(campaign::CampaignExecutor& exec,
                    const std::vector<std::string>& args) {
-    campaign::ExecutorOptions opts;
+    campaign::ExecutorOptions opts;  // threads default 0 = auto
     if (const auto t = flag_value(args, "--threads")) {
         opts.threads = static_cast<std::size_t>(std::stoul(*t));
     }
@@ -337,6 +342,7 @@ int run_and_report(campaign::CampaignExecutor& exec,
         opts.max_shards = static_cast<std::size_t>(std::stoul(*m));
     }
     opts.echo_events = has_flag(args, "--verbose");
+    opts.use_fastpath = !has_flag(args, "--no-fastpath");
 
     const bool complete = exec.run(opts);
     std::printf("%s", campaign::render_status(campaign::read_status(exec.dir())).c_str());
@@ -370,7 +376,7 @@ int cmd_campaign(const std::vector<std::string>& args) {
         }
         if (sub == "resume") {
             if (!flags_ok(rest, {"--dir", "--threads", "--max-shards", "--out"},
-                          {"--verbose"})) {
+                          {"--verbose", "--no-fastpath"})) {
                 return usage();
             }
             campaign::CampaignExecutor exec = campaign::CampaignExecutor::open(*dir);
@@ -381,7 +387,7 @@ int cmd_campaign(const std::vector<std::string>& args) {
                       {"--dir", "--spec", "--kind", "--cases", "--times", "--shards",
                        "--threads", "--max-shards", "--adaptive", "--min-trials",
                        "--out"},
-                      {"--verbose"})) {
+                      {"--verbose", "--no-fastpath"})) {
             return usage();
         }
 
@@ -454,6 +460,7 @@ opt::PlacementOptimizer make_place_optimizer(
             options.threads = static_cast<std::size_t>(std::stoul(*t));
         }
         options.echo_events = has_flag(args, "--verbose");
+        options.use_fastpath = !has_flag(args, "--no-fastpath");
         return opt::PlacementOptimizer::ground_truth(std::move(options));
     }
     pm_holder = std::make_unique<epic::PermeabilityMatrix>(exp::paper_matrix(system));
@@ -468,7 +475,7 @@ int cmd_place(const std::vector<std::string>& args) {
     if (!flags_ok(rest,
                   {"--error-model", "--budget-memory", "--budget-time", "--dir",
                    "--cases", "--times", "--shards", "--threads", "--out-prefix"},
-                  {"--ground-truth", "--verbose"})) {
+                  {"--ground-truth", "--verbose", "--no-fastpath"})) {
         return usage();
     }
 
