@@ -2,7 +2,8 @@
 // bit flips injected periodically (20 ms) into the RAM and stack areas of
 // the modules, 25 test cases (paper: 200 locations x 25 cases = 5000
 // runs). Shows c_tot / c_fail / c_nofail for the EH-set and the PA-set
-// over RAM, stack and all locations.
+// over RAM, stack and all locations. --trace-out/--metrics-out export the
+// run's spans and metric delta.
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -11,7 +12,13 @@
 
 #include "campaign/executor.hpp"
 #include "exp/arrestment_experiments.hpp"
+#include "fi/fastpath.hpp"
+#include "obs/manifest.hpp"
 #include "util/table.hpp"
+
+#ifndef EPEA_VERSION
+#define EPEA_VERSION "0.0.0-dev"
+#endif
 
 int main(int argc, char** argv) {
     using namespace epea;
@@ -25,7 +32,13 @@ int main(int argc, char** argv) {
     }
 
     target::ArrestmentSystem sys;
-    const exp::CampaignOptions options = exp::CampaignOptions::from_env();
+    exp::CampaignOptions options = exp::CampaignOptions::from_env();
+
+    obs::ArgvRecorder obs_rec(args, "bench fig3_severe_model", EPEA_VERSION);
+    obs_rec.manifest().config.emplace("cases", util::JsonValue(options.case_count));
+    obs_rec.manifest().config.emplace("severe_period",
+                                      util::JsonValue(options.severe_period));
+    obs_rec.manifest().fastpath = options.use_fastpath;
 
     const std::vector<exp::SubsetSpec> subsets = {
         {"EH-set", {"EA1", "EA2", "EA3", "EA4", "EA5", "EA6", "EA7"}},
@@ -36,9 +49,12 @@ int main(int argc, char** argv) {
     std::printf("Periodic bit flips (period %u ms) into module RAM and stack words\n\n",
                 options.severe_period);
 
+    fi::FastPathStats fastpath;
     exp::SevereCoverageResult result;
     if (campaign_dir.empty()) {
+        options.fastpath_out = &fastpath;
         result = exp::severe_coverage_experiment(sys, options, subsets);
+        fi::add_fastpath_metrics(fastpath);
     } else {
         // Sharded, checkpointed and resumable; bit-identical to the
         // in-process run (streams are keyed by global case index).
@@ -51,9 +67,12 @@ int main(int argc, char** argv) {
         eopt.threads = std::max(1u, std::thread::hardware_concurrency());
         exec.run(eopt);
         result = exec.merged_severe();
+        fastpath = exec.fastpath_totals();
+        obs_rec.manifest().threads = eopt.threads;
         std::printf("Campaign directory: %s (%zu shards)\n\n", campaign_dir.c_str(),
                     exec.completed().size());
     }
+    obs_rec.manifest().fastpath_stats = fi::fastpath_stats_json(fastpath);
 
     std::printf("Injectable locations: %zu RAM bytes, %zu stack bytes "
                 "(paper: 150 RAM + 50 stack)\n",
@@ -85,5 +104,5 @@ int main(int argc, char** argv) {
                     "(paper: PA roughly half of EH on RAM, worse on stack)\n",
                     eh, pa);
     }
-    return 0;
+    return obs_rec.finish();
 }

@@ -6,6 +6,7 @@
 // Scale down with EPEA_CASES / EPEA_TIMES. With --campaign-dir DIR the
 // campaign runs sharded and checkpointed through the campaign executor
 // (kill + rerun resumes; counts are bit-identical to the in-process run).
+// --trace-out/--metrics-out export the run's spans and metric delta.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -17,7 +18,13 @@
 #include "exp/arrestment_experiments.hpp"
 #include "exp/parallel.hpp"
 #include "exp/paper_data.hpp"
+#include "fi/fastpath.hpp"
+#include "obs/manifest.hpp"
 #include "util/table.hpp"
+
+#ifndef EPEA_VERSION
+#define EPEA_VERSION "0.0.0-dev"
+#endif
 
 int main(int argc, char** argv) {
     using namespace epea;
@@ -29,15 +36,25 @@ int main(int argc, char** argv) {
     }
 
     target::ArrestmentSystem sys;
-    const exp::CampaignOptions options = exp::CampaignOptions::from_env();
+    exp::CampaignOptions options = exp::CampaignOptions::from_env();
+
+    obs::ArgvRecorder obs_rec(args, "bench table1_permeability", EPEA_VERSION);
+    obs_rec.manifest().config.emplace("cases", util::JsonValue(options.case_count));
+    obs_rec.manifest().config.emplace("times_per_bit",
+                                      util::JsonValue(options.times_per_bit));
+    obs_rec.manifest().seed_base = options.seed;
+    obs_rec.manifest().fastpath = options.use_fastpath;
 
     std::printf("Table 1 — error permeability per input/output pair\n");
     std::printf("Campaign: %zu test cases, %zu injection moments per bit\n\n",
                 options.case_count, options.times_per_bit);
 
+    fi::FastPathStats fastpath;
     epic::PermeabilityMatrix measured(sys.system());
     if (campaign_dir.empty()) {
+        options.fastpath_out = &fastpath;
         measured = exp::estimate_arrestment_permeability_parallel(options);
+        fi::add_fastpath_metrics(fastpath);
     } else {
         campaign::CampaignSpec spec =
             campaign::CampaignSpec::defaults(campaign::CampaignKind::kPermeability);
@@ -48,9 +65,12 @@ int main(int argc, char** argv) {
         eopt.threads = std::max(1u, std::thread::hardware_concurrency());
         exec.run(eopt);
         measured = exec.merged_matrix(sys.system());
+        fastpath = exec.fastpath_totals();
+        obs_rec.manifest().threads = eopt.threads;
         std::printf("Campaign directory: %s (%zu shards)\n\n", campaign_dir.c_str(),
                     exec.completed().size());
     }
+    obs_rec.manifest().fastpath_stats = fi::fastpath_stats_json(fastpath);
 
     const epic::PermeabilityMatrix paper = exp::paper_matrix(sys.system());
     const auto& system = sys.system();
@@ -72,5 +92,5 @@ int main(int argc, char** argv) {
                        util::TextTable::num(static_cast<std::uint64_t>(e.active))});
     }
     std::cout << table;
-    return 0;
+    return obs_rec.finish();
 }

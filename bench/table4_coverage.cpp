@@ -1,15 +1,24 @@
 // Regenerates Table 4: per-EA detection coverage for single bit-flip
 // errors injected into the system input signals (error model A), for the
 // EH-based and PA-based EA placements. `--json` emits the raw counts as
-// a machine-readable document.
+// a machine-readable document; --trace-out/--metrics-out export the run's
+// spans and metric delta.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "campaign/json.hpp"
 #include "exp/arrestment_experiments.hpp"
 #include "exp/paper_data.hpp"
+#include "fi/fastpath.hpp"
+#include "obs/manifest.hpp"
 #include "util/table.hpp"
+
+#ifndef EPEA_VERSION
+#define EPEA_VERSION "0.0.0-dev"
+#endif
 
 namespace {
 
@@ -35,6 +44,7 @@ int main(int argc, char** argv) {
     using util::Align;
     using util::TextTable;
 
+    const std::vector<std::string> args(argv + 1, argv + argc);
     bool json = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) json = true;
@@ -43,6 +53,16 @@ int main(int argc, char** argv) {
     target::ArrestmentSystem sys;
     exp::InputCoverageOptions options;
     options.campaign = exp::CampaignOptions::from_env();
+
+    obs::ArgvRecorder obs_rec(args, "bench table4_coverage", EPEA_VERSION);
+    obs_rec.manifest().config.emplace("cases",
+                                      util::JsonValue(options.campaign.case_count));
+    obs_rec.manifest().config.emplace(
+        "times_per_bit", util::JsonValue(options.campaign.times_per_bit));
+    obs_rec.manifest().seed_base = options.campaign.seed;
+    obs_rec.manifest().fastpath = options.campaign.use_fastpath;
+    fi::FastPathStats fastpath;
+    options.campaign.fastpath_out = &fastpath;
 
     // EA membership of the two sets (paper §5.1/§5.3).
     const std::vector<exp::SubsetSpec> subsets = {
@@ -60,6 +80,8 @@ int main(int argc, char** argv) {
 
     const exp::InputCoverageResult result =
         exp::input_coverage_experiment(sys, options, subsets);
+    fi::add_fastpath_metrics(fastpath);
+    obs_rec.manifest().fastpath_stats = fi::fastpath_stats_json(fastpath);
 
     if (json) {
         campaign::JsonObject root;
@@ -83,7 +105,7 @@ int main(int argc, char** argv) {
         latency["max_ms"] = result.all.latency.count() ? result.all.latency.max() : 0.0;
         root["latency"] = std::move(latency);
         std::printf("%s\n", campaign::JsonValue(std::move(root)).dump().c_str());
-        return 0;
+        return obs_rec.finish();
     }
 
     std::vector<std::string> header = {"Signal", "n_err"};
@@ -123,5 +145,5 @@ int main(int argc, char** argv) {
     }
     std::printf("\nKey claims: only PACNT-injected errors are detectable; the EH and "
                 "PA sets obtain the same coverage.\n");
-    return 0;
+    return obs_rec.finish();
 }

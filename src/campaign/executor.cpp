@@ -8,13 +8,17 @@
 #include <fstream>
 #include <map>
 #include <mutex>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <tuple>
+#include <utility>
 
 #include "campaign/adaptive.hpp"
 #include "exp/arrestment_experiments.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "target/arrestment_system.hpp"
 
 namespace epea::campaign {
@@ -108,6 +112,32 @@ std::string read_file(const std::string& path) {
     return buf.str();
 }
 
+/// Each (dir, shard) is recorded into the obs metrics registry at most
+/// once per process, so resumed checkpoints loaded by several executor
+/// instances (run, then resume, then status) never double-count. One CLI
+/// invocation is one process, so resumed + freshly executed shards sum
+/// to the whole campaign.
+bool claim_shard_metrics(const std::string& dir, std::size_t shard) {
+    static std::mutex mutex;
+    static std::set<std::pair<std::string, std::size_t>> claimed;
+    const std::lock_guard<std::mutex> lock(mutex);
+    return claimed.emplace(dir, shard).second;
+}
+
+/// Aggregation boundary for fi.*/campaign.* metrics: one call per
+/// completed (or resumed) shard, from its checkpointed totals — the
+/// counters therefore match the checkpoints bit-exactly.
+void record_shard_metrics(const std::string& dir, const ShardResult& result) {
+    if (!claim_shard_metrics(dir, result.shard)) return;
+    fi::add_fastpath_metrics(result.fastpath);
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("campaign.shard.runs").add(result.runs);
+    reg.counter("campaign.shards.done").add(1);
+    reg.histogram("campaign.shard.wall_seconds",
+                  {0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0})
+        .observe(result.wall_seconds);
+}
+
 }  // namespace
 
 CampaignExecutor::CampaignExecutor(std::string dir, CampaignSpec spec)
@@ -167,6 +197,7 @@ exp::CampaignOptions CampaignExecutor::case_options(std::size_t case_id) const {
 ShardResult CampaignExecutor::run_shard(std::size_t shard,
                                         const ExecutorOptions& exec_options,
                                         fi::GoldenCache& cache) const {
+    obs::Span shard_span("campaign.shard", shard);
     const auto start = std::chrono::steady_clock::now();
     ShardResult result;
     result.shard = shard;
@@ -181,6 +212,7 @@ ShardResult CampaignExecutor::run_shard(std::size_t shard,
         pair_counts;
 
     for (const std::size_t case_id : result.case_ids) {
+        obs::Span case_span("campaign.case", case_id);
         exp::CampaignOptions options = case_options(case_id);
         options.use_fastpath = exec_options.use_fastpath;
         options.golden_cache = &cache;
@@ -252,12 +284,15 @@ void CampaignExecutor::load_checkpoints(CampaignObserver& observer) {
             f.emplace("runs", JsonValue(shard->runs));
             observer.emit("shard_resume", std::move(f));
             completed_.push_back(std::move(*shard));
+            record_shard_metrics(dir_, completed_.back());
         }
     }
 }
 
 bool CampaignExecutor::run(const ExecutorOptions& options) {
+    obs::Span run_span("campaign.run");
     CampaignObserver observer(dir_, options.echo_events);
+    const ScopedLogBridge log_bridge(observer);
     timers_ = PhaseTimers{};
     adaptive_stopped_ = false;
     saved_runs_ = 0;
@@ -311,6 +346,9 @@ bool CampaignExecutor::run(const ExecutorOptions& options) {
                        : 0.0;
         saved_runs_ = static_cast<std::uint64_t>(
             std::llround(per_case * static_cast<double>(cases_of(remaining))));
+        obs::MetricsRegistry::global()
+            .counter("campaign.runs.saved_adaptive")
+            .add(saved_runs_);
         JsonObject f;
         f.emplace("saved_runs", JsonValue(saved_runs_));
         f.emplace("skipped_shards", JsonValue(remaining.size()));
@@ -355,7 +393,11 @@ bool CampaignExecutor::run(const ExecutorOptions& options) {
                 const std::size_t shard = pending[idx];
                 ShardResult result = run_shard(shard, options, cache);
                 result.threads = n_workers;
-                save_shard(dir_, result);
+                {
+                    obs::Span ckpt_span("campaign.checkpoint", shard);
+                    save_shard(dir_, result);
+                }
+                record_shard_metrics(dir_, result);
 
                 const std::lock_guard<std::mutex> lock(mutex);
                 completed_.push_back(result);
@@ -403,10 +445,20 @@ bool CampaignExecutor::run(const ExecutorOptions& options) {
         };
 
         if (n_workers == 1) {
+            // The calling thread is the whole pool: label its track so
+            // the trace still shows one track per worker.
+            obs::set_thread_name("worker-0");
             worker();
         } else {
             std::vector<std::thread> threads;
-            for (std::size_t i = 0; i < n_workers; ++i) threads.emplace_back(worker);
+            for (std::size_t i = 0; i < n_workers; ++i) {
+                threads.emplace_back([&worker, i] {
+                    // Named before any span so every worker gets its own
+                    // labelled track in the exported trace.
+                    obs::set_thread_name("worker-" + std::to_string(i));
+                    worker();
+                });
+            }
             for (auto& t : threads) t.join();
         }
         timers_.end("execute");
@@ -449,6 +501,7 @@ fi::FastPathStats CampaignExecutor::fastpath_totals() const {
 
 epic::PermeabilityMatrix CampaignExecutor::merged_matrix(
     const model::SystemModel& system) const {
+    obs::Span span("campaign.merge");
     std::map<std::tuple<std::string, std::uint32_t, std::uint32_t>,
              std::pair<std::uint64_t, std::uint64_t>>
         acc;
@@ -468,18 +521,21 @@ epic::PermeabilityMatrix CampaignExecutor::merged_matrix(
 }
 
 exp::SevereCoverageResult CampaignExecutor::merged_severe() const {
+    obs::Span span("campaign.merge");
     exp::SevereCoverageResult out;
     for (const ShardResult& shard : completed_) merge_severe(out, shard.severe);
     return out;
 }
 
 exp::RecoveryResult CampaignExecutor::merged_recovery() const {
+    obs::Span span("campaign.merge");
     exp::RecoveryResult out;
     for (const ShardResult& shard : completed_) merge_recovery(out, shard.recovery);
     return out;
 }
 
 exp::InputCoverageResult CampaignExecutor::merged_input() const {
+    obs::Span span("campaign.merge");
     exp::InputCoverageResult out;
     for (const ShardResult& shard : completed_) merge_input(out, shard.input);
     return out;

@@ -1,67 +1,14 @@
-// Minimal JSON value, writer and parser for the campaign subsystem's
-// on-disk artifacts (specs, shard checkpoints, the event journal). Kept
-// deliberately small: objects, arrays, strings, integers, doubles and
-// booleans — enough for round-tripping our own files, not a general
-// JSON library.
+// Compatibility forwarder: the JSON mini-library moved to util/json.hpp
+// so layers below campaign (notably src/obs/) can use it. Campaign code
+// keeps addressing it by its old names.
 #pragma once
 
-#include <cstdint>
-#include <map>
-#include <string>
-#include <type_traits>
-#include <variant>
-#include <vector>
+#include "util/json.hpp"
 
 namespace epea::campaign {
 
-class JsonValue;
-
-using JsonArray = std::vector<JsonValue>;
-/// std::map keeps keys sorted, so serialization is deterministic.
-using JsonObject = std::map<std::string, JsonValue>;
-
-class JsonValue {
-public:
-    JsonValue() : v_(nullptr) {}
-    JsonValue(std::nullptr_t) : v_(nullptr) {}
-    JsonValue(bool b) : v_(b) {}
-    template <typename T>
-        requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
-    JsonValue(T n) : v_(static_cast<std::int64_t>(n)) {}
-    JsonValue(double d) : v_(d) {}
-    JsonValue(const char* s) : v_(std::string(s)) {}
-    JsonValue(std::string s) : v_(std::move(s)) {}
-    JsonValue(JsonArray a) : v_(std::move(a)) {}
-    JsonValue(JsonObject o) : v_(std::move(o)) {}
-
-    [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
-    [[nodiscard]] bool is_object() const { return std::holds_alternative<JsonObject>(v_); }
-    [[nodiscard]] bool is_array() const { return std::holds_alternative<JsonArray>(v_); }
-
-    /// Typed accessors; throw std::runtime_error on a type mismatch.
-    [[nodiscard]] bool as_bool() const;
-    [[nodiscard]] std::int64_t as_int() const;  ///< accepts integral doubles
-    [[nodiscard]] double as_double() const;
-    [[nodiscard]] const std::string& as_string() const;
-    [[nodiscard]] const JsonArray& as_array() const;
-    [[nodiscard]] const JsonObject& as_object() const;
-
-    /// Object field lookup; throws std::runtime_error when missing.
-    [[nodiscard]] const JsonValue& at(const std::string& key) const;
-    /// Object field lookup with a fallback for optional fields.
-    [[nodiscard]] const JsonValue* find(const std::string& key) const;
-
-    /// Serializes compactly (single line, sorted keys).
-    [[nodiscard]] std::string dump() const;
-
-    /// Parses a JSON document; throws std::runtime_error on syntax errors
-    /// or trailing garbage.
-    [[nodiscard]] static JsonValue parse(const std::string& text);
-
-private:
-    std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, JsonArray,
-                 JsonObject>
-        v_;
-};
+using JsonValue = util::JsonValue;
+using JsonArray = util::JsonArray;
+using JsonObject = util::JsonObject;
 
 }  // namespace epea::campaign

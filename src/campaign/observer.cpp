@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "campaign/checkpoint.hpp"
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
 
 namespace epea::campaign {
 
@@ -55,6 +57,20 @@ double CampaignObserver::elapsed_seconds() const {
         .count();
 }
 
+ScopedLogBridge::ScopedLogBridge(CampaignObserver& observer) {
+    util::set_log_sink([&observer](util::LogLevel level, std::string_view component,
+                                   std::string_view message) {
+        obs::MetricsRegistry::global().counter("log.emitted").add();
+        JsonObject f;
+        f.emplace("level", JsonValue(std::string(util::level_name(level))));
+        f.emplace("component", JsonValue(std::string(component)));
+        f.emplace("msg", JsonValue(std::string(message)));
+        observer.emit("log", std::move(f));
+    });
+}
+
+ScopedLogBridge::~ScopedLogBridge() { util::set_log_sink({}); }
+
 CampaignStatus read_status(const std::string& dir) {
     CampaignStatus status;
     {
@@ -65,12 +81,48 @@ CampaignStatus read_status(const std::string& dir) {
         status.spec = CampaignSpec::from_json(buf.str());
     }
 
+    // The journal is read first: its shard_done events carry the wall
+    // clock each shard actually ran under, which stays correct across
+    // resumes (a resumed process re-checkpoints nothing, so checkpoint
+    // metadata alone can drift). Latest event per shard wins.
+    std::map<std::size_t, double> journal_wall;
+    std::ifstream journal(dir + "/events.jsonl", std::ios::binary);
+    std::string line;
+    while (std::getline(journal, line)) {
+        if (line.empty()) continue;
+        ++status.events;
+        status.last_event = line;
+        try {
+            const JsonValue ev = JsonValue::parse(line);
+            const std::string& type = ev.at("type").as_string();
+            if (type == "adaptive_stop") {
+                status.adaptive_stopped = true;
+                if (const JsonValue* saved = ev.find("saved_runs")) {
+                    status.saved_runs = static_cast<std::uint64_t>(saved->as_int());
+                }
+            } else if (type == "shard_done") {
+                const JsonValue* shard = ev.find("shard");
+                const JsonValue* wall = ev.find("wall_s");
+                if (shard != nullptr && wall != nullptr) {
+                    journal_wall[static_cast<std::size_t>(shard->as_int())] =
+                        wall->as_double();
+                }
+            }
+        } catch (const std::runtime_error&) {
+            // A torn last line from a killed run is expected; skip it.
+        }
+    }
+
     status.shards_total = status.spec.effective_shards();
     for (std::size_t s = 0; s < status.shards_total; ++s) {
         if (const auto shard = load_shard(dir, s)) {
             status.done_shards.push_back(s);
             status.runs += shard->runs;
-            status.wall_seconds += shard->wall_seconds;
+            const auto jw = journal_wall.find(s);
+            const double wall =
+                jw != journal_wall.end() ? jw->second : shard->wall_seconds;
+            status.shard_wall.push_back(wall);
+            status.wall_seconds += wall;
             status.fastpath.merge(shard->fastpath);
             status.shard_threads.push_back(shard->threads);
         } else {
@@ -86,25 +138,6 @@ CampaignStatus read_status(const std::string& dir) {
             status.wall_seconds / static_cast<double>(status.shards_done);
         status.eta_seconds =
             avg * static_cast<double>(status.shards_total - status.shards_done);
-    }
-
-    std::ifstream journal(dir + "/events.jsonl", std::ios::binary);
-    std::string line;
-    while (std::getline(journal, line)) {
-        if (line.empty()) continue;
-        ++status.events;
-        status.last_event = line;
-        try {
-            const JsonValue ev = JsonValue::parse(line);
-            if (ev.at("type").as_string() == "adaptive_stop") {
-                status.adaptive_stopped = true;
-                if (const JsonValue* saved = ev.find("saved_runs")) {
-                    status.saved_runs = static_cast<std::uint64_t>(saved->as_int());
-                }
-            }
-        } catch (const std::runtime_error&) {
-            // A torn last line from a killed run is expected; skip it.
-        }
     }
     return status;
 }
@@ -145,6 +178,15 @@ std::string render_status(const CampaignStatus& status) {
         for (std::size_t i = 0; i < status.done_shards.size(); ++i) {
             std::snprintf(buf, sizeof buf, " %03zu:%zu", status.done_shards[i],
                           status.shard_threads[i]);
+            out << buf;
+        }
+        out << '\n';
+    }
+    if (!status.shard_wall.empty()) {
+        out << "  wall per shard (journal):";
+        for (std::size_t i = 0; i < status.done_shards.size(); ++i) {
+            std::snprintf(buf, sizeof buf, " %03zu:%.2fs", status.done_shards[i],
+                          status.shard_wall[i]);
             out << buf;
         }
         out << '\n';

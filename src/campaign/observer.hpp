@@ -54,6 +54,19 @@ private:
     std::mutex mutex_;
 };
 
+/// Mirrors every util::log line into the observer's journal for its
+/// lifetime as a structured event: {"type":"log","level":...,
+/// "component":...,"msg":...}. Process-wide (util::log has one sink);
+/// the destructor uninstalls.
+class ScopedLogBridge {
+public:
+    explicit ScopedLogBridge(CampaignObserver& observer);
+    ~ScopedLogBridge();
+
+    ScopedLogBridge(const ScopedLogBridge&) = delete;
+    ScopedLogBridge& operator=(const ScopedLogBridge&) = delete;
+};
+
 /// Progress snapshot assembled from the campaign directory.
 struct CampaignStatus {
     CampaignSpec spec;
@@ -73,6 +86,11 @@ struct CampaignStatus {
     /// Worker-pool size each done shard ran under, aligned with
     /// done_shards (checkpoints without the field report 1).
     std::vector<std::size_t> shard_threads;
+    /// Per-shard wall-clock aligned with done_shards. Sourced from the
+    /// journal's shard_done events (authoritative even after resume);
+    /// shards that never logged one (e.g. resumed from a foreign journal)
+    /// fall back to the checkpoint's wall_seconds field.
+    std::vector<double> shard_wall;
 
     [[nodiscard]] bool complete() const {
         return shards_done == shards_total || adaptive_stopped;

@@ -1,5 +1,7 @@
 #include "epic/estimator.hpp"
 
+#include "obs/trace.hpp"
+
 #include "fi/golden.hpp"
 #include "util/rng.hpp"
 
@@ -37,6 +39,7 @@ PermeabilityMatrix PermeabilityEstimator::estimate(
     runs_ = 0;
     fastpath_ = {};
     for (std::size_t c = 0; c < case_count; ++c) {
+        obs::Span case_span("epic.case", options.case_index_offset + c);
         std::uint64_t stream = options.seed + options.case_index_offset + c;
         util::Rng time_rng(util::splitmix64(stream));
         configure_case(c);

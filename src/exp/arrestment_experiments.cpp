@@ -7,6 +7,7 @@
 #include "fi/fastpath.hpp"
 #include "fi/golden.hpp"
 #include "fi/injector.hpp"
+#include "obs/trace.hpp"
 
 namespace epea::exp {
 
@@ -76,6 +77,7 @@ void recalibrate_bank(ea::EaBank& bank, const model::SystemModel& system,
 epic::PermeabilityMatrix estimate_arrestment_permeability(
     target::ArrestmentSystem& sys, const CampaignOptions& options,
     const epic::EstimatorProgress& progress) {
+    obs::Span span("exp.permeability");
     const auto cases = target::standard_test_cases();
     const std::size_t case_count = std::min(
         options.case_count, cases.size() - std::min(options.case_first, cases.size()));
@@ -100,6 +102,7 @@ epic::PermeabilityMatrix estimate_arrestment_permeability(
 InputCoverageResult input_coverage_experiment(target::ArrestmentSystem& sys,
                                               const InputCoverageOptions& options,
                                               const std::vector<SubsetSpec>& subsets) {
+    obs::Span span("exp.input");
     const auto& system = sys.system();
     const auto cases = target::standard_test_cases();
     const std::size_t case_first = std::min(options.campaign.case_first, cases.size());
@@ -238,6 +241,7 @@ InputCoverageResult input_coverage_experiment(target::ArrestmentSystem& sys,
 SevereCoverageResult severe_coverage_experiment(target::ArrestmentSystem& sys,
                                                 const CampaignOptions& options,
                                                 const std::vector<SubsetSpec>& subsets) {
+    obs::Span span("exp.severe");
     const auto& system = sys.system();
     const auto cases = target::standard_test_cases();
     const std::size_t case_first = std::min(options.case_first, cases.size());
@@ -330,6 +334,7 @@ SevereCoverageResult severe_coverage_experiment(target::ArrestmentSystem& sys,
 
 std::vector<std::string> false_positive_check(target::ArrestmentSystem& sys,
                                               const CampaignOptions& options) {
+    obs::Span span("exp.false_positive");
     const auto& system = sys.system();
     const auto cases = target::standard_test_cases();
     const std::size_t case_count = std::min(options.case_count, cases.size());

@@ -9,6 +9,7 @@
 
 #include "epic/estimator.hpp"
 #include "fi/injector.hpp"
+#include "obs/trace.hpp"
 
 namespace epea::exp {
 
@@ -87,7 +88,12 @@ epic::PermeabilityMatrix estimate_arrestment_permeability_parallel(
 
     std::vector<std::thread> pool;
     pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (unsigned t = 0; t < threads; ++t) {
+        pool.emplace_back([&worker, t] {
+            obs::set_thread_name("worker-" + std::to_string(t));
+            worker();
+        });
+    }
     for (auto& t : pool) t.join();
     if (first_error) std::rethrow_exception(first_error);
     if (options.fastpath_out) options.fastpath_out->merge(merged_stats);

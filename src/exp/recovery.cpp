@@ -6,6 +6,7 @@
 #include "fi/fastpath.hpp"
 #include "fi/golden.hpp"
 #include "fi/injector.hpp"
+#include "obs/trace.hpp"
 
 namespace epea::exp {
 
@@ -13,6 +14,7 @@ RecoveryResult recovery_experiment(target::ArrestmentSystem& sys,
                                    const CampaignOptions& options,
                                    const std::vector<std::string>& guarded_signals,
                                    erm::RecoveryPolicy policy) {
+    obs::Span span("exp.recovery");
     const auto& system = sys.system();
     const auto cases = target::standard_test_cases();
     const std::size_t case_first = std::min(options.case_first, cases.size());

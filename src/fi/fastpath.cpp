@@ -2,8 +2,35 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace epea::fi {
+
+void add_fastpath_metrics(const FastPathStats& delta) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("fi.runs.full").add(delta.full_runs);
+    reg.counter("fi.runs.forked").add(delta.forked_runs);
+    reg.counter("fi.runs.pruned").add(delta.pruned_runs);
+    reg.counter("fi.runs.skipped").add(delta.skipped_runs);
+    reg.counter("fi.run_ticks").add(delta.ticks_executed);
+    reg.counter("fi.ticks_saved").add(delta.ticks_saved);
+    reg.counter("cache.golden.hit").add(delta.cache_hits);
+    reg.counter("cache.golden.miss").add(delta.cache_misses);
+}
+
+util::JsonObject fastpath_stats_json(const FastPathStats& stats) {
+    util::JsonObject o;
+    o.emplace("full_runs", util::JsonValue(stats.full_runs));
+    o.emplace("forked_runs", util::JsonValue(stats.forked_runs));
+    o.emplace("pruned_runs", util::JsonValue(stats.pruned_runs));
+    o.emplace("skipped_runs", util::JsonValue(stats.skipped_runs));
+    o.emplace("ticks_executed", util::JsonValue(stats.ticks_executed));
+    o.emplace("ticks_saved", util::JsonValue(stats.ticks_saved));
+    o.emplace("cache_hits", util::JsonValue(stats.cache_hits));
+    o.emplace("cache_misses", util::JsonValue(stats.cache_misses));
+    return o;
+}
 
 std::size_t GoldenCaseData::approx_bytes() const noexcept {
     std::size_t bytes = sizeof(GoldenCaseData);
@@ -18,6 +45,7 @@ std::size_t GoldenCaseData::approx_bytes() const noexcept {
 
 GoldenCaseData capture_golden_data(runtime::Simulator& sim, runtime::Tick max_ticks,
                                    bool with_snapshots) {
+    obs::Span span("fi.golden_capture", max_ticks);
     GoldenCaseData data;
     data.max_ticks = max_ticks;
     sim.enable_trace(true);
@@ -163,6 +191,7 @@ void InjectionRunner::clear_trace() {
 
 runtime::RunResult InjectionRunner::run(std::vector<Injection> plan,
                                         runtime::Tick max_ticks, std::uint64_t seed) {
+    EPEA_OBS_SAMPLED_SPAN(span, "fi.run");
     if (!enabled_ || !golden_ || !golden_->has_snapshots() ||
         golden_->max_ticks != max_ticks || plan.empty() || !sim_->snapshot_supported()) {
         return slow_run(std::move(plan), max_ticks, seed);
@@ -199,6 +228,7 @@ runtime::RunResult InjectionRunner::run(std::vector<Injection> plan,
     } else {
         // Fork: the pre-injection prefix is fault-free, hence bit-equal
         // to the golden run — resume from its boundary snapshot.
+        EPEA_OBS_SAMPLED_SPAN(fork_span, "fi.fork");
         sim_->restore_snapshot(golden_->boundary[first_at]);
         clear_trace();  // drop the previous run's history
         backfill_trace(0, first_at);

@@ -32,6 +32,7 @@
 #include "fi/injector.hpp"
 #include "runtime/simulator.hpp"
 #include "runtime/snapshot.hpp"
+#include "util/json.hpp"
 
 namespace epea::fi {
 
@@ -64,6 +65,16 @@ struct FastPathStats {
         return full_runs + forked_runs + skipped_runs;
     }
 };
+
+/// Adds `delta` to the global obs metrics registry (fi.runs.*,
+/// fi.run_ticks, fi.ticks_saved, cache.golden.*). Called once per
+/// aggregation boundary (completed campaign shard, finished estimate) —
+/// never per run — so the counters match the checkpointed FastPathStats
+/// bit-exactly.
+void add_fastpath_metrics(const FastPathStats& delta);
+
+/// FastPathStats as a JSON object (the manifest's `fastpath_stats`).
+[[nodiscard]] util::JsonObject fastpath_stats_json(const FastPathStats& stats);
 
 /// One test case's golden run, optionally with per-tick boundary
 /// snapshots: boundary[t] is the complete mutable state after t completed

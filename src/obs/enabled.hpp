@@ -1,0 +1,20 @@
+// Compile-time switch for the observability layer (DESIGN.md §10).
+//
+// EPEA_OBS_ENABLED is injected as a PUBLIC compile definition by the
+// epea_obs CMake target (option EPEA_OBS_ENABLED, default ON). With the
+// option OFF every hot-path operation — span recording, counter
+// increments, histogram observations — compiles to a no-op while the
+// whole API surface (registries, exporters, manifests, CLI flags) keeps
+// building and producing empty/zero artifacts, so downstream code needs
+// no #ifdefs.
+#pragma once
+
+#ifndef EPEA_OBS_ENABLED
+#define EPEA_OBS_ENABLED 1
+#endif
+
+namespace epea::obs {
+
+inline constexpr bool kEnabled = EPEA_OBS_ENABLED != 0;
+
+}  // namespace epea::obs

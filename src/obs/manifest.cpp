@@ -1,0 +1,184 @@
+#include "obs/manifest.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace epea::obs {
+
+double process_cpu_seconds() noexcept {
+    return static_cast<double>(std::clock()) / static_cast<double>(CLOCKS_PER_SEC);
+}
+
+std::uint64_t fnv1a64(const std::string& data) noexcept {
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const char c : data) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+std::string Manifest::config_hash() const {
+    const std::string serialized = util::JsonValue(config).dump();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(serialized)));
+    return buf;
+}
+
+util::JsonValue Manifest::to_json() const {
+    util::JsonObject root;
+    root.emplace("schema", util::JsonValue(kSchemaVersion));
+    root.emplace("tool_version", util::JsonValue(tool_version));
+    root.emplace("command", util::JsonValue(command));
+    root.emplace("config", util::JsonValue(config));
+    root.emplace("config_hash", util::JsonValue(config_hash()));
+    root.emplace("seed_base", util::JsonValue(seed_base));
+    root.emplace("fastpath", util::JsonValue(fastpath));
+    root.emplace("obs_enabled", util::JsonValue(obs_enabled));
+    root.emplace("threads", util::JsonValue(threads));
+    root.emplace("wall_seconds", util::JsonValue(wall_seconds));
+    root.emplace("cpu_seconds", util::JsonValue(cpu_seconds));
+    root.emplace("fastpath_stats", util::JsonValue(fastpath_stats));
+    root.emplace("metrics", metrics_to_json(metrics));
+    root.emplace("created_unix", util::JsonValue(static_cast<std::int64_t>(
+                                     std::time(nullptr))));
+    return util::JsonValue(std::move(root));
+}
+
+Manifest Manifest::from_json(const util::JsonValue& v) {
+    Manifest m;
+    const std::int64_t schema = v.at("schema").as_int();
+    if (schema != kSchemaVersion) {
+        throw std::runtime_error("manifest: unsupported schema version " +
+                                 std::to_string(schema));
+    }
+    m.tool_version = v.at("tool_version").as_string();
+    m.command = v.at("command").as_string();
+    m.config = v.at("config").as_object();
+    m.seed_base = static_cast<std::uint64_t>(v.at("seed_base").as_int());
+    m.fastpath = v.at("fastpath").as_bool();
+    m.obs_enabled = v.at("obs_enabled").as_bool();
+    m.threads = static_cast<std::size_t>(v.at("threads").as_int());
+    m.wall_seconds = v.at("wall_seconds").as_double();
+    m.cpu_seconds = v.at("cpu_seconds").as_double();
+    m.fastpath_stats = v.at("fastpath_stats").as_object();
+    m.metrics = metrics_from_json(v.at("metrics"));
+    const std::string stored_hash = v.at("config_hash").as_string();
+    if (stored_hash != m.config_hash()) {
+        throw std::runtime_error("manifest: config_hash mismatch (stored " +
+                                 stored_hash + ", computed " + m.config_hash() +
+                                 ")");
+    }
+    return m;
+}
+
+void write_manifest(const std::string& path, const Manifest& manifest) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("manifest: cannot write " + path);
+    out << manifest.to_json().dump() << '\n';
+}
+
+Manifest load_manifest(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("manifest: cannot read " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return Manifest::from_json(util::JsonValue::parse(buf.str()));
+}
+
+void RunRecorder::begin() {
+    began_ = true;
+    Tracer& tracer = Tracer::instance();
+    if (const char* sample = std::getenv("EPEA_OBS_SAMPLE")) {
+        tracer.set_sampling(static_cast<std::uint32_t>(std::strtoul(sample, nullptr, 10)));
+    }
+    if (const char* ring = std::getenv("EPEA_OBS_RING")) {
+        tracer.set_ring_capacity(static_cast<std::size_t>(std::strtoull(ring, nullptr, 10)));
+    }
+    tracer.clear();  // spans of earlier runs in this process are not ours
+    tracer.set_enabled(true);
+    before_ = MetricsRegistry::global().snapshot();
+    start_ns_ = now_ns();
+    cpu0_ = process_cpu_seconds();
+}
+
+void RunRecorder::finalize() {
+    if (finalized_ || !began_) return;
+    finalized_ = true;
+    Tracer& tracer = Tracer::instance();
+    manifest_.wall_seconds =
+        static_cast<double>(now_ns() - start_ns_) / 1e9;
+    manifest_.cpu_seconds = process_cpu_seconds() - cpu0_;
+    events_ = tracer.drain();
+    tracks_ = tracer.tracks();
+    tracer.set_enabled(false);
+    manifest_.metrics =
+        MetricsSnapshot::diff(before_, MetricsRegistry::global().snapshot());
+}
+
+bool RunRecorder::write_trace(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+        return false;
+    }
+    write_chrome_trace(out, events_, tracks_);
+    return static_cast<bool>(out);
+}
+
+bool RunRecorder::write_metrics(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+        return false;
+    }
+    const bool prom =
+        path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+    if (prom) {
+        write_prometheus(out, manifest_.metrics);
+    } else {
+        write_metrics_json(out, manifest_.metrics);
+    }
+    return static_cast<bool>(out);
+}
+
+bool RunRecorder::write_manifest_file(const std::string& path) const {
+    try {
+        write_manifest(path, manifest_);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "obs: %s\n", e.what());
+        return false;
+    }
+    return true;
+}
+
+ArgvRecorder::ArgvRecorder(const std::vector<std::string>& args,
+                           std::string command, std::string tool_version) {
+    for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+        if (args[i] == "--trace-out") trace_out_ = args[i + 1];
+        if (args[i] == "--metrics-out") metrics_out_ = args[i + 1];
+    }
+    recorder_.begin();
+    recorder_.manifest().tool_version = std::move(tool_version);
+    recorder_.manifest().command = std::move(command);
+}
+
+int ArgvRecorder::finish() {
+    recorder_.finalize();
+    bool ok = true;
+    if (!artifact_dir_.empty()) {
+        ok &= recorder_.write_manifest_file(artifact_dir_ + "/manifest.json");
+        ok &= recorder_.write_metrics(artifact_dir_ + "/metrics.json");
+        ok &= recorder_.write_trace(artifact_dir_ + "/trace.json");
+    }
+    if (!trace_out_.empty()) ok &= recorder_.write_trace(trace_out_);
+    if (!metrics_out_.empty()) ok &= recorder_.write_metrics(metrics_out_);
+    return ok ? 0 : 1;
+}
+
+}  // namespace epea::obs

@@ -1,0 +1,321 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <stdexcept>
+
+namespace epea::obs {
+
+bool valid_metric_name(const std::string& name) noexcept {
+    if (name.empty()) return false;
+    if (name.front() < 'a' || name.front() > 'z') return false;
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                        c == '_' || c == '.';
+        if (!ok) return false;
+    }
+    return true;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+    if (bounds_.empty()) {
+        throw std::invalid_argument("obs: histogram needs at least one bound");
+    }
+    for (std::size_t i = 1; i < bounds_.size(); ++i) {
+        if (!(bounds_[i - 1] < bounds_[i])) {
+            throw std::invalid_argument(
+                "obs: histogram bounds must be strictly increasing");
+        }
+    }
+    buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double v) noexcept {
+    if constexpr (!kEnabled) {
+        (void)v;
+        return;
+    }
+    // Prometheus semantics: bucket i counts v <= bounds[i]; the first
+    // bound >= v is the owning bucket, everything above lands in +Inf.
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+    buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double old = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(old, old + v, std::memory_order_relaxed)) {
+    }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+    std::vector<std::uint64_t> out(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
+double Histogram::sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+const char* to_string(MetricKind kind) noexcept {
+    switch (kind) {
+        case MetricKind::kCounter: return "counter";
+        case MetricKind::kGauge: return "gauge";
+        case MetricKind::kHistogram: return "histogram";
+    }
+    return "?";
+}
+
+const MetricSample* MetricsSnapshot::find(const std::string& name) const {
+    for (const MetricSample& s : samples) {
+        if (s.name == name) return &s;
+    }
+    return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+    const MetricSample* s = find(name);
+    return s != nullptr && s->kind == MetricKind::kCounter ? s->count : 0;
+}
+
+MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& before,
+                                      const MetricsSnapshot& after) {
+    MetricsSnapshot out;
+    out.samples.reserve(after.samples.size());
+    for (const MetricSample& a : after.samples) {
+        MetricSample d = a;
+        if (const MetricSample* b = before.find(a.name)) {
+            if (a.kind == MetricKind::kCounter) {
+                d.count = a.count >= b->count ? a.count - b->count : 0;
+            } else if (a.kind == MetricKind::kHistogram &&
+                       b->bounds == a.bounds) {
+                d.count = a.count >= b->count ? a.count - b->count : 0;
+                d.value = a.value - b->value;
+                for (std::size_t i = 0; i < d.bucket_counts.size(); ++i) {
+                    const std::uint64_t prev = i < b->bucket_counts.size()
+                                                   ? b->bucket_counts[i]
+                                                   : 0;
+                    d.bucket_counts[i] =
+                        d.bucket_counts[i] >= prev ? d.bucket_counts[i] - prev : 0;
+                }
+            }
+            // Gauges keep the `after` value.
+        }
+        out.samples.push_back(std::move(d));
+    }
+    return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+    static MetricsRegistry registry;
+    return registry;
+}
+
+namespace {
+
+[[noreturn]] void bad_name(const std::string& name) {
+    throw std::invalid_argument("obs: metric name '" + name +
+                                "' violates ^[a-z][a-z0-9_.]*$");
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+    if (!valid_metric_name(name)) bad_name(name);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Slot& slot = slots_[name];
+    if (slot.counter == nullptr) {
+        if (slot.gauge != nullptr || slot.histogram != nullptr) {
+            throw std::invalid_argument("obs: '" + name +
+                                        "' already registered with another kind");
+        }
+        slot.kind = MetricKind::kCounter;
+        slot.counter = std::make_unique<Counter>();
+    }
+    return *slot.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+    if (!valid_metric_name(name)) bad_name(name);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Slot& slot = slots_[name];
+    if (slot.gauge == nullptr) {
+        if (slot.counter != nullptr || slot.histogram != nullptr) {
+            throw std::invalid_argument("obs: '" + name +
+                                        "' already registered with another kind");
+        }
+        slot.kind = MetricKind::kGauge;
+        slot.gauge = std::make_unique<Gauge>();
+    }
+    return *slot.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+    if (!valid_metric_name(name)) bad_name(name);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Slot& slot = slots_[name];
+    if (slot.histogram == nullptr) {
+        if (slot.counter != nullptr || slot.gauge != nullptr) {
+            throw std::invalid_argument("obs: '" + name +
+                                        "' already registered with another kind");
+        }
+        slot.kind = MetricKind::kHistogram;
+        slot.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+    } else if (slot.histogram->bounds() != upper_bounds) {
+        throw std::invalid_argument("obs: histogram '" + name +
+                                    "' re-registered with different bounds");
+    }
+    return *slot.histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+    MetricsSnapshot out;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.samples.reserve(slots_.size());
+    for (const auto& [name, slot] : slots_) {  // std::map: sorted by name
+        MetricSample s;
+        s.name = name;
+        s.kind = slot.kind;
+        switch (slot.kind) {
+            case MetricKind::kCounter: s.count = slot.counter->value(); break;
+            case MetricKind::kGauge: s.value = slot.gauge->value(); break;
+            case MetricKind::kHistogram:
+                s.count = slot.histogram->count();
+                s.value = slot.histogram->sum();
+                s.bounds = slot.histogram->bounds();
+                s.bucket_counts = slot.histogram->bucket_counts();
+                break;
+        }
+        out.samples.push_back(std::move(s));
+    }
+    return out;
+}
+
+util::JsonValue metrics_to_json(const MetricsSnapshot& snapshot) {
+    util::JsonObject root;
+    for (const MetricSample& s : snapshot.samples) {
+        util::JsonObject m;
+        m.emplace("type", util::JsonValue(to_string(s.kind)));
+        switch (s.kind) {
+            case MetricKind::kCounter:
+                m.emplace("value", util::JsonValue(s.count));
+                break;
+            case MetricKind::kGauge:
+                m.emplace("value", util::JsonValue(s.value));
+                break;
+            case MetricKind::kHistogram: {
+                m.emplace("count", util::JsonValue(s.count));
+                m.emplace("sum", util::JsonValue(s.value));
+                util::JsonArray bounds;
+                for (const double b : s.bounds) bounds.emplace_back(b);
+                m.emplace("bounds", util::JsonValue(std::move(bounds)));
+                util::JsonArray buckets;
+                for (const std::uint64_t c : s.bucket_counts) buckets.emplace_back(c);
+                m.emplace("buckets", util::JsonValue(std::move(buckets)));
+                break;
+            }
+        }
+        root.emplace(s.name, util::JsonValue(std::move(m)));
+    }
+    return util::JsonValue(std::move(root));
+}
+
+MetricsSnapshot metrics_from_json(const util::JsonValue& v) {
+    MetricsSnapshot out;
+    for (const auto& [name, m] : v.as_object()) {
+        MetricSample s;
+        s.name = name;
+        const std::string& type = m.at("type").as_string();
+        if (type == "counter") {
+            s.kind = MetricKind::kCounter;
+            s.count = static_cast<std::uint64_t>(m.at("value").as_int());
+        } else if (type == "gauge") {
+            s.kind = MetricKind::kGauge;
+            s.value = m.at("value").as_double();
+        } else if (type == "histogram") {
+            s.kind = MetricKind::kHistogram;
+            s.count = static_cast<std::uint64_t>(m.at("count").as_int());
+            s.value = m.at("sum").as_double();
+            for (const auto& b : m.at("bounds").as_array()) {
+                s.bounds.push_back(b.as_double());
+            }
+            for (const auto& c : m.at("buckets").as_array()) {
+                s.bucket_counts.push_back(static_cast<std::uint64_t>(c.as_int()));
+            }
+        } else {
+            throw std::runtime_error("obs: unknown metric type '" + type + "'");
+        }
+        out.samples.push_back(std::move(s));
+    }
+    return out;
+}
+
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot) {
+    out << metrics_to_json(snapshot).dump() << '\n';
+}
+
+namespace {
+
+/// `fi.runs.full` -> `fi_runs_full` (Prometheus name charset).
+std::string prometheus_name(const std::string& name) {
+    std::string out = name;
+    std::replace(out.begin(), out.end(), '.', '_');
+    return out;
+}
+
+void write_double(std::ostream& out, double v) {
+    char buf[40];
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        // Integral bounds read as "10", not "1e+01".
+        std::snprintf(buf, sizeof buf, "%.0f", v);
+    } else {
+        // Otherwise the shortest representation that round-trips:
+        // "0.1", not "0.10000000000000001".
+        for (int precision = 1; precision <= 17; ++precision) {
+            std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+            if (std::strtod(buf, nullptr) == v) break;
+        }
+    }
+    out << buf;
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot) {
+    for (const MetricSample& s : snapshot.samples) {
+        const std::string name = prometheus_name(s.name);
+        out << "# TYPE " << name << ' ' << to_string(s.kind) << '\n';
+        switch (s.kind) {
+            case MetricKind::kCounter:
+                out << name << ' ' << s.count << '\n';
+                break;
+            case MetricKind::kGauge:
+                out << name << ' ';
+                write_double(out, s.value);
+                out << '\n';
+                break;
+            case MetricKind::kHistogram: {
+                std::uint64_t cumulative = 0;
+                for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+                    cumulative += i < s.bucket_counts.size() ? s.bucket_counts[i] : 0;
+                    out << name << "_bucket{le=\"";
+                    write_double(out, s.bounds[i]);
+                    out << "\"} " << cumulative << '\n';
+                }
+                out << name << "_bucket{le=\"+Inf\"} " << s.count << '\n';
+                out << name << "_sum ";
+                write_double(out, s.value);
+                out << '\n';
+                out << name << "_count " << s.count << '\n';
+                break;
+            }
+        }
+    }
+}
+
+}  // namespace epea::obs

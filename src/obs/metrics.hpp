@@ -1,0 +1,163 @@
+// Metrics registry (DESIGN.md §10): named counters, gauges and
+// fixed-bucket histograms with atomic hot-path updates, snapshot/diff
+// semantics, and exporters to JSON and the Prometheus text exposition
+// format.
+//
+// Naming scheme: `subsystem.noun[.qualifier]`, lower-case, matching
+// ^[a-z][a-z0-9_.]*$ (enforced at registration and linted in CI). The
+// canonical dotted names appear in JSON artifacts; the Prometheus
+// exporter maps dots to underscores (`fi.runs.full` -> `fi_runs_full`).
+//
+// Hot-path cost: Counter::add is one relaxed fetch_add; with
+// EPEA_OBS_ENABLED=OFF every update compiles to nothing. Registration
+// (registry lookup by name) takes a mutex — call sites cache the
+// returned reference, which stays valid for the registry's lifetime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/enabled.hpp"
+#include "util/json.hpp"
+
+namespace epea::obs {
+
+/// True when `name` matches ^[a-z][a-z0-9_.]*$.
+[[nodiscard]] bool valid_metric_name(const std::string& name) noexcept;
+
+/// Monotonically increasing event count.
+class Counter {
+public:
+    void add(std::uint64_t n = 1) noexcept {
+        if constexpr (kEnabled) {
+            v_.fetch_add(n, std::memory_order_relaxed);
+        } else {
+            (void)n;
+        }
+    }
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        return v_.load(std::memory_order_relaxed);
+    }
+    /// Snapshot-reset support for tests; not part of the hot path.
+    void store(std::uint64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+public:
+    void set(double v) noexcept {
+        if constexpr (kEnabled) {
+            v_.store(v, std::memory_order_relaxed);
+        } else {
+            (void)v;
+        }
+    }
+    [[nodiscard]] double value() const noexcept {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket semantics follow Prometheus: bucket i
+/// counts observations v <= bounds[i] (cumulatively exported); one
+/// implicit +Inf bucket catches the rest.
+class Histogram {
+public:
+    /// `upper_bounds` must be non-empty and strictly increasing.
+    explicit Histogram(std::vector<double> upper_bounds);
+
+    void observe(double v) noexcept;
+
+    [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+        return bounds_;
+    }
+    /// Per-bucket (non-cumulative) counts; the last entry is the +Inf
+    /// bucket. Reads are relaxed — exact only once writers are quiescent.
+    [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+    [[nodiscard]] std::uint64_t count() const noexcept {
+        return count_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] double sum() const noexcept;
+
+private:
+    std::vector<double> bounds_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size()+1
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] const char* to_string(MetricKind kind) noexcept;
+
+/// One metric's value at snapshot time.
+struct MetricSample {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    std::uint64_t count = 0;  ///< counter value / histogram observation count
+    double value = 0.0;       ///< gauge value / histogram sum
+    std::vector<double> bounds;               ///< histogram only
+    std::vector<std::uint64_t> bucket_counts;  ///< histogram only (+Inf last)
+};
+
+/// Point-in-time view of a registry, sorted by name.
+struct MetricsSnapshot {
+    std::vector<MetricSample> samples;
+
+    [[nodiscard]] const MetricSample* find(const std::string& name) const;
+    /// Counter value or 0 when absent/not a counter.
+    [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+
+    /// Delta semantics: counters and histogram counts subtract
+    /// (after - before, clamped at 0), gauges take the `after` value.
+    /// Samples only present in `after` pass through unchanged.
+    [[nodiscard]] static MetricsSnapshot diff(const MetricsSnapshot& before,
+                                              const MetricsSnapshot& after);
+};
+
+/// Name -> metric map. Get-or-create; re-registering a name under a
+/// different kind (or a histogram under different bounds) throws.
+class MetricsRegistry {
+public:
+    [[nodiscard]] static MetricsRegistry& global();
+
+    [[nodiscard]] Counter& counter(const std::string& name);
+    [[nodiscard]] Gauge& gauge(const std::string& name);
+    [[nodiscard]] Histogram& histogram(const std::string& name,
+                                       std::vector<double> upper_bounds);
+
+    [[nodiscard]] MetricsSnapshot snapshot() const;
+
+private:
+    struct Slot {
+        MetricKind kind = MetricKind::kCounter;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Slot> slots_;
+};
+
+/// JSON object keyed by canonical metric name; deterministic (sorted).
+[[nodiscard]] util::JsonValue metrics_to_json(const MetricsSnapshot& snapshot);
+[[nodiscard]] MetricsSnapshot metrics_from_json(const util::JsonValue& v);
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot);
+
+/// Prometheus text exposition format (# TYPE comments, cumulative
+/// histogram buckets with le labels, _sum/_count series).
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot);
+
+}  // namespace epea::obs

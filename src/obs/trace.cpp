@@ -1,0 +1,290 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+namespace epea::obs {
+
+namespace {
+
+/// One thread's bounded span ring. Owned jointly by the thread (via a
+/// thread_local shared_ptr) and the registry, so spans recorded by a
+/// worker remain drainable after the worker exits.
+struct ThreadBuffer {
+    std::mutex mutex;
+    std::vector<SpanEvent> ring;
+    std::size_t capacity = Tracer::kDefaultRingCapacity;
+    std::size_t head = 0;  ///< next write slot once the ring wrapped
+    bool wrapped = false;
+    std::uint64_t dropped = 0;
+    std::uint32_t tid = 0;
+    std::uint32_t depth = 0;  ///< live span nesting level of the owning thread
+    std::string name;
+};
+
+struct Registry {
+    std::mutex mutex;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    std::uint32_t next_tid = 1;
+    std::size_t ring_capacity = Tracer::kDefaultRingCapacity;
+};
+
+Registry& registry() {
+    static Registry r;
+    return r;
+}
+
+std::chrono::steady_clock::time_point process_epoch() {
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+ThreadBuffer& local_buffer() {
+    thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+        auto b = std::make_shared<ThreadBuffer>();
+        Registry& r = registry();
+        const std::lock_guard<std::mutex> lock(r.mutex);
+        b->tid = r.next_tid++;
+        b->capacity = r.ring_capacity;
+        b->ring.reserve(std::min<std::size_t>(b->capacity, 1024));
+        r.buffers.push_back(b);
+        return b;
+    }();
+    return *buffer;
+}
+
+void push_event(ThreadBuffer& b, SpanEvent event) {
+    const std::lock_guard<std::mutex> lock(b.mutex);
+    if (b.ring.size() < b.capacity) {
+        b.ring.push_back(std::move(event));
+        return;
+    }
+    // Full: overwrite the oldest slot.
+    b.ring[b.head] = std::move(event);
+    b.head = (b.head + 1) % b.capacity;
+    b.wrapped = true;
+    ++b.dropped;
+}
+
+void append_json_escaped(std::string& out, const std::string& s) {
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+}
+
+}  // namespace
+
+std::uint64_t now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - process_epoch())
+            .count());
+}
+
+std::uint32_t current_tid() noexcept { return local_buffer().tid; }
+
+void set_thread_name(const std::string& name) {
+    ThreadBuffer& b = local_buffer();
+    const std::lock_guard<std::mutex> lock(b.mutex);
+    b.name = name;
+}
+
+Tracer& Tracer::instance() {
+    static Tracer tracer;
+    // Materialize the epoch early so span timestamps are monotone from
+    // the first instance() call, not from the first span.
+    (void)process_epoch();
+    return tracer;
+}
+
+void Tracer::set_ring_capacity(std::size_t events_per_thread) {
+    if (events_per_thread == 0) events_per_thread = 1;
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    r.ring_capacity = events_per_thread;
+    for (const auto& b : r.buffers) {
+        const std::lock_guard<std::mutex> blk(b->mutex);
+        b->capacity = events_per_thread;
+        b->ring.clear();
+        b->head = 0;
+        b->wrapped = false;
+    }
+}
+
+std::uint64_t Tracer::dropped() const {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    std::uint64_t total = 0;
+    for (const auto& b : r.buffers) {
+        const std::lock_guard<std::mutex> blk(b->mutex);
+        total += b->dropped;
+    }
+    return total;
+}
+
+void Tracer::record(SpanEvent event) {
+    ThreadBuffer& b = local_buffer();
+    event.tid = b.tid;
+    push_event(b, std::move(event));
+}
+
+std::vector<SpanEvent> Tracer::drain() {
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        Registry& r = registry();
+        const std::lock_guard<std::mutex> lock(r.mutex);
+        buffers = r.buffers;
+    }
+    std::vector<SpanEvent> out;
+    for (const auto& b : buffers) {
+        const std::lock_guard<std::mutex> lock(b->mutex);
+        if (b->wrapped) {
+            // Oldest-first: [head, end) then [0, head).
+            out.insert(out.end(), b->ring.begin() + static_cast<std::ptrdiff_t>(b->head),
+                       b->ring.end());
+            out.insert(out.end(), b->ring.begin(),
+                       b->ring.begin() + static_cast<std::ptrdiff_t>(b->head));
+        } else {
+            out.insert(out.end(), b->ring.begin(), b->ring.end());
+        }
+        b->ring.clear();
+        b->head = 0;
+        b->wrapped = false;
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const SpanEvent& a, const SpanEvent& b) {
+                         if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                         if (a.tid != b.tid) return a.tid < b.tid;
+                         return a.depth < b.depth;
+                     });
+    return out;
+}
+
+std::vector<TrackInfo> Tracer::tracks() const {
+    std::vector<TrackInfo> out;
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    out.reserve(r.buffers.size());
+    for (const auto& b : r.buffers) {
+        const std::lock_guard<std::mutex> blk(b->mutex);
+        out.push_back(TrackInfo{b->tid, b->name});
+    }
+    return out;
+}
+
+void Tracer::clear() { (void)drain(); }
+
+Span::Span(const char* name, std::uint64_t arg, bool has_arg) noexcept {
+    if constexpr (!kEnabled) {
+        (void)name;
+        (void)arg;
+        (void)has_arg;
+        return;
+    }
+    if (!Tracer::instance().enabled()) return;
+    arg_ = arg;
+    has_arg_ = has_arg;
+    begin(name);
+}
+
+Span::Span(const char* name, detail::SampleTag,
+           std::atomic<std::uint32_t>& site_counter) noexcept {
+    if constexpr (!kEnabled) {
+        (void)name;
+        (void)site_counter;
+        return;
+    }
+    Tracer& tracer = Tracer::instance();
+    if (!tracer.enabled()) return;
+    const std::uint32_t n = tracer.sampling();
+    if (n > 1 && site_counter.fetch_add(1, std::memory_order_relaxed) % n != 0) {
+        return;
+    }
+    begin(name);
+}
+
+void Span::begin(const char* name) noexcept {
+    name_ = name;
+    ThreadBuffer& b = local_buffer();
+    depth_ = b.depth++;
+    start_ns_ = now_ns();
+    active_ = true;
+}
+
+Span::~Span() {
+    if (!active_) return;
+    const std::uint64_t end_ns = now_ns();
+    SpanEvent event;
+    event.name = name_;
+    event.depth = depth_;
+    event.start_ns = start_ns_;
+    event.dur_ns = end_ns - start_ns_;
+    event.arg = arg_;
+    event.has_arg = has_arg_;
+    ThreadBuffer& b = local_buffer();
+    --b.depth;
+    event.tid = b.tid;
+    push_event(b, std::move(event));
+}
+
+void write_chrome_trace(std::ostream& out, const std::vector<SpanEvent>& events,
+                        const std::vector<TrackInfo>& tracks) {
+    out << "{\"traceEvents\":[";
+    bool first = true;
+    for (const TrackInfo& t : tracks) {
+        if (t.name.empty()) continue;
+        std::string name;
+        append_json_escaped(name, t.name);
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%s{\"ph\":\"M\",\"pid\":1,\"tid\":%u,",
+                      first ? "" : ",", t.tid);
+        out << buf << "\"name\":\"thread_name\",\"args\":{\"name\":\"" << name
+            << "\"}}";
+        first = false;
+    }
+    for (const SpanEvent& e : events) {
+        std::string name;
+        append_json_escaped(name, e.name);
+        // Category = metric-style prefix before the first dot, so Perfetto
+        // can filter by subsystem (campaign / fi / sim / opt).
+        const std::size_t dot = e.name.find('.');
+        std::string cat = dot == std::string::npos ? e.name : e.name.substr(0, dot);
+        std::string cat_escaped;
+        append_json_escaped(cat_escaped, cat);
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                      "\"dur\":%.3f,",
+                      first ? "" : ",", e.tid,
+                      static_cast<double>(e.start_ns) / 1000.0,
+                      static_cast<double>(e.dur_ns) / 1000.0);
+        out << buf << "\"name\":\"" << name << "\",\"cat\":\"" << cat_escaped
+            << "\"";
+        if (e.has_arg) {
+            std::snprintf(buf, sizeof buf, ",\"args\":{\"v\":%llu}",
+                          static_cast<unsigned long long>(e.arg));
+            out << buf;
+        }
+        out << "}";
+        first = false;
+    }
+    out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace epea::obs

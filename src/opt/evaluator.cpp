@@ -7,6 +7,8 @@
 #include "campaign/executor.hpp"
 #include "campaign/spec.hpp"
 #include "exp/arrestment_experiments.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace epea::opt {
 
@@ -58,6 +60,8 @@ std::string CampaignEvaluator::subset_key(const std::vector<std::string>& subset
 
 std::vector<CacheEntry> CampaignEvaluator::evaluate(
     const std::vector<std::vector<std::string>>& subsets) {
+    obs::Span span("opt.evaluate", subsets.size());
+    auto& reg = obs::MetricsRegistry::global();
     std::vector<CacheEntry> results(subsets.size());
     // Deduplicated cache misses, keyed canonically; values are the EA-name
     // SubsetSpecs the campaign will score.
@@ -66,12 +70,15 @@ std::vector<CacheEntry> CampaignEvaluator::evaluate(
     for (std::size_t i = 0; i < subsets.size(); ++i) {
         if (subsets[i].empty()) continue;  // empty placement detects nothing
         const std::string key = subset_key(subsets[i]);
+        reg.counter("opt.subset.evaluated").add();
         if (const auto hit = cache_.lookup(key)) {
             ++cache_hits_;
+            reg.counter("opt.subset.cache_hit").add();
             results[i] = *hit;
             continue;
         }
         ++cache_misses_;
+        reg.counter("opt.subset.cache_miss").add();
         if (missing.count(key)) continue;
         exp::SubsetSpec spec;
         spec.name = key;
@@ -117,6 +124,7 @@ std::vector<CacheEntry> CampaignEvaluator::evaluate(
         exec.golden_cache = &golden_cache_;  // reused across batches
         executor.run(exec);
         ++campaigns_executed_;
+        reg.counter("opt.campaigns.executed").add();
 
         if (options_.model == ErrorModel::kInput) {
             const exp::InputCoverageResult merged = executor.merged_input();

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace epea::runtime {
 
 Simulator::Simulator(const model::SystemModel& model,
@@ -145,6 +147,7 @@ void Simulator::restore_snapshot(const Snapshot& snap) {
 }
 
 RunResult Simulator::run(Tick max_ticks) {
+    EPEA_OBS_SAMPLED_SPAN(span, "sim.run");
     RunResult result;
     while (now_ < max_ticks) {
         step_tick();

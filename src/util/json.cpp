@@ -1,11 +1,11 @@
-#include "campaign/json.hpp"
+#include "util/json.hpp"
 
 #include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
-namespace epea::campaign {
+namespace epea::util {
 
 namespace {
 
@@ -289,4 +289,4 @@ JsonValue JsonValue::parse(const std::string& text) {
     return v;
 }
 
-}  // namespace epea::campaign
+}  // namespace epea::util

@@ -2,13 +2,23 @@
 
 #include <atomic>
 #include <cstdio>
+#include <memory>
+#include <mutex>
 
 namespace epea::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 
-constexpr std::string_view level_name(LogLevel level) noexcept {
+// The sink is read on every emitted line; g_has_sink keeps the common
+// no-sink case to one relaxed load, the mutex only guards the pointer
+// swap against emits racing with (un)install.
+std::atomic<bool> g_has_sink{false};
+std::mutex g_sink_mutex;
+std::shared_ptr<const LogSink> g_sink;
+}  // namespace
+
+std::string_view level_name(LogLevel level) noexcept {
     switch (level) {
         case LogLevel::kDebug: return "DEBUG";
         case LogLevel::kInfo: return "INFO";
@@ -18,7 +28,6 @@ constexpr std::string_view level_name(LogLevel level) noexcept {
     }
     return "?";
 }
-}  // namespace
 
 void set_log_level(LogLevel level) noexcept {
     g_level.store(static_cast<int>(level), std::memory_order_relaxed);
@@ -28,6 +37,17 @@ LogLevel log_level() noexcept {
     return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void set_log_sink(LogSink sink) {
+    const std::lock_guard<std::mutex> lock(g_sink_mutex);
+    if (sink) {
+        g_sink = std::make_shared<const LogSink>(std::move(sink));
+        g_has_sink.store(true, std::memory_order_release);
+    } else {
+        g_has_sink.store(false, std::memory_order_release);
+        g_sink.reset();
+    }
+}
+
 namespace detail {
 
 void emit(LogLevel level, std::string_view component, std::string_view message) {
@@ -35,6 +55,14 @@ void emit(LogLevel level, std::string_view component, std::string_view message) 
                  static_cast<int>(level_name(level).size()), level_name(level).data(),
                  static_cast<int>(component.size()), component.data(),
                  static_cast<int>(message.size()), message.data());
+    if (g_has_sink.load(std::memory_order_acquire)) {
+        std::shared_ptr<const LogSink> sink;
+        {
+            const std::lock_guard<std::mutex> lock(g_sink_mutex);
+            sink = g_sink;
+        }
+        if (sink) (*sink)(level, component, message);
+    }
 }
 
 }  // namespace detail

@@ -2,6 +2,7 @@
 // kWarn so that bench output stays clean; tests can raise verbosity.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string_view>
 
@@ -9,10 +10,24 @@ namespace epea::util {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Sets/gets the process-wide log threshold (not thread-safe by design —
-/// configured once at startup).
+/// Sets/gets the process-wide log threshold. Thread-safe: the threshold
+/// is a relaxed atomic, so any thread may flip it mid-run (a campaign
+/// worker raising verbosity sees no torn reads, only an eventually
+/// consistent level).
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
+
+/// "DEBUG", "INFO", ... — stable names for sinks and exporters.
+[[nodiscard]] std::string_view level_name(LogLevel level) noexcept;
+
+/// Structured log sink. When installed, every emitted line is also
+/// delivered as (level, component, message) — e.g. the campaign observer
+/// mirrors logs into events.jsonl. Pass {} to uninstall. stderr output is
+/// unaffected. Install/uninstall is thread-safe; the sink itself must be
+/// callable from any logging thread.
+using LogSink =
+    std::function<void(LogLevel, std::string_view component, std::string_view message)>;
+void set_log_sink(LogSink sink);
 
 namespace detail {
 void emit(LogLevel level, std::string_view component, std::string_view message);

@@ -1,0 +1,359 @@
+// Observability layer (DESIGN.md §10): span nesting and drain
+// determinism, bounded-ring overwrite accounting, sampled spans,
+// histogram bucket edges, Prometheus/Chrome golden exports, metric-name
+// lints, snapshot diff semantics and manifest schema stability.
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace epea::obs {
+namespace {
+
+/// Arms the process tracer for one test and restores the disabled
+/// default afterwards, so tests compose in any order.
+class ScopedTracer {
+public:
+    ScopedTracer() {
+        Tracer::instance().clear();
+        Tracer::instance().set_sampling(1);
+        Tracer::instance().set_enabled(true);
+    }
+    ~ScopedTracer() {
+        Tracer::instance().set_enabled(false);
+        Tracer::instance().set_sampling(Tracer::kDefaultSampling);
+        Tracer::instance().set_ring_capacity(Tracer::kDefaultRingCapacity);
+        Tracer::instance().clear();
+    }
+};
+
+// -------------------------------------------------------------- spans
+
+TEST(ObsTraceTest, NestedSpansRecordDepthAndContainment) {
+    if (!kEnabled) GTEST_SKIP() << "built with EPEA_OBS_ENABLED=OFF";
+    const ScopedTracer armed;
+    {
+        Span outer("test.outer");
+        {
+            Span inner("test.inner", 7);
+        }
+    }
+    const std::vector<SpanEvent> events = Tracer::instance().drain();
+    ASSERT_EQ(events.size(), 2u);
+    // Drain sorts by start time: outer opened first.
+    EXPECT_EQ(events[0].name, "test.outer");
+    EXPECT_EQ(events[0].depth, 0u);
+    EXPECT_FALSE(events[0].has_arg);
+    EXPECT_EQ(events[1].name, "test.inner");
+    EXPECT_EQ(events[1].depth, 1u);
+    EXPECT_TRUE(events[1].has_arg);
+    EXPECT_EQ(events[1].arg, 7u);
+    // Time containment: the inner span lies within the outer one.
+    EXPECT_GE(events[1].start_ns, events[0].start_ns);
+    EXPECT_LE(events[1].start_ns + events[1].dur_ns,
+              events[0].start_ns + events[0].dur_ns);
+}
+
+TEST(ObsTraceTest, DrainMergesThreadsIntoDeterministicTimeline) {
+    if (!kEnabled) GTEST_SKIP() << "built with EPEA_OBS_ENABLED=OFF";
+    const ScopedTracer armed;
+    // Two threads record interleaved synthetic timestamps; drain must
+    // produce one globally sorted timeline regardless of scheduling.
+    auto record = [](const char* name, std::uint64_t start) {
+        SpanEvent e;
+        e.name = name;
+        e.tid = current_tid();
+        e.start_ns = start;
+        e.dur_ns = 10;
+        Tracer::instance().record(std::move(e));
+    };
+    std::thread a([&] { record("test.a1", 100); record("test.a2", 300); });
+    std::thread b([&] { record("test.b1", 200); record("test.b2", 400); });
+    a.join();
+    b.join();
+    const std::vector<SpanEvent> events = Tracer::instance().drain();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0].name, "test.a1");
+    EXPECT_EQ(events[1].name, "test.b1");
+    EXPECT_EQ(events[2].name, "test.a2");
+    EXPECT_EQ(events[3].name, "test.b2");
+    // Both threads survive in the track registry after joining.
+    EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST(ObsTraceTest, FullRingOverwritesOldestAndCountsDropped) {
+    if (!kEnabled) GTEST_SKIP() << "built with EPEA_OBS_ENABLED=OFF";
+    const ScopedTracer armed;
+    Tracer::instance().set_ring_capacity(4);
+    const std::uint64_t dropped0 = Tracer::instance().dropped();
+    for (int i = 0; i < 10; ++i) {
+        Span span("test.ring", static_cast<std::uint64_t>(i));
+    }
+    const std::vector<SpanEvent> events = Tracer::instance().drain();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(Tracer::instance().dropped() - dropped0, 6u);
+    // The survivors are the newest four, still in order.
+    EXPECT_EQ(events[0].arg, 6u);
+    EXPECT_EQ(events[3].arg, 9u);
+}
+
+TEST(ObsTraceTest, SampledSpanRecordsEveryNth) {
+    if (!kEnabled) GTEST_SKIP() << "built with EPEA_OBS_ENABLED=OFF";
+    const ScopedTracer armed;
+    Tracer::instance().set_sampling(3);
+    for (int i = 0; i < 9; ++i) {
+        EPEA_OBS_SAMPLED_SPAN(span, "test.sampled");
+    }
+    EXPECT_EQ(Tracer::instance().drain().size(), 3u);
+}
+
+TEST(ObsTraceTest, DisabledTracerRecordsNothing) {
+    Tracer::instance().clear();
+    Tracer::instance().set_enabled(false);
+    {
+        Span span("test.disabled");
+        EXPECT_FALSE(span.active());
+    }
+    EXPECT_TRUE(Tracer::instance().drain().empty());
+}
+
+// ------------------------------------------------------- chrome trace
+
+TEST(ObsTraceTest, ChromeTraceGolden) {
+    std::vector<SpanEvent> events(2);
+    events[0].name = "campaign.shard";
+    events[0].tid = 1;
+    events[0].start_ns = 1500;
+    events[0].dur_ns = 2'000'000;
+    events[0].arg = 3;
+    events[0].has_arg = true;
+    events[1].name = "fi.run";
+    events[1].tid = 2;
+    events[1].start_ns = 2000;
+    events[1].dur_ns = 500;
+    std::vector<TrackInfo> tracks(2);
+    tracks[0] = {1, "worker-0"};
+    tracks[1] = {2, ""};  // unnamed threads get no metadata record
+
+    std::ostringstream out;
+    write_chrome_trace(out, events, tracks);
+    EXPECT_EQ(out.str(),
+              "{\"traceEvents\":["
+              "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\","
+              "\"args\":{\"name\":\"worker-0\"}},"
+              "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":1.500,\"dur\":2000.000,"
+              "\"name\":\"campaign.shard\",\"cat\":\"campaign\",\"args\":{\"v\":3}},"
+              "{\"ph\":\"X\",\"pid\":1,\"tid\":2,\"ts\":2.000,\"dur\":0.500,"
+              "\"name\":\"fi.run\",\"cat\":\"fi\"}"
+              "],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+// ------------------------------------------------------------ metrics
+
+TEST(ObsMetricsTest, ValidMetricNames) {
+    EXPECT_TRUE(valid_metric_name("fi.run_ticks"));
+    EXPECT_TRUE(valid_metric_name("cache.golden.hit"));
+    EXPECT_TRUE(valid_metric_name("a2"));
+    EXPECT_FALSE(valid_metric_name(""));
+    EXPECT_FALSE(valid_metric_name("Fi.runs"));      // upper case
+    EXPECT_FALSE(valid_metric_name("2fast"));        // leading digit
+    EXPECT_FALSE(valid_metric_name("fi-runs"));      // dash
+    EXPECT_FALSE(valid_metric_name("fi runs"));      // space
+    EXPECT_THROW((void)MetricsRegistry::global().counter("Bad.Name"),
+                 std::invalid_argument);
+}
+
+TEST(ObsMetricsTest, HistogramBucketEdgesAreInclusive) {
+    if (!kEnabled) GTEST_SKIP() << "built with EPEA_OBS_ENABLED=OFF";
+    Histogram h({1.0, 2.0});
+    h.observe(0.5);   // <= 1.0
+    h.observe(1.0);   // == bound: inclusive, still bucket 0
+    h.observe(1.5);   // <= 2.0
+    h.observe(2.0);   // == bound: bucket 1
+    h.observe(2.5);   // above all bounds: +Inf
+    const std::vector<std::uint64_t> buckets = h.bucket_counts();
+    ASSERT_EQ(buckets.size(), 3u);
+    EXPECT_EQ(buckets[0], 2u);
+    EXPECT_EQ(buckets[1], 2u);
+    EXPECT_EQ(buckets[2], 1u);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_DOUBLE_EQ(h.sum(), 7.5);
+    EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW(Histogram({}), std::invalid_argument);
+}
+
+TEST(ObsMetricsTest, RegistryRejectsKindAndBoundMismatch) {
+    auto& reg = MetricsRegistry::global();
+    reg.counter("test.kind_clash");
+    EXPECT_THROW((void)reg.gauge("test.kind_clash"), std::invalid_argument);
+    reg.histogram("test.bounds_clash", {1.0, 2.0});
+    EXPECT_THROW((void)reg.histogram("test.bounds_clash", {1.0, 3.0}),
+                 std::invalid_argument);
+}
+
+TEST(ObsMetricsTest, SnapshotDiffSubtractsCountersKeepsGauges) {
+    if (!kEnabled) GTEST_SKIP() << "built with EPEA_OBS_ENABLED=OFF";
+    auto& reg = MetricsRegistry::global();
+    reg.counter("test.diff.c").add(10);
+    reg.gauge("test.diff.g").set(1.0);
+    reg.histogram("test.diff.h", {1.0}).observe(0.5);
+    const MetricsSnapshot before = reg.snapshot();
+    reg.counter("test.diff.c").add(5);
+    reg.gauge("test.diff.g").set(9.0);
+    reg.histogram("test.diff.h", {1.0}).observe(2.0);
+    const MetricsSnapshot delta = MetricsSnapshot::diff(before, reg.snapshot());
+    EXPECT_EQ(delta.counter("test.diff.c"), 5u);
+    const MetricSample* g = delta.find("test.diff.g");
+    ASSERT_NE(g, nullptr);
+    EXPECT_DOUBLE_EQ(g->value, 9.0);  // gauges report the latest value
+    const MetricSample* h = delta.find("test.diff.h");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 1u);
+    ASSERT_EQ(h->bucket_counts.size(), 2u);
+    EXPECT_EQ(h->bucket_counts[0], 0u);
+    EXPECT_EQ(h->bucket_counts[1], 1u);
+}
+
+TEST(ObsMetricsTest, PrometheusGolden) {
+    MetricsSnapshot snap;
+    MetricSample c;
+    c.name = "fi.runs.full";
+    c.kind = MetricKind::kCounter;
+    c.count = 42;
+    snap.samples.push_back(c);
+    MetricSample g;
+    g.name = "test.gauge";
+    g.kind = MetricKind::kGauge;
+    g.value = 0.25;
+    snap.samples.push_back(g);
+    MetricSample h;
+    h.name = "test.hist";
+    h.kind = MetricKind::kHistogram;
+    h.bounds = {0.1, 10.0};
+    h.bucket_counts = {1, 2, 3};
+    h.count = 6;
+    h.value = 12.5;
+    snap.samples.push_back(h);
+
+    std::ostringstream out;
+    write_prometheus(out, snap);
+    EXPECT_EQ(out.str(),
+              "# TYPE fi_runs_full counter\n"
+              "fi_runs_full 42\n"
+              "# TYPE test_gauge gauge\n"
+              "test_gauge 0.25\n"
+              "# TYPE test_hist histogram\n"
+              "test_hist_bucket{le=\"0.1\"} 1\n"
+              "test_hist_bucket{le=\"10\"} 3\n"          // cumulative
+              "test_hist_bucket{le=\"+Inf\"} 6\n"
+              "test_hist_sum 12.5\n"
+              "test_hist_count 6\n");
+}
+
+TEST(ObsMetricsTest, JsonRoundTripPreservesEveryKind) {
+    MetricsSnapshot snap;
+    MetricSample c;
+    c.name = "test.rt.counter";
+    c.kind = MetricKind::kCounter;
+    c.count = 123456789;
+    snap.samples.push_back(c);
+    MetricSample h;
+    h.name = "test.rt.hist";
+    h.kind = MetricKind::kHistogram;
+    h.bounds = {1.0, 2.0};
+    h.bucket_counts = {4, 5, 6};
+    h.count = 15;
+    h.value = 20.5;
+    snap.samples.push_back(h);
+
+    const MetricsSnapshot back =
+        metrics_from_json(metrics_to_json(snap));
+    ASSERT_EQ(back.samples.size(), 2u);
+    EXPECT_EQ(back.counter("test.rt.counter"), 123456789u);
+    const MetricSample* hb = back.find("test.rt.hist");
+    ASSERT_NE(hb, nullptr);
+    EXPECT_EQ(hb->bounds, h.bounds);
+    EXPECT_EQ(hb->bucket_counts, h.bucket_counts);
+    EXPECT_EQ(hb->count, 15u);
+    EXPECT_DOUBLE_EQ(hb->value, 20.5);
+}
+
+// ----------------------------------------------------------- manifest
+
+Manifest example_manifest() {
+    Manifest m;
+    m.tool_version = "1.2.3";
+    m.command = "campaign run";
+    m.config.emplace("cases", util::JsonValue(std::int64_t{25}));
+    m.seed_base = 0x7ab1e1ULL;
+    m.fastpath = true;
+    m.threads = 4;
+    m.wall_seconds = 1.5;
+    m.cpu_seconds = 5.75;
+    m.fastpath_stats.emplace("full_runs", util::JsonValue(std::int64_t{7}));
+    return m;
+}
+
+TEST(ObsManifestTest, SchemaFieldSetIsStable) {
+    // The schema contract: version 1 has exactly these keys. Adding or
+    // renaming one requires bumping kSchemaVersion and the checked-in
+    // schemas/manifest.schema.json.
+    const util::JsonValue v = example_manifest().to_json();
+    const std::vector<std::string> expected = {
+        "command",     "config",       "config_hash",  "cpu_seconds",
+        "created_unix", "fastpath",    "fastpath_stats", "metrics",
+        "obs_enabled", "schema",       "seed_base",    "threads",
+        "tool_version", "wall_seconds",
+    };
+    std::vector<std::string> keys;
+    for (const auto& [k, _] : v.as_object()) keys.push_back(k);
+    EXPECT_EQ(keys, expected);  // util::JsonObject is sorted by key
+    EXPECT_EQ(v.at("schema").as_int(), Manifest::kSchemaVersion);
+}
+
+TEST(ObsManifestTest, RoundTripsAndVerifiesConfigHash) {
+    const Manifest m = example_manifest();
+    const Manifest back = Manifest::from_json(m.to_json());
+    EXPECT_EQ(back.tool_version, "1.2.3");
+    EXPECT_EQ(back.command, "campaign run");
+    EXPECT_EQ(back.seed_base, 0x7ab1e1ULL);
+    EXPECT_EQ(back.threads, 4u);
+    EXPECT_EQ(back.config_hash(), m.config_hash());
+
+    // Tampering with the config without re-hashing must be detected.
+    util::JsonObject doc = m.to_json().as_object();
+    util::JsonObject config = doc.at("config").as_object();
+    config.insert_or_assign("cases", util::JsonValue(std::int64_t{26}));
+    doc.insert_or_assign("config", util::JsonValue(std::move(config)));
+    EXPECT_THROW((void)Manifest::from_json(util::JsonValue(std::move(doc))),
+                 std::runtime_error);
+}
+
+TEST(ObsManifestTest, RejectsUnknownSchemaVersion) {
+    util::JsonObject doc = example_manifest().to_json().as_object();
+    doc.insert_or_assign("schema", util::JsonValue(std::int64_t{999}));
+    EXPECT_THROW((void)Manifest::from_json(util::JsonValue(std::move(doc))),
+                 std::runtime_error);
+}
+
+TEST(ObsManifestTest, ConfigHashIsOrderInsensitiveViaSortedDump) {
+    Manifest a;
+    a.config.emplace("x", util::JsonValue(std::int64_t{1}));
+    a.config.emplace("y", util::JsonValue(std::int64_t{2}));
+    Manifest b;
+    b.config.emplace("y", util::JsonValue(std::int64_t{2}));
+    b.config.emplace("x", util::JsonValue(std::int64_t{1}));
+    EXPECT_EQ(a.config_hash(), b.config_hash());
+    b.config.insert_or_assign("y", util::JsonValue(std::int64_t{3}));
+    EXPECT_NE(a.config_hash(), b.config_hash());
+}
+
+}  // namespace
+}  // namespace epea::obs

@@ -7,6 +7,7 @@
 //   epea_tool inject --signal S --bit B --at T   one injection, EA report
 //   epea_tool campaign run|resume|status ...     sharded checkpointed campaigns
 //   epea_tool place optimize|frontier|explain    cost-aware EA placement search
+//   epea_tool obs trace|metrics DIR              inspect observability artifacts
 //   epea_tool version                            print the tool version
 //
 // Matrices written by `estimate` feed `analyze`, so the expensive
@@ -16,13 +17,22 @@
 // runs the src/opt/ placement optimizer — analytic by default, campaign-
 // backed with --ground-truth (memoized under --dir).
 //
+// Observed commands (estimate, campaign run|resume, place) record spans
+// and metrics for the duration of the run; campaign runs always leave
+// manifest.json/metrics.json/trace.json in the campaign directory, and
+// every observed command honours --trace-out FILE (Chrome trace JSON,
+// Perfetto-loadable) and --metrics-out FILE (.prom selects Prometheus
+// text, JSON otherwise).
+//
 // Unknown commands and unknown flags are rejected with the usage text
 // and exit status 2, so scripts fail loudly on typos.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <optional>
 #include <sstream>
@@ -31,6 +41,8 @@
 
 #include "campaign/executor.hpp"
 #include "campaign/observer.hpp"
+#include "fi/fastpath.hpp"
+#include "obs/manifest.hpp"
 #include "epic/impact.hpp"
 #include "epic/measures.hpp"
 #include "epic/paths.hpp"
@@ -59,19 +71,24 @@ int usage() {
                  "  describe [--dot]\n"
                  "  simulate [--mass KG] [--speed MPS]\n"
                  "  estimate [--cases N] [--times M] [--out FILE] [--no-fastpath]\n"
+                 "           [--trace-out FILE] [--metrics-out FILE]\n"
                  "  analyze FILE [--sink SIGNAL]\n"
                  "  inject --signal NAME --bit B --at TICK\n"
                  "  campaign run --dir DIR [--spec FILE] [--kind K] [--cases N]\n"
                  "               [--times M] [--shards S] [--threads T]\n"
                  "               [--max-shards N] [--adaptive HALF_WIDTH]\n"
                  "               [--min-trials N] [--out FILE] [--no-fastpath]\n"
+                 "               [--trace-out FILE] [--metrics-out FILE]\n"
                  "  campaign resume --dir DIR [--threads T] [--max-shards N]\n"
                  "                  [--out FILE] [--no-fastpath]\n"
-                 "  campaign status --dir DIR\n"
+                 "                  [--trace-out FILE] [--metrics-out FILE]\n"
+                 "  campaign status --dir DIR [--metrics]\n"
+                 "  obs trace DIR                  summarize DIR/trace.json\n"
+                 "  obs metrics DIR                print DIR metrics as Prometheus text\n"
                  "  place optimize [--error-model input|severe] [--budget-memory B]\n"
                  "                 [--budget-time T] [--ground-truth --dir DIR]\n"
                  "                 [--cases N] [--times M] [--shards S] [--threads T]\n"
-                 "                 [--no-fastpath]\n"
+                 "                 [--no-fastpath] [--trace-out FILE] [--metrics-out FILE]\n"
                  "  place frontier [--error-model M] [--out-prefix PATH]\n"
                  "                 [--ground-truth --dir DIR] [--cases N] [--times M]\n"
                  "                 [--shards S] [--threads T]\n"
@@ -129,6 +146,17 @@ bool has_flag(const std::vector<std::string>& args, const char* flag) {
     return false;
 }
 
+/// Observability plumbing shared by observed commands: arms a
+/// RunRecorder on construction; finish() finalizes it and writes the
+/// --trace-out/--metrics-out artifacts plus, when an artifact directory
+/// is set (campaign runs), manifest.json/metrics.json/trace.json there.
+/// obs::ArgvRecorder with this binary's version stamped in.
+class ObsCli : public obs::ArgvRecorder {
+public:
+    ObsCli(const std::vector<std::string>& args, std::string command)
+        : obs::ArgvRecorder(args, std::move(command), EPEA_VERSION) {}
+};
+
 int cmd_describe(const std::vector<std::string>& args) {
     if (!flags_ok(args, {}, {"--dot"})) return usage();
     const model::SystemModel system = target::make_arrestment_model();
@@ -161,7 +189,8 @@ int cmd_simulate(const std::vector<std::string>& args) {
 }
 
 int cmd_estimate(const std::vector<std::string>& args) {
-    if (!flags_ok(args, {"--cases", "--times", "--out"}, {"--no-fastpath"})) {
+    if (!flags_ok(args, {"--cases", "--times", "--out", "--trace-out", "--metrics-out"},
+                  {"--no-fastpath"})) {
         return usage();
     }
     exp::CampaignOptions options = exp::CampaignOptions::from_env();
@@ -172,10 +201,27 @@ int cmd_estimate(const std::vector<std::string>& args) {
         options.times_per_bit = static_cast<std::size_t>(std::stoul(*t));
     }
     options.use_fastpath = !has_flag(args, "--no-fastpath");
+    fi::FastPathStats fastpath;
+    options.fastpath_out = &fastpath;
+
+    ObsCli obs_cli(args, "estimate");
+    {
+        util::JsonObject config;
+        config.emplace("cases", util::JsonValue(options.case_count));
+        config.emplace("times_per_bit", util::JsonValue(options.times_per_bit));
+        config.emplace("seed", util::JsonValue(options.seed));
+        config.emplace("max_ticks", util::JsonValue(options.max_ticks));
+        obs_cli.manifest().config = std::move(config);
+        obs_cli.manifest().seed_base = options.seed;
+        obs_cli.manifest().fastpath = options.use_fastpath;
+    }
+
     std::fprintf(stderr, "estimating (%zu cases x %zu times/bit)...\n",
                  options.case_count, options.times_per_bit);
     const epic::PermeabilityMatrix pm =
         exp::estimate_arrestment_permeability_parallel(options);
+    fi::add_fastpath_metrics(fastpath);
+    obs_cli.manifest().fastpath_stats = fi::fastpath_stats_json(fastpath);
 
     if (const auto out = flag_value(args, "--out")) {
         std::ofstream file(*out);
@@ -188,7 +234,7 @@ int cmd_estimate(const std::vector<std::string>& args) {
     } else {
         epic::save_matrix_csv(std::cout, pm);
     }
-    return 0;
+    return obs_cli.finish();
 }
 
 int cmd_analyze(const std::vector<std::string>& args) {
@@ -333,7 +379,7 @@ void print_campaign_result(campaign::CampaignExecutor& exec,
 }
 
 int run_and_report(campaign::CampaignExecutor& exec,
-                   const std::vector<std::string>& args) {
+                   const std::vector<std::string>& args, const char* command) {
     campaign::ExecutorOptions opts;  // threads default 0 = auto
     if (const auto t = flag_value(args, "--threads")) {
         opts.threads = static_cast<std::size_t>(std::stoul(*t));
@@ -344,7 +390,18 @@ int run_and_report(campaign::CampaignExecutor& exec,
     opts.echo_events = has_flag(args, "--verbose");
     opts.use_fastpath = !has_flag(args, "--no-fastpath");
 
+    ObsCli obs_cli(args, command);
+    obs_cli.set_artifact_dir(exec.dir());
+    obs_cli.manifest().config =
+        util::JsonValue::parse(exec.spec().to_json()).as_object();
+    obs_cli.manifest().seed_base = exec.spec().seed;
+    obs_cli.manifest().fastpath = opts.use_fastpath;
+    obs_cli.manifest().threads = opts.threads;
+
     const bool complete = exec.run(opts);
+    obs_cli.manifest().fastpath_stats =
+        fi::fastpath_stats_json(exec.fastpath_totals());
+    const int obs_rc = obs_cli.finish();
     std::printf("%s", campaign::render_status(campaign::read_status(exec.dir())).c_str());
     std::printf("phase wall-clock:\n%s", exec.timers().summary().c_str());
     if (exec.adaptive_stopped()) {
@@ -354,10 +411,10 @@ int run_and_report(campaign::CampaignExecutor& exec,
     if (!complete) {
         std::printf("campaign paused; `epea_tool campaign resume --dir %s` continues\n",
                     exec.dir().c_str());
-        return 0;
+        return obs_rc;
     }
     print_campaign_result(exec, args);
-    return 0;
+    return obs_rc;
 }
 
 int cmd_campaign(const std::vector<std::string>& args) {
@@ -369,24 +426,38 @@ int cmd_campaign(const std::vector<std::string>& args) {
 
     try {
         if (sub == "status") {
-            if (!flags_ok(rest, {"--dir"}, {})) return usage();
+            if (!flags_ok(rest, {"--dir"}, {"--metrics"})) return usage();
             const campaign::CampaignStatus status = campaign::read_status(*dir);
+            if (has_flag(rest, "--metrics")) {
+                // Reconstruct the campaign's metric snapshot from its
+                // checkpointed totals — same mapping as a live run, so
+                // the counters agree with a --metrics-out export.
+                fi::add_fastpath_metrics(status.fastpath);
+                auto& reg = obs::MetricsRegistry::global();
+                reg.counter("campaign.shard.runs").add(status.runs);
+                reg.counter("campaign.shards.done").add(status.shards_done);
+                reg.counter("campaign.runs.saved_adaptive").add(status.saved_runs);
+                obs::write_prometheus(std::cout, reg.snapshot());
+                return 0;
+            }
             std::printf("%s", campaign::render_status(status).c_str());
             return 0;
         }
         if (sub == "resume") {
-            if (!flags_ok(rest, {"--dir", "--threads", "--max-shards", "--out"},
+            if (!flags_ok(rest,
+                          {"--dir", "--threads", "--max-shards", "--out",
+                           "--trace-out", "--metrics-out"},
                           {"--verbose", "--no-fastpath"})) {
                 return usage();
             }
             campaign::CampaignExecutor exec = campaign::CampaignExecutor::open(*dir);
-            return run_and_report(exec, rest);
+            return run_and_report(exec, rest, "campaign resume");
         }
         if (sub != "run") return usage();
         if (!flags_ok(rest,
                       {"--dir", "--spec", "--kind", "--cases", "--times", "--shards",
                        "--threads", "--max-shards", "--adaptive", "--min-trials",
-                       "--out"},
+                       "--out", "--trace-out", "--metrics-out"},
                       {"--verbose", "--no-fastpath"})) {
             return usage();
         }
@@ -425,7 +496,7 @@ int cmd_campaign(const std::vector<std::string>& args) {
             }
         }
         campaign::CampaignExecutor exec(*dir, std::move(spec));
-        return run_and_report(exec, rest);
+        return run_and_report(exec, rest, "campaign run");
     } catch (const std::exception& e) {
         std::fprintf(stderr, "campaign: %s\n", e.what());
         return 1;
@@ -474,7 +545,8 @@ int cmd_place(const std::vector<std::string>& args) {
     if (sub != "optimize" && sub != "frontier" && sub != "explain") return usage();
     if (!flags_ok(rest,
                   {"--error-model", "--budget-memory", "--budget-time", "--dir",
-                   "--cases", "--times", "--shards", "--threads", "--out-prefix"},
+                   "--cases", "--times", "--shards", "--threads", "--out-prefix",
+                   "--trace-out", "--metrics-out"},
                   {"--ground-truth", "--verbose", "--no-fastpath"})) {
         return usage();
     }
@@ -487,6 +559,15 @@ int cmd_place(const std::vector<std::string>& args) {
         opt::PlacementOptimizer optimizer =
             make_place_optimizer(rest, model, pm_holder, system);
         const char* mode = pm_holder ? "analytic" : "ground-truth";
+
+        ObsCli obs_cli(rest, "place " + sub);
+        {
+            util::JsonObject config;
+            config.emplace("error_model", util::JsonValue(opt::to_string(model)));
+            config.emplace("mode", util::JsonValue(mode));
+            obs_cli.manifest().config = std::move(config);
+            obs_cli.manifest().fastpath = !has_flag(rest, "--no-fastpath");
+        }
 
         if (sub == "optimize") {
             opt::SearchOptions options;
@@ -506,7 +587,7 @@ int cmd_place(const std::vector<std::string>& args) {
                         "%zu benefit evaluations\n",
                         result.coverage, result.cost.memory, result.cost.time,
                         result.evaluations);
-            return 0;
+            return obs_cli.finish();
         }
 
         const opt::Frontier frontier = optimizer.frontier();
@@ -535,9 +616,86 @@ int cmd_place(const std::vector<std::string>& args) {
             std::fprintf(stderr, "ground truth: %zu campaign(s) executed\n",
                          optimizer.campaigns_executed());
         }
-        return 0;
+        return obs_cli.finish();
     } catch (const std::exception& e) {
         std::fprintf(stderr, "place: %s\n", e.what());
+        return 1;
+    }
+}
+
+/// `obs metrics DIR` prints DIR/metrics.json (or the manifest's metric
+/// snapshot) as Prometheus text; `obs trace DIR` summarizes
+/// DIR/trace.json per span name. Both read artifacts a campaign run left
+/// behind — no live process needed.
+int cmd_obs(const std::vector<std::string>& args) {
+    if (args.size() < 2) return usage();
+    const std::string sub = args[0];
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    if (!flags_ok(rest, {}, {}, 1)) return usage();
+    const std::string& dir = rest[0];
+
+    const auto read_json_file = [](const std::string& path)
+        -> std::optional<util::JsonValue> {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) return std::nullopt;
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        return util::JsonValue::parse(buf.str());
+    };
+
+    try {
+        if (sub == "metrics") {
+            obs::MetricsSnapshot snapshot;
+            if (const auto metrics = read_json_file(dir + "/metrics.json")) {
+                snapshot = obs::metrics_from_json(*metrics);
+            } else if (const auto manifest = read_json_file(dir + "/manifest.json")) {
+                snapshot = obs::metrics_from_json(manifest->at("metrics"));
+            } else {
+                std::fprintf(stderr, "obs: no metrics.json or manifest.json in %s\n",
+                             dir.c_str());
+                return 1;
+            }
+            obs::write_prometheus(std::cout, snapshot);
+            return 0;
+        }
+        if (sub != "trace") return usage();
+        const auto trace = read_json_file(dir + "/trace.json");
+        if (!trace) {
+            std::fprintf(stderr, "obs: cannot read %s/trace.json\n", dir.c_str());
+            return 1;
+        }
+        struct NameAgg {
+            std::uint64_t count = 0;
+            double total_us = 0.0;
+        };
+        std::map<std::string, NameAgg> by_name;
+        std::map<std::int64_t, std::string> track_names;
+        std::size_t spans = 0;
+        for (const util::JsonValue& ev : trace->at("traceEvents").as_array()) {
+            const std::string& ph = ev.at("ph").as_string();
+            if (ph == "M") {
+                track_names[ev.at("tid").as_int()] =
+                    ev.at("args").at("name").as_string();
+            } else if (ph == "X") {
+                ++spans;
+                NameAgg& agg = by_name[ev.at("name").as_string()];
+                ++agg.count;
+                agg.total_us += ev.at("dur").as_double();
+            }
+        }
+        std::printf("%s/trace.json: %zu spans\n", dir.c_str(), spans);
+        for (const auto& [tid, name] : track_names) {
+            std::printf("  track %lld: %s\n", static_cast<long long>(tid),
+                        name.c_str());
+        }
+        for (const auto& [name, agg] : by_name) {
+            std::printf("  %-24s %8llu spans  %12.3f ms total\n", name.c_str(),
+                        static_cast<unsigned long long>(agg.count),
+                        agg.total_us / 1000.0);
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "obs: %s\n", e.what());
         return 1;
     }
 }
@@ -561,6 +719,7 @@ int main(int argc, char** argv) {
     if (command == "inject") return cmd_inject(args);
     if (command == "campaign") return cmd_campaign(args);
     if (command == "place") return cmd_place(args);
+    if (command == "obs") return cmd_obs(args);
     if (command == "version") return cmd_version(args);
     std::fprintf(stderr, "epea_tool: unknown command '%s'\n", command.c_str());
     return usage();

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Lint every metric name registered in the source tree.
+
+Scans C++ sources for `counter("...")` / `gauge("...")` / `histogram("...")`
+call sites and checks each literal against the obs naming contract
+`^[a-z][a-z0-9_.]*$` (the same regex obs::valid_metric_name enforces at
+runtime). Run from the repo root; exits 1 listing offenders.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+NAME_RE = re.compile(r"^[a-z][a-z0-9_.]*$")
+CALL_RE = re.compile(r"\b(?:counter|gauge|histogram)\(\s*\"([^\"]+)\"")
+
+
+def main():
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    bad = []
+    names = set()
+    # tests/ is excluded: it registers deliberately invalid names to
+    # exercise the runtime rejection path.
+    for sub in ("src", "tools", "bench", "examples"):
+        for path in sorted((root / sub).rglob("*.[ch]pp")) if (root / sub).is_dir() else []:
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                for name in CALL_RE.findall(line):
+                    names.add(name)
+                    if not NAME_RE.match(name):
+                        bad.append(f"{path}:{lineno}: bad metric name {name!r}")
+    for offender in bad:
+        print(offender, file=sys.stderr)
+    if bad:
+        return 1
+    print(f"{len(names)} distinct metric names, all match ^[a-z][a-z0-9_.]*$")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

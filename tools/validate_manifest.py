@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validate a run provenance manifest against schemas/manifest.schema.json.
+
+Stdlib-only implementation of the JSON-Schema subset the manifest schema
+uses (type / const / enum / required / properties / additionalProperties /
+propertyNames / pattern / minimum / items), so CI needs no third-party
+validator.
+
+Usage: validate_manifest.py MANIFEST.json [SCHEMA.json]
+Exit code 0 when valid; 1 with one line per violation otherwise.
+"""
+
+import json
+import re
+import sys
+from pathlib import Path
+
+
+def type_ok(value, expected):
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "boolean":
+        return isinstance(value, bool)
+    if expected == "null":
+        return value is None
+    raise ValueError(f"unsupported schema type {expected!r}")
+
+
+def validate(value, schema, path, errors):
+    expected_type = schema.get("type")
+    if expected_type is not None and not type_ok(value, expected_type):
+        errors.append(f"{path}: expected {expected_type}, got {type(value).__name__}")
+        return
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected const {schema['const']!r}, got {value!r}")
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "pattern" in schema and isinstance(value, str):
+        if not re.search(schema["pattern"], value):
+            errors.append(f"{path}: {value!r} does not match {schema['pattern']!r}")
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value} below minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        for key, sub in properties.items():
+            if key in value:
+                validate(value[key], sub, f"{path}.{key}", errors)
+        additional = schema.get("additionalProperties", True)
+        name_schema = schema.get("propertyNames")
+        for key in value:
+            if name_schema is not None:
+                validate(key, name_schema, f"{path}.{key} (name)", errors)
+            if key in properties:
+                continue
+            if additional is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+            elif isinstance(additional, dict):
+                validate(value[key], additional, f"{path}.{key}", errors)
+
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    manifest_path = Path(argv[1])
+    schema_path = (
+        Path(argv[2])
+        if len(argv) == 3
+        else Path(__file__).resolve().parent.parent / "schemas" / "manifest.schema.json"
+    )
+    manifest = json.loads(manifest_path.read_text())
+    schema = json.loads(schema_path.read_text())
+    errors = []
+    validate(manifest, schema, "$", errors)
+    for err in errors:
+        print(err, file=sys.stderr)
+    if errors:
+        return 1
+    print(f"{manifest_path}: valid (schema {manifest.get('schema')})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
