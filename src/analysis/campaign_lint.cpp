@@ -1,0 +1,189 @@
+#include "analysis/campaign_lint.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "campaign/checkpoint.hpp"
+#include "campaign/spec.hpp"
+#include "obs/manifest.hpp"
+#include "util/json.hpp"
+
+namespace epea::analysis {
+namespace {
+
+std::optional<std::string> read_file(const std::filesystem::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+std::string hash_of(const util::JsonValue& config) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(obs::fnv1a64(config.dump())));
+    return buf;
+}
+
+void lint_spec_windows(const campaign::CampaignSpec& spec, const std::string& artifact,
+                       Report& report) {
+    if (spec.case_ids.empty()) {
+        report.add("EPEA-W054", artifact, "case_ids",
+                   "no test cases selected; the campaign executes nothing");
+    }
+    if (spec.times_per_bit == 0) {
+        report.add("EPEA-W054", artifact, "times_per_bit",
+                   "zero injections per bit; every estimate will be 0/0");
+    }
+    if (spec.max_ticks == 0) {
+        report.add("EPEA-W054", artifact, "max_ticks",
+                   "zero-tick runs cannot activate any error");
+    }
+    if ((spec.kind == campaign::CampaignKind::kSevere ||
+         spec.kind == campaign::CampaignKind::kRecovery) &&
+        spec.severe_period == 0) {
+        report.add("EPEA-W054", artifact, "severe_period",
+                   "severe-model campaign with period 0");
+    }
+    if (spec.adaptive.enabled &&
+        (spec.adaptive.half_width <= 0.0 || spec.adaptive.half_width > 0.5)) {
+        report.add("EPEA-W054", artifact, "adaptive.half_width",
+                   "adaptive threshold outside (0, 0.5] never (or instantly) "
+                   "converges");
+    }
+    if (spec.shards == 0) {
+        report.add("EPEA-W054", artifact, "shards",
+                   "zero shards; nothing can be scheduled");
+    }
+}
+
+}  // namespace
+
+Report lint_campaign_dir(const std::string& dir) {
+    Report report;
+    const std::string artifact = "campaign:" + dir;
+
+    const auto spec_text = read_file(std::filesystem::path(dir) / "spec.json");
+    if (!spec_text) {
+        report.add("EPEA-E050", artifact, "spec.json", "missing or unreadable");
+        return report;
+    }
+    campaign::CampaignSpec spec;
+    try {
+        spec = campaign::CampaignSpec::from_json(*spec_text);
+    } catch (const std::exception& e) {
+        report.add("EPEA-E050", artifact, "spec.json", e.what());
+        return report;
+    }
+    lint_spec_windows(spec, artifact, report);
+
+    // -- shard checkpoints vs the spec's round-robin deal ------------------
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("shard-", 0) != 0 || entry.path().extension() != ".json") {
+            continue;
+        }
+        const auto text = read_file(entry.path());
+        if (!text) {
+            report.add("EPEA-W059", artifact, name, "unreadable checkpoint");
+            continue;
+        }
+        campaign::ShardResult shard;
+        try {
+            shard = campaign::ShardResult::from_json(*text);
+        } catch (const std::exception& e) {
+            report.add("EPEA-W059", artifact, name, e.what());
+            continue;
+        }
+        if (campaign::shard_file_name(shard.shard) != name) {
+            report.add("EPEA-E051", artifact, name,
+                       "file name disagrees with the checkpoint's shard index " +
+                           std::to_string(shard.shard));
+            continue;
+        }
+        if (shard.shard >= spec.effective_shards()) {
+            report.add("EPEA-E051", artifact, name,
+                       "shard index " + std::to_string(shard.shard) +
+                           " outside the spec's " +
+                           std::to_string(spec.effective_shards()) +
+                           " effective shard(s)");
+            continue;
+        }
+        if (shard.kind != spec.kind) {
+            report.add("EPEA-E053", artifact, name,
+                       std::string("checkpoint kind '") +
+                           campaign::to_string(shard.kind) +
+                           "' differs from the spec's '" +
+                           campaign::to_string(spec.kind) + "'");
+        }
+        if (shard.case_ids != spec.shard_cases(shard.shard)) {
+            report.add("EPEA-E052", artifact, name,
+                       "case list differs from the spec's round-robin deal; "
+                       "merged counts would not be bit-identical to a "
+                       "sequential run");
+        }
+        if (shard.runs == 0 && spec.times_per_bit > 0 && !shard.case_ids.empty()) {
+            report.add("EPEA-W058", artifact, name,
+                       "completed checkpoint recorded zero injection runs");
+        }
+    }
+
+    // -- manifest.json: self-consistency and staleness vs spec.json --------
+    if (const auto manifest_text =
+            read_file(std::filesystem::path(dir) / "manifest.json")) {
+        try {
+            const util::JsonValue m = util::JsonValue::parse(*manifest_text);
+            const util::JsonValue& config = m.at("config");
+            const std::string stored = m.at("config_hash").as_string();
+            if (stored != hash_of(config)) {
+                report.add("EPEA-E055", artifact, "manifest.json",
+                           "stored config_hash " + stored +
+                               " does not match the manifest's own config (" +
+                               hash_of(config) + ")");
+            } else if (m.at("command").as_string().rfind("campaign", 0) == 0) {
+                const util::JsonValue spec_json = util::JsonValue::parse(*spec_text);
+                if (hash_of(spec_json) != stored) {
+                    report.add("EPEA-E056", artifact, "manifest.json",
+                               "config hash " + stored +
+                                   " was produced under a different "
+                                   "configuration than spec.json (" +
+                                   hash_of(spec_json) +
+                                   "); the manifest is stale");
+                }
+            }
+        } catch (const std::exception& e) {
+            report.add("EPEA-E055", artifact, "manifest.json", e.what());
+        }
+    }
+
+    // -- events.jsonl: every line a JSON object ----------------------------
+    if (std::filesystem::exists(std::filesystem::path(dir) / "events.jsonl")) {
+        std::ifstream journal(std::filesystem::path(dir) / "events.jsonl");
+        std::string line;
+        std::size_t lineno = 0;
+        std::size_t bad = 0;
+        std::size_t first_bad = 0;
+        while (std::getline(journal, line)) {
+            ++lineno;
+            if (line.empty()) continue;
+            try {
+                if (!util::JsonValue::parse(line).is_object()) throw std::runtime_error("not an object");
+            } catch (const std::exception&) {
+                if (bad++ == 0) first_bad = lineno;
+            }
+        }
+        if (bad > 0) {
+            report.add("EPEA-W057", artifact, "events.jsonl",
+                       std::to_string(bad) + " unparsable line(s), first at line " +
+                           std::to_string(first_bad));
+        }
+    }
+    return report;
+}
+
+}  // namespace epea::analysis

@@ -1,0 +1,21 @@
+// Cross-artifact campaign-directory checks (DESIGN.md §11, EPEA-E05x/
+// W05x): a campaign directory is a contract between spec.json, the
+// shard-NNN.json checkpoints, events.jsonl and manifest.json. A resumed
+// run merges whatever checkpoints it finds, so a shard that drifted from
+// the spec's round-robin deal (or a manifest from a different
+// configuration) silently corrupts the merged counts — exactly the class
+// of error static verification catches before any injection runs.
+#pragma once
+
+#include <string>
+
+#include "analysis/finding.hpp"
+
+namespace epea::analysis {
+
+/// Lints `dir` as a campaign directory. Reported artifact is
+/// "campaign:<dir>". Never throws on bad artifacts — every problem
+/// becomes a finding (EPEA-E050 when even spec.json is unusable).
+[[nodiscard]] Report lint_campaign_dir(const std::string& dir);
+
+}  // namespace epea::analysis

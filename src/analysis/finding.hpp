@@ -1,0 +1,83 @@
+// Static-verification findings (DESIGN.md §11). Every rule the lint
+// pass can report carries a stable ID — EPEA-Exxx for errors (artifact
+// is unusable or would silently corrupt downstream analysis) and
+// EPEA-Wxxx for warnings (suspicious but legal) — so CI gates, golden
+// tests and humans can match on the ID rather than on message text.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace epea::analysis {
+
+enum class Severity : std::uint8_t { kWarning, kError };
+
+[[nodiscard]] constexpr const char* to_string(Severity s) noexcept {
+    return s == Severity::kError ? "error" : "warning";
+}
+
+/// One rule of the catalog. The catalog is the single source of truth
+/// for IDs and severities; Report::add looks the severity up by ID so a
+/// finding can never carry a severity that disagrees with its rule.
+struct RuleInfo {
+    const char* id;        ///< "EPEA-E010"
+    Severity severity;
+    const char* title;     ///< short kebab-case name
+    const char* rationale; ///< one-line why-this-matters
+};
+
+/// All known rules, in catalog order (mirrored in DESIGN.md §11).
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalog();
+
+/// Catalog entry for `id`, or nullptr for unknown IDs.
+[[nodiscard]] const RuleInfo* rule_info(std::string_view id);
+
+/// One violation: which rule, on which artifact, at which object.
+struct Finding {
+    std::string rule;      ///< catalog ID, e.g. "EPEA-W043"
+    Severity severity = Severity::kWarning;
+    std::string artifact;  ///< e.g. "model:arrestment", "campaign:/dir"
+    std::string object;    ///< offending signal/pair/file within the artifact
+    std::string message;   ///< human-readable description
+};
+
+/// Accumulates findings across lint prongs; the exit code and both
+/// reporters are derived from it.
+class Report {
+public:
+    /// Appends a finding; severity comes from the catalog. Throws
+    /// std::logic_error on an ID the catalog does not list — rules
+    /// cannot be invented ad hoc.
+    void add(std::string rule, std::string artifact, std::string object,
+             std::string message);
+
+    void merge(Report other);
+
+    [[nodiscard]] const std::vector<Finding>& findings() const noexcept {
+        return findings_;
+    }
+    [[nodiscard]] std::size_t error_count() const noexcept;
+    [[nodiscard]] std::size_t warning_count() const noexcept;
+    [[nodiscard]] bool clean() const noexcept { return findings_.empty(); }
+    [[nodiscard]] bool has(std::string_view rule) const noexcept;
+
+    /// Contract of the lint CLI: 2 when any error-severity finding is
+    /// present (with `strict`, any finding at all), 0 otherwise.
+    [[nodiscard]] int exit_code(bool strict = false) const noexcept;
+
+private:
+    std::vector<Finding> findings_;
+};
+
+/// One line per finding plus a summary line, e.g.
+///   EPEA-E030 error matrix:paper CALC(3,1): permeability 1.500 outside [0,1]
+void write_text(std::ostream& os, const Report& report);
+
+/// {"findings":[{rule,severity,artifact,object,message}...],
+///  "errors":N,"warnings":M} — stable field order (sorted keys).
+void write_json(std::ostream& os, const Report& report);
+
+}  // namespace epea::analysis

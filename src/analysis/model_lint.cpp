@@ -1,0 +1,233 @@
+#include "analysis/model_lint.hpp"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace epea::analysis {
+namespace {
+
+/// Signals reachable forward from `start` (every module input feeds every
+/// output of that module), including `start` itself.
+std::vector<bool> forward_reachable(const model::SystemModel& system,
+                                    model::SignalId start) {
+    std::vector<bool> seen(system.signal_count(), false);
+    std::vector<model::SignalId> stack{start};
+    seen[start.index()] = true;
+    while (!stack.empty()) {
+        const model::SignalId s = stack.back();
+        stack.pop_back();
+        for (const model::PortRef& consumer : system.consumers_of(s)) {
+            for (const model::SignalId out : system.module(consumer.module).outputs) {
+                if (!seen[out.index()]) {
+                    seen[out.index()] = true;
+                    stack.push_back(out);
+                }
+            }
+        }
+    }
+    return seen;
+}
+
+std::optional<model::SignalRole> parse_role(const std::string& s) {
+    if (s == "input") return model::SignalRole::kSystemInput;
+    if (s == "intermediate") return model::SignalRole::kIntermediate;
+    if (s == "output") return model::SignalRole::kSystemOutput;
+    return std::nullopt;
+}
+
+std::optional<model::SignalKind> parse_kind(const std::string& s) {
+    if (s == "continuous") return model::SignalKind::kContinuous;
+    if (s == "monotonic") return model::SignalKind::kMonotonic;
+    if (s == "discrete") return model::SignalKind::kDiscrete;
+    if (s == "boolean") return model::SignalKind::kBoolean;
+    return std::nullopt;
+}
+
+}  // namespace
+
+Report lint_model(const model::SystemModel& system, const std::string& artifact) {
+    Report report;
+    // The build-time invariants, re-checked: models can reach the lint
+    // pass through front ends that bypass add_signal/add_module.
+    for (const std::string& problem : system.validate()) {
+        report.add("EPEA-E012", artifact, "", problem);
+    }
+    for (const model::SignalId s : system.all_signals()) {
+        const model::SignalSpec& spec = system.signal(s);
+        if (spec.role == model::SignalRole::kIntermediate &&
+            system.consumers_of(s).empty()) {
+            report.add("EPEA-W020", artifact, spec.name,
+                       "intermediate signal has no module consumer; errors "
+                       "entering it cannot propagate further (EA placement "
+                       "there only pays off under internal error models)");
+        }
+    }
+    for (const model::ModuleId m : system.all_modules()) {
+        const model::ModuleSpec& spec = system.module(m);
+        bool reaches_output = false;
+        for (const model::SignalId out : spec.outputs) {
+            const std::vector<bool> seen = forward_reachable(system, out);
+            for (const model::SignalId s :
+                 system.signals_with_role(model::SignalRole::kSystemOutput)) {
+                if (seen[s.index()]) {
+                    reaches_output = true;
+                    break;
+                }
+            }
+            if (reaches_output) break;
+        }
+        if (!reaches_output && !spec.outputs.empty()) {
+            report.add("EPEA-W021", artifact, spec.name,
+                       "no system output is reachable from any output of "
+                       "this module; its computation never influences the "
+                       "environment");
+        }
+    }
+    return report;
+}
+
+Report lint_model_text(std::istream& in, const std::string& artifact) {
+    Report report;
+
+    struct SignalRow {
+        std::string name;
+        model::SignalSpec spec;
+    };
+    struct ModuleRow {
+        std::string name;
+        std::vector<std::string> inputs;
+        std::vector<std::string> outputs;
+    };
+    std::vector<SignalRow> signals;
+    std::vector<ModuleRow> modules;
+    std::map<std::string, std::size_t> signal_index;
+    std::map<std::string, std::size_t> module_index;
+    bool parse_errors = false;
+
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#') continue;
+        const std::string at = "line " + std::to_string(lineno);
+        std::istringstream stream(line);
+        std::string keyword;
+        stream >> keyword;
+        if (keyword == "signal") {
+            std::string name;
+            std::string role;
+            std::string kind;
+            unsigned width = 0;
+            if (!(stream >> name >> role >> kind >> width)) {
+                report.add("EPEA-E013", artifact, at, "bad signal line: " + line);
+                parse_errors = true;
+                continue;
+            }
+            const auto r = parse_role(role);
+            const auto k = parse_kind(kind);
+            if (!r || !k) {
+                report.add("EPEA-E013", artifact, at,
+                           "unknown role/kind '" + (r ? kind : role) + "'");
+                parse_errors = true;
+                continue;
+            }
+            if (name.empty()) {
+                report.add("EPEA-E011", artifact, at, "empty signal name");
+                parse_errors = true;
+                continue;
+            }
+            if (signal_index.contains(name)) {
+                report.add("EPEA-E011", artifact, name, "duplicate signal name");
+                parse_errors = true;
+                continue;
+            }
+            if (width == 0 || width > 32) {
+                report.add("EPEA-E011", artifact, name,
+                           "signal width " + std::to_string(width) +
+                               " outside [1,32]");
+                parse_errors = true;
+                continue;
+            }
+            signal_index.emplace(name, signals.size());
+            signals.push_back(SignalRow{
+                name, model::SignalSpec{name, *r, *k,
+                                        static_cast<std::uint8_t>(width)}});
+        } else if (keyword == "module") {
+            std::string name;
+            std::string token;
+            if (!(stream >> name >> token) || token != "in") {
+                report.add("EPEA-E013", artifact, at, "bad module line: " + line);
+                parse_errors = true;
+                continue;
+            }
+            if (module_index.contains(name)) {
+                report.add("EPEA-E011", artifact, name, "duplicate module name");
+                parse_errors = true;
+                continue;
+            }
+            ModuleRow row;
+            row.name = name;
+            bool in_outputs = false;
+            while (stream >> token) {
+                if (!in_outputs && token == "out") {
+                    in_outputs = true;
+                    continue;
+                }
+                if (!signal_index.contains(token)) {
+                    report.add("EPEA-E010", artifact, name,
+                               "port references undeclared signal '" + token +
+                                   "'");
+                    parse_errors = true;
+                    continue;
+                }
+                (in_outputs ? row.outputs : row.inputs).push_back(token);
+            }
+            module_index.emplace(name, modules.size());
+            modules.push_back(std::move(row));
+        } else {
+            report.add("EPEA-E013", artifact, at, "unknown keyword '" + keyword + "'");
+            parse_errors = true;
+        }
+    }
+
+    // Producer invariants over the parsed rows (duplicate producers would
+    // make SystemModel construction throw, so check here first).
+    std::map<std::string, std::string> producer_of;  // signal -> module
+    for (const ModuleRow& m : modules) {
+        if (m.inputs.empty()) {
+            report.add("EPEA-E012", artifact, m.name, "module has no inputs");
+            parse_errors = true;
+        }
+        if (m.outputs.empty()) {
+            report.add("EPEA-E012", artifact, m.name, "module has no outputs");
+            parse_errors = true;
+        }
+        for (const std::string& out : m.outputs) {
+            const auto [it, inserted] = producer_of.emplace(out, m.name);
+            if (!inserted) {
+                report.add("EPEA-E012", artifact, out,
+                           "produced by both '" + it->second + "' and '" +
+                               m.name + "'");
+                parse_errors = true;
+            }
+        }
+    }
+    if (parse_errors) return report;  // cannot assemble a model to go deeper
+
+    model::SystemModel system;
+    for (SignalRow& row : signals) system.add_signal(std::move(row.spec));
+    for (const ModuleRow& m : modules) {
+        model::ModuleSpec spec;
+        spec.name = m.name;
+        for (const std::string& s : m.inputs) spec.inputs.push_back(system.signal_id(s));
+        for (const std::string& s : m.outputs) spec.outputs.push_back(system.signal_id(s));
+        system.add_module(std::move(spec));
+    }
+    report.merge(lint_model(system, artifact));
+    return report;
+}
+
+}  // namespace epea::analysis

@@ -1,0 +1,32 @@
+// Propagation-graph well-formedness (DESIGN.md §11, EPEA-E01x/W02x):
+// structural checks on a built SystemModel, and a lenient line-parser for
+// the serialized text format (epic::save_system_text) that reports every
+// problem as a finding instead of throwing at the first one — so a model
+// exchanged with external tooling can be vetted before construction.
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "analysis/finding.hpp"
+#include "model/system_model.hpp"
+
+namespace epea::analysis {
+
+/// Structural lint of a constructed model: producer/name invariants
+/// (EPEA-E011/E012 — normally enforced at build time, but re-checked so
+/// models assembled by other front ends are covered), dead-end
+/// intermediates (EPEA-W020) and modules from which no system output is
+/// reachable (EPEA-W021). `artifact` labels the findings, e.g.
+/// "model:arrestment".
+[[nodiscard]] Report lint_model(const model::SystemModel& system,
+                                const std::string& artifact);
+
+/// Lint of the line-oriented text format without constructing a
+/// SystemModel: malformed lines (EPEA-E013), dangling signal references
+/// (EPEA-E010), bad names/widths (EPEA-E011) and producer invariants
+/// (EPEA-E012). When the file parses into a valid model, the structural
+/// checks of lint_model run as well.
+[[nodiscard]] Report lint_model_text(std::istream& in, const std::string& artifact);
+
+}  // namespace epea::analysis

@@ -1,0 +1,38 @@
+// Placement validity (DESIGN.md §11, EPEA-E04x/W04x): every placed EA
+// must name a signal the model declares, sit on a signal kind the
+// Table-3 cost model can price, and — to be worth its bytes — on a
+// location an error can actually reach. Frontier artifacts (the
+// committed frontier_placement_input.dot) are checked against the same
+// cost model so a stale export cannot silently drift from the code.
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "analysis/finding.hpp"
+#include "epic/matrix.hpp"
+#include "opt/search.hpp"
+
+namespace epea::analysis {
+
+/// Lints one EA placement (a list of signal names, e.g. the EH/PA/EXT
+/// sets) against the model behind `pm` and its kind-derived costs:
+/// EPEA-E040 unknown signal, EPEA-E041 no cost entry for the signal's
+/// kind, EPEA-W042 EA on a raw system input, EPEA-W043 EA on a signal
+/// with zero error exposure.
+[[nodiscard]] Report lint_placement(const epic::PermeabilityMatrix& pm,
+                                    const std::vector<std::string>& ea_signals,
+                                    const std::string& artifact);
+
+/// Lints a frontier .dot export (opt::write_frontier_dot) against the
+/// candidate set that should have produced it: point count must be
+/// 2^n - 1 (EPEA-E046), the memory axis maximum must equal the full
+/// candidate set's Table-3 cost (EPEA-E044), and each expected reference
+/// label should be present (EPEA-W045).
+[[nodiscard]] Report lint_frontier_dot(std::istream& in,
+                                       const std::vector<opt::Candidate>& candidates,
+                                       const std::vector<std::string>& reference_labels,
+                                       const std::string& artifact);
+
+}  // namespace epea::analysis

@@ -1,0 +1,86 @@
+#include "analysis/source_lint.hpp"
+
+#include <array>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace epea::analysis {
+namespace {
+
+bool word_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Finds `keyword ( "name"` call sites on one line (whitespace allowed
+// around the parenthesis) and records each quoted name. The keyword must
+// start at a word boundary and be immediately callable — a keyword inside
+// a string literal that is *not* followed by `("` (like the ones in this
+// file) never matches.
+void collect_names(const std::string& line, const std::string& keyword,
+                   const std::string& artifact, std::size_t lineno,
+                   std::set<std::string>& names, Report& report) {
+    std::size_t pos = 0;
+    while ((pos = line.find(keyword, pos)) != std::string::npos) {
+        const std::size_t start = pos;
+        pos += keyword.size();
+        if (start > 0 && word_char(line[start - 1])) continue;
+        std::size_t i = pos;
+        while (i < line.size() && line[i] == ' ') ++i;
+        if (i >= line.size() || line[i] != '(') continue;
+        ++i;
+        while (i < line.size() && line[i] == ' ') ++i;
+        if (i >= line.size() || line[i] != '"') continue;
+        const std::size_t name_begin = i + 1;
+        const std::size_t name_end = line.find('"', name_begin);
+        if (name_end == std::string::npos) continue;
+        const std::string name = line.substr(name_begin, name_end - name_begin);
+        names.insert(name);
+        if (!obs::valid_metric_name(name)) {
+            report.add("EPEA-W060", artifact,
+                       "line " + std::to_string(lineno),
+                       "metric name '" + name +
+                           "' violates ^[a-z][a-z0-9_.]*$; "
+                           "obs::MetricRegistry will reject it at runtime");
+        }
+        pos = name_end;
+    }
+}
+
+}  // namespace
+
+Report lint_metric_names(const std::string& root, std::size_t* names_seen) {
+    static const std::array<std::string, 3> kCalls = {"counter", "gauge",
+                                                      "histogram"};
+    Report report;
+    std::set<std::string> names;
+    for (const char* sub : {"src", "tools", "bench", "examples"}) {
+        const std::filesystem::path base = std::filesystem::path(root) / sub;
+        std::error_code ec;
+        if (!std::filesystem::is_directory(base, ec)) continue;
+        for (const auto& entry :
+             std::filesystem::recursive_directory_iterator(base, ec)) {
+            const std::string ext = entry.path().extension().string();
+            if (ext != ".cpp" && ext != ".hpp") continue;
+            const std::string artifact =
+                std::filesystem::relative(entry.path(), root).string();
+            std::ifstream in(entry.path());
+            std::string line;
+            std::size_t lineno = 0;
+            while (std::getline(in, line)) {
+                ++lineno;
+                for (const std::string& call : kCalls) {
+                    collect_names(line, call, artifact, lineno, names, report);
+                }
+            }
+        }
+    }
+    if (names_seen != nullptr) *names_seen = names.size();
+    return report;
+}
+
+}  // namespace epea::analysis

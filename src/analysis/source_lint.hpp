@@ -1,0 +1,24 @@
+// Source-tree checks (DESIGN.md §11, EPEA-W06x): static rules over the
+// repository's own sources rather than over model artifacts. Currently
+// one rule, promoted from tools/lint_metric_names.py: every metric name
+// literal passed to a counter/gauge/histogram registration call must
+// match the obs naming contract obs::valid_metric_name enforces at
+// runtime, so a bad name fails review instead of throwing on first use.
+#pragma once
+
+#include <string>
+
+#include "analysis/finding.hpp"
+
+namespace epea::analysis {
+
+/// Scans `root`/{src,tools,bench,examples} for metric registration call
+/// sites and reports EPEA-W060 for every literal name that violates
+/// ^[a-z][a-z0-9_.]*$. tests/ is deliberately not scanned: it registers
+/// invalid names to exercise the runtime rejection path.
+/// `names_seen`, when non-null, receives the number of distinct literal
+/// names encountered (for "N names, all clean" reporting).
+[[nodiscard]] Report lint_metric_names(const std::string& root,
+                                       std::size_t* names_seen = nullptr);
+
+}  // namespace epea::analysis

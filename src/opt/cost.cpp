@@ -33,7 +33,7 @@ CostModel CostModel::from_signal_kinds(const model::SystemModel& system,
     CostModel cm;
     for (const model::SignalId id : signals) {
         const model::SignalSpec& spec = system.signal(id);
-        ea::EaType type;
+        ea::EaType type = ea::EaType::kContinuous;
         switch (spec.kind) {
             case model::SignalKind::kContinuous: type = ea::EaType::kContinuous; break;
             case model::SignalKind::kMonotonic: type = ea::EaType::kMonotonic; break;

@@ -10,13 +10,6 @@ namespace {
 
 constexpr double kEps = 1e-12;
 
-PlacementCost cost_of_indices(const std::vector<Candidate>& candidates,
-                              const std::vector<std::size_t>& subset) {
-    PlacementCost total;
-    for (const std::size_t i : subset) total = total + candidates.at(i).cost;
-    return total;
-}
-
 }  // namespace
 
 std::vector<std::string> SearchResult::selected_names(

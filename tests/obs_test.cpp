@@ -191,9 +191,9 @@ TEST(ObsMetricsTest, HistogramBucketEdgesAreInclusive) {
 
 TEST(ObsMetricsTest, RegistryRejectsKindAndBoundMismatch) {
     auto& reg = MetricsRegistry::global();
-    reg.counter("test.kind_clash");
+    (void)reg.counter("test.kind_clash");
     EXPECT_THROW((void)reg.gauge("test.kind_clash"), std::invalid_argument);
-    reg.histogram("test.bounds_clash", {1.0, 2.0});
+    (void)reg.histogram("test.bounds_clash", {1.0, 2.0});
     EXPECT_THROW((void)reg.histogram("test.bounds_clash", {1.0, 3.0}),
                  std::invalid_argument);
 }

@@ -1,0 +1,43 @@
+# Cross-artifact lint over a real campaign directory: run a tiny
+# campaign, verify `lint campaign` passes on the genuine artifacts, then
+# corrupt them and verify the stale-manifest and shard-range rules fire.
+# Inputs: TOOL (epea_tool path), WORKDIR.
+set(DIR ${WORKDIR}/cli_lint_campaign)
+file(REMOVE_RECURSE ${DIR})
+
+execute_process(COMMAND ${TOOL} campaign run --dir ${DIR}
+                        --cases 2 --times 1 --shards 2
+                OUTPUT_QUIET RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "campaign run failed: ${rc}")
+endif()
+
+function(expect_lint expected_rc expected_rule)
+  execute_process(COMMAND ${TOOL} lint campaign --campaign-dir ${DIR}
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+  if(NOT rc EQUAL ${expected_rc})
+    message(FATAL_ERROR "lint campaign: exit ${rc}, expected ${expected_rc}\n${out}${err}")
+  endif()
+  if(NOT expected_rule STREQUAL "" AND NOT out MATCHES "${expected_rule}")
+    message(FATAL_ERROR "lint campaign: expected ${expected_rule} in:\n${out}")
+  endif()
+endfunction()
+
+# The genuine run lints clean.
+expect_lint(0 "0 error")
+
+# A retroactively edited spec no longer matches the manifest's config
+# hash -> EPEA-E056 (manifest-stale).
+file(READ ${DIR}/spec.json spec)
+string(REPLACE "\"times_per_bit\":1" "\"times_per_bit\":7" spec2 "${spec}")
+if(spec2 STREQUAL "${spec}")
+  message(FATAL_ERROR "spec.json tamper had no effect; format changed?\n${spec}")
+endif()
+file(WRITE ${DIR}/spec.json "${spec2}")
+expect_lint(2 "EPEA-E056")
+file(WRITE ${DIR}/spec.json "${spec}")
+expect_lint(0 "")
+
+# A shard checkpoint renamed out of range -> EPEA-E051.
+file(RENAME ${DIR}/shard-000.json ${DIR}/shard-009.json)
+expect_lint(2 "EPEA-E051")

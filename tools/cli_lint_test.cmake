@@ -1,0 +1,41 @@
+# Golden tests for the lint CLI: the committed artifacts must lint clean
+# (exit 0), and each broken fixture must exit 2 reporting exactly its
+# expected rule ID. Inputs: TOOL (epea_tool path), SRCDIR (repo root).
+
+function(expect_lint expected_rc expected_rule)
+  execute_process(COMMAND ${TOOL} lint ${ARGN}
+                  WORKING_DIRECTORY ${SRCDIR}
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+  if(NOT rc EQUAL ${expected_rc})
+    message(FATAL_ERROR "lint ${ARGN}: exit ${rc}, expected ${expected_rc}\n${out}${err}")
+  endif()
+  if(NOT expected_rule STREQUAL "" AND NOT out MATCHES "${expected_rule}")
+    message(FATAL_ERROR "lint ${ARGN}: expected ${expected_rule} in:\n${out}")
+  endif()
+endfunction()
+
+# The committed artifacts (model, paper matrix, reference placements,
+# frontier_placement_input.dot, source tree) are clean: warnings allowed,
+# no errors.
+expect_lint(0 "" all)
+expect_lint(0 "\"errors\":0" all --json)
+expect_lint(0 "EPEA-W020" rules)
+expect_lint(0 "" metrics)
+
+# --strict promotes the known warnings (W020 dead-end intermediate) to a
+# failing exit, proving the flag reaches the exit-code contract.
+expect_lint(2 "EPEA-W020" all --strict)
+
+# Each golden broken fixture triggers exactly its rule.
+expect_lint(2 "EPEA-E010" model --model tests/fixtures/broken_model.sys)
+expect_lint(2 "EPEA-E030" matrix --matrix tests/fixtures/broken_matrix.csv)
+expect_lint(2 "EPEA-E040" placement --ea i,no_such_signal)
+expect_lint(2 "EPEA-E044" placement --frontier-dot tests/fixtures/broken_frontier.dot)
+expect_lint(2 "EPEA-E046" placement --frontier-dot tests/fixtures/broken_frontier.dot)
+
+# Unknown lint targets fail loudly with the usage text.
+execute_process(COMMAND ${TOOL} lint frobnicate RESULT_VARIABLE rc
+                OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "lint frobnicate unexpectedly succeeded")
+endif()

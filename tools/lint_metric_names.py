@@ -1,13 +1,19 @@
 #!/usr/bin/env python3
 """Lint every metric name registered in the source tree.
 
-Scans C++ sources for `counter("...")` / `gauge("...")` / `histogram("...")`
-call sites and checks each literal against the obs naming contract
-`^[a-z][a-z0-9_.]*$` (the same regex obs::valid_metric_name enforces at
-runtime). Run from the repo root; exits 1 listing offenders.
+Thin wrapper: the check itself is rule EPEA-W060 of the C++ static
+verification layer (`epea_tool lint metrics`, src/analysis/source_lint).
+This script locates an epea_tool binary ($EPEA_TOOL, then the usual
+build directory) and delegates, passing --strict so warnings fail the
+gate. When no binary is available (e.g. linting before the first build)
+it falls back to the original pure-python scan, which implements the
+same contract: every `counter("...")` / `gauge("...")` / `histogram("...")`
+literal must match ^[a-z][a-z0-9_.]*$. Exits 1 listing offenders.
 """
 
+import os
 import re
+import subprocess
 import sys
 from pathlib import Path
 
@@ -15,8 +21,16 @@ NAME_RE = re.compile(r"^[a-z][a-z0-9_.]*$")
 CALL_RE = re.compile(r"\b(?:counter|gauge|histogram)\(\s*\"([^\"]+)\"")
 
 
-def main():
-    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+def find_tool(root: Path):
+    candidates = [os.environ.get("EPEA_TOOL")]
+    candidates += [root / "build" / "tools" / "epea_tool"]
+    for candidate in candidates:
+        if candidate and Path(candidate).is_file() and os.access(candidate, os.X_OK):
+            return str(candidate)
+    return None
+
+
+def python_fallback(root: Path) -> int:
     bad = []
     names = set()
     # tests/ is excluded: it registers deliberately invalid names to
@@ -34,6 +48,16 @@ def main():
         return 1
     print(f"{len(names)} distinct metric names, all match ^[a-z][a-z0-9_.]*$")
     return 0
+
+
+def main():
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    tool = find_tool(root)
+    if tool is None:
+        return python_fallback(root)
+    result = subprocess.run(
+        [tool, "lint", "metrics", "--src", str(root), "--strict"])
+    return 1 if result.returncode != 0 else 0
 
 
 if __name__ == "__main__":
