@@ -13,6 +13,13 @@
 // (best of EPEA_OBS_REPS repetitions each), writing wall times, the
 // overhead percentage, span counts and the run's metric snapshot to PATH
 // (committed as BENCH_obs.json).
+//
+// With --analytic-json=PATH it benchmarks the analytic subsystem: the
+// propagation engine's query latency over all ordered source→sink pairs
+// on the paper matrix (cold = fixpoint solves, warm = cached reach
+// profiles), and the delta-campaign planner's savings for a one-module
+// edit — planned-run arithmetic plus measured wall time of a full vs a
+// CALC-filtered estimate (committed as BENCH_analytic.json).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -23,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "analytic/engine.hpp"
 #include "ea/calibrate.hpp"
 #include "epic/impact.hpp"
 #include "epic/measures.hpp"
@@ -368,6 +376,132 @@ int write_obs_json(const std::string& path) {
     return 0;
 }
 
+// ------------------------------------------------- --analytic-json mode
+
+/// Injection runs an estimator spends on one module: one per input bit
+/// per moment per case (the planner's runs-saved arithmetic).
+std::uint64_t planned_module_runs(const model::SystemModel& system,
+                                  model::ModuleId m, std::size_t cases,
+                                  std::size_t times_per_bit) {
+    std::uint64_t bits = 0;
+    for (const model::SignalId in : system.module(m).inputs) {
+        bits += system.signal(in).width;
+    }
+    return bits * cases * times_per_bit;
+}
+
+/// Analytic query latency + delta-plan savings; writes the comparison to
+/// `path` and returns a process exit code.
+int write_analytic_json(const std::string& path) {
+    const model::SystemModel system = target::make_arrestment_model();
+    const epic::PermeabilityMatrix pm = exp::paper_matrix(system);
+    const std::vector<model::SignalId> signals = system.all_signals();
+
+    // Cold sweep: every ordered pair; each new source pays one fixpoint
+    // solve. Warm sweep: the same pairs again, all served from the
+    // per-source reach cache.
+    const analytic::Engine engine(pm);
+    std::size_t pairs = 0;
+    double checksum = 0.0;
+    const auto sweep = [&] {
+        pairs = 0;
+        for (const model::SignalId s : signals) {
+            for (const model::SignalId t : signals) {
+                if (s == t) continue;
+                checksum += engine.permeability(s, t).point;
+                ++pairs;
+            }
+        }
+    };
+    const auto c0 = std::chrono::steady_clock::now();
+    sweep();
+    const auto c1 = std::chrono::steady_clock::now();
+    const std::size_t solves = engine.solves();
+    constexpr std::size_t kWarmReps = 50;
+    for (std::size_t r = 0; r < kWarmReps; ++r) sweep();
+    const auto c2 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(checksum);
+    const double cold_s = std::chrono::duration<double>(c1 - c0).count();
+    const double warm_s =
+        std::chrono::duration<double>(c2 - c1).count() / kWarmReps;
+    std::fprintf(stderr,
+                 "analytic bench: %zu pairs, %zu solves, cold %.1f us/query, "
+                 "warm %.3f us/query\n",
+                 pairs, solves, 1e6 * cold_s / static_cast<double>(pairs),
+                 1e6 * warm_s / static_cast<double>(pairs));
+
+    // Delta-plan savings for the canonical one-module edit (CALC stale):
+    // the planner's run arithmetic, plus the measured wall time of the
+    // full estimate vs the module-filtered one it replaces.
+    const exp::CampaignOptions options = exp::CampaignOptions::from_env();
+    std::uint64_t full_runs = 0;
+    for (const model::ModuleId m : system.all_modules()) {
+        full_runs += planned_module_runs(system, m, options.case_count,
+                                         options.times_per_bit);
+    }
+    const std::uint64_t delta_runs =
+        planned_module_runs(system, *system.find_module("CALC"),
+                            options.case_count, options.times_per_bit);
+
+    target::ArrestmentSystem full_sys;
+    const auto f0 = std::chrono::steady_clock::now();
+    const epic::PermeabilityMatrix full =
+        exp::estimate_arrestment_permeability(full_sys, options);
+    const auto f1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(&full);
+    exp::CampaignOptions delta_options = options;
+    delta_options.module_filter = {"CALC"};
+    target::ArrestmentSystem delta_sys;
+    const auto d0 = std::chrono::steady_clock::now();
+    const epic::PermeabilityMatrix delta =
+        exp::estimate_arrestment_permeability(delta_sys, delta_options);
+    const auto d1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(&delta);
+    const double full_s = std::chrono::duration<double>(f1 - f0).count();
+    const double delta_s = std::chrono::duration<double>(d1 - d0).count();
+    const double saved_pct =
+        100.0 * static_cast<double>(full_runs - delta_runs) /
+        static_cast<double>(full_runs);
+    std::fprintf(stderr,
+                 "  delta plan (CALC edit): %llu of %llu runs (%.1f%% saved), "
+                 "full %.2fs vs delta %.2fs\n",
+                 static_cast<unsigned long long>(delta_runs),
+                 static_cast<unsigned long long>(full_runs), saved_pct, full_s,
+                 delta_s);
+
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"analytic\",\n");
+    std::fprintf(f, "  \"query\": {\n");
+    std::fprintf(f, "    \"pairs\": %zu,\n    \"solves\": %zu,\n", pairs, solves);
+    std::fprintf(f, "    \"cold_wall_s\": %.6f,\n    \"warm_wall_s\": %.6f,\n",
+                 cold_s, warm_s);
+    std::fprintf(f, "    \"cold_us_per_query\": %.3f,\n",
+                 1e6 * cold_s / static_cast<double>(pairs));
+    std::fprintf(f, "    \"warm_us_per_query\": %.3f\n  },\n",
+                 1e6 * warm_s / static_cast<double>(pairs));
+    std::fprintf(f, "  \"delta\": {\n");
+    std::fprintf(f, "    \"edited_module\": \"CALC\",\n");
+    std::fprintf(f, "    \"cases\": %zu,\n    \"times_per_bit\": %zu,\n",
+                 options.case_count, options.times_per_bit);
+    std::fprintf(f, "    \"full_runs\": %llu,\n    \"delta_runs\": %llu,\n",
+                 static_cast<unsigned long long>(full_runs),
+                 static_cast<unsigned long long>(delta_runs));
+    std::fprintf(f, "    \"runs_saved\": %llu,\n    \"saved_pct\": %.2f,\n",
+                 static_cast<unsigned long long>(full_runs - delta_runs),
+                 saved_pct);
+    std::fprintf(f, "    \"full_wall_s\": %.6f,\n    \"delta_wall_s\": %.6f,\n",
+                 full_s, delta_s);
+    std::fprintf(f, "    \"speedup\": %.2f\n  }\n}\n",
+                 delta_s > 0 ? full_s / delta_s : 0.0);
+    std::fclose(f);
+    std::fprintf(stderr, "  -> %s\n", path.c_str());
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -380,6 +514,10 @@ int main(int argc, char** argv) {
         const std::string obs_prefix = "--metrics-json=";
         if (arg.rfind(obs_prefix, 0) == 0) {
             return write_obs_json(arg.substr(obs_prefix.size()));
+        }
+        const std::string analytic_prefix = "--analytic-json=";
+        if (arg.rfind(analytic_prefix, 0) == 0) {
+            return write_analytic_json(arg.substr(analytic_prefix.size()));
         }
     }
     benchmark::Initialize(&argc, argv);

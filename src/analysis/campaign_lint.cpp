@@ -1,5 +1,7 @@
 #include "analysis/campaign_lint.hpp"
 
+#include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -61,7 +63,110 @@ void lint_spec_windows(const campaign::CampaignSpec& spec, const std::string& ar
     }
 }
 
+// Key grammar of opt::SubsetCache::key():
+//   <model>|c<cases>|t<times>|s<seed>[|p<period>]|<sig>[+<sig>...]
+bool subset_cache_key_ok(const std::string& key) {
+    std::size_t pos = 0;
+    if (key.rfind("input|", 0) == 0) {
+        pos = 6;
+    } else if (key.rfind("severe|", 0) == 0) {
+        pos = 7;
+    } else {
+        return false;
+    }
+    for (const char prefix : {'c', 't', 's'}) {
+        if (pos >= key.size() || key[pos] != prefix) return false;
+        std::size_t digits = 0;
+        ++pos;
+        while (pos < key.size() && std::isdigit(static_cast<unsigned char>(key[pos]))) {
+            ++pos;
+            ++digits;
+        }
+        if (digits == 0 || pos >= key.size() || key[pos] != '|') return false;
+        ++pos;
+    }
+    if (pos < key.size() && key[pos] == 'p') {
+        std::size_t probe = pos + 1;
+        std::size_t digits = 0;
+        while (probe < key.size() &&
+               std::isdigit(static_cast<unsigned char>(key[probe]))) {
+            ++probe;
+            ++digits;
+        }
+        if (digits > 0 && probe < key.size() && key[probe] == '|') pos = probe + 1;
+    }
+    return pos < key.size();  // non-empty canonical subset part
+}
+
+void lint_subset_cache_entry(const std::string& key, const util::JsonValue& value,
+                             const std::string& artifact, Report& report) {
+    double coverage = 0.0;
+    std::int64_t detected = 0;
+    std::int64_t active = 0;
+    std::int64_t runs = 0;
+    try {
+        coverage = value.at("coverage").as_double();
+        detected = value.at("detected").as_int();
+        active = value.at("active").as_int();
+        runs = value.at("runs").as_int();
+    } catch (const std::exception& e) {
+        report.add("EPEA-W061", artifact, key, e.what());
+        return;
+    }
+    if (!subset_cache_key_ok(key)) {
+        report.add("EPEA-W061", artifact, key,
+                   "key does not follow "
+                   "<model>|c<cases>|t<times>|s<seed>[|p<period>]|<signals>");
+    }
+    if (detected < 0 || active < 0 || runs < 0) {
+        report.add("EPEA-W061", artifact, key, "negative count");
+        return;
+    }
+    if (detected > active) {
+        report.add("EPEA-W061", artifact, key,
+                   "detected " + std::to_string(detected) + " exceeds active " +
+                       std::to_string(active));
+        return;
+    }
+    const double derived =
+        active ? static_cast<double>(detected) / static_cast<double>(active) : 0.0;
+    if (coverage < 0.0 || coverage > 1.0 ||
+        std::abs(coverage - derived) > 1e-9) {
+        report.add("EPEA-W061", artifact, key,
+                   "coverage " + std::to_string(coverage) +
+                       " disagrees with detected/active (" +
+                       std::to_string(derived) + ")");
+    }
+}
+
 }  // namespace
+
+Report lint_subset_cache_file(const std::string& path) {
+    Report report;
+    const std::string artifact = "subset-cache:" + path;
+    if (!std::filesystem::exists(path)) return report;  // optional artifact
+    const auto text = read_file(path);
+    if (!text) {
+        report.add("EPEA-W061", artifact, "subset_cache.json", "unreadable");
+        return report;
+    }
+    util::JsonValue root;
+    try {
+        root = util::JsonValue::parse(*text);
+        if (root.at("version").as_int() != 1) {
+            report.add("EPEA-W061", artifact, "version",
+                       "unsupported version " +
+                           std::to_string(root.at("version").as_int()));
+            return report;
+        }
+        for (const auto& [key, value] : root.at("entries").as_object()) {
+            lint_subset_cache_entry(key, value, artifact, report);
+        }
+    } catch (const std::exception& e) {
+        report.add("EPEA-W061", artifact, "subset_cache.json", e.what());
+    }
+    return report;
+}
 
 Report lint_campaign_dir(const std::string& dir) {
     Report report;
@@ -160,6 +265,10 @@ Report lint_campaign_dir(const std::string& dir) {
             report.add("EPEA-E055", artifact, "manifest.json", e.what());
         }
     }
+
+    // -- subset_cache.json: delta-planner / optimizer cache input ----------
+    report.merge(lint_subset_cache_file(
+        (std::filesystem::path(dir) / "subset_cache.json").string()));
 
     // -- events.jsonl: every line a JSON object ----------------------------
     if (std::filesystem::exists(std::filesystem::path(dir) / "events.jsonl")) {

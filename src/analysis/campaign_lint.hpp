@@ -18,4 +18,12 @@ namespace epea::analysis {
 /// becomes a finding (EPEA-E050 when even spec.json is unusable).
 [[nodiscard]] Report lint_campaign_dir(const std::string& dir);
 
+/// Lints a subset_cache.json file (EPEA-W061): version, entry shape, key
+/// format and count consistency. The delta planner runs this before it
+/// reuses any cached ground truth; lint_campaign_dir applies it to a
+/// subset_cache.json found next to the campaign artifacts. Reported
+/// artifact is "subset-cache:<path>". A missing file is clean (the cache
+/// is optional); a malformed one is not.
+[[nodiscard]] Report lint_subset_cache_file(const std::string& path);
+
 }  // namespace epea::analysis

@@ -97,6 +97,11 @@ const std::vector<RuleInfo>& rule_catalog() {
         {"EPEA-W060", Severity::kWarning, "bad-metric-name",
          "a metric registered in the source tree violates the obs naming "
          "contract ^[a-z][a-z0-9_.]*$"},
+        // -- caches ---------------------------------------------------------
+        {"EPEA-W061", Severity::kWarning, "bad-subset-cache",
+         "subset_cache.json is malformed or holds inconsistent entries; "
+         "the ground-truth optimizer and the delta planner would silently "
+         "re-measure or mis-reuse coverage"},
     };
     return kCatalog;
 }

@@ -1,0 +1,52 @@
+#include "analytic/benefit.hpp"
+
+#include "exp/arrestment_experiments.hpp"
+#include "opt/cost.hpp"
+
+namespace epea::analytic {
+
+std::vector<std::vector<double>> detection_matrix(
+    const Engine& engine, opt::ErrorModel model,
+    const std::vector<model::SignalId>& candidates) {
+    const model::SystemModel& system = engine.system();
+    const std::vector<model::SignalId> sites =
+        model == opt::ErrorModel::kInput
+            ? system.signals_with_role(model::SignalRole::kSystemInput)
+            : system.all_signals();
+    std::vector<std::vector<double>> detect;
+    detect.reserve(sites.size());
+    for (const model::SignalId site : sites) {
+        std::vector<double>& row = detect.emplace_back();
+        row.reserve(candidates.size());
+        for (const model::SignalId cand : candidates) {
+            row.push_back(engine.permeability(site, cand).point);
+        }
+    }
+    return detect;
+}
+
+opt::PlacementOptimizer make_engine_optimizer(
+    const epic::PermeabilityMatrix& pm, opt::ErrorModel model,
+    const std::vector<model::SignalId>& candidates, const EngineOptions& options) {
+    const model::SystemModel& system = pm.system();
+    const opt::CostModel costs = opt::CostModel::from_signal_kinds(system, candidates);
+    std::vector<model::SignalId> costed;
+    for (const model::SignalId id : candidates) {
+        if (costs.has(system.signal_name(id))) costed.push_back(id);
+    }
+    Engine engine(pm, options);
+    return opt::PlacementOptimizer::with_detection(
+        system, costed, detection_matrix(engine, model, costed));
+}
+
+opt::PlacementOptimizer make_engine_optimizer(const epic::PermeabilityMatrix& pm,
+                                              opt::ErrorModel model,
+                                              const EngineOptions& options) {
+    std::vector<model::SignalId> ids;
+    for (const auto& [ea_name, signal_name] : exp::arrestment_ea_signals()) {
+        ids.push_back(pm.system().signal_id(signal_name));
+    }
+    return make_engine_optimizer(pm, model, ids, options);
+}
+
+}  // namespace epea::analytic

@@ -1,0 +1,76 @@
+#include "analytic/context.hpp"
+
+#include <sstream>
+
+#include "obs/manifest.hpp"
+
+namespace epea::analytic {
+
+namespace {
+
+void describe_signal(std::ostream& os, const model::SystemModel& system,
+                     model::SignalId s) {
+    const model::SignalSpec& spec = system.signal(s);
+    os << spec.name << ':' << to_string(spec.role) << ':' << to_string(spec.kind)
+       << ':' << static_cast<unsigned>(spec.width);
+}
+
+std::string hex64(std::uint64_t h) {
+    std::ostringstream os;
+    os << std::hex;
+    for (int shift = 60; shift >= 0; shift -= 4) {
+        os << ((h >> shift) & 0xF);
+    }
+    return os.str();
+}
+
+}  // namespace
+
+std::string module_context(const model::SystemModel& system, model::ModuleId m) {
+    const model::ModuleSpec& spec = system.module(m);
+    std::ostringstream os;
+    os << "module " << spec.name << '\n';
+    for (std::size_t p = 0; p < spec.inputs.size(); ++p) {
+        os << "in " << p << ' ';
+        describe_signal(os, system, spec.inputs[p]);
+        os << " from ";
+        if (auto producer = system.producer_of(spec.inputs[p])) {
+            os << system.module_name(producer->module) << '.' << producer->port;
+        } else {
+            os << "env";
+        }
+        os << '\n';
+    }
+    for (std::size_t p = 0; p < spec.outputs.size(); ++p) {
+        os << "out " << p << ' ';
+        describe_signal(os, system, spec.outputs[p]);
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string module_context_hash(const model::SystemModel& system, model::ModuleId m) {
+    return hex64(obs::fnv1a64(module_context(system, m)));
+}
+
+std::map<std::string, std::string> context_hashes(const model::SystemModel& system) {
+    std::map<std::string, std::string> hashes;
+    for (model::ModuleId m : system.all_modules()) {
+        hashes[system.module_name(m)] = module_context_hash(system, m);
+    }
+    return hashes;
+}
+
+std::string model_hash(const model::SystemModel& system) {
+    std::ostringstream os;
+    for (model::SignalId s : system.all_signals()) {
+        describe_signal(os, system, s);
+        os << '\n';
+    }
+    for (model::ModuleId m : system.all_modules()) {
+        os << module_context(system, m);
+    }
+    return hex64(obs::fnv1a64(os.str()));
+}
+
+}  // namespace epea::analytic

@@ -1,0 +1,40 @@
+// Per-module I/O context fingerprints for the delta-campaign planner.
+//
+// A module's permeability matrix rows stay valid across a model edit as
+// long as its *I/O context* is unchanged: the module name, its port
+// signals (name / kind / width, in port order) and where each input
+// comes from (producing module.port, or the environment). The context
+// hash canonicalises exactly that — no more (so unrelated edits don't
+// invalidate the module) and no less (so any edit that can change the
+// module's measured rows does).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "model/system_model.hpp"
+
+namespace epea::analytic {
+
+/// Canonical human-readable context description of one module. Stable
+/// across process runs; hashed with obs::fnv1a64 for compact comparison.
+[[nodiscard]] std::string module_context(const model::SystemModel& system,
+                                         model::ModuleId m);
+
+/// FNV-1a 64-bit hash of module_context(), rendered as fixed-width hex.
+[[nodiscard]] std::string module_context_hash(const model::SystemModel& system,
+                                              model::ModuleId m);
+
+/// Context hash of every module, keyed by module name (names are unique
+/// per model, and name-keying lets two different SystemModel instances
+/// be diffed).
+[[nodiscard]] std::map<std::string, std::string> context_hashes(
+    const model::SystemModel& system);
+
+/// Whole-model fingerprint: hash over all module context strings plus
+/// the signal table; equal hashes mean the delta planner will emit an
+/// empty plan.
+[[nodiscard]] std::string model_hash(const model::SystemModel& system);
+
+}  // namespace epea::analytic

@@ -1,0 +1,144 @@
+#include "analytic/delta.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analysis/campaign_lint.hpp"
+#include "analytic/context.hpp"
+#include "obs/manifest.hpp"
+
+namespace epea::analytic {
+
+std::vector<std::string> DeltaPlan::stale_modules() const {
+    std::vector<std::string> stale = changed;
+    stale.insert(stale.end(), added.begin(), added.end());
+    std::sort(stale.begin(), stale.end());
+    return stale;
+}
+
+util::JsonValue DeltaPlan::to_json() const {
+    const auto names = [](const std::vector<std::string>& v) {
+        util::JsonArray a;
+        for (const auto& n : v) a.emplace_back(n);
+        return util::JsonValue(std::move(a));
+    };
+    util::JsonObject o;
+    o.emplace("unchanged", names(unchanged));
+    o.emplace("changed", names(changed));
+    o.emplace("added", names(added));
+    o.emplace("removed", names(removed));
+    o.emplace("empty", util::JsonValue(empty()));
+    return util::JsonValue(std::move(o));
+}
+
+DeltaPlan diff_models(const model::SystemModel& old_model,
+                      const model::SystemModel& new_model) {
+    const std::map<std::string, std::string> old_hashes = context_hashes(old_model);
+    const std::map<std::string, std::string> new_hashes = context_hashes(new_model);
+    DeltaPlan plan;
+    for (const auto& [name, hash] : new_hashes) {
+        const auto it = old_hashes.find(name);
+        if (it == old_hashes.end()) {
+            plan.added.push_back(name);
+        } else if (it->second != hash) {
+            plan.changed.push_back(name);
+        } else {
+            plan.unchanged.push_back(name);
+        }
+    }
+    for (const auto& [name, hash] : old_hashes) {
+        if (!new_hashes.count(name)) plan.removed.push_back(name);
+    }
+    return plan;
+}
+
+ProvenanceCheck check_manifest(const std::string& manifest_path,
+                               const campaign::CampaignSpec& spec) {
+    ProvenanceCheck check;
+    obs::Manifest stored;
+    try {
+        stored = obs::load_manifest(manifest_path);
+    } catch (const std::exception& e) {
+        check.ok = false;
+        check.notes.push_back(std::string("manifest unreadable: ") + e.what());
+        return check;
+    }
+    obs::Manifest expected;
+    expected.config = util::JsonValue::parse(spec.to_json()).as_object();
+    if (stored.config_hash() != expected.config_hash()) {
+        check.ok = false;
+        check.notes.push_back("config hash " + stored.config_hash() +
+                              " differs from the spec's " + expected.config_hash() +
+                              "; cached matrices are stale, full re-run required");
+    }
+    return check;
+}
+
+ProvenanceCheck check_subset_cache(const std::string& path) {
+    ProvenanceCheck check;
+    const analysis::Report report = analysis::lint_subset_cache_file(path);
+    for (const analysis::Finding& f : report.findings()) {
+        check.ok = false;
+        check.notes.push_back(f.rule + " " + f.object + ": " + f.message);
+    }
+    return check;
+}
+
+campaign::CampaignSpec to_campaign_spec(const DeltaPlan& plan,
+                                        campaign::CampaignSpec base) {
+    base.module_filter = plan.stale_modules();
+    if (base.module_filter.empty()) {
+        // Nothing stale: clearing the case list makes the spec
+        // non-executable, so nobody can accidentally spend injection
+        // runs on a campaign with nothing to measure.
+        base.case_ids.clear();
+    }
+    base.name += "-delta";
+    return base;
+}
+
+epic::PermeabilityMatrix splice_matrix(const model::SystemModel& new_system,
+                                       const epic::PermeabilityMatrix& cached,
+                                       const epic::PermeabilityMatrix& fresh,
+                                       const DeltaPlan& plan) {
+    const std::vector<std::string> stale = plan.stale_modules();
+    const auto is_stale = [&stale](const std::string& name) {
+        return std::binary_search(stale.begin(), stale.end(), name);
+    };
+
+    epic::PermeabilityMatrix merged(new_system);
+    for (model::ModuleId m : new_system.all_modules()) {
+        const std::string& name = new_system.module_name(m);
+        const epic::PermeabilityMatrix& source = is_stale(name) ? fresh : cached;
+        const model::SystemModel& source_system = source.system();
+        const auto source_id = source_system.find_module(name);
+        if (!source_id) {
+            throw std::invalid_argument("splice_matrix: module '" + name +
+                                        "' missing from the " +
+                                        (is_stale(name) ? "fresh" : "cached") +
+                                        " matrix");
+        }
+        const model::ModuleSpec& spec = new_system.module(m);
+        const model::ModuleSpec& source_spec = source_system.module(*source_id);
+        if (source_spec.input_count() != spec.input_count() ||
+            source_spec.output_count() != spec.output_count()) {
+            throw std::invalid_argument("splice_matrix: module '" + name +
+                                        "' has a different port shape in the " +
+                                        (is_stale(name) ? "fresh" : "cached") +
+                                        " matrix");
+        }
+        for (std::uint32_t i = 0; i < spec.input_count(); ++i) {
+            for (std::uint32_t k = 0; k < spec.output_count(); ++k) {
+                const util::Proportion counts = source.counts(*source_id, i, k);
+                if (counts.trials > 0) {
+                    merged.set_counts(m, i, k, counts.hits, counts.trials);
+                } else {
+                    merged.set(m, i, k, source.get(*source_id, i, k));
+                }
+            }
+        }
+    }
+    return merged;
+}
+
+}  // namespace epea::analytic

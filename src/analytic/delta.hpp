@@ -1,0 +1,79 @@
+// Delta-campaign planner (DESIGN.md §12): given an edited model, decide
+// which modules' permeability rows are still valid and emit a minimal
+// CampaignSpec that re-injects only the modules whose I/O context
+// changed. Fresh rows are spliced with cached ones into a merged matrix
+// that is byte-identical to a from-scratch run — the estimator draws its
+// per-(module,port,bit) injection times from the shared per-case stream
+// even for modules it skips, so a filtered run reproduces exactly the
+// ticks a full run would have used for the re-measured modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "epic/matrix.hpp"
+#include "model/system_model.hpp"
+#include "util/json.hpp"
+
+namespace epea::analytic {
+
+/// Module-level diff of two system models, computed from the per-module
+/// context hashes (analytic::module_context_hash).
+struct DeltaPlan {
+    std::vector<std::string> unchanged;  ///< context hash equal in both
+    std::vector<std::string> changed;    ///< present in both, context differs
+    std::vector<std::string> added;      ///< only in the new model
+    std::vector<std::string> removed;    ///< only in the old model
+
+    /// True when no module needs re-measurement (removed modules cost
+    /// nothing — their rows are simply dropped at splice time).
+    [[nodiscard]] bool empty() const noexcept {
+        return changed.empty() && added.empty();
+    }
+    /// Modules the re-injection campaign must cover (changed + added).
+    [[nodiscard]] std::vector<std::string> stale_modules() const;
+
+    [[nodiscard]] util::JsonValue to_json() const;
+};
+
+/// Diffs `old_model` → `new_model` by module name and context hash.
+[[nodiscard]] DeltaPlan diff_models(const model::SystemModel& old_model,
+                                    const model::SystemModel& new_model);
+
+/// Result of a provenance check on the planner's cache inputs.
+struct ProvenanceCheck {
+    bool ok = true;
+    std::vector<std::string> notes;  ///< reasons when !ok (or informational)
+};
+
+/// Compares a run manifest's config hash against the serialized config of
+/// `spec`. A mismatch means the cached matrices were produced under a
+/// different campaign configuration and the whole cache is stale — the
+/// planner must fall back to a full re-run, not a delta.
+[[nodiscard]] ProvenanceCheck check_manifest(const std::string& manifest_path,
+                                             const campaign::CampaignSpec& spec);
+
+/// Validates subset_cache.json through the analysis lint (EPEA-W061)
+/// before the planner treats its entries as reusable ground truth.
+[[nodiscard]] ProvenanceCheck check_subset_cache(const std::string& path);
+
+/// Minimal re-injection campaign for `plan`: `base` with module_filter
+/// set to the stale modules. An empty plan yields a spec with no test
+/// cases at all — the executor refuses to run such a spec (and the
+/// campaign lint flags it), which is the point: nothing needs
+/// re-measuring, so splice the cached matrix directly.
+[[nodiscard]] campaign::CampaignSpec to_campaign_spec(const DeltaPlan& plan,
+                                                      campaign::CampaignSpec base);
+
+/// Splices a merged matrix on `new_system`: rows of stale modules come
+/// from `fresh`, all other rows are carried over from `cached` (matched
+/// by module name and port indices; removed modules vanish, since the
+/// new system has no rows for them). With an empty plan the result is a
+/// field-exact copy of `cached` restricted to the new system — CSV
+/// serialization is byte-identical.
+[[nodiscard]] epic::PermeabilityMatrix splice_matrix(
+    const model::SystemModel& new_system, const epic::PermeabilityMatrix& cached,
+    const epic::PermeabilityMatrix& fresh, const DeltaPlan& plan);
+
+}  // namespace epea::analytic

@@ -191,6 +191,7 @@ exp::CampaignOptions CampaignExecutor::case_options(std::size_t case_id) const {
     o.max_ticks = static_cast<runtime::Tick>(
         std::min<std::uint64_t>(spec_.max_ticks, target::kMaxRunTicks));
     o.severe_period = static_cast<runtime::Tick>(spec_.severe_period);
+    o.module_filter = spec_.module_filter;
     return o;
 }
 

@@ -70,6 +70,12 @@ std::string CampaignSpec::to_json() const {
     o.emplace("seed", JsonValue(seed));
     o.emplace("shards", JsonValue(shards));
 
+    if (!module_filter.empty()) {
+        JsonArray mods;
+        for (const auto& m : module_filter) mods.emplace_back(m);
+        o.emplace("module_filter", JsonValue(std::move(mods)));
+    }
+
     JsonArray subs;
     for (const auto& s : subsets) {
         JsonObject so;
@@ -121,6 +127,13 @@ CampaignSpec CampaignSpec::from_json(const std::string& text) {
     spec.severe_period = static_cast<std::uint64_t>(root.at("severe_period").as_int());
     spec.seed = static_cast<std::uint64_t>(root.at("seed").as_int());
     spec.shards = static_cast<std::size_t>(root.at("shards").as_int());
+
+    spec.module_filter.clear();
+    if (const JsonValue* mods = root.find("module_filter")) {
+        for (const auto& m : mods->as_array()) {
+            spec.module_filter.push_back(m.as_string());
+        }
+    }
 
     spec.subsets.clear();
     for (const auto& v : root.at("subsets").as_array()) {

@@ -53,6 +53,11 @@ struct CampaignSpec {
     /// Number of shards the case matrix is dealt into (round-robin).
     std::size_t shards = 5;
 
+    /// Delta campaigns (permeability kind): inject only these modules;
+    /// empty = all. Serialized only when non-empty, so pre-existing specs
+    /// and their manifest config hashes are unchanged.
+    std::vector<std::string> module_filter;
+
     /// EA subsets scored by severe campaigns (defaults: EH and PA sets).
     std::vector<exp::SubsetSpec> subsets;
     /// Signals wrapped with recovery ERMs (recovery kind).

@@ -22,9 +22,21 @@ PermeabilityMatrix PermeabilityEstimator::estimate(
         counts[mid.index()].assign(system.module(mid).pair_count(), Count{});
     }
 
-    // Plan size for progress reporting.
+    // Module filter (delta campaigns): skipped modules execute no runs
+    // but still consume their stratified time draws below, keeping the
+    // per-case stream aligned with an unfiltered run.
+    std::vector<bool> included(system.module_count(), true);
+    if (!options.module_filter.empty()) {
+        included.assign(system.module_count(), false);
+        for (const std::string& name : options.module_filter) {
+            if (auto mid = system.find_module(name)) included[mid->index()] = true;
+        }
+    }
+
+    // Plan size for progress reporting (filtered modules plan no runs).
     std::size_t total_bits = 0;
     for (const model::ModuleId mid : system.all_modules()) {
+        if (!included[mid.index()]) continue;
         for (const model::SignalId in : system.module(mid).inputs) {
             total_bits += system.signal(in).width;
         }
@@ -64,6 +76,7 @@ PermeabilityMatrix PermeabilityEstimator::estimate(
                     const auto ticks = fi::spread_ticks(
                         0, gr.length, options.times_per_bit,
                         options.stratified_times ? &time_rng : nullptr);
+                    if (!included[mid.index()]) continue;  // draws consumed above
                     for (const runtime::Tick t : ticks) {
                         runner.run({fi::Injection::into_module_input(mid, port, bit, t)},
                                    options.max_ticks);

@@ -41,6 +41,13 @@ struct EstimatorOptions {
     /// Shared golden-run cache (campaign executors pass theirs so golden
     /// data is captured once per case); null uses a private per-call cache.
     fi::GoldenCache* golden_cache = nullptr;
+    /// Delta campaigns: when non-empty, only the named modules are
+    /// injected. The stratified time draws of skipped modules are still
+    /// consumed from the per-case stream, so the filtered run's results
+    /// for the measured modules are bit-identical to the same modules'
+    /// rows in an unfiltered run — the splice guarantee of the delta
+    /// planner (DESIGN.md §12). Unknown names are ignored.
+    std::vector<std::string> module_filter;
 };
 
 /// Progress callback: (runs completed, total runs planned).

@@ -91,6 +91,7 @@ epic::PermeabilityMatrix estimate_arrestment_permeability(
     eopt.case_index_offset = options.case_first;
     eopt.use_fastpath = options.use_fastpath;
     eopt.golden_cache = options.golden_cache;
+    eopt.module_filter = options.module_filter;
     epic::PermeabilityMatrix pm = estimator.estimate(
         case_count,
         [&](std::size_t c) { sys.configure(cases[options.case_first + c]); }, eopt,

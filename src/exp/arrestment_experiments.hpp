@@ -52,6 +52,11 @@ struct CampaignOptions {
     fi::GoldenCache* golden_cache = nullptr;
     /// When set, drivers accumulate their fast-path counters here.
     fi::FastPathStats* fastpath_out = nullptr;
+    /// Delta campaigns: restrict permeability injection to these modules
+    /// (empty = all). Skipped modules still consume their injection-time
+    /// draws, so filtered results are bit-identical per module to a full
+    /// run (see epic::EstimatorOptions::module_filter).
+    std::vector<std::string> module_filter;
 
     /// Applies EPEA_CASES / EPEA_TIMES overrides when set.
     [[nodiscard]] static CampaignOptions from_env();

@@ -58,6 +58,7 @@ epic::PermeabilityMatrix estimate_arrestment_permeability_parallel(
                 // The GoldenCache is mutex-protected and snapshot data is
                 // value-based, so a shared cache is safe across workers.
                 eopt.golden_cache = options.golden_cache;
+                eopt.module_filter = options.module_filter;
                 const epic::PermeabilityMatrix pm = estimator.estimate(
                     1, [&](std::size_t) { sys.configure(cases[c]); }, eopt);
                 local_stats.merge(estimator.fastpath_stats());

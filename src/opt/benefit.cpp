@@ -57,6 +57,21 @@ AnalyticBenefit::AnalyticBenefit(const epic::PermeabilityMatrix& pm, ErrorModel 
     }
 }
 
+AnalyticBenefit::AnalyticBenefit(std::vector<std::vector<double>> detect,
+                                 std::vector<model::SignalId> candidates)
+    : candidates_(std::move(candidates)), detect_(std::move(detect)) {
+    if (candidates_.empty()) {
+        throw std::invalid_argument("AnalyticBenefit: no candidate locations");
+    }
+    for (const std::vector<double>& row : detect_) {
+        if (row.size() != candidates_.size()) {
+            throw std::invalid_argument(
+                "AnalyticBenefit: detection row width differs from the "
+                "candidate count");
+        }
+    }
+}
+
 double AnalyticBenefit::coverage(const std::vector<std::size_t>& subset) const {
     ++evaluations_;
     if (detect_.empty()) return 0.0;

@@ -40,6 +40,13 @@ public:
     AnalyticBenefit(const epic::PermeabilityMatrix& pm, ErrorModel model,
                     std::vector<model::SignalId> candidates);
 
+    /// Precomputed detection matrix D[site][candidate] (used by the
+    /// analytic-engine benefit mode, whose fixpoint composition lives in
+    /// src/analytic and is injected here to keep the dependency one-way).
+    /// Every row must have one column per candidate.
+    AnalyticBenefit(std::vector<std::vector<double>> detect,
+                    std::vector<model::SignalId> candidates);
+
     /// Estimated coverage of a subset, given as indices into candidates().
     [[nodiscard]] double coverage(const std::vector<std::size_t>& subset) const;
 

@@ -81,6 +81,25 @@ PlacementOptimizer PlacementOptimizer::analytic(
     return opt;
 }
 
+PlacementOptimizer PlacementOptimizer::with_detection(
+    const model::SystemModel& system, const std::vector<model::SignalId>& candidates,
+    std::vector<std::vector<double>> detect) {
+    PlacementOptimizer opt;
+    const CostModel costs = CostModel::from_signal_kinds(system, candidates);
+    for (const model::SignalId id : candidates) {
+        const std::string& name = system.signal_name(id);
+        if (!costs.has(name)) {
+            throw std::invalid_argument(
+                "PlacementOptimizer::with_detection: candidate '" + name +
+                "' carries no EA cost (boolean signal); filter candidates "
+                "before building the detection matrix");
+        }
+        opt.candidates_.push_back(Candidate{name, costs.of(name)});
+    }
+    opt.analytic_ = std::make_shared<AnalyticBenefit>(std::move(detect), candidates);
+    return opt;
+}
+
 PlacementOptimizer PlacementOptimizer::ground_truth(EvaluatorOptions options) {
     PlacementOptimizer opt;
     opt.candidates_ = arrestment_candidates();
@@ -119,11 +138,14 @@ BenefitFn PlacementOptimizer::benefit_fn() {
         };
     }
     ensure_ground_truth_lattice();
-    // Lattice-backed lookup: every subset the searches can ask about was
-    // measured (or cache-loaded) by ensure_ground_truth_lattice.
+    // Lattice-backed lookup: every non-empty subset the searches can ask
+    // about was measured (or cache-loaded) by ensure_ground_truth_lattice.
+    // The empty subset — branch-and-bound evaluates it at the root — is
+    // no detection at all, not a campaign.
     const auto* measured = &measured_;
     const auto* candidates = &candidates_;
     return [measured, candidates](const std::vector<std::size_t>& subset) {
+        if (subset.empty()) return 0.0;
         std::vector<std::string> names;
         for (const std::size_t i : subset) names.push_back((*candidates)[i].name);
         const auto it = measured->find(canonical_subset(names));

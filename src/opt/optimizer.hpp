@@ -48,6 +48,16 @@ public:
         const epic::PermeabilityMatrix& pm, ErrorModel model,
         const std::vector<model::SignalId>& candidates);
 
+    /// Benefits from a caller-precomputed detection matrix
+    /// D[site][candidate] (the analytic-engine mode: src/analytic builds
+    /// D from its fixpoint reach and injects it here, keeping opt free of
+    /// an analytic dependency). Every candidate must carry an EA cost
+    /// (no boolean signals).
+    [[nodiscard]] static PlacementOptimizer with_detection(
+        const model::SystemModel& system,
+        const std::vector<model::SignalId>& candidates,
+        std::vector<std::vector<double>> detect);
+
     /// Campaign-backed benefits, cached under options.dir.
     [[nodiscard]] static PlacementOptimizer ground_truth(EvaluatorOptions options);
 

@@ -41,15 +41,32 @@ SyntheticSystem random_layered_system(const LayeredOptions& options) {
     }
 
     for (std::size_t l = 0; l < options.layers; ++l) {
+        // Feedback pool: intermediates of *later* boundaries (the output
+        // boundary stays environment-consumed). Rewiring an input here
+        // creates a cycle through this layer.
+        std::vector<model::SignalId> cycle_pool;
+        if (options.cycle_density > 0.0) {
+            for (std::size_t j = l + 1; j < options.layers; ++j) {
+                cycle_pool.insert(cycle_pool.end(), boundary[j].begin(),
+                                  boundary[j].end());
+            }
+        }
         for (std::size_t m = 0; m < options.modules_per_layer; ++m) {
             model::ModuleSpec spec;
             spec.name = "M" + std::to_string(l) + "_" + std::to_string(m);
             // Inputs: drawn from the previous boundary; ensure distinct
             // ports can share signals (fan-out), but give each module a
-            // deterministic base slice plus random extras.
+            // deterministic base slice plus random extras. With
+            // cycle_density > 0 a port may rewire to a later-layer
+            // intermediate instead; all draws depend only on the options,
+            // so a given (seed, shape) is bit-reproducible.
             for (std::size_t p = 0; p < options.inputs_per_module; ++p) {
                 const auto& pool = boundary[l];
-                spec.inputs.push_back(pool[rng.below(pool.size())]);
+                model::SignalId chosen = pool[rng.below(pool.size())];
+                if (!cycle_pool.empty() && rng.chance(options.cycle_density)) {
+                    chosen = cycle_pool[rng.below(cycle_pool.size())];
+                }
+                spec.inputs.push_back(chosen);
             }
             for (std::size_t p = 0; p < options.outputs_per_module; ++p) {
                 spec.outputs.push_back(

@@ -37,6 +37,10 @@ struct LayeredOptions {
     std::size_t outputs_per_module = 2;
     /// Probability that an input/output pair has non-zero permeability.
     double edge_density = 0.6;
+    /// Probability that an input port rewires to an intermediate of a
+    /// *later* layer, creating a feedback cycle (0 keeps the classic
+    /// acyclic corpus, bit-identical to earlier versions).
+    double cycle_density = 0.0;
     std::uint64_t seed = 1;
 };
 

@@ -358,4 +358,58 @@ TEST(GoldenCache, EvictsLruButNeverLiveEntries) {
     EXPECT_EQ(cache.byte_count(), 0U);
 }
 
+TEST(GoldenCache, BudgetBelowSingleEntryDeclinesToKeep) {
+    // A budget too small for even one entry must not wedge the cache:
+    // every caller still receives usable data, the cache just keeps
+    // nothing (and every lookup is a recapturing miss).
+    const std::size_t entry_bytes = tiny_golden(10).approx_bytes();
+    fi::GoldenCache cache(entry_bytes / 2);
+    fi::FastPathStats stats;
+    std::size_t captures = 0;
+    const auto factory = [&captures] {
+        ++captures;
+        return tiny_golden(10);
+    };
+    const auto a = cache.get_or_capture("a", factory, &stats);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->run.length, 10U);
+    EXPECT_EQ(cache.entry_count(), 0U);
+    EXPECT_EQ(cache.byte_count(), 0U);
+    const auto b = cache.get_or_capture("a", factory, &stats);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(captures, 2U);
+    EXPECT_EQ(stats.cache_hits, 0U);
+    EXPECT_EQ(stats.cache_misses, 2U);
+}
+
+TEST(GoldenCache, AllEntriesPinnedDeclinesInsertButServesData) {
+    // Budget for exactly one entry, and that entry pinned by a live
+    // shared_ptr: an over-budget insert must decline to keep the new
+    // entry (never evict live data) while still returning it.
+    const std::size_t entry_bytes = tiny_golden(10).approx_bytes();
+    fi::GoldenCache cache(entry_bytes);
+    auto pinned = cache.get_or_capture("a", [] { return tiny_golden(10); });
+    EXPECT_EQ(cache.entry_count(), 1U);
+
+    const auto b = cache.get_or_capture("b", [] { return tiny_golden(10); });
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->max_ticks, 10U);
+    EXPECT_EQ(cache.entry_count(), 1U);
+    EXPECT_EQ(cache.byte_count(), entry_bytes);
+
+    // The pinned entry is still served from cache; the declined one is
+    // recaptured on its next lookup.
+    std::size_t recaptured = 0;
+    (void)cache.get_or_capture("a", [&] {
+        ++recaptured;
+        return tiny_golden(10);
+    });
+    EXPECT_EQ(recaptured, 0U);
+    (void)cache.get_or_capture("b", [&] {
+        ++recaptured;
+        return tiny_golden(10);
+    });
+    EXPECT_EQ(recaptured, 1U);
+}
+
 }  // namespace

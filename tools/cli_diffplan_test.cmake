@@ -1,0 +1,48 @@
+# `epea_tool analytic diff-plan` on an unchanged model: the plan must be
+# empty, the emitted delta spec must carry no cases, and splicing the
+# cached matrix with itself must reproduce it byte for byte.
+execute_process(COMMAND ${TOOL} describe
+                OUTPUT_FILE ${WORKDIR}/diffplan_model.txt
+                RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "describe failed: ${rc1}")
+endif()
+
+execute_process(COMMAND ${TOOL} analytic diff-plan
+                        --model ${WORKDIR}/diffplan_model.txt --json
+                        --spec-out ${WORKDIR}/diffplan_spec.json
+                OUTPUT_VARIABLE out RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "diff-plan failed: ${rc2}")
+endif()
+if(NOT out MATCHES "\"empty\": *true")
+  message(FATAL_ERROR "unchanged model should yield an empty plan: ${out}")
+endif()
+file(READ ${WORKDIR}/diffplan_spec.json spec)
+if(NOT spec MATCHES "\"case_ids\": *\\[\\]")
+  message(FATAL_ERROR "empty plan should clear case_ids: ${spec}")
+endif()
+
+# Splice with an empty plan: merged matrix == cached matrix, byte for byte.
+execute_process(COMMAND ${TOOL} estimate --cases 1 --times 1
+                        --out ${WORKDIR}/diffplan_cached.csv
+                RESULT_VARIABLE rc3)
+if(NOT rc3 EQUAL 0)
+  message(FATAL_ERROR "estimate failed: ${rc3}")
+endif()
+execute_process(COMMAND ${TOOL} analytic diff-plan
+                        --model ${WORKDIR}/diffplan_model.txt
+                        --cached ${WORKDIR}/diffplan_cached.csv
+                        --fresh ${WORKDIR}/diffplan_cached.csv
+                        --merged-out ${WORKDIR}/diffplan_merged.csv
+                RESULT_VARIABLE rc4)
+if(NOT rc4 EQUAL 0)
+  message(FATAL_ERROR "diff-plan splice failed: ${rc4}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${WORKDIR}/diffplan_cached.csv
+                        ${WORKDIR}/diffplan_merged.csv
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "empty-plan splice is not byte-identical to the cache")
+endif()

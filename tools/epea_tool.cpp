@@ -7,6 +7,8 @@
 //   epea_tool inject --signal S --bit B --at T   one injection, EA report
 //   epea_tool campaign run|resume|status ...     sharded checkpointed campaigns
 //   epea_tool place optimize|frontier|explain    cost-aware EA placement search
+//   epea_tool analytic predict|diff-plan|validate  engine queries, no campaign
+//   epea_tool synth [--layers ...]               generate a synthetic system
 //   epea_tool obs trace|metrics DIR              inspect observability artifacts
 //   epea_tool version                            print the tool version
 //
@@ -14,8 +16,12 @@
 // campaign runs once and the analysis can be repeated offline. The
 // `campaign` subcommands manage a campaign directory (spec.json, shard
 // checkpoints, events.jsonl) that survives kills and resumes. `place`
-// runs the src/opt/ placement optimizer — analytic by default, campaign-
-// backed with --ground-truth (memoized under --dir).
+// runs the src/opt/ placement optimizer — the visibility heuristic by
+// default, the analytic engine with --benefit analytic, campaign-backed
+// with --ground-truth (memoized under --dir). `analytic` answers
+// permeability/exposure queries from a measured matrix without running
+// a campaign, plans minimal delta campaigns after a model edit, and
+// validates the engine against enumeration and campaign ground truth.
 //
 // Observed commands (estimate, campaign run|resume, place) record spans
 // and metrics for the duration of the run; campaign runs always leave
@@ -40,6 +46,10 @@
 #include <vector>
 
 #include "analysis/campaign_lint.hpp"
+#include "analytic/benefit.hpp"
+#include "analytic/context.hpp"
+#include "analytic/delta.hpp"
+#include "analytic/validate.hpp"
 #include "analysis/matrix_lint.hpp"
 #include "analysis/model_lint.hpp"
 #include "analysis/placement_lint.hpp"
@@ -60,6 +70,7 @@
 #include "fi/injector.hpp"
 #include "model/dot.hpp"
 #include "opt/optimizer.hpp"
+#include "synth/generator.hpp"
 #include "util/table.hpp"
 
 #ifndef EPEA_VERSION
@@ -90,7 +101,9 @@ int usage() {
                  "  campaign status --dir DIR [--metrics]\n"
                  "  obs trace DIR                  summarize DIR/trace.json\n"
                  "  obs metrics DIR                print DIR metrics as Prometheus text\n"
-                 "  place optimize [--error-model input|severe] [--budget-memory B]\n"
+                 "  place optimize [--error-model input|severe]\n"
+                 "                 [--benefit visibility|analytic|ground-truth]\n"
+                 "                 [--budget-memory B]\n"
                  "                 [--budget-time T] [--ground-truth --dir DIR]\n"
                  "                 [--cases N] [--times M] [--shards S] [--threads T]\n"
                  "                 [--no-fastpath] [--trace-out FILE] [--metrics-out FILE]\n"
@@ -103,6 +116,18 @@ int usage() {
                  "       [--matrix FILE] [--ea S1,S2,...] [--frontier-dot FILE]\n"
                  "       [--campaign-dir DIR] [--src DIR]\n"
                  "  lint rules                     print the EPEA rule catalog\n"
+                 "  analytic predict [--matrix FILE] [--source SIG] [--sink SIG]\n"
+                 "                   [--json]\n"
+                 "  analytic diff-plan --model FILE [--base-model FILE] [--dir DIR]\n"
+                 "                     [--spec-out FILE] [--json]\n"
+                 "                     [--cached FILE --fresh FILE --merged-out FILE]\n"
+                 "  analytic validate [--no-campaign] [--no-synth] [--cases N]\n"
+                 "                    [--times M] [--graphs N] [--seed S]\n"
+                 "                    [--enumeration-tolerance D]\n"
+                 "                    [--campaign-tolerance D] [--out FILE]\n"
+                 "  synth [--layers N] [--width N] [--fan-in N] [--fan-out N]\n"
+                 "        [--edge-density D] [--cycle-density D] [--seed S]\n"
+                 "        [--out FILE] [--matrix-out FILE]\n"
                  "  version\n");
     return 2;
 }
@@ -513,17 +538,22 @@ int cmd_campaign(const std::vector<std::string>& args) {
     }
 }
 
-/// Builds the optimizer requested by the `place` flags. The permeability
-/// matrix backing analytic mode must outlive the optimizer, hence the
-/// out-parameter holder.
+/// Builds the optimizer requested by the `place` flags: --benefit
+/// visibility (default; simple-path enumeration), analytic (the
+/// propagation engine's fixpoint reach), or ground-truth (campaign-
+/// backed; --ground-truth is a shorthand). The permeability matrix
+/// backing the matrix-driven modes must outlive the optimizer, hence
+/// the out-parameter holder.
 opt::PlacementOptimizer make_place_optimizer(
     const std::vector<std::string>& args, opt::ErrorModel model,
     std::unique_ptr<epic::PermeabilityMatrix>& pm_holder,
-    const model::SystemModel& system) {
-    if (has_flag(args, "--ground-truth")) {
+    const model::SystemModel& system, std::string& mode_out) {
+    const std::string benefit = flag_value(args, "--benefit")
+        .value_or(has_flag(args, "--ground-truth") ? "ground-truth" : "visibility");
+    if (benefit == "ground-truth") {
         const auto dir = flag_value(args, "--dir");
         if (!dir) {
-            throw std::invalid_argument("--ground-truth requires --dir DIR");
+            throw std::invalid_argument("--benefit ground-truth requires --dir DIR");
         }
         opt::EvaluatorOptions options;
         options.model = model;
@@ -542,9 +572,19 @@ opt::PlacementOptimizer make_place_optimizer(
         }
         options.echo_events = has_flag(args, "--verbose");
         options.use_fastpath = !has_flag(args, "--no-fastpath");
+        mode_out = "ground-truth";
         return opt::PlacementOptimizer::ground_truth(std::move(options));
     }
     pm_holder = std::make_unique<epic::PermeabilityMatrix>(exp::paper_matrix(system));
+    if (benefit == "analytic") {
+        mode_out = "analytic";
+        return analytic::make_engine_optimizer(*pm_holder, model);
+    }
+    if (benefit != "visibility") {
+        throw std::invalid_argument("unknown --benefit '" + benefit +
+                                    "' (visibility|analytic|ground-truth)");
+    }
+    mode_out = "visibility";
     return opt::PlacementOptimizer::analytic(*pm_holder, model);
 }
 
@@ -554,9 +594,9 @@ int cmd_place(const std::vector<std::string>& args) {
     const std::vector<std::string> rest(args.begin() + 1, args.end());
     if (sub != "optimize" && sub != "frontier" && sub != "explain") return usage();
     if (!flags_ok(rest,
-                  {"--error-model", "--budget-memory", "--budget-time", "--dir",
-                   "--cases", "--times", "--shards", "--threads", "--out-prefix",
-                   "--trace-out", "--metrics-out"},
+                  {"--error-model", "--benefit", "--budget-memory", "--budget-time",
+                   "--dir", "--cases", "--times", "--shards", "--threads",
+                   "--out-prefix", "--trace-out", "--metrics-out"},
                   {"--ground-truth", "--verbose", "--no-fastpath"})) {
         return usage();
     }
@@ -566,9 +606,10 @@ int cmd_place(const std::vector<std::string>& args) {
             flag_value(rest, "--error-model").value_or("input"));
         static const model::SystemModel system = target::make_arrestment_model();
         std::unique_ptr<epic::PermeabilityMatrix> pm_holder;
+        std::string mode_name;
         opt::PlacementOptimizer optimizer =
-            make_place_optimizer(rest, model, pm_holder, system);
-        const char* mode = pm_holder ? "analytic" : "ground-truth";
+            make_place_optimizer(rest, model, pm_holder, system, mode_name);
+        const char* mode = mode_name.c_str();
 
         ObsCli obs_cli(rest, "place " + sub);
         {
@@ -883,6 +924,384 @@ int cmd_lint(const std::vector<std::string>& args) {
     return report.exit_code(has_flag(rest, "--strict"));
 }
 
+std::string bound_str(const analytic::Bound& b) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.4f [%.4f, %.4f]", b.point, b.lo, b.hi);
+    return buf;
+}
+
+util::JsonValue bound_json(const analytic::Bound& b) {
+    util::JsonObject o;
+    o.emplace("lo", util::JsonValue(b.lo));
+    o.emplace("point", util::JsonValue(b.point));
+    o.emplace("hi", util::JsonValue(b.hi));
+    return util::JsonValue(std::move(o));
+}
+
+/// `analytic predict` — composed permeability / exposure / impact with
+/// error bars, from a matrix CSV (default: the paper's Table 1), with no
+/// injection run at all.
+int cmd_analytic_predict(const std::vector<std::string>& args) {
+    if (!flags_ok(args, {"--matrix", "--source", "--sink"}, {"--json"})) {
+        return usage();
+    }
+    static const model::SystemModel system = target::make_arrestment_model();
+    std::unique_ptr<epic::PermeabilityMatrix> pm;
+    if (const auto file = flag_value(args, "--matrix")) {
+        std::ifstream in(*file);
+        if (!in) {
+            std::fprintf(stderr, "cannot read %s\n", file->c_str());
+            return 1;
+        }
+        pm = std::make_unique<epic::PermeabilityMatrix>(
+            epic::load_matrix_csv(in, system));
+    } else {
+        pm = std::make_unique<epic::PermeabilityMatrix>(exp::paper_matrix(system));
+    }
+    const analytic::Engine engine(*pm);
+    const std::string sink_name = flag_value(args, "--sink").value_or("TOC2");
+    const model::SignalId sink = system.signal_id(sink_name);
+
+    if (const auto source = flag_value(args, "--source")) {
+        const analytic::Bound b =
+            engine.permeability(system.signal_id(*source), sink);
+        if (has_flag(args, "--json")) {
+            util::JsonObject o;
+            o.emplace("source", util::JsonValue(*source));
+            o.emplace("sink", util::JsonValue(sink_name));
+            o.emplace("permeability", bound_json(b));
+            o.emplace("converged", util::JsonValue(!engine.any_unconverged()));
+            std::printf("%s\n", util::JsonValue(std::move(o)).dump().c_str());
+        } else {
+            std::printf("P(%s -> %s) = %s%s\n", source->c_str(), sink_name.c_str(),
+                        bound_str(b).c_str(),
+                        engine.any_unconverged() ? "  (iteration cap hit)" : "");
+        }
+        return 0;
+    }
+
+    if (has_flag(args, "--json")) {
+        util::JsonArray rows;
+        for (const model::SignalId s : system.all_signals()) {
+            util::JsonObject row;
+            row.emplace("signal", util::JsonValue(system.signal_name(s)));
+            const auto x = engine.exposure(s);
+            row.emplace("exposure",
+                        x ? bound_json(*x) : util::JsonValue(nullptr));
+            if (s != sink) {
+                row.emplace("impact", bound_json(engine.permeability(s, sink)));
+            }
+            rows.emplace_back(std::move(row));
+        }
+        util::JsonObject o;
+        o.emplace("sink", util::JsonValue(sink_name));
+        o.emplace("signals", util::JsonValue(std::move(rows)));
+        o.emplace("converged", util::JsonValue(!engine.any_unconverged()));
+        std::printf("%s\n", util::JsonValue(std::move(o)).dump().c_str());
+        return 0;
+    }
+
+    util::TextTable table({"Signal", "X_s [95% CI]", "impact -> " + sink_name},
+                          {util::Align::kLeft, util::Align::kLeft,
+                           util::Align::kLeft});
+    for (const model::SignalId s : system.all_signals()) {
+        const auto x = engine.exposure(s);
+        table.add_row({system.signal_name(s), x ? bound_str(*x) : "-",
+                       s == sink ? "-"
+                                 : bound_str(engine.permeability(s, sink))});
+    }
+    std::cout << table;
+    std::printf("# %zu fixpoint solve(s), %s\n", engine.solves(),
+                engine.any_unconverged() ? "iteration cap hit" : "all converged");
+    return 0;
+}
+
+/// `analytic diff-plan` — module-level diff of an edited model against a
+/// baseline, provenance checks on the cached campaign artifacts, a
+/// minimal re-injection CampaignSpec, and (optionally) the spliced
+/// merged matrix.
+int cmd_analytic_diff_plan(const std::vector<std::string>& args) {
+    if (!flags_ok(args,
+                  {"--model", "--base-model", "--dir", "--spec-out", "--cached",
+                   "--fresh", "--merged-out"},
+                  {"--json"})) {
+        return usage();
+    }
+    const auto model_file = flag_value(args, "--model");
+    if (!model_file) {
+        std::fprintf(stderr, "epea_tool: analytic diff-plan needs --model FILE\n");
+        return usage();
+    }
+    std::ifstream model_in(*model_file);
+    if (!model_in) {
+        std::fprintf(stderr, "cannot read %s\n", model_file->c_str());
+        return 1;
+    }
+    const model::SystemModel edited = epic::load_system_text(model_in);
+    model::SystemModel base = target::make_arrestment_model();
+    if (const auto base_file = flag_value(args, "--base-model")) {
+        std::ifstream base_in(*base_file);
+        if (!base_in) {
+            std::fprintf(stderr, "cannot read %s\n", base_file->c_str());
+            return 1;
+        }
+        base = epic::load_system_text(base_in);
+    }
+    const analytic::DeltaPlan plan = analytic::diff_models(base, edited);
+
+    // Base spec: the cached campaign's own spec.json when a directory is
+    // given (so the delta campaign reuses its sizing and seeds), the
+    // permeability defaults otherwise.
+    campaign::CampaignSpec base_spec =
+        campaign::CampaignSpec::defaults(campaign::CampaignKind::kPermeability);
+    const auto dir = flag_value(args, "--dir");
+    analytic::ProvenanceCheck provenance;
+    if (dir) {
+        std::ifstream spec_in(*dir + "/spec.json");
+        if (!spec_in) {
+            provenance.ok = false;
+            provenance.notes.push_back("cannot read " + *dir + "/spec.json");
+        } else {
+            std::ostringstream buf;
+            buf << spec_in.rdbuf();
+            base_spec = campaign::CampaignSpec::from_json(buf.str());
+            const analytic::ProvenanceCheck manifest =
+                analytic::check_manifest(*dir + "/manifest.json", base_spec);
+            const analytic::ProvenanceCheck cache =
+                analytic::check_subset_cache(*dir + "/subset_cache.json");
+            provenance.ok = manifest.ok && cache.ok;
+            provenance.notes.insert(provenance.notes.end(),
+                                    manifest.notes.begin(), manifest.notes.end());
+            provenance.notes.insert(provenance.notes.end(), cache.notes.begin(),
+                                    cache.notes.end());
+        }
+    }
+    const campaign::CampaignSpec delta_spec =
+        analytic::to_campaign_spec(plan, base_spec);
+
+    if (has_flag(args, "--json")) {
+        util::JsonObject o;
+        o.emplace("plan", plan.to_json());
+        o.emplace("base_model_hash", util::JsonValue(analytic::model_hash(base)));
+        o.emplace("edited_model_hash",
+                  util::JsonValue(analytic::model_hash(edited)));
+        if (dir) {
+            util::JsonObject p;
+            p.emplace("ok", util::JsonValue(provenance.ok));
+            util::JsonArray notes;
+            for (const std::string& n : provenance.notes) notes.emplace_back(n);
+            p.emplace("notes", util::JsonValue(std::move(notes)));
+            o.emplace("provenance", util::JsonValue(std::move(p)));
+        }
+        std::printf("%s\n", util::JsonValue(std::move(o)).dump().c_str());
+    } else {
+        const auto list = [](const char* label,
+                             const std::vector<std::string>& names) {
+            std::printf("%s (%zu):", label, names.size());
+            for (const std::string& n : names) std::printf(" %s", n.c_str());
+            std::printf("\n");
+        };
+        list("unchanged", plan.unchanged);
+        list("changed", plan.changed);
+        list("added", plan.added);
+        list("removed", plan.removed);
+        std::printf(plan.empty()
+                        ? "empty plan: every cached module row is still valid\n"
+                        : "delta campaign re-injects %zu module(s)\n",
+                    plan.stale_modules().size());
+        for (const std::string& n : provenance.notes) {
+            std::fprintf(stderr, "provenance: %s\n", n.c_str());
+        }
+    }
+    if (dir && !provenance.ok) {
+        std::fprintf(stderr,
+                     "analytic: provenance check failed; cached results are "
+                     "untrustworthy — run a full campaign instead of a delta\n");
+        return 1;
+    }
+
+    if (const auto spec_out = flag_value(args, "--spec-out")) {
+        std::ofstream file(*spec_out);
+        if (!file) {
+            std::fprintf(stderr, "cannot write %s\n", spec_out->c_str());
+            return 1;
+        }
+        file << delta_spec.to_json() << "\n";
+        std::fprintf(stderr, "wrote %s\n", spec_out->c_str());
+    }
+
+    const auto cached_file = flag_value(args, "--cached");
+    const auto fresh_file = flag_value(args, "--fresh");
+    if (cached_file || fresh_file) {
+        const auto merged_out = flag_value(args, "--merged-out");
+        if (!cached_file || !fresh_file || !merged_out) {
+            std::fprintf(stderr,
+                         "epea_tool: splicing needs --cached, --fresh and "
+                         "--merged-out together\n");
+            return usage();
+        }
+        std::ifstream cached_in(*cached_file);
+        std::ifstream fresh_in(*fresh_file);
+        if (!cached_in || !fresh_in) {
+            std::fprintf(stderr, "cannot read %s\n",
+                         (cached_in ? *fresh_file : *cached_file).c_str());
+            return 1;
+        }
+        // The cached matrix was measured on the base model, the fresh one
+        // on the edited model; splice_matrix re-keys rows by module name.
+        const epic::PermeabilityMatrix cached =
+            epic::load_matrix_csv(cached_in, base);
+        const epic::PermeabilityMatrix fresh =
+            epic::load_matrix_csv(fresh_in, edited);
+        const epic::PermeabilityMatrix merged =
+            analytic::splice_matrix(edited, cached, fresh, plan);
+        std::ofstream file(*merged_out);
+        if (!file) {
+            std::fprintf(stderr, "cannot write %s\n", merged_out->c_str());
+            return 1;
+        }
+        epic::save_matrix_csv(file, merged);
+        std::fprintf(stderr, "wrote %s\n", merged_out->c_str());
+    }
+    return 0;
+}
+
+/// `analytic validate` — the analytic-parity gate: engine vs exact
+/// enumeration on Table 1, vs end-to-end campaign measurement, and a
+/// synthetic divergence sweep. Writes the comparison JSON (the CI
+/// artifact) and exits 1 when a prong exceeds its committed tolerance.
+int cmd_analytic_validate(const std::vector<std::string>& args) {
+    if (!flags_ok(args,
+                  {"--cases", "--times", "--graphs", "--seed", "--out",
+                   "--enumeration-tolerance", "--campaign-tolerance"},
+                  {"--no-campaign", "--no-synth"})) {
+        return usage();
+    }
+    analytic::ValidateOptions options;
+    options.run_campaign = !has_flag(args, "--no-campaign");
+    options.run_synth = !has_flag(args, "--no-synth");
+    if (const auto c = flag_value(args, "--cases")) {
+        options.campaign.case_count = static_cast<std::size_t>(std::stoul(*c));
+    }
+    if (const auto t = flag_value(args, "--times")) {
+        options.campaign.times_per_bit = static_cast<std::size_t>(std::stoul(*t));
+    }
+    if (const auto g = flag_value(args, "--graphs")) {
+        options.synth_graphs = static_cast<std::size_t>(std::stoul(*g));
+    }
+    if (const auto s = flag_value(args, "--seed")) {
+        options.synth_seed = static_cast<std::uint64_t>(std::stoull(*s));
+    }
+    if (const auto e = flag_value(args, "--enumeration-tolerance")) {
+        options.enumeration_tolerance = std::stod(*e);
+    }
+    if (const auto c = flag_value(args, "--campaign-tolerance")) {
+        options.campaign_tolerance = std::stod(*c);
+    }
+    if (options.run_campaign) {
+        std::fprintf(stderr,
+                     "validating (enumeration + campaign of %zu cases x %zu "
+                     "times/bit%s)...\n",
+                     options.campaign.case_count, options.campaign.times_per_bit,
+                     options.run_synth ? " + synth sweep" : "");
+    }
+    const analytic::ValidateResult result = analytic::validate_arrestment(options);
+    const std::string text = result.report.dump();
+    if (const auto out = flag_value(args, "--out")) {
+        std::ofstream file(*out);
+        if (!file) {
+            std::fprintf(stderr, "cannot write %s\n", out->c_str());
+            return 1;
+        }
+        file << text << "\n";
+        std::fprintf(stderr, "wrote %s\n", out->c_str());
+    } else {
+        std::printf("%s\n", text.c_str());
+    }
+    std::fprintf(stderr, "analytic validate: %s\n", result.pass ? "PASS" : "FAIL");
+    return result.pass ? 0 : 1;
+}
+
+int cmd_analytic(const std::vector<std::string>& args) {
+    if (args.empty()) return usage();
+    const std::string sub = args[0];
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    try {
+        if (sub == "predict") return cmd_analytic_predict(rest);
+        if (sub == "diff-plan") return cmd_analytic_diff_plan(rest);
+        if (sub == "validate") return cmd_analytic_validate(rest);
+        return usage();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "analytic: %s\n", e.what());
+        return 1;
+    }
+}
+
+/// `epea_tool synth` — emit a seeded random layered system (and its
+/// matrix) in the text formats the other commands consume. The same
+/// seed and shape flags always produce byte-identical output.
+int cmd_synth(const std::vector<std::string>& args) {
+    if (!flags_ok(args,
+                  {"--layers", "--width", "--fan-in", "--fan-out",
+                   "--edge-density", "--cycle-density", "--seed", "--out",
+                   "--matrix-out"},
+                  {})) {
+        return usage();
+    }
+    try {
+        synth::LayeredOptions options;
+        if (const auto v = flag_value(args, "--layers")) {
+            options.layers = static_cast<std::size_t>(std::stoul(*v));
+        }
+        if (const auto v = flag_value(args, "--width")) {
+            options.modules_per_layer = static_cast<std::size_t>(std::stoul(*v));
+        }
+        if (const auto v = flag_value(args, "--fan-in")) {
+            options.inputs_per_module = static_cast<std::size_t>(std::stoul(*v));
+        }
+        if (const auto v = flag_value(args, "--fan-out")) {
+            options.outputs_per_module = static_cast<std::size_t>(std::stoul(*v));
+        }
+        if (const auto v = flag_value(args, "--edge-density")) {
+            options.edge_density = std::stod(*v);
+        }
+        if (const auto v = flag_value(args, "--cycle-density")) {
+            options.cycle_density = std::stod(*v);
+        }
+        if (const auto v = flag_value(args, "--seed")) {
+            options.seed = static_cast<std::uint64_t>(std::stoull(*v));
+        }
+        const synth::SyntheticSystem sys = synth::random_layered_system(options);
+        if (const auto out = flag_value(args, "--out")) {
+            std::ofstream file(*out);
+            if (!file) {
+                std::fprintf(stderr, "cannot write %s\n", out->c_str());
+                return 1;
+            }
+            epic::save_system_text(file, *sys.system);
+        } else {
+            epic::save_system_text(std::cout, *sys.system);
+        }
+        if (const auto out = flag_value(args, "--matrix-out")) {
+            std::ofstream file(*out);
+            if (!file) {
+                std::fprintf(stderr, "cannot write %s\n", out->c_str());
+                return 1;
+            }
+            epic::save_matrix_csv(file, sys.matrix);
+        }
+        std::fprintf(stderr,
+                     "# synth: %zu layers x %zu modules, %zu signals, seed %llu\n",
+                     options.layers, options.modules_per_layer,
+                     sys.system->signal_count(),
+                     static_cast<unsigned long long>(options.seed));
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "synth: %s\n", e.what());
+        return 1;
+    }
+}
+
 int cmd_version(const std::vector<std::string>& args) {
     if (!flags_ok(args, {}, {})) return usage();
     std::printf("epea_tool %s\n", EPEA_VERSION);
@@ -904,6 +1323,8 @@ int main(int argc, char** argv) {
     if (command == "place") return cmd_place(args);
     if (command == "obs") return cmd_obs(args);
     if (command == "lint") return cmd_lint(args);
+    if (command == "analytic") return cmd_analytic(args);
+    if (command == "synth") return cmd_synth(args);
     if (command == "version") return cmd_version(args);
     std::fprintf(stderr, "epea_tool: unknown command '%s'\n", command.c_str());
     return usage();
