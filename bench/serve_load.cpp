@@ -1,0 +1,243 @@
+// serve_load — load driver for the `epea_tool serve` subsystem
+// (DESIGN.md §13). Starts an in-process Service + HttpServer on an
+// ephemeral loopback port, then hammers it with real TCP clients in
+// three phases:
+//
+//   cold predict  — every per-source profile computed for the first time
+//                   (memo misses), single client;
+//   warm predict  — concurrent clients over a hot ReachProfile memo —
+//                   the acceptance phase (>= 5k QPS at p99 < 5 ms);
+//   mixed         — predict pair/profile + optimize + healthz blend.
+//
+// Latencies are measured client-side around the full round trip, so the
+// numbers include the HTTP parse/serialize path, not just the handler.
+// `--serve-json=FILE` writes the committed BENCH_serve.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/http.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace epea;
+
+using Clock = std::chrono::steady_clock;
+
+struct PhaseResult {
+    std::size_t requests = 0;
+    double wall_s = 0.0;
+    double qps = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    double memo_hit_rate = 0.0;
+};
+
+double percentile(std::vector<double>& sorted_ms, double q) {
+    if (sorted_ms.empty()) return 0.0;
+    const std::size_t idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+    return sorted_ms[std::min(idx, sorted_ms.size() - 1)];
+}
+
+/// Runs `per_client` requests on each of `clients` threads; request i on
+/// thread t posts/gets whatever `pick(t, i)` returns.
+struct RequestSpec {
+    const char* method;
+    const char* target;
+    std::string body;
+};
+
+template <typename Pick>
+PhaseResult run_phase(std::uint16_t port, std::size_t clients,
+                      std::size_t per_client, const Pick& pick) {
+    std::vector<std::vector<double>> latencies(clients);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    const auto t0 = Clock::now();
+    for (std::size_t t = 0; t < clients; ++t) {
+        threads.emplace_back([&, t] {
+            serve::HttpClient client(port);
+            latencies[t].reserve(per_client);
+            for (std::size_t i = 0; i < per_client; ++i) {
+                const RequestSpec spec = pick(t, i);
+                const auto r0 = Clock::now();
+                const serve::ClientResponse resp =
+                    client.request(spec.method, spec.target, spec.body);
+                const auto r1 = Clock::now();
+                if (resp.status != 200) {
+                    std::fprintf(stderr, "serve_load: %s %s -> %d\n", spec.method,
+                                 spec.target, resp.status);
+                    std::exit(1);
+                }
+                latencies[t].push_back(
+                    1e3 * std::chrono::duration<double>(r1 - r0).count());
+            }
+        });
+    }
+    for (std::thread& th : threads) th.join();
+    const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+
+    std::vector<double> all;
+    for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    PhaseResult result;
+    result.requests = all.size();
+    result.wall_s = wall;
+    result.qps = wall > 0 ? static_cast<double>(all.size()) / wall : 0.0;
+    result.p50_ms = percentile(all, 0.50);
+    result.p99_ms = percentile(all, 0.99);
+    return result;
+}
+
+void print_phase(std::FILE* f, const char* name, const PhaseResult& r,
+                 bool trailing_comma) {
+    std::fprintf(f, "  \"%s\": {\n", name);
+    std::fprintf(f, "    \"requests\": %zu,\n", r.requests);
+    std::fprintf(f, "    \"wall_s\": %.6f,\n", r.wall_s);
+    std::fprintf(f, "    \"qps\": %.1f,\n", r.qps);
+    std::fprintf(f, "    \"p50_ms\": %.3f,\n", r.p50_ms);
+    std::fprintf(f, "    \"p99_ms\": %.3f,\n", r.p99_ms);
+    std::fprintf(f, "    \"memo_hit_rate\": %.4f\n  }%s\n", r.memo_hit_rate,
+                 trailing_comma ? "," : "");
+}
+
+int run(const std::string& json_path, std::size_t clients,
+        std::size_t warm_requests) {
+    serve::ServiceOptions service_options;
+    service_options.tool_version = EPEA_VERSION;
+    serve::Service service(std::move(service_options));
+    serve::ServerOptions server_options;
+    server_options.port = 0;
+    server_options.threads = std::max<std::size_t>(clients, 2);
+    serve::HttpServer server(
+        server_options,
+        [&service](const serve::HttpRequest& req) { return service.handle(req); });
+    server.start();
+    const std::uint16_t port = server.port();
+
+    // Every source signal of the arrestment model, as predict bodies.
+    std::vector<std::string> pair_bodies;
+    for (const model::SignalId s : service.system().all_signals()) {
+        pair_bodies.push_back("{\"sink\":\"TOC2\",\"source\":\"" +
+                              service.system().signal_name(s) + "\"}");
+    }
+
+    // Phase 1: cold — one client, first touch of every profile.
+    const serve::MemoStats before_cold = service.memo_stats();
+    PhaseResult cold = run_phase(port, 1, pair_bodies.size(), [&](std::size_t,
+                                                                  std::size_t i) {
+        return RequestSpec{"POST", "/v1/analytic/predict", pair_bodies[i]};
+    });
+    const serve::MemoStats after_cold = service.memo_stats();
+    const std::uint64_t cold_asks = (after_cold.hits - before_cold.hits) +
+                                    (after_cold.misses - before_cold.misses);
+    cold.memo_hit_rate =
+        cold_asks > 0 ? static_cast<double>(after_cold.hits - before_cold.hits) /
+                            static_cast<double>(cold_asks)
+                      : 0.0;
+
+    // Phase 2: warm — the acceptance phase. Memo is hot; every client
+    // sweeps the same sources.
+    const std::size_t per_client = warm_requests / clients;
+    PhaseResult warm = run_phase(port, clients, per_client,
+                                 [&](std::size_t t, std::size_t i) {
+                                     return RequestSpec{
+                                         "POST", "/v1/analytic/predict",
+                                         pair_bodies[(t + i) % pair_bodies.size()]};
+                                 });
+    const serve::MemoStats after_warm = service.memo_stats();
+    const std::uint64_t warm_asks = (after_warm.hits - after_cold.hits) +
+                                    (after_warm.misses - after_cold.misses);
+    warm.memo_hit_rate =
+        warm_asks > 0 ? static_cast<double>(after_warm.hits - after_cold.hits) /
+                            static_cast<double>(warm_asks)
+                      : 0.0;
+
+    // Phase 3: mixed traffic — pair + full profile + optimize + healthz.
+    const std::size_t mixed_per_client =
+        std::max<std::size_t>(per_client / 10, 50);
+    PhaseResult mixed = run_phase(
+        port, clients, mixed_per_client, [&](std::size_t t, std::size_t i) {
+            switch ((t + i) % 4) {
+                case 0:
+                    return RequestSpec{"POST", "/v1/analytic/predict",
+                                       pair_bodies[i % pair_bodies.size()]};
+                case 1:
+                    return RequestSpec{"POST", "/v1/analytic/predict", "{}"};
+                case 2:
+                    return RequestSpec{
+                        "POST", "/v1/place/optimize",
+                        "{\"benefit\":\"analytic\",\"error_model\":\"input\"}"};
+                default:
+                    return RequestSpec{"GET", "/healthz", ""};
+            }
+        });
+    const serve::MemoStats after_mixed = service.memo_stats();
+    const std::uint64_t mixed_asks = (after_mixed.hits - after_warm.hits) +
+                                     (after_mixed.misses - after_warm.misses);
+    mixed.memo_hit_rate =
+        mixed_asks > 0
+            ? static_cast<double>(after_mixed.hits - after_warm.hits) /
+                  static_cast<double>(mixed_asks)
+            : 0.0;
+
+    server.shutdown();
+
+    std::fprintf(stderr,
+                 "serve_load: cold %.0f qps p99 %.3f ms | warm %.0f qps "
+                 "p99 %.3f ms (hit rate %.3f) | mixed %.0f qps p99 %.3f ms\n",
+                 cold.qps, cold.p99_ms, warm.qps, warm.p99_ms,
+                 warm.memo_hit_rate, mixed.qps, mixed.p99_ms);
+
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "error: cannot open %s\n", json_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"serve\",\n");
+    std::fprintf(f, "  \"config\": {\n");
+    std::fprintf(f, "    \"clients\": %zu,\n", clients);
+    std::fprintf(f, "    \"server_threads\": %zu,\n", server_options.threads);
+    std::fprintf(f, "    \"transport\": \"loopback HTTP/1.1 keep-alive\"\n  },\n");
+    print_phase(f, "cold_predict", cold, true);
+    print_phase(f, "warm_predict", warm, true);
+    print_phase(f, "mixed", mixed, false);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "  -> %s\n", json_path.c_str());
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string json_path = "BENCH_serve.json";
+    std::size_t clients = 2;
+    std::size_t warm_requests = 20000;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const std::string json_prefix = "--serve-json=";
+        const std::string clients_prefix = "--clients=";
+        const std::string requests_prefix = "--requests=";
+        if (arg.rfind(json_prefix, 0) == 0) {
+            json_path = arg.substr(json_prefix.size());
+        } else if (arg.rfind(clients_prefix, 0) == 0) {
+            clients = std::stoul(arg.substr(clients_prefix.size()));
+        } else if (arg.rfind(requests_prefix, 0) == 0) {
+            warm_requests = std::stoul(arg.substr(requests_prefix.size()));
+        } else {
+            std::fprintf(stderr,
+                         "usage: serve_load [--serve-json=FILE] [--clients=N] "
+                         "[--requests=N]\n");
+            return 1;
+        }
+    }
+    return run(json_path, clients, warm_requests);
+}

@@ -51,6 +51,17 @@ const ReachProfile& Engine::reach(model::SignalId source) const {
     std::optional<ReachProfile>& slot = cache_[source.index()];
     if (slot) return *slot;
 
+    ReachProfile profile = solve(source);
+    if (!profile.converged) any_unconverged_ = true;
+    ++solves_;
+    slot = std::move(profile);
+    return *slot;
+}
+
+ReachProfile Engine::solve(model::SignalId source) const {
+    if (!source.valid() || source.index() >= incoming_.size()) {
+        throw std::out_of_range("analytic::Engine::solve: invalid source signal");
+    }
     const std::size_t n = incoming_.size();
     ReachProfile profile;
     profile.source = source;
@@ -95,10 +106,7 @@ const ReachProfile& Engine::reach(model::SignalId source) const {
     }
     profile.iterations = iter;
     profile.converged = converged;
-    if (!converged) any_unconverged_ = true;
-    ++solves_;
-    slot = std::move(profile);
-    return *slot;
+    return profile;
 }
 
 Bound Engine::permeability(model::SignalId source, model::SignalId sink) const {

@@ -68,7 +68,15 @@ public:
     [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
 
     /// Reach profile of `source` (cached per source after the first query).
+    /// NOT thread-safe (mutates the per-source cache); concurrent callers
+    /// must use solve() instead.
     [[nodiscard]] const ReachProfile& reach(model::SignalId source) const;
+
+    /// Pure fixpoint solve of `source` — identical result to reach() but
+    /// touches no mutable state, so a shared const Engine can be solved
+    /// from many threads at once (the serve layer memoizes the profiles
+    /// behind its own shard-locked cache).
+    [[nodiscard]] ReachProfile solve(model::SignalId source) const;
 
     /// Composed source→sink permeability: the probability an error in
     /// `source` becomes visible at `sink`. The analytic counterpart of

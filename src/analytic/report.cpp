@@ -1,0 +1,42 @@
+#include "analytic/report.hpp"
+
+namespace epea::analytic {
+
+util::JsonValue bound_json(const Bound& b) {
+    util::JsonObject o;
+    o.emplace("lo", util::JsonValue(b.lo));
+    o.emplace("point", util::JsonValue(b.point));
+    o.emplace("hi", util::JsonValue(b.hi));
+    return util::JsonValue(std::move(o));
+}
+
+std::string predict_pair_json(const std::string& source, const std::string& sink,
+                              const Bound& permeability, bool converged) {
+    util::JsonObject o;
+    o.emplace("source", util::JsonValue(source));
+    o.emplace("sink", util::JsonValue(sink));
+    o.emplace("permeability", bound_json(permeability));
+    o.emplace("converged", util::JsonValue(converged));
+    return util::JsonValue(std::move(o)).dump() + "\n";
+}
+
+std::string predict_profile_json(const std::string& sink,
+                                 const std::vector<PredictRow>& rows,
+                                 bool converged) {
+    util::JsonArray signals;
+    for (const PredictRow& r : rows) {
+        util::JsonObject row;
+        row.emplace("signal", util::JsonValue(r.signal));
+        row.emplace("exposure",
+                    r.exposure ? bound_json(*r.exposure) : util::JsonValue(nullptr));
+        if (r.impact) row.emplace("impact", bound_json(*r.impact));
+        signals.emplace_back(std::move(row));
+    }
+    util::JsonObject o;
+    o.emplace("sink", util::JsonValue(sink));
+    o.emplace("signals", util::JsonValue(std::move(signals)));
+    o.emplace("converged", util::JsonValue(converged));
+    return util::JsonValue(std::move(o)).dump() + "\n";
+}
+
+}  // namespace epea::analytic

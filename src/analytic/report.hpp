@@ -1,0 +1,41 @@
+// JSON reporters for `analytic predict` answers — shared between the
+// CLI (`epea_tool analytic predict --json`) and the serve daemon
+// (`POST /v1/analytic/predict`) so the two emit byte-identical bodies
+// for the same query (serve_test proves it against the real binary).
+// Both build a util::JsonValue (sorted keys, deterministic dump) and
+// append the CLI's trailing newline.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analytic/engine.hpp"
+#include "util/json.hpp"
+
+namespace epea::analytic {
+
+/// {"hi":...,"lo":...,"point":...} — the error-bar triple.
+[[nodiscard]] util::JsonValue bound_json(const Bound& b);
+
+/// Pair query: source → sink composed permeability.
+[[nodiscard]] std::string predict_pair_json(const std::string& source,
+                                            const std::string& sink,
+                                            const Bound& permeability,
+                                            bool converged);
+
+/// One row of the full profile: exposure is nullopt for system inputs
+/// (serialized as JSON null), impact is nullopt for the sink itself
+/// (field omitted).
+struct PredictRow {
+    std::string signal;
+    std::optional<Bound> exposure;
+    std::optional<Bound> impact;
+};
+
+/// Full profile query: every signal's exposure + impact on `sink`.
+[[nodiscard]] std::string predict_profile_json(const std::string& sink,
+                                               const std::vector<PredictRow>& rows,
+                                               bool converged);
+
+}  // namespace epea::analytic

@@ -9,6 +9,15 @@
 
 namespace epea::obs {
 
+// Injected by src/obs/CMakeLists.txt from CMAKE_BUILD_TYPE.
+#ifndef EPEA_BUILD_TYPE
+#define EPEA_BUILD_TYPE ""
+#endif
+
+const char* build_type() noexcept {
+    return EPEA_BUILD_TYPE[0] == '\0' ? "unspecified" : EPEA_BUILD_TYPE;
+}
+
 double process_cpu_seconds() noexcept {
     return static_cast<double>(std::clock()) / static_cast<double>(CLOCKS_PER_SEC);
 }
@@ -40,6 +49,7 @@ util::JsonValue Manifest::to_json() const {
     root.emplace("seed_base", util::JsonValue(seed_base));
     root.emplace("fastpath", util::JsonValue(fastpath));
     root.emplace("obs_enabled", util::JsonValue(obs_enabled));
+    root.emplace("build_type", util::JsonValue(build_type));
     root.emplace("threads", util::JsonValue(threads));
     root.emplace("wall_seconds", util::JsonValue(wall_seconds));
     root.emplace("cpu_seconds", util::JsonValue(cpu_seconds));
@@ -63,6 +73,7 @@ Manifest Manifest::from_json(const util::JsonValue& v) {
     m.seed_base = static_cast<std::uint64_t>(v.at("seed_base").as_int());
     m.fastpath = v.at("fastpath").as_bool();
     m.obs_enabled = v.at("obs_enabled").as_bool();
+    m.build_type = v.at("build_type").as_string();
     m.threads = static_cast<std::size_t>(v.at("threads").as_int());
     m.wall_seconds = v.at("wall_seconds").as_double();
     m.cpu_seconds = v.at("cpu_seconds").as_double();

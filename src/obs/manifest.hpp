@@ -26,10 +26,17 @@ namespace epea::obs {
 /// FNV-1a 64-bit — the manifest's config fingerprint.
 [[nodiscard]] std::uint64_t fnv1a64(const std::string& data) noexcept;
 
+/// CMAKE_BUILD_TYPE this obs library was compiled under ("Release",
+/// "Debug", ... or "unspecified" for single-config builds without one).
+/// Reported by `epea_tool version`, /version and every manifest so an
+/// artifact can be traced to the binary flavour that produced it.
+[[nodiscard]] const char* build_type() noexcept;
+
 struct Manifest {
     /// Bump when fields change meaning; schemas/manifest.schema.json and
     /// the obs tests pin the field set of the current version.
-    static constexpr std::int64_t kSchemaVersion = 1;
+    /// v2: added build_type.
+    static constexpr std::int64_t kSchemaVersion = 2;
 
     std::string tool_version;
     std::string command;        ///< e.g. "campaign run"
@@ -37,6 +44,7 @@ struct Manifest {
     std::uint64_t seed_base = 0;
     bool fastpath = true;
     bool obs_enabled = kEnabled;
+    std::string build_type = obs::build_type();
     std::size_t threads = 0;
     double wall_seconds = 0.0;
     double cpu_seconds = 0.0;

@@ -1,0 +1,34 @@
+#include "opt/report.hpp"
+
+#include <algorithm>
+
+#include "util/json.hpp"
+
+namespace epea::opt {
+
+std::string optimize_result_json(const SearchResult& result,
+                                 const std::vector<Candidate>& candidates,
+                                 ErrorModel model,
+                                 const std::string& benefit_mode) {
+    std::vector<std::string> names = result.selected_names(candidates);
+    std::sort(names.begin(), names.end());
+
+    util::JsonArray selected;
+    for (const std::string& name : names) selected.emplace_back(name);
+
+    util::JsonObject cost;
+    cost.emplace("memory", util::JsonValue(result.cost.memory));
+    cost.emplace("time", util::JsonValue(result.cost.time));
+
+    util::JsonObject o;
+    o.emplace("benefit", util::JsonValue(benefit_mode));
+    o.emplace("error_model", util::JsonValue(to_string(model)));
+    o.emplace("selected", util::JsonValue(std::move(selected)));
+    o.emplace("coverage", util::JsonValue(result.coverage));
+    o.emplace("cost", util::JsonValue(std::move(cost)));
+    o.emplace("evaluations", util::JsonValue(result.evaluations));
+    o.emplace("exact", util::JsonValue(result.exact));
+    return util::JsonValue(std::move(o)).dump() + "\n";
+}
+
+}  // namespace epea::opt

@@ -1,0 +1,156 @@
+#include "serve/client.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace epea::serve {
+
+namespace {
+
+std::string to_lower(std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return s;
+}
+
+}  // namespace
+
+HttpClient::HttpClient(std::uint16_t port) : port_(port) {}
+
+HttpClient::~HttpClient() { disconnect(); }
+
+void HttpClient::disconnect() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void HttpClient::connect() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error("client: socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port_);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+        const std::string err = std::strerror(errno);
+        disconnect();
+        throw std::runtime_error("client: connect 127.0.0.1:" +
+                                 std::to_string(port_) + ": " + err);
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+ClientResponse HttpClient::request(const std::string& method,
+                                   const std::string& target,
+                                   const std::string& body) {
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        if (fd_ < 0) connect();
+
+        std::string out = method + " " + target + " HTTP/1.1\r\n";
+        out += "Host: 127.0.0.1\r\n";
+        if (!body.empty() || method == "POST") {
+            out += "Content-Type: application/json\r\n";
+            out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+        }
+        out += "\r\n";
+        out += body;
+
+        bool io_failed = false;
+        std::size_t sent = 0;
+        while (sent < out.size()) {
+            const ssize_t n =
+                ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EINTR) continue;
+                io_failed = true;
+                break;
+            }
+            sent += static_cast<std::size_t>(n);
+        }
+        if (io_failed) {
+            // Stale keep-alive connection the server already closed:
+            // reconnect once and resend.
+            disconnect();
+            if (attempt == 0) continue;
+            throw std::runtime_error("client: send failed");
+        }
+
+        std::string buf;
+        std::size_t head_end;
+        while ((head_end = buf.find("\r\n\r\n")) == std::string::npos) {
+            char chunk[4096];
+            const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+            if (n <= 0) {
+                io_failed = true;
+                break;
+            }
+            buf.append(chunk, static_cast<std::size_t>(n));
+        }
+        if (io_failed) {
+            disconnect();
+            if (attempt == 0) continue;
+            throw std::runtime_error("client: connection closed before response");
+        }
+
+        ClientResponse resp;
+        const std::string head = buf.substr(0, head_end);
+        std::size_t pos = head.find("\r\n");
+        const std::string status_line =
+            pos == std::string::npos ? head : head.substr(0, pos);
+        const std::size_t sp = status_line.find(' ');
+        if (sp == std::string::npos) throw std::runtime_error("client: bad status line");
+        resp.status = std::atoi(status_line.c_str() + sp + 1);
+        pos = pos == std::string::npos ? head.size() : pos + 2;
+        while (pos < head.size()) {
+            std::size_t eol = head.find("\r\n", pos);
+            if (eol == std::string::npos) eol = head.size();
+            const std::string line = head.substr(pos, eol - pos);
+            pos = eol + 2;
+            const std::size_t colon = line.find(':');
+            if (colon == std::string::npos) continue;
+            std::string value = line.substr(colon + 1);
+            while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+                value.erase(value.begin());
+            }
+            resp.headers[to_lower(line.substr(0, colon))] = value;
+        }
+
+        std::size_t content_length = 0;
+        const auto cl = resp.headers.find("content-length");
+        if (cl != resp.headers.end()) {
+            content_length = static_cast<std::size_t>(std::strtoull(
+                cl->second.c_str(), nullptr, 10));
+        }
+        const std::size_t body_start = head_end + 4;
+        while (buf.size() - body_start < content_length) {
+            char chunk[4096];
+            const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+            if (n <= 0) {
+                disconnect();
+                throw std::runtime_error("client: connection closed mid-body");
+            }
+            buf.append(chunk, static_cast<std::size_t>(n));
+        }
+        resp.body = buf.substr(body_start, content_length);
+
+        const auto conn = resp.headers.find("connection");
+        if (conn != resp.headers.end() && to_lower(conn->second) == "close") {
+            disconnect();
+        }
+        return resp;
+    }
+    throw std::runtime_error("client: request failed");  // unreachable
+}
+
+}  // namespace epea::serve

@@ -1,0 +1,50 @@
+// Minimal blocking HTTP/1.1 client for loopback use only — shared by
+// the serve tests and the bench/serve_load driver so both talk to the
+// daemon exactly the way a real peer would (full TCP round trip, not
+// an in-process shortcut). Supports keep-alive: one HttpClient holds
+// one connection and reconnects transparently when the server closes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace epea::serve {
+
+struct ClientResponse {
+    int status = 0;
+    std::map<std::string, std::string> headers;  // lower-cased keys
+    std::string body;
+};
+
+class HttpClient {
+public:
+    explicit HttpClient(std::uint16_t port);
+    ~HttpClient();
+
+    HttpClient(const HttpClient&) = delete;
+    HttpClient& operator=(const HttpClient&) = delete;
+
+    /// One round trip. `body` is sent with Content-Length for POST.
+    /// Throws std::runtime_error on connect/IO failure.
+    ClientResponse request(const std::string& method, const std::string& target,
+                           const std::string& body = "");
+
+    ClientResponse get(const std::string& target) {
+        return request("GET", target);
+    }
+    ClientResponse post(const std::string& target, const std::string& body) {
+        return request("POST", target, body);
+    }
+
+    /// Drops the current connection (forces a fresh one next request).
+    void disconnect();
+
+private:
+    void connect();
+
+    std::uint16_t port_;
+    int fd_ = -1;
+};
+
+}  // namespace epea::serve

@@ -1,0 +1,63 @@
+#include "serve/daemon.hpp"
+
+#include <csignal>
+#include <cstdio>
+#include <ctime>
+
+#include <atomic>
+
+namespace epea::serve {
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+}  // namespace
+
+int run_daemon(const DaemonOptions& options) {
+    g_stop.store(false, std::memory_order_relaxed);
+    try {
+        Service service(options.service);
+        HttpServer server(options.server, [&service](const HttpRequest& req) {
+            return service.handle(req);
+        });
+        server.start();
+
+        struct sigaction sa = {};
+        sa.sa_handler = on_signal;
+        ::sigaction(SIGINT, &sa, nullptr);
+        ::sigaction(SIGTERM, &sa, nullptr);
+        // Peers that vanish mid-response must surface as EPIPE on the
+        // worker's send, never as a process-killing signal.
+        std::signal(SIGPIPE, SIG_IGN);
+
+        if (options.announce) {
+            std::fprintf(stderr, "epea_tool serve: listening on 127.0.0.1:%u\n",
+                         static_cast<unsigned>(server.port()));
+        }
+
+        timespec nap{};
+        nap.tv_nsec = 50 * 1000 * 1000;  // 50 ms signal-poll cadence
+        while (!g_stop.load(std::memory_order_relaxed)) {
+            ::nanosleep(&nap, nullptr);
+        }
+
+        if (options.announce) {
+            std::fprintf(stderr,
+                         "epea_tool serve: draining (%llu connections, %llu "
+                         "requests served)\n",
+                         static_cast<unsigned long long>(server.connections_accepted()),
+                         static_cast<unsigned long long>(server.requests_handled()));
+        }
+        server.shutdown();
+        service.join_campaigns();
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "serve: %s\n", e.what());
+        return 1;
+    }
+}
+
+}  // namespace epea::serve

@@ -1,0 +1,25 @@
+// The `epea_tool serve` process shell: wires a Service into an
+// HttpServer, installs SIGINT/SIGTERM handlers, and blocks until a
+// signal arrives — then drains gracefully (stop accepting, finish
+// in-flight requests, join submitted campaign threads) and returns so
+// the CLI can flush observability artifacts and exit 0.
+#pragma once
+
+#include "serve/http.hpp"
+#include "serve/service.hpp"
+
+namespace epea::serve {
+
+struct DaemonOptions {
+    ServiceOptions service;
+    ServerOptions server;
+    /// Announce the bound port on stderr once listening (the CI smoke
+    /// job greps for it).
+    bool announce = true;
+};
+
+/// Runs the daemon until SIGINT/SIGTERM. Returns 0 after a clean drain,
+/// 1 when startup fails (e.g. the port is taken).
+[[nodiscard]] int run_daemon(const DaemonOptions& options);
+
+}  // namespace epea::serve

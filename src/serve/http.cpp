@@ -1,0 +1,367 @@
+#include "serve/http.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace epea::serve {
+
+namespace {
+
+std::string to_lower(std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return s;
+}
+
+/// Trims HTTP optional whitespace (space / htab) from both ends.
+std::string_view trim_ows(std::string_view s) {
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+    return s;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(const std::string& name) const {
+    const auto it = headers.find(to_lower(name));
+    return it == headers.end() ? nullptr : &it->second;
+}
+
+bool HttpRequest::keep_alive() const {
+    const std::string* conn = header("connection");
+    if (version == "HTTP/1.0") {
+        return conn && to_lower(*conn) == "keep-alive";
+    }
+    return !conn || to_lower(*conn) != "close";
+}
+
+HttpResponse HttpResponse::text(int status, std::string body) {
+    HttpResponse r;
+    r.status = status;
+    r.content_type = "text/plain; charset=utf-8";
+    r.body = std::move(body);
+    return r;
+}
+
+HttpResponse HttpResponse::json(int status, std::string body) {
+    HttpResponse r;
+    r.status = status;
+    r.body = std::move(body);
+    return r;
+}
+
+const char* status_text(int status) noexcept {
+    switch (status) {
+        case 200: return "OK";
+        case 202: return "Accepted";
+        case 400: return "Bad Request";
+        case 404: return "Not Found";
+        case 405: return "Method Not Allowed";
+        case 408: return "Request Timeout";
+        case 413: return "Content Too Large";
+        case 431: return "Request Header Fields Too Large";
+        case 500: return "Internal Server Error";
+        case 503: return "Service Unavailable";
+        default:  return "Unknown";
+    }
+}
+
+bool parse_request_head(std::string_view head, HttpRequest& out) {
+    out = HttpRequest{};
+    const std::size_t line_end = head.find("\r\n");
+    const std::string_view request_line =
+        line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+    // request-line = method SP request-target SP HTTP-version
+    const std::size_t sp1 = request_line.find(' ');
+    if (sp1 == std::string_view::npos || sp1 == 0) return false;
+    const std::size_t sp2 = request_line.find(' ', sp1 + 1);
+    if (sp2 == std::string_view::npos || sp2 == sp1 + 1) return false;
+    if (request_line.find(' ', sp2 + 1) != std::string_view::npos) return false;
+    out.method = std::string(request_line.substr(0, sp1));
+    out.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+    out.version = std::string(request_line.substr(sp2 + 1));
+    if (out.version != "HTTP/1.1" && out.version != "HTTP/1.0") return false;
+    if (out.target.empty() || out.target[0] != '/') return false;
+
+    std::size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+    while (pos < head.size()) {
+        std::size_t eol = head.find("\r\n", pos);
+        if (eol == std::string_view::npos) eol = head.size();
+        const std::string_view line = head.substr(pos, eol - pos);
+        pos = eol + 2;
+        if (line.empty()) continue;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string_view::npos || colon == 0) return false;
+        const std::string_view name = line.substr(0, colon);
+        // Field names must not contain whitespace (obsolete line folding
+        // is rejected as malformed rather than silently merged).
+        if (name.find(' ') != std::string_view::npos ||
+            name.find('\t') != std::string_view::npos) {
+            return false;
+        }
+        out.headers[to_lower(std::string(name))] =
+            std::string(trim_ows(line.substr(colon + 1)));
+    }
+    return true;
+}
+
+HttpServer::HttpServer(ServerOptions options, HttpHandler handler)
+    : options_(options), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { shutdown(); }
+
+void HttpServer::start() {
+    if (started_.exchange(true)) {
+        throw std::logic_error("HttpServer::start called twice");
+    }
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        throw std::runtime_error("serve: socket(): " +
+                                 std::string(std::strerror(errno)));
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options_.port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+        const std::string err = std::strerror(errno);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw std::runtime_error("serve: cannot bind 127.0.0.1:" +
+                                 std::to_string(options_.port) + ": " + err);
+    }
+    if (::listen(listen_fd_, options_.backlog) < 0) {
+        const std::string err = std::strerror(errno);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw std::runtime_error("serve: listen(): " + err);
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+        bound_port_ = ntohs(addr.sin_port);
+    }
+
+    const std::size_t n = std::max<std::size_t>(1, options_.threads);
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+    accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void HttpServer::shutdown() {
+    if (!started_.load(std::memory_order_relaxed)) return;
+    if (stopping_.exchange(true)) {
+        wait();
+        return;
+    }
+    // Closing the listen socket unblocks accept() with an error; the
+    // accept loop sees stopping_ and exits.
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+    queue_cv_.notify_all();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    for (std::thread& w : workers_) {
+        if (w.joinable()) w.join();
+    }
+    // Connections still queued but never picked up: refuse them cleanly.
+    for (const int fd : pending_) ::close(fd);
+    pending_.clear();
+    {
+        const std::lock_guard<std::mutex> lock(done_mutex_);
+        done_ = true;
+    }
+    done_cv_.notify_all();
+}
+
+void HttpServer::wait() {
+    std::unique_lock<std::mutex> lock(done_mutex_);
+    done_cv_.wait(lock, [this] { return done_; });
+}
+
+void HttpServer::accept_loop() {
+    while (!stopping()) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR) continue;
+            if (stopping()) break;
+            continue;  // transient accept failure; keep serving
+        }
+        connections_.fetch_add(1, std::memory_order_relaxed);
+        {
+            const std::lock_guard<std::mutex> lock(queue_mutex_);
+            pending_.push_back(fd);
+        }
+        queue_cv_.notify_one();
+    }
+}
+
+void HttpServer::worker_loop() {
+    for (;;) {
+        int fd = -1;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock, [this] { return stopping() || !pending_.empty(); });
+            if (pending_.empty()) return;  // stopping and drained
+            fd = pending_.front();
+            pending_.pop_front();
+        }
+        handle_connection(fd);
+    }
+}
+
+void HttpServer::handle_connection(int fd) {
+    timeval tv{};
+    tv.tv_sec = options_.recv_timeout_ms / 1000;
+    tv.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    std::string buf;
+    for (;;) {
+        HttpRequest req;
+        const int rc = read_request(fd, buf, req);
+        if (rc < 0) break;  // closed / errored / drained / idle timeout
+        if (rc > 0) {
+            // Protocol error: answer it and close — the byte stream can
+            // no longer be trusted to frame the next request.
+            HttpResponse err = HttpResponse::json(
+                rc, std::string("{\"errors\":1,\"findings\":[{\"artifact\":"
+                                "\"serve:request\",\"message\":\"") +
+                        status_text(rc) +
+                        "\",\"object\":\"http\",\"rule\":\"SERVE-E" +
+                        std::to_string(rc) +
+                        "\",\"severity\":\"error\"}],\"warnings\":0}\n");
+            (void)write_response(fd, err, false);
+            break;
+        }
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        HttpResponse resp;
+        try {
+            resp = handler_(req);
+        } catch (const std::exception& e) {
+            resp = HttpResponse::json(
+                500, std::string("{\"errors\":1,\"findings\":[{\"artifact\":"
+                                 "\"serve:handler\",\"message\":\"") +
+                         e.what() +
+                         "\",\"object\":\"exception\",\"rule\":\"SERVE-E500\","
+                         "\"severity\":\"error\"}],\"warnings\":0}\n");
+        }
+        const bool keep = req.keep_alive() && !stopping();
+        if (!write_response(fd, resp, keep)) break;
+        if (!keep) break;
+    }
+    ::close(fd);
+}
+
+int HttpServer::read_request(int fd, std::string& buf, HttpRequest& req) {
+    // Phase 1: read until the end of the header block.
+    std::size_t head_end;
+    int idle_ms = 0;
+    while ((head_end = buf.find("\r\n\r\n")) == std::string::npos) {
+        if (buf.size() > options_.max_header_bytes) return 431;
+        char chunk[4096];
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n == 0) return -1;  // peer closed
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                if (stopping()) return -1;  // draining: give the fd up
+                idle_ms += options_.recv_timeout_ms;
+                if (idle_ms >= options_.idle_timeout_ms) return -1;
+                continue;
+            }
+            return -1;
+        }
+        idle_ms = 0;
+        buf.append(chunk, static_cast<std::size_t>(n));
+    }
+
+    // A complete head can outgrow the limit within one recv, so the
+    // in-loop check alone is not enough.
+    if (head_end > options_.max_header_bytes) return 431;
+    if (!parse_request_head(std::string_view(buf).substr(0, head_end), req)) {
+        return 400;
+    }
+
+    // Phase 2: the body, length-checked BEFORE buffering.
+    std::size_t content_length = 0;
+    if (const std::string* cl = req.header("content-length")) {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(cl->c_str(), &end, 10);
+        if (end == cl->c_str() || *end != '\0') return 400;
+        content_length = static_cast<std::size_t>(v);
+    }
+    if (req.header("transfer-encoding")) return 400;  // chunked unsupported
+    if (content_length > options_.max_body_bytes) return 413;
+
+    const std::size_t body_start = head_end + 4;
+    while (buf.size() - body_start < content_length) {
+        char chunk[4096];
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n == 0) return -1;
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                if (stopping()) return -1;
+                idle_ms += options_.recv_timeout_ms;
+                if (idle_ms >= options_.idle_timeout_ms) return -1;
+                continue;
+            }
+            return -1;
+        }
+        idle_ms = 0;
+        buf.append(chunk, static_cast<std::size_t>(n));
+    }
+    req.body = buf.substr(body_start, content_length);
+    buf.erase(0, body_start + content_length);  // keep-alive carry-over
+    return 0;
+}
+
+bool HttpServer::write_response(int fd, const HttpResponse& resp, bool keep_alive) {
+    std::string out;
+    out.reserve(resp.body.size() + 160);
+    out += "HTTP/1.1 ";
+    out += std::to_string(resp.status);
+    out += ' ';
+    out += status_text(resp.status);
+    out += "\r\nContent-Type: ";
+    out += resp.content_type;
+    out += "\r\nContent-Length: ";
+    out += std::to_string(resp.body.size());
+    out += keep_alive ? "\r\nConnection: keep-alive" : "\r\nConnection: close";
+    out += "\r\n\r\n";
+    out += resp.body;
+
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+        // MSG_NOSIGNAL: a peer that disconnected mid-response must fail
+        // the send with EPIPE, not kill the daemon with SIGPIPE.
+        const ssize_t n =
+            ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+            return false;  // EPIPE/ECONNRESET: client went away
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+}  // namespace epea::serve

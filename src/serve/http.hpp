@@ -1,0 +1,159 @@
+// Dependency-free HTTP/1.1 server core for `epea_tool serve` (DESIGN.md
+// §13): a blocking accept loop feeding a bounded queue of connections to
+// a worker thread pool. Deliberately small — exactly the subset the
+// placement/analysis service needs:
+//
+//  - request parsing with hard limits (header block and body size are
+//    length-checked *before* buffering, so a hostile peer cannot balloon
+//    memory; oversized bodies answer 413, oversized heads 431);
+//  - keep-alive (HTTP/1.1 default; `Connection: close` honoured), with a
+//    per-connection idle timeout so parked sockets cannot pin workers;
+//  - graceful drain: shutdown() stops the accept loop, lets every
+//    in-flight request finish, closes the connections and joins the
+//    workers — the caller then flushes observability artifacts knowing
+//    no handler is still running.
+//
+// The parser half (parse_request_head) is a pure function over a byte
+// range so tests can exercise malformed request edge cases without a
+// socket in sight.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace epea::serve {
+
+/// One parsed request. Header names are lower-cased at parse time, so
+/// lookups are case-insensitive per RFC 9110.
+struct HttpRequest {
+    std::string method;   ///< "GET", "POST", ...
+    std::string target;   ///< origin-form, e.g. "/v1/analytic/predict"
+    std::string version;  ///< "HTTP/1.1"
+    std::map<std::string, std::string> headers;
+    std::string body;
+
+    /// Header value by (lower-case) name, or nullptr when absent.
+    [[nodiscard]] const std::string* header(const std::string& name) const;
+    /// HTTP/1.1 defaults to keep-alive; "connection: close" (any case)
+    /// or an HTTP/1.0 request without "keep-alive" turns it off.
+    [[nodiscard]] bool keep_alive() const;
+};
+
+struct HttpResponse {
+    int status = 200;
+    std::string content_type = "application/json";
+    std::string body;
+
+    [[nodiscard]] static HttpResponse text(int status, std::string body);
+    [[nodiscard]] static HttpResponse json(int status, std::string body);
+};
+
+/// Canonical reason phrase for the status codes the service emits.
+[[nodiscard]] const char* status_text(int status) noexcept;
+
+/// Parses the request line + header block (everything before the blank
+/// line, excluding the final CRLFCRLF). Returns false on malformed input
+/// (bad request line, bad header syntax). The body is NOT consumed here.
+[[nodiscard]] bool parse_request_head(std::string_view head, HttpRequest& out);
+
+struct ServerOptions {
+    /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (the
+    /// bound port is available from HttpServer::port() after start()).
+    std::uint16_t port = 8080;
+    std::size_t threads = 4;          ///< worker pool size
+    std::size_t max_header_bytes = 16 * 1024;
+    std::size_t max_body_bytes = 4 * 1024 * 1024;
+    /// Per-recv timeout; the read loop re-checks the drain flag at this
+    /// cadence, so shutdown latency is bounded by it.
+    int recv_timeout_ms = 250;
+    /// Idle keep-alive connections are closed after this long.
+    int idle_timeout_ms = 60 * 1000;
+    int backlog = 64;
+};
+
+/// The application: request in, response out. Must be thread-safe — it
+/// is called concurrently from every worker.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+public:
+    HttpServer(ServerOptions options, HttpHandler handler);
+    ~HttpServer();
+
+    HttpServer(const HttpServer&) = delete;
+    HttpServer& operator=(const HttpServer&) = delete;
+
+    /// Binds, listens and spawns the accept thread + worker pool. Throws
+    /// std::runtime_error when the port cannot be bound. Idempotent-safe
+    /// to call once only.
+    void start();
+
+    /// Port actually bound (resolves port 0 to the ephemeral choice).
+    [[nodiscard]] std::uint16_t port() const noexcept { return bound_port_; }
+
+    /// Graceful drain: stop accepting, finish in-flight requests, close
+    /// all connections, join every thread. Safe to call from any thread
+    /// (including a signal-watcher); subsequent calls are no-ops.
+    void shutdown();
+
+    /// Blocks until shutdown() has completed (from any caller).
+    void wait();
+
+    [[nodiscard]] bool stopping() const noexcept {
+        return stopping_.load(std::memory_order_relaxed);
+    }
+
+    /// Total connections accepted / requests parsed (for tests and the
+    /// bench driver; the service layer owns the real obs metrics).
+    [[nodiscard]] std::uint64_t connections_accepted() const noexcept {
+        return connections_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t requests_handled() const noexcept {
+        return requests_.load(std::memory_order_relaxed);
+    }
+
+private:
+    void accept_loop();
+    void worker_loop();
+    /// Serves one connection until close/error/drain. Always closes fd.
+    void handle_connection(int fd);
+    /// Reads one request off `fd` into `req` using `buf` as carry-over
+    /// between keep-alive requests. Returns the HTTP status to respond
+    /// with: 0 = got a request, -1 = connection closed/errored/timed out
+    /// (no response owed), else an error status (400/413/431).
+    int read_request(int fd, std::string& buf, HttpRequest& req);
+    [[nodiscard]] bool write_response(int fd, const HttpResponse& resp,
+                                      bool keep_alive);
+
+    ServerOptions options_;
+    HttpHandler handler_;
+    int listen_fd_ = -1;
+    std::uint16_t bound_port_ = 0;
+
+    std::thread accept_thread_;
+    std::vector<std::thread> workers_;
+
+    std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<int> pending_;  ///< accepted fds awaiting a worker
+
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stopping_{false};
+    std::mutex done_mutex_;
+    std::condition_variable done_cv_;
+    bool done_ = false;
+
+    std::atomic<std::uint64_t> connections_{0};
+    std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace epea::serve

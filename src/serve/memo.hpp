@@ -1,0 +1,140 @@
+// Shard-locked memo cache for serve answers (DESIGN.md §13). The hot
+// use is the per-source ReachProfile memo behind /v1/analytic/predict:
+// every worker thread may ask for the same source concurrently, so the
+// map is split into shards, each behind its own mutex, keyed by a
+// string. Values are shared_ptr<const V>, so an entry being evicted
+// while a reader still holds it is safe — eviction only drops the
+// cache's reference.
+//
+// Eviction is a cheap LRU clock per shard: each hit stamps the entry
+// with a monotonically increasing tick; when a shard outgrows its
+// budget the stalest entry in that shard goes. This is deliberately
+// per-shard (no global LRU order) — the point is bounding memory, not
+// perfect recency.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace epea::serve {
+
+struct MemoStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+};
+
+template <typename V>
+class ShardedMemo {
+public:
+    /// `max_entries_per_shard` bounds each shard independently; 0 means
+    /// unbounded (tests use tiny budgets to force eviction).
+    explicit ShardedMemo(std::size_t shard_count = 8,
+                         std::size_t max_entries_per_shard = 1024)
+        : shards_(shard_count == 0 ? 1 : shard_count),
+          max_per_shard_(max_entries_per_shard) {}
+
+    ShardedMemo(const ShardedMemo&) = delete;
+    ShardedMemo& operator=(const ShardedMemo&) = delete;
+
+    /// Looks up `key`; on miss, runs `compute` and stores the result.
+    /// Returns {value, was_hit}. The compute runs under the shard lock,
+    /// which is exactly what the ReachProfile memo wants: concurrent
+    /// requests for the SAME source serialize (one solve), requests for
+    /// different sources on different shards proceed in parallel.
+    std::pair<std::shared_ptr<const V>, bool> get_or_compute(
+        const std::string& key, const std::function<V()>& compute) {
+        Shard& shard = shard_for(key);
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        const std::uint64_t now = clock_.fetch_add(1, std::memory_order_relaxed);
+        auto it = shard.entries.find(key);
+        if (it != shard.entries.end()) {
+            it->second.last_used = now;
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return {it->second.value, true};
+        }
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        auto value = std::make_shared<const V>(compute());
+        if (max_per_shard_ != 0 && shard.entries.size() >= max_per_shard_) {
+            evict_one(shard);
+        }
+        shard.entries.emplace(key, Entry{value, now});
+        return {value, false};
+    }
+
+    /// Lookup without compute; nullptr on miss (does not count stats).
+    std::shared_ptr<const V> peek(const std::string& key) {
+        Shard& shard = shard_for(key);
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.entries.find(key);
+        if (it == shard.entries.end()) return nullptr;
+        it->second.last_used = clock_.fetch_add(1, std::memory_order_relaxed);
+        return it->second.value;
+    }
+
+    /// Drops every entry (model reload invalidation).
+    void clear() {
+        for (Shard& shard : shards_) {
+            const std::lock_guard<std::mutex> lock(shard.mutex);
+            shard.entries.clear();
+        }
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        std::size_t n = 0;
+        for (const Shard& shard : shards_) {
+            const std::lock_guard<std::mutex> lock(shard.mutex);
+            n += shard.entries.size();
+        }
+        return n;
+    }
+
+    [[nodiscard]] MemoStats stats() const {
+        MemoStats s;
+        s.hits = hits_.load(std::memory_order_relaxed);
+        s.misses = misses_.load(std::memory_order_relaxed);
+        s.evictions = evictions_.load(std::memory_order_relaxed);
+        return s;
+    }
+
+private:
+    struct Entry {
+        std::shared_ptr<const V> value;
+        std::uint64_t last_used = 0;
+    };
+    struct Shard {
+        mutable std::mutex mutex;
+        std::unordered_map<std::string, Entry> entries;
+    };
+
+    Shard& shard_for(const std::string& key) {
+        return shards_[std::hash<std::string>{}(key) % shards_.size()];
+    }
+
+    void evict_one(Shard& shard) {
+        auto victim = shard.entries.begin();
+        for (auto it = shard.entries.begin(); it != shard.entries.end(); ++it) {
+            if (it->second.last_used < victim->second.last_used) victim = it;
+        }
+        if (victim != shard.entries.end()) {
+            shard.entries.erase(victim);
+            evictions_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+    std::vector<Shard> shards_;
+    std::size_t max_per_shard_;
+    std::atomic<std::uint64_t> clock_{0};
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace epea::serve

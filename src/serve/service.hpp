@@ -1,0 +1,134 @@
+// The serve application layer (DESIGN.md §13): routes HTTP requests to
+// the analytic engine, placement optimizer, linter and campaign
+// executor, reusing the exact JSON reporters the CLI prints so every
+// answer is byte-identical to the equivalent `epea_tool` invocation.
+//
+// Threading model: the HttpServer calls handle() concurrently from its
+// worker pool. All shared state is either immutable after construction
+// (model, matrix, a const analytic::Engine queried only through its
+// pure solve()/exposure()), internally synchronized (the shard-locked
+// ReachProfile memo, the single-flight table, the metrics registry), or
+// serialized behind a named mutex (the ground-truth evaluator, whose
+// subset_cache.json is a single on-disk artifact; the campaign job
+// table).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analytic/engine.hpp"
+#include "campaign/spec.hpp"
+#include "epic/matrix.hpp"
+#include "model/system_model.hpp"
+#include "serve/http.hpp"
+#include "serve/memo.hpp"
+#include "serve/singleflight.hpp"
+
+namespace epea::serve {
+
+struct ServiceOptions {
+    /// Stamped into /version responses (the CLI passes EPEA_VERSION).
+    std::string tool_version = "0.0.0-dev";
+    /// Propagation model file (epic::load_system_text format); empty
+    /// loads the built-in arrestment target.
+    std::string model_path;
+    /// Permeability matrix CSV; empty loads the paper's Table-1 matrix.
+    std::string matrix_path;
+    /// Working directory for ground-truth optimize (subset_cache.json +
+    /// eval-* campaigns) and submitted campaigns; empty disables both
+    /// endpoint families with a 503.
+    std::string eval_dir;
+    /// ReachProfile memo geometry.
+    std::size_t memo_shards = 8;
+    std::size_t memo_entries_per_shard = 1024;
+    /// Sizing defaults for ground-truth evaluations (mirrors the CLI's
+    /// EvaluatorOptions defaults; requests may override).
+    std::size_t gt_cases = 25;
+    std::size_t gt_times = 10;
+    std::size_t gt_shards = 5;
+    std::size_t gt_threads = 1;
+};
+
+/// A campaign started through POST /v1/campaign/submit, running on its
+/// own thread; status is read from the campaign directory's checkpoint
+/// files, so it survives daemon restarts too.
+struct CampaignJob {
+    std::string id;
+    std::string dir;
+    std::thread worker;
+    std::atomic<int> state{0};  ///< 0 running, 1 finished, 2 failed, 3 paused
+    std::string error;          ///< set when state == 2 (after state store)
+};
+
+class Service {
+public:
+    explicit Service(ServiceOptions options);
+    ~Service();
+
+    Service(const Service&) = delete;
+    Service& operator=(const Service&) = delete;
+
+    /// The HttpHandler: thread-safe, never throws (internal errors
+    /// become finding-style 500 bodies).
+    [[nodiscard]] HttpResponse handle(const HttpRequest& req);
+
+    /// Blocks until every submitted campaign thread has finished
+    /// (called by the daemon during graceful drain).
+    void join_campaigns();
+
+    [[nodiscard]] const model::SystemModel& system() const noexcept {
+        return *system_;
+    }
+    [[nodiscard]] MemoStats memo_stats() const { return reach_memo_.stats(); }
+    [[nodiscard]] std::uint64_t singleflight_leads() const noexcept {
+        return optimize_flight_.leads();
+    }
+    [[nodiscard]] std::uint64_t singleflight_joins() const noexcept {
+        return optimize_flight_.joins();
+    }
+    /// Ground-truth campaigns executed by optimize requests so far.
+    [[nodiscard]] std::uint64_t campaigns_executed() const noexcept {
+        return gt_campaigns_.load(std::memory_order_relaxed);
+    }
+
+    /// Drops every memoized ReachProfile (model reload invalidation).
+    void invalidate_memo() { reach_memo_.clear(); }
+
+private:
+    HttpResponse handle_healthz();
+    HttpResponse handle_version();
+    HttpResponse handle_metrics();
+    HttpResponse handle_predict(const HttpRequest& req);
+    HttpResponse handle_optimize(const HttpRequest& req);
+    HttpResponse handle_lint(const HttpRequest& req);
+    HttpResponse handle_campaign_submit(const HttpRequest& req);
+    HttpResponse handle_campaign_status(const std::string& id);
+
+    /// Memoized pure solve of `source`'s reach profile.
+    [[nodiscard]] std::shared_ptr<const analytic::ReachProfile> profile(
+        model::SignalId source);
+
+    ServiceOptions options_;
+    std::unique_ptr<model::SystemModel> system_;
+    std::unique_ptr<epic::PermeabilityMatrix> pm_;
+    std::unique_ptr<analytic::Engine> engine_;  ///< queried via solve() only
+
+    ShardedMemo<analytic::ReachProfile> reach_memo_;
+    SingleFlight<std::string> optimize_flight_;
+    /// Ground-truth evaluations serialize here: subset_cache.json and
+    /// the eval-* campaign directories are one shared on-disk resource.
+    std::mutex gt_mutex_;
+    std::atomic<std::uint64_t> gt_campaigns_{0};
+
+    std::mutex campaigns_mutex_;
+    std::map<std::string, std::unique_ptr<CampaignJob>> campaigns_;
+    std::uint64_t next_campaign_id_ = 1;
+};
+
+}  // namespace epea::serve

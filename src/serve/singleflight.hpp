@@ -1,0 +1,106 @@
+// Single-flight execution for expensive serve answers (DESIGN.md §13).
+// When N concurrent requests ask for the same cold ground-truth subset
+// evaluation, exactly one of them (the leader) runs the campaign; the
+// rest block on the in-flight entry and share its result. This is the
+// mechanism behind the acceptance criterion "concurrent identical cold
+// place/optimize requests execute exactly one campaign".
+//
+// Results are returned as shared_ptr<const V>; a leader whose compute
+// throws propagates the exception to every waiter (stored as
+// std::exception_ptr) and removes the entry so a later request retries.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace epea::serve {
+
+template <typename V>
+class SingleFlight {
+public:
+    SingleFlight() = default;
+    SingleFlight(const SingleFlight&) = delete;
+    SingleFlight& operator=(const SingleFlight&) = delete;
+
+    /// Runs `compute` for `key` unless an identical call is already in
+    /// flight, in which case this blocks and shares the leader's
+    /// result. Returns {value, led} where `led` is true for the leader.
+    /// Unlike a memo, the result is NOT cached after the flight lands —
+    /// layering a memo on top is the caller's choice.
+    std::pair<std::shared_ptr<const V>, bool> run(
+        const std::string& key, const std::function<V()>& compute) {
+        std::shared_ptr<Flight> flight;
+        bool leader = false;
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            auto it = inflight_.find(key);
+            if (it != inflight_.end()) {
+                flight = it->second;
+            } else {
+                flight = std::make_shared<Flight>();
+                inflight_.emplace(key, flight);
+                leader = true;
+            }
+        }
+        if (leader) {
+            leads_.fetch_add(1, std::memory_order_relaxed);
+            try {
+                auto value = std::make_shared<const V>(compute());
+                land(key, flight, std::move(value), nullptr);
+            } catch (...) {
+                land(key, flight, nullptr, std::current_exception());
+            }
+        } else {
+            joins_.fetch_add(1, std::memory_order_relaxed);
+            std::unique_lock<std::mutex> lock(flight->mutex);
+            flight->cv.wait(lock, [&] { return flight->done; });
+        }
+        if (flight->error) std::rethrow_exception(flight->error);
+        return {flight->value, leader};
+    }
+
+    /// Leaders started / followers that joined an existing flight.
+    [[nodiscard]] std::uint64_t leads() const noexcept {
+        return leads_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t joins() const noexcept {
+        return joins_.load(std::memory_order_relaxed);
+    }
+
+private:
+    struct Flight {
+        std::mutex mutex;
+        std::condition_variable cv;
+        bool done = false;
+        std::shared_ptr<const V> value;
+        std::exception_ptr error;
+    };
+
+    void land(const std::string& key, const std::shared_ptr<Flight>& flight,
+              std::shared_ptr<const V> value, std::exception_ptr error) {
+        {
+            const std::lock_guard<std::mutex> lock(flight->mutex);
+            flight->value = std::move(value);
+            flight->error = error;
+            flight->done = true;
+        }
+        flight->cv.notify_all();
+        const std::lock_guard<std::mutex> lock(mutex_);
+        inflight_.erase(key);
+    }
+
+    std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_ptr<Flight>> inflight_;
+    std::atomic<std::uint64_t> leads_{0};
+    std::atomic<std::uint64_t> joins_{0};
+};
+
+}  // namespace epea::serve

@@ -302,15 +302,15 @@ Manifest example_manifest() {
 }
 
 TEST(ObsManifestTest, SchemaFieldSetIsStable) {
-    // The schema contract: version 1 has exactly these keys. Adding or
-    // renaming one requires bumping kSchemaVersion and the checked-in
-    // schemas/manifest.schema.json.
+    // The schema contract: version 2 has exactly these keys (v2 added
+    // build_type). Adding or renaming one requires bumping
+    // kSchemaVersion and the checked-in schemas/manifest.schema.json.
     const util::JsonValue v = example_manifest().to_json();
     const std::vector<std::string> expected = {
-        "command",     "config",       "config_hash",  "cpu_seconds",
-        "created_unix", "fastpath",    "fastpath_stats", "metrics",
-        "obs_enabled", "schema",       "seed_base",    "threads",
-        "tool_version", "wall_seconds",
+        "build_type",  "command",      "config",       "config_hash",
+        "cpu_seconds", "created_unix", "fastpath",     "fastpath_stats",
+        "metrics",     "obs_enabled",  "schema",       "seed_base",
+        "threads",     "tool_version", "wall_seconds",
     };
     std::vector<std::string> keys;
     for (const auto& [k, _] : v.as_object()) keys.push_back(k);

@@ -10,6 +10,7 @@
 //   epea_tool analytic predict|diff-plan|validate  engine queries, no campaign
 //   epea_tool synth [--layers ...]               generate a synthetic system
 //   epea_tool obs trace|metrics DIR              inspect observability artifacts
+//   epea_tool serve [--port N]                   HTTP/JSON placement service
 //   epea_tool version                            print the tool version
 //
 // Matrices written by `estimate` feed `analyze`, so the expensive
@@ -47,6 +48,7 @@
 
 #include "analysis/campaign_lint.hpp"
 #include "analytic/benefit.hpp"
+#include "analytic/report.hpp"
 #include "analytic/context.hpp"
 #include "analytic/delta.hpp"
 #include "analytic/validate.hpp"
@@ -70,6 +72,8 @@
 #include "fi/injector.hpp"
 #include "model/dot.hpp"
 #include "opt/optimizer.hpp"
+#include "opt/report.hpp"
+#include "serve/daemon.hpp"
 #include "synth/generator.hpp"
 #include "util/table.hpp"
 
@@ -103,7 +107,7 @@ int usage() {
                  "  obs metrics DIR                print DIR metrics as Prometheus text\n"
                  "  place optimize [--error-model input|severe]\n"
                  "                 [--benefit visibility|analytic|ground-truth]\n"
-                 "                 [--budget-memory B]\n"
+                 "                 [--budget-memory B] [--json]\n"
                  "                 [--budget-time T] [--ground-truth --dir DIR]\n"
                  "                 [--cases N] [--times M] [--shards S] [--threads T]\n"
                  "                 [--no-fastpath] [--trace-out FILE] [--metrics-out FILE]\n"
@@ -128,6 +132,9 @@ int usage() {
                  "  synth [--layers N] [--width N] [--fan-in N] [--fan-out N]\n"
                  "        [--edge-density D] [--cycle-density D] [--seed S]\n"
                  "        [--out FILE] [--matrix-out FILE]\n"
+                 "  serve [--model FILE] [--matrix FILE] [--port N] [--threads T]\n"
+                 "        [--eval-dir DIR] [--cases N] [--times M]\n"
+                 "        [--trace-out FILE] [--metrics-out FILE]\n"
                  "  version\n");
     return 2;
 }
@@ -597,7 +604,7 @@ int cmd_place(const std::vector<std::string>& args) {
                   {"--error-model", "--benefit", "--budget-memory", "--budget-time",
                    "--dir", "--cases", "--times", "--shards", "--threads",
                    "--out-prefix", "--trace-out", "--metrics-out"},
-                  {"--ground-truth", "--verbose", "--no-fastpath"})) {
+                  {"--ground-truth", "--verbose", "--no-fastpath", "--json"})) {
         return usage();
     }
 
@@ -629,6 +636,14 @@ int cmd_place(const std::vector<std::string>& args) {
                 options.budget.time = std::stod(*b);
             }
             const opt::SearchResult result = optimizer.optimize(options);
+            if (has_flag(rest, "--json")) {
+                // Shared reporter: byte-identical to POST /v1/place/optimize.
+                std::fputs(opt::optimize_result_json(result, optimizer.candidates(),
+                                                     model, mode_name)
+                               .c_str(),
+                           stdout);
+                return obs_cli.finish();
+            }
             std::printf("placement (%s, %s model, %s): {%s}\n", mode,
                         opt::to_string(model), result.exact ? "exact" : "greedy",
                         opt::canonical_subset(
@@ -930,14 +945,6 @@ std::string bound_str(const analytic::Bound& b) {
     return buf;
 }
 
-util::JsonValue bound_json(const analytic::Bound& b) {
-    util::JsonObject o;
-    o.emplace("lo", util::JsonValue(b.lo));
-    o.emplace("point", util::JsonValue(b.point));
-    o.emplace("hi", util::JsonValue(b.hi));
-    return util::JsonValue(std::move(o));
-}
-
 /// `analytic predict` — composed permeability / exposure / impact with
 /// error bars, from a matrix CSV (default: the paper's Table 1), with no
 /// injection run at all.
@@ -966,12 +973,11 @@ int cmd_analytic_predict(const std::vector<std::string>& args) {
         const analytic::Bound b =
             engine.permeability(system.signal_id(*source), sink);
         if (has_flag(args, "--json")) {
-            util::JsonObject o;
-            o.emplace("source", util::JsonValue(*source));
-            o.emplace("sink", util::JsonValue(sink_name));
-            o.emplace("permeability", bound_json(b));
-            o.emplace("converged", util::JsonValue(!engine.any_unconverged()));
-            std::printf("%s\n", util::JsonValue(std::move(o)).dump().c_str());
+            // Shared reporter: byte-identical to POST /v1/analytic/predict.
+            std::fputs(analytic::predict_pair_json(*source, sink_name, b,
+                                                   !engine.any_unconverged())
+                           .c_str(),
+                       stdout);
         } else {
             std::printf("P(%s -> %s) = %s%s\n", source->c_str(), sink_name.c_str(),
                         bound_str(b).c_str(),
@@ -981,23 +987,18 @@ int cmd_analytic_predict(const std::vector<std::string>& args) {
     }
 
     if (has_flag(args, "--json")) {
-        util::JsonArray rows;
+        std::vector<analytic::PredictRow> rows;
         for (const model::SignalId s : system.all_signals()) {
-            util::JsonObject row;
-            row.emplace("signal", util::JsonValue(system.signal_name(s)));
-            const auto x = engine.exposure(s);
-            row.emplace("exposure",
-                        x ? bound_json(*x) : util::JsonValue(nullptr));
-            if (s != sink) {
-                row.emplace("impact", bound_json(engine.permeability(s, sink)));
-            }
-            rows.emplace_back(std::move(row));
+            analytic::PredictRow row;
+            row.signal = system.signal_name(s);
+            row.exposure = engine.exposure(s);
+            if (s != sink) row.impact = engine.permeability(s, sink);
+            rows.push_back(std::move(row));
         }
-        util::JsonObject o;
-        o.emplace("sink", util::JsonValue(sink_name));
-        o.emplace("signals", util::JsonValue(std::move(rows)));
-        o.emplace("converged", util::JsonValue(!engine.any_unconverged()));
-        std::printf("%s\n", util::JsonValue(std::move(o)).dump().c_str());
+        std::fputs(analytic::predict_profile_json(sink_name, rows,
+                                                  !engine.any_unconverged())
+                       .c_str(),
+                   stdout);
         return 0;
     }
 
@@ -1302,9 +1303,60 @@ int cmd_synth(const std::vector<std::string>& args) {
     }
 }
 
+/// `epea_tool serve` — the long-running placement/analysis daemon
+/// (DESIGN.md §13). Loads model + matrix once, answers concurrent
+/// HTTP/JSON queries until SIGINT/SIGTERM, then drains gracefully and
+/// flushes the usual observability artifacts.
+int cmd_serve(const std::vector<std::string>& args) {
+    if (!flags_ok(args,
+                  {"--model", "--matrix", "--port", "--threads", "--eval-dir",
+                   "--cases", "--times", "--trace-out", "--metrics-out"},
+                  {})) {
+        return usage();
+    }
+    try {
+        serve::DaemonOptions options;
+        options.service.tool_version = EPEA_VERSION;
+        if (const auto m = flag_value(args, "--model")) options.service.model_path = *m;
+        if (const auto m = flag_value(args, "--matrix")) {
+            options.service.matrix_path = *m;
+        }
+        if (const auto d = flag_value(args, "--eval-dir")) options.service.eval_dir = *d;
+        if (const auto c = flag_value(args, "--cases")) {
+            options.service.gt_cases = static_cast<std::size_t>(std::stoul(*c));
+        }
+        if (const auto t = flag_value(args, "--times")) {
+            options.service.gt_times = static_cast<std::size_t>(std::stoul(*t));
+        }
+        if (const auto p = flag_value(args, "--port")) {
+            options.server.port = static_cast<std::uint16_t>(std::stoul(*p));
+        }
+        if (const auto t = flag_value(args, "--threads")) {
+            options.server.threads = static_cast<std::size_t>(std::stoul(*t));
+        }
+
+        ObsCli obs_cli(args, "serve");
+        {
+            util::JsonObject config;
+            config.emplace("eval_dir", util::JsonValue(options.service.eval_dir));
+            config.emplace("port", util::JsonValue(options.server.port));
+            config.emplace("threads", util::JsonValue(options.server.threads));
+            obs_cli.manifest().config = std::move(config);
+            obs_cli.manifest().threads = options.server.threads;
+        }
+        const int rc = serve::run_daemon(options);
+        const int obs_rc = obs_cli.finish();
+        return rc != 0 ? rc : obs_rc;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "serve: %s\n", e.what());
+        return 1;
+    }
+}
+
 int cmd_version(const std::vector<std::string>& args) {
     if (!flags_ok(args, {}, {})) return usage();
-    std::printf("epea_tool %s\n", EPEA_VERSION);
+    std::printf("epea_tool %s (%s, obs %s)\n", EPEA_VERSION, obs::build_type(),
+                obs::kEnabled ? "on" : "off");
     return 0;
 }
 
@@ -1325,6 +1377,7 @@ int main(int argc, char** argv) {
     if (command == "lint") return cmd_lint(args);
     if (command == "analytic") return cmd_analytic(args);
     if (command == "synth") return cmd_synth(args);
+    if (command == "serve") return cmd_serve(args);
     if (command == "version") return cmd_version(args);
     std::fprintf(stderr, "epea_tool: unknown command '%s'\n", command.c_str());
     return usage();

@@ -9,6 +9,12 @@ gate. When no binary is available (e.g. linting before the first build)
 it falls back to the original pure-python scan, which implements the
 same contract: every `counter("...")` / `gauge("...")` / `histogram("...")`
 literal must match ^[a-z][a-z0-9_.]*$. Exits 1 listing offenders.
+
+`--prom FILE` (FILE of "-" reads stdin) instead lints a scraped
+Prometheus exposition — e.g. the serve daemon's GET /metrics — checking
+every exported family name against the same contract after the dot ->
+underscore mapping: ^[a-z][a-z0-9_]*$, with histogram series allowed
+their _bucket{le="..."} / _sum / _count suffixes.
 """
 
 import os
@@ -50,7 +56,56 @@ def python_fallback(root: Path) -> int:
     return 0
 
 
+PROM_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+PROM_TYPES = {"counter", "gauge", "histogram"}
+
+
+def lint_prometheus(path: str) -> int:
+    text = sys.stdin.read() if path == "-" else Path(path).read_text()
+    bad = []
+    families = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                name, kind = parts[2], parts[3]
+                families[name] = kind
+                if not PROM_NAME_RE.match(name):
+                    bad.append(f"{path}:{lineno}: bad family name {name!r}")
+                if kind not in PROM_TYPES:
+                    bad.append(f"{path}:{lineno}: bad family type {kind!r}")
+            continue
+        series = line.split(None, 1)[0]
+        name = series.split("{", 1)[0]
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                base = name[: -len(suffix)]
+                break
+        if not PROM_NAME_RE.match(name):
+            bad.append(f"{path}:{lineno}: bad series name {name!r}")
+        elif base not in families:
+            bad.append(f"{path}:{lineno}: series {name!r} has no # TYPE line")
+    for offender in bad:
+        print(offender, file=sys.stderr)
+    if bad:
+        return 1
+    if not families:
+        print(f"{path}: no metric families found", file=sys.stderr)
+        return 1
+    print(f"{len(families)} exported families, all match ^[a-z][a-z0-9_]*$")
+    return 0
+
+
 def main():
+    if len(sys.argv) >= 2 and sys.argv[1] == "--prom":
+        if len(sys.argv) != 3:
+            print("usage: lint_metric_names.py --prom FILE", file=sys.stderr)
+            return 2
+        return lint_prometheus(sys.argv[2])
     root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
     tool = find_tool(root)
     if tool is None:
