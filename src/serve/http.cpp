@@ -230,6 +230,9 @@ void HttpServer::handle_connection(int fd) {
     tv.tv_sec = options_.recv_timeout_ms / 1000;
     tv.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    // Sends time out at the same cadence: a peer that stops reading
+    // (write-side slow-loris) must not pin this worker forever.
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 
@@ -350,15 +353,25 @@ bool HttpServer::write_response(int fd, const HttpResponse& resp, bool keep_aliv
     out += resp.body;
 
     std::size_t sent = 0;
+    int idle_ms = 0;
     while (sent < out.size()) {
         // MSG_NOSIGNAL: a peer that disconnected mid-response must fail
         // the send with EPIPE, not kill the daemon with SIGPIPE.
         const ssize_t n =
             ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
         if (n < 0) {
-            if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // SO_SNDTIMEO expired: the peer is not draining its
+                // receive buffer. Bounded like the recv path — give the
+                // connection up after the idle budget.
+                idle_ms += options_.recv_timeout_ms;
+                if (idle_ms >= options_.idle_timeout_ms) return false;
+                continue;
+            }
             return false;  // EPIPE/ECONNRESET: client went away
         }
+        idle_ms = 0;
         sent += static_cast<std::size_t>(n);
     }
     return true;

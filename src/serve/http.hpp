@@ -72,10 +72,12 @@ struct ServerOptions {
     std::size_t threads = 4;          ///< worker pool size
     std::size_t max_header_bytes = 16 * 1024;
     std::size_t max_body_bytes = 4 * 1024 * 1024;
-    /// Per-recv timeout; the read loop re-checks the drain flag at this
-    /// cadence, so shutdown latency is bounded by it.
+    /// Per-recv AND per-send timeout; the read loop re-checks the drain
+    /// flag at this cadence, so shutdown latency is bounded by it, and a
+    /// peer that stops reading cannot block a send indefinitely.
     int recv_timeout_ms = 250;
-    /// Idle keep-alive connections are closed after this long.
+    /// Idle keep-alive connections are closed after this long; a write
+    /// that makes no progress for this long is abandoned too.
     int idle_timeout_ms = 60 * 1000;
     int backlog = 64;
 };

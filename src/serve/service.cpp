@@ -1,9 +1,11 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "analysis/finding.hpp"
 #include "analysis/matrix_lint.hpp"
@@ -182,6 +184,58 @@ std::string opt_string(const util::JsonValue& body, const char* key,
     return v ? v->as_string() : fallback;
 }
 
+/// Request-controlled sizing caps: an errant or hostile body must not
+/// be able to demand unbounded work from one request.
+constexpr std::int64_t kMaxRequestCases = 10'000;
+constexpr std::int64_t kMaxRequestTimes = 10'000;
+
+/// Validates `v` as an integer in [1, cap]; 400 otherwise. Negative
+/// values in particular must never reach a size_t cast.
+std::size_t positive_size(const util::JsonValue& v, const char* key,
+                          std::int64_t cap, const char* endpoint) {
+    std::int64_t n = 0;
+    try {
+        n = v.as_int();
+    } catch (const std::exception&) {
+        n = 0;  // non-integer: fails the range check below
+    }
+    if (n < 1 || n > cap) {
+        throw ServeError{400, endpoint,
+                         std::string("'") + key + "' must be an integer in 1.." +
+                             std::to_string(cap)};
+    }
+    return static_cast<std::size_t>(n);
+}
+
+std::int64_t max_request_threads() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::int64_t>(hw);
+}
+
+/// A submitted campaign dir must stay inside --eval-dir: relative only,
+/// with no "." / ".." / empty path segments; 400 otherwise.
+void validate_campaign_dir(const std::string& dir) {
+    if (dir[0] == '/') {
+        throw ServeError{400, "campaign_submit",
+                         "'dir' must be relative to the daemon's --eval-dir"};
+    }
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t slash = dir.find('/', start);
+        const std::string_view component =
+            std::string_view(dir).substr(start, slash == std::string::npos
+                                                    ? std::string::npos
+                                                    : slash - start);
+        if (component.empty() || component == "." || component == "..") {
+            throw ServeError{400, "campaign_submit",
+                             "'dir' must not contain empty, '.' or '..' "
+                             "path segments"};
+        }
+        if (slash == std::string::npos) break;
+        start = slash + 1;
+    }
+}
+
 const char* kMethodNotAllowed = "method not allowed";
 
 }  // namespace
@@ -214,8 +268,17 @@ Service::Service(ServiceOptions options)
 Service::~Service() { join_campaigns(); }
 
 void Service::join_campaigns() {
-    const std::lock_guard<std::mutex> lock(campaigns_mutex_);
-    for (auto& [id, job] : campaigns_) {
+    // Snapshot under the lock, join outside it: a worker that fails
+    // while we join takes its own error_mutex, never campaigns_mutex_,
+    // so drain cannot deadlock against a failing campaign.
+    std::vector<std::shared_ptr<CampaignJob>> jobs;
+    {
+        const std::lock_guard<std::mutex> lock(campaigns_mutex_);
+        jobs.reserve(campaigns_.size());
+        for (auto& [id, job] : campaigns_) jobs.push_back(job);
+    }
+    const std::lock_guard<std::mutex> join_lock(join_mutex_);
+    for (const auto& job : jobs) {
         if (job->worker.joinable()) job->worker.join();
     }
 }
@@ -366,10 +429,10 @@ HttpResponse Service::handle_optimize(const HttpRequest& req) {
     gt.shards = options_.gt_shards;
     gt.threads = options_.gt_threads;
     if (const util::JsonValue* v = body.find("cases")) {
-        gt.cases = static_cast<std::size_t>(v->as_int());
+        gt.cases = positive_size(*v, "cases", kMaxRequestCases, "optimize");
     }
     if (const util::JsonValue* v = body.find("times")) {
-        gt.times_per_bit = static_cast<std::size_t>(v->as_int());
+        gt.times_per_bit = positive_size(*v, "times", kMaxRequestTimes, "optimize");
     }
     if (benefit == "ground-truth" && options_.eval_dir.empty()) {
         throw ServeError{503, "optimize",
@@ -442,16 +505,15 @@ HttpResponse Service::handle_campaign_submit(const HttpRequest& req) {
     const util::JsonValue body = parse_body(req, "campaign_submit");
     const util::JsonValue* dir_field = body.find("dir");
     if (!dir_field) throw ServeError{400, "campaign_submit", "missing 'dir'"};
-    std::string dir = dir_field->as_string();
-    if (dir.empty()) throw ServeError{400, "campaign_submit", "empty 'dir'"};
-    if (dir[0] != '/') {
-        if (options_.eval_dir.empty()) {
-            throw ServeError{503, "campaign_submit",
-                             "relative dir needs the daemon started with "
-                             "--eval-dir"};
-        }
-        dir = options_.eval_dir + "/" + dir;
+    const std::string raw_dir = dir_field->as_string();
+    if (raw_dir.empty()) throw ServeError{400, "campaign_submit", "empty 'dir'"};
+    validate_campaign_dir(raw_dir);
+    if (options_.eval_dir.empty()) {
+        throw ServeError{503, "campaign_submit",
+                         "campaign submit needs the daemon started with "
+                         "--eval-dir"};
     }
+    const std::string dir = options_.eval_dir + "/" + raw_dir;
 
     campaign::CampaignSpec spec;
     if (const util::JsonValue* s = body.find("spec")) {
@@ -467,33 +529,59 @@ HttpResponse Service::handle_campaign_submit(const HttpRequest& req) {
     campaign::ExecutorOptions exec;
     exec.threads = 1;
     if (const util::JsonValue* t = body.find("threads")) {
-        exec.threads = static_cast<std::size_t>(t->as_int());
+        exec.threads =
+            positive_size(*t, "threads", max_request_threads(), "campaign_submit");
     }
 
-    CampaignJob* job = nullptr;
+    std::shared_ptr<CampaignJob> job;
+    std::vector<std::shared_ptr<CampaignJob>> reaped;
     std::string id;
     {
         const std::lock_guard<std::mutex> lock(campaigns_mutex_);
-        id = "c" + std::to_string(next_campaign_id_++);
-        auto owned = std::make_unique<CampaignJob>();
-        owned->id = id;
-        owned->dir = dir;
-        job = owned.get();
-        campaigns_.emplace(id, std::move(owned));
+        id = "c" + std::to_string(next_campaign_id_);
+        job = std::make_shared<CampaignJob>();
+        job->id = id;
+        job->dir = dir;
+        job->seq = next_campaign_id_++;
+        campaigns_.emplace(id, job);
+
+        // Reap: drop the oldest finished/failed jobs beyond the retention
+        // cap so a long-lived daemon's table stays bounded (their on-disk
+        // checkpoints remain the durable record; status answers 404).
+        std::vector<std::shared_ptr<CampaignJob>> done;
+        for (const auto& [jid, j] : campaigns_) {
+            if (j->state.load(std::memory_order_acquire) != 0) done.push_back(j);
+        }
+        if (done.size() > options_.max_finished_jobs) {
+            std::sort(done.begin(), done.end(),
+                      [](const auto& a, const auto& b) { return a->seq < b->seq; });
+            done.resize(done.size() - options_.max_finished_jobs);
+            for (const auto& j : done) campaigns_.erase(j->id);
+            reaped = std::move(done);
+        }
     }
-    job->worker = std::thread([this, job, dir, spec, exec] {
+    // The worker holds the job alive via shared_ptr and touches only the
+    // job's own error_mutex — never campaigns_mutex_ — so reap/drain can
+    // join it without a lock-order cycle.
+    job->worker = std::thread([job, dir, spec, exec] {
         try {
             campaign::CampaignExecutor executor(dir, spec);
             const bool finished = executor.run(exec);
             job->state.store(finished ? 1 : 3, std::memory_order_release);
         } catch (const std::exception& e) {
             {
-                const std::lock_guard<std::mutex> lock(campaigns_mutex_);
+                const std::lock_guard<std::mutex> lock(job->error_mutex);
                 job->error = e.what();
             }
             job->state.store(2, std::memory_order_release);
         }
     });
+    if (!reaped.empty()) {
+        const std::lock_guard<std::mutex> join_lock(join_mutex_);
+        for (const auto& j : reaped) {
+            if (j->worker.joinable()) j->worker.join();
+        }
+    }
 
     util::JsonObject o;
     o.emplace("dir", util::JsonValue(dir));
@@ -503,19 +591,22 @@ HttpResponse Service::handle_campaign_submit(const HttpRequest& req) {
 }
 
 HttpResponse Service::handle_campaign_status(const std::string& id) {
-    CampaignJob* job = nullptr;
-    std::string error;
+    std::shared_ptr<CampaignJob> job;
     {
         const std::lock_guard<std::mutex> lock(campaigns_mutex_);
         const auto it = campaigns_.find(id);
         if (it == campaigns_.end()) {
             throw ServeError{404, "campaign_status", "unknown campaign '" + id + "'"};
         }
-        job = it->second.get();
-        error = job->error;
+        job = it->second;
     }
     static const char* kStates[] = {"running", "finished", "failed", "paused"};
     const int state = job->state.load(std::memory_order_acquire);
+    std::string error;
+    if (state == 2) {
+        const std::lock_guard<std::mutex> lock(job->error_mutex);
+        error = job->error;
+    }
 
     util::JsonObject o;
     o.emplace("dir", util::JsonValue(job->dir));

@@ -10,7 +10,9 @@
 // ReachProfile memo, the single-flight table, the metrics registry), or
 // serialized behind a named mutex (the ground-truth evaluator, whose
 // subset_cache.json is a single on-disk artifact; the campaign job
-// table).
+// table). Campaign workers never take the table mutex — each job's
+// mutable error string has its own mutex — so draining can join worker
+// threads without holding a lock any worker might want.
 #pragma once
 
 #include <atomic>
@@ -53,6 +55,11 @@ struct ServiceOptions {
     std::size_t gt_times = 10;
     std::size_t gt_shards = 5;
     std::size_t gt_threads = 1;
+    /// Finished/failed campaign jobs retained for status lookups; the
+    /// oldest beyond this are reaped on the next submit (their on-disk
+    /// checkpoints remain the durable record). Running jobs never count
+    /// against the cap and are never reaped.
+    std::size_t max_finished_jobs = 64;
 };
 
 /// A campaign started through POST /v1/campaign/submit, running on its
@@ -61,9 +68,14 @@ struct ServiceOptions {
 struct CampaignJob {
     std::string id;
     std::string dir;
+    std::uint64_t seq = 0;  ///< submit order, for oldest-first reaping
     std::thread worker;
     std::atomic<int> state{0};  ///< 0 running, 1 finished, 2 failed, 3 paused
-    std::string error;          ///< set when state == 2 (after state store)
+    /// Guards `error` only. Deliberately per-job: the worker thread
+    /// takes it on failure, so it must not be the table mutex a joiner
+    /// could be holding while waiting for that same worker.
+    std::mutex error_mutex;
+    std::string error;  ///< set (under error_mutex) before state == 2
 };
 
 class Service {
@@ -126,8 +138,14 @@ private:
     std::mutex gt_mutex_;
     std::atomic<std::uint64_t> gt_campaigns_{0};
 
+    /// Guards the table itself; jobs are shared_ptr so a status reader
+    /// or the reaper can keep one alive after releasing the lock.
     std::mutex campaigns_mutex_;
-    std::map<std::string, std::unique_ptr<CampaignJob>> campaigns_;
+    /// Serializes worker joins (drain vs. the submit-time reaper —
+    /// std::thread::join races with itself). Workers never take it, and
+    /// it never nests with campaigns_mutex_.
+    std::mutex join_mutex_;
+    std::map<std::string, std::shared_ptr<CampaignJob>> campaigns_;
     std::uint64_t next_campaign_id_ = 1;
 };
 

@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -202,6 +203,100 @@ TEST(ServeCampaign, SubmitRunsToFinishedStatus) {
     EXPECT_EQ(client.get("/v1/campaign/nope/status").status, 404);
 
     server.shutdown();
+    service.join_campaigns();
+}
+
+serve::HttpRequest post_request(const std::string& target,
+                                const std::string& body) {
+    serve::HttpRequest req;
+    req.method = "POST";
+    req.target = target;
+    req.version = "HTTP/1.1";
+    req.body = body;
+    return req;
+}
+
+serve::HttpRequest get_request(const std::string& target) {
+    serve::HttpRequest req;
+    req.method = "GET";
+    req.target = target;
+    req.version = "HTTP/1.1";
+    return req;
+}
+
+/// Submits a campaign into `dir` (pre-created as a regular FILE, so the
+/// executor fails instantly) and returns the job id.
+std::string submit_failing_job(serve::Service& service, const fs::path& eval_dir,
+                               const std::string& dir) {
+    std::ofstream(eval_dir / dir) << "not a directory";
+    const serve::HttpResponse r = service.handle(
+        post_request("/v1/campaign/submit", "{\"dir\":\"" + dir + "\"}"));
+    EXPECT_EQ(r.status, 202);
+    return util::JsonValue::parse(r.body).at("id").as_string();
+}
+
+/// Polls {id}/status until the job leaves "running"; returns the final
+/// status body (or the last one seen at the deadline).
+util::JsonValue await_job(serve::Service& service, const std::string& id) {
+    util::JsonValue status;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::minutes(1);
+    while (std::chrono::steady_clock::now() < deadline) {
+        const serve::HttpResponse r =
+            service.handle(get_request("/v1/campaign/" + id + "/status"));
+        EXPECT_EQ(r.status, 200);
+        status = util::JsonValue::parse(r.body);
+        if (status.at("state").as_string() != "running") break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return status;
+}
+
+// A campaign that fails while the daemon drains must not deadlock:
+// the worker's error write takes the per-job mutex, never the table
+// mutex join_campaigns holds its snapshot under.
+TEST(ServeCampaign, FailedJobReportsErrorAndDrainJoins) {
+    TempDir tmp("campaign_fail");
+    serve::ServiceOptions options;
+    options.eval_dir = tmp.path.string();
+    serve::Service service(std::move(options));
+
+    const std::string id = submit_failing_job(service, tmp.path, "blocked");
+    // Drain races the failing worker; pre-fix this could deadlock when
+    // the catch path wanted the mutex the joiner held.
+    service.join_campaigns();
+
+    const util::JsonValue status = await_job(service, id);
+    EXPECT_EQ(status.at("state").as_string(), "failed");
+    EXPECT_FALSE(status.at("error").as_string().empty());
+}
+
+// Finished/failed jobs beyond max_finished_jobs are reaped on the next
+// submit, so a long-lived daemon's job table stays bounded.
+TEST(ServeCampaign, FinishedJobsAreReapedBeyondRetentionCap) {
+    TempDir tmp("campaign_reap");
+    serve::ServiceOptions options;
+    options.eval_dir = tmp.path.string();
+    options.max_finished_jobs = 1;
+    serve::Service service(std::move(options));
+
+    std::vector<std::string> ids;
+    for (int i = 0; i < 4; ++i) {
+        ids.push_back(
+            submit_failing_job(service, tmp.path, "f" + std::to_string(i)));
+        // Each job must be terminal before the next submit so the reap
+        // set is deterministic: submit #3 evicts f0, submit #4 evicts f1.
+        EXPECT_EQ(await_job(service, ids.back()).at("state").as_string(),
+                  "failed");
+    }
+    EXPECT_EQ(service.handle(get_request("/v1/campaign/" + ids[0] + "/status"))
+                  .status, 404);
+    EXPECT_EQ(service.handle(get_request("/v1/campaign/" + ids[1] + "/status"))
+                  .status, 404);
+    EXPECT_EQ(service.handle(get_request("/v1/campaign/" + ids[2] + "/status"))
+                  .status, 200);
+    EXPECT_EQ(service.handle(get_request("/v1/campaign/" + ids[3] + "/status"))
+                  .status, 200);
     service.join_campaigns();
 }
 

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 
@@ -244,12 +245,72 @@ TEST_F(ServeTest, GroundTruthWithoutEvalDirIs503) {
     EXPECT_EQ(error_rule(r.body), "SERVE-E503");
 }
 
+TEST_F(ServeTest, OptimizeRejectsNonPositiveSizing) {
+    // Negative/zero sizing must 400, never wrap around to a huge size_t.
+    for (const char* body :
+         {R"({"benefit":"visibility","cases":0})",
+          R"({"benefit":"visibility","cases":-1})",
+          R"({"benefit":"visibility","times":-3})",
+          R"({"benefit":"visibility","times":1000000000})",
+          R"({"benefit":"visibility","cases":"lots"})"}) {
+        const serve::ClientResponse r = client_->post("/v1/place/optimize", body);
+        EXPECT_EQ(r.status, 400) << body;
+        EXPECT_EQ(error_rule(r.body), "SERVE-E400") << body;
+    }
+}
+
+TEST_F(ServeTest, CampaignSubmitRejectsEscapingDirs) {
+    // The dir is confined to --eval-dir: absolute paths and dot segments
+    // are rejected up front (before the eval-dir 503, so a daemon
+    // without --eval-dir still answers traversal attempts with 400).
+    for (const char* body :
+         {R"({"dir":"/tmp/escape"})", R"({"dir":"../escape"})",
+          R"({"dir":"a/../../b"})", R"({"dir":"./x"})", R"({"dir":"a//b"})",
+          R"({"dir":"a/"})"}) {
+        const serve::ClientResponse r =
+            client_->post("/v1/campaign/submit", body);
+        EXPECT_EQ(r.status, 400) << body;
+        EXPECT_EQ(error_rule(r.body), "SERVE-E400") << body;
+    }
+    // A well-formed relative dir on this fixture (no --eval-dir): 503.
+    const serve::ClientResponse ok =
+        client_->post("/v1/campaign/submit", R"({"dir":"job1"})");
+    EXPECT_EQ(ok.status, 503);
+}
+
 TEST_F(ServeTest, KeepAliveReusesOneConnection) {
     ASSERT_EQ(client_->get("/healthz").status, 200);
     ASSERT_EQ(client_->get("/version").status, 200);
     ASSERT_EQ(client_->get("/healthz").status, 200);
     EXPECT_EQ(server_->connections_accepted(), 1U);
     EXPECT_GE(server_->requests_handled(), 3U);
+}
+
+// Thread-count validation needs an --eval-dir daemon; the invalid
+// values must 400 before any job thread is spawned, so handle() can be
+// driven directly without a socket.
+TEST(ServeCampaignValidation, SubmitRejectsBadThreadCounts) {
+    namespace fs = std::filesystem;
+    const fs::path tmp = fs::temp_directory_path() / "epea_serve_threads";
+    fs::remove_all(tmp);
+    fs::create_directories(tmp);
+
+    serve::ServiceOptions options;
+    options.eval_dir = tmp.string();
+    serve::Service service(std::move(options));
+    for (const char* body :
+         {R"({"dir":"job1","threads":0})", R"({"dir":"job1","threads":-4})",
+          R"({"dir":"job1","threads":1000000})"}) {
+        serve::HttpRequest req;
+        req.method = "POST";
+        req.target = "/v1/campaign/submit";
+        req.version = "HTTP/1.1";
+        req.body = body;
+        EXPECT_EQ(service.handle(req).status, 400) << body;
+    }
+    // Nothing was submitted, so nothing was created under eval-dir.
+    EXPECT_TRUE(fs::is_empty(tmp));
+    fs::remove_all(tmp);
 }
 
 // Size limits get a dedicated tiny-limit server so the test does not
