@@ -4,9 +4,15 @@
 // analysis-algorithm scaling on synthetic layered systems.
 //
 // With --fastpath-json=PATH the binary skips the benchmark registry and
-// instead times one paired permeability campaign — fast path vs
+// instead times one paired permeability campaign — scalar fast path vs
 // --no-fastpath — writing a machine-readable comparison (ticks/s, runs/s,
 // pruned %, speedup) to PATH. Scale with EPEA_CASES / EPEA_TIMES.
+//
+// With --batch-json=PATH it times the batched SoA kernel (DESIGN.md §14)
+// against the scalar fast path on the same campaign, verifies the two
+// matrices are cell-identical (values and estimation counts), and writes
+// the comparison with per-lane retirement counters to PATH (committed as
+// BENCH_batch.json).
 //
 // With --metrics-json=PATH it instead times the observability overhead:
 // the same campaign with the tracer+metrics hot path armed vs disarmed
@@ -33,6 +39,7 @@
 #include "analytic/engine.hpp"
 #include "ea/calibrate.hpp"
 #include "epic/impact.hpp"
+#include "epic/matrix.hpp"
 #include "epic/measures.hpp"
 #include "epic/paths.hpp"
 #include "exp/arrestment_experiments.hpp"
@@ -183,6 +190,37 @@ void BM_CampaignFastpath(benchmark::State& state) {
 }
 BENCHMARK(BM_CampaignFastpath)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+/// The same micro campaign with the fast path on, batch kernel off/on by
+/// the arg — the per-iteration time ratio is the batch speedup on top of
+/// the scalar fast path at micro scale.
+void BM_CampaignBatch(benchmark::State& state) {
+    target::ArrestmentSystem sys;
+    exp::CampaignOptions options;
+    options.case_count = 2;
+    options.times_per_bit = 1;
+    options.use_fastpath = true;
+    options.use_batch = state.range(0) != 0;
+    fi::FastPathStats stats;
+    options.fastpath_out = &stats;
+    fi::GoldenCache cache;  // keep goldens warm across iterations
+    options.golden_cache = &cache;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(exp::estimate_arrestment_permeability(sys, options));
+    }
+    const auto runs = static_cast<double>(stats.runs());
+    const auto covered = static_cast<double>(stats.ticks_executed + stats.ticks_saved);
+    state.counters["runs/s"] = benchmark::Counter(runs, benchmark::Counter::kIsRate);
+    state.counters["ticks/s"] = benchmark::Counter(covered, benchmark::Counter::kIsRate);
+    state.counters["lanes"] = static_cast<double>(stats.lanes_launched) /
+                              static_cast<double>(state.iterations());
+    state.counters["sealed_pct"] =
+        stats.lanes_launched > 0
+            ? 100.0 * static_cast<double>(stats.lanes_retired_sealed) /
+                  static_cast<double>(stats.lanes_launched)
+            : 0.0;
+}
+BENCHMARK(BM_CampaignBatch)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 // ------------------------------------------------- --fastpath-json mode
 
 struct FastpathTiming {
@@ -191,9 +229,12 @@ struct FastpathTiming {
     fi::FastPathStats stats;
 };
 
-FastpathTiming time_permeability_campaign(const exp::CampaignOptions& base, bool fastpath) {
+FastpathTiming time_permeability_campaign(
+    const exp::CampaignOptions& base, bool fastpath, bool batch = false,
+    std::vector<epic::PairEntry>* entries_out = nullptr) {
     exp::CampaignOptions options = base;
     options.use_fastpath = fastpath;
+    options.use_batch = batch;
     FastpathTiming t;
     options.fastpath_out = &t.stats;
     const auto t0 = std::chrono::steady_clock::now();
@@ -203,10 +244,27 @@ FastpathTiming time_permeability_campaign(const exp::CampaignOptions& base, bool
     benchmark::DoNotOptimize(&pm);
     t.wall_s = std::chrono::duration<double>(t1 - t0).count();
     t.runs = static_cast<std::size_t>(t.stats.runs());
+    if (entries_out) *entries_out = pm.entries();
     return t;
 }
 
-void print_timing_json(std::FILE* f, const char* name, const FastpathTiming& t) {
+/// Cell-exact matrix comparison: values and estimation counts must match
+/// bit-for-bit (the batch kernel's identity contract).
+bool entries_identical(const std::vector<epic::PairEntry>& a,
+                       const std::vector<epic::PairEntry>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].module != b[i].module || a[i].in_port != b[i].in_port ||
+            a[i].out_port != b[i].out_port || a[i].value != b[i].value ||
+            a[i].affected != b[i].affected || a[i].active != b[i].active) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void print_timing_json(std::FILE* f, const char* name, const FastpathTiming& t,
+                       bool with_lanes = false) {
     const double covered =
         static_cast<double>(t.stats.ticks_executed + t.stats.ticks_saved);
     std::fprintf(f,
@@ -222,8 +280,7 @@ void print_timing_json(std::FILE* f, const char* name, const FastpathTiming& t) 
                  "    \"skipped_runs\": %llu,\n"
                  "    \"pruned_pct\": %.2f,\n"
                  "    \"cache_hits\": %llu,\n"
-                 "    \"cache_misses\": %llu\n"
-                 "  }",
+                 "    \"cache_misses\": %llu",
                  name, t.wall_s, t.runs,
                  t.wall_s > 0 ? static_cast<double>(t.runs) / t.wall_s : 0.0,
                  static_cast<unsigned long long>(t.stats.ticks_executed),
@@ -237,6 +294,19 @@ void print_timing_json(std::FILE* f, const char* name, const FastpathTiming& t) 
                             : 0.0,
                  static_cast<unsigned long long>(t.stats.cache_hits),
                  static_cast<unsigned long long>(t.stats.cache_misses));
+    if (with_lanes) {
+        std::fprintf(f,
+                     ",\n"
+                     "    \"lanes_launched\": %llu,\n"
+                     "    \"lanes_retired_pruned\": %llu,\n"
+                     "    \"lanes_retired_sealed\": %llu,\n"
+                     "    \"lanes_retired_end\": %llu",
+                     static_cast<unsigned long long>(t.stats.lanes_launched),
+                     static_cast<unsigned long long>(t.stats.lanes_retired_pruned),
+                     static_cast<unsigned long long>(t.stats.lanes_retired_sealed),
+                     static_cast<unsigned long long>(t.stats.lanes_retired_end));
+    }
+    std::fprintf(f, "\n  }");
 }
 
 /// Paired fast-vs-slow Table-1 permeability campaign; writes the
@@ -273,6 +343,58 @@ int write_fastpath_json(const std::string& path) {
     std::fclose(f);
     std::fprintf(stderr, "  speedup: %.2fx -> %s\n",
                  fast.wall_s > 0 ? slow.wall_s / fast.wall_s : 0.0, path.c_str());
+    return 0;
+}
+
+// --------------------------------------------------- --batch-json mode
+
+/// Paired batch-vs-scalar-fast-path Table-1 permeability campaign. Both
+/// arms use the fast path (golden forking + pruning); the batch arm
+/// additionally routes the one-shot plans through the SoA lockstep
+/// kernel. The two matrices must be cell-identical — the comparison is
+/// refused otherwise. Writes the timing comparison to `path` and returns
+/// a process exit code.
+int write_batch_json(const std::string& path) {
+    const exp::CampaignOptions options = exp::CampaignOptions::from_env();
+    std::fprintf(stderr, "batch bench: %zu cases x %zu moments per bit\n",
+                 options.case_count, options.times_per_bit);
+    std::vector<epic::PairEntry> scalar_entries;
+    const FastpathTiming fast =
+        time_permeability_campaign(options, true, false, &scalar_entries);
+    std::fprintf(stderr, "  fast (--no-batch): %.2fs, %zu runs\n", fast.wall_s,
+                 fast.runs);
+    std::vector<epic::PairEntry> batch_entries;
+    const FastpathTiming batch =
+        time_permeability_campaign(options, true, true, &batch_entries);
+    std::fprintf(stderr, "  batch:             %.2fs, %zu runs\n", batch.wall_s,
+                 batch.runs);
+    if (fast.runs != batch.runs) {
+        std::fprintf(stderr, "error: run counts differ (batch %zu vs fast %zu)\n",
+                     batch.runs, fast.runs);
+        return 1;
+    }
+    if (!entries_identical(scalar_entries, batch_entries)) {
+        std::fprintf(stderr, "error: batch matrix differs from scalar matrix\n");
+        return 1;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"BM_CampaignBatch\",\n");
+    std::fprintf(f, "  \"campaign\": \"table1_permeability\",\n");
+    std::fprintf(f, "  \"cases\": %zu,\n  \"times_per_bit\": %zu,\n",
+                 options.case_count, options.times_per_bit);
+    std::fprintf(f, "  \"matrices_identical\": true,\n");
+    print_timing_json(f, "fast", fast);
+    std::fprintf(f, ",\n");
+    print_timing_json(f, "batch", batch, /*with_lanes=*/true);
+    std::fprintf(f, ",\n  \"speedup\": %.2f\n}\n",
+                 batch.wall_s > 0 ? fast.wall_s / batch.wall_s : 0.0);
+    std::fclose(f);
+    std::fprintf(stderr, "  speedup: %.2fx -> %s\n",
+                 batch.wall_s > 0 ? fast.wall_s / batch.wall_s : 0.0, path.c_str());
     return 0;
 }
 
@@ -510,6 +632,10 @@ int main(int argc, char** argv) {
         const std::string prefix = "--fastpath-json=";
         if (arg.rfind(prefix, 0) == 0) {
             return write_fastpath_json(arg.substr(prefix.size()));
+        }
+        const std::string batch_prefix = "--batch-json=";
+        if (arg.rfind(batch_prefix, 0) == 0) {
+            return write_batch_json(arg.substr(batch_prefix.size()));
         }
         const std::string obs_prefix = "--metrics-json=";
         if (arg.rfind(obs_prefix, 0) == 0) {

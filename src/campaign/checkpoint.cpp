@@ -175,6 +175,13 @@ JsonValue fastpath_to_json(const fi::FastPathStats& s) {
     o.emplace("ticks_saved", JsonValue(s.ticks_saved));
     o.emplace("cache_hits", JsonValue(s.cache_hits));
     o.emplace("cache_misses", JsonValue(s.cache_misses));
+    o.emplace("lanes_launched", JsonValue(s.lanes_launched));
+    o.emplace("lanes_retired_pruned", JsonValue(s.lanes_retired_pruned));
+    o.emplace("lanes_retired_end", JsonValue(s.lanes_retired_end));
+    o.emplace("lanes_retired_sealed", JsonValue(s.lanes_retired_sealed));
+    JsonArray widths;
+    for (const std::uint64_t n : s.batch_widths) widths.emplace_back(n);
+    o.emplace("batch_widths", JsonValue(std::move(widths)));
     return JsonValue(std::move(o));
 }
 
@@ -188,6 +195,22 @@ fi::FastPathStats fastpath_from_json(const JsonValue& v) {
     s.ticks_saved = static_cast<std::uint64_t>(v.at("ticks_saved").as_int());
     s.cache_hits = static_cast<std::uint64_t>(v.at("cache_hits").as_int());
     s.cache_misses = static_cast<std::uint64_t>(v.at("cache_misses").as_int());
+    // Lane counters arrived with the batch kernel; absent in checkpoints
+    // written by earlier builds.
+    const auto opt_u64 = [&v](const char* key) -> std::uint64_t {
+        const JsonValue* f = v.find(key);
+        return f ? static_cast<std::uint64_t>(f->as_int()) : 0;
+    };
+    s.lanes_launched = opt_u64("lanes_launched");
+    s.lanes_retired_pruned = opt_u64("lanes_retired_pruned");
+    s.lanes_retired_end = opt_u64("lanes_retired_end");
+    s.lanes_retired_sealed = opt_u64("lanes_retired_sealed");
+    if (const JsonValue* widths = v.find("batch_widths")) {
+        const JsonArray& arr = widths->as_array();
+        for (std::size_t b = 0; b < s.batch_widths.size() && b < arr.size(); ++b) {
+            s.batch_widths[b] = static_cast<std::uint64_t>(arr[b].as_int());
+        }
+    }
     return s;
 }
 

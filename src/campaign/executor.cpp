@@ -216,6 +216,8 @@ ShardResult CampaignExecutor::run_shard(std::size_t shard,
         obs::Span case_span("campaign.case", case_id);
         exp::CampaignOptions options = case_options(case_id);
         options.use_fastpath = exec_options.use_fastpath;
+        options.use_batch = exec_options.use_batch;
+        options.batch_width = exec_options.batch_width;
         options.golden_cache = &cache;
         options.fastpath_out = &result.fastpath;
         switch (spec_.kind) {
@@ -420,6 +422,10 @@ bool CampaignExecutor::run(const ExecutorOptions& options) {
                 f.emplace("skipped_runs", JsonValue(result.fastpath.skipped_runs));
                 f.emplace("ticks_saved", JsonValue(result.fastpath.ticks_saved));
                 f.emplace("cache_hits", JsonValue(result.fastpath.cache_hits));
+                f.emplace("lanes_launched",
+                          JsonValue(result.fastpath.lanes_launched));
+                f.emplace("lanes_retired_sealed",
+                          JsonValue(result.fastpath.lanes_retired_sealed));
                 f.emplace("threads", JsonValue(n_workers));
                 f.emplace("done", JsonValue(done));
                 f.emplace("total", JsonValue(total_shards));
@@ -490,6 +496,8 @@ bool CampaignExecutor::run(const ExecutorOptions& options) {
     f.emplace("skipped_runs", JsonValue(fp.skipped_runs));
     f.emplace("ticks_saved", JsonValue(fp.ticks_saved));
     f.emplace("cache_hits", JsonValue(fp.cache_hits));
+    f.emplace("lanes_launched", JsonValue(fp.lanes_launched));
+    f.emplace("lanes_retired_sealed", JsonValue(fp.lanes_retired_sealed));
     observer.emit(complete ? "campaign_done" : "campaign_pause", std::move(f));
     return complete;
 }

@@ -37,6 +37,12 @@ struct ExecutorOptions {
     /// snapshots and prune on state re-convergence. Merged campaign
     /// results are bit-identical either way; off = reference oracle.
     bool use_fastpath = true;
+    /// Batched execution (DESIGN.md §14): run one-shot injection plans as
+    /// lockstep SoA lane batches inside each shard. Merged results stay
+    /// bit-identical; off = scalar fast path.
+    bool use_batch = true;
+    /// Lanes per lockstep batch; 0 picks the auto width.
+    std::size_t batch_width = 0;
     /// Shared golden cache (e.g. the opt:: evaluator's, for cross-batch
     /// reuse); null uses a cache private to this run() call. The cache is
     /// mutex-protected and shared across the worker pool.

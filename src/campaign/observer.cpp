@@ -173,6 +173,16 @@ std::string render_status(const CampaignStatus& status) {
                       static_cast<unsigned long long>(fp.cache_misses));
         out << buf;
     }
+    if (fp.lanes_launched > 0) {
+        std::snprintf(buf, sizeof buf,
+                      "  batch lanes: %llu launched, %llu pruned, %llu sealed, "
+                      "%llu to end\n",
+                      static_cast<unsigned long long>(fp.lanes_launched),
+                      static_cast<unsigned long long>(fp.lanes_retired_pruned),
+                      static_cast<unsigned long long>(fp.lanes_retired_sealed),
+                      static_cast<unsigned long long>(fp.lanes_retired_end));
+        out << buf;
+    }
     if (!status.shard_threads.empty()) {
         out << "  threads per shard:";
         for (std::size_t i = 0; i < status.done_shards.size(); ++i) {

@@ -2,6 +2,7 @@
 
 #include "obs/trace.hpp"
 
+#include "fi/batch.hpp"
 #include "fi/golden.hpp"
 #include "util/rng.hpp"
 
@@ -47,6 +48,41 @@ PermeabilityMatrix PermeabilityEstimator::estimate(
     fi::GoldenCache* cache = options.golden_cache ? options.golden_cache : &local_cache;
     fi::InjectionRunner runner(*sim_, *injector_);
     runner.set_enabled(options.use_fastpath);
+    fi::BatchRunner batch(*sim_);
+    batch.set_mode(fi::BatchRunner::Mode::kPermeability);
+    batch.set_width(options.batch_width);
+
+    // Attribution seals, one per (module, injected port): the tally
+    // below reads only the module's output first-diffs and — under
+    // direct attribution — the other-input contamination minimum, so a
+    // lane can retire as soon as those facts are decided (BatchRunner
+    // SealRule semantics). The contamination witnesses are sound only
+    // for direct attribution; the any-output-diff ablation keeps
+    // waiting for output diffs that may still arrive.
+    std::vector<std::vector<std::uint32_t>> seals(system.module_count());
+    for (const model::ModuleId mid : system.all_modules()) {
+        const auto& spec = system.module(mid);
+        seals[mid.index()].resize(spec.input_count());
+        for (std::uint32_t port = 0; port < spec.input_count(); ++port) {
+            fi::BatchRunner::SealRule rule;
+            if (options.direct_attribution) {
+                for (std::uint32_t p = 0; p < spec.input_count(); ++p) {
+                    if (p != port) rule.any_of.push_back(spec.inputs[p]);
+                }
+            }
+            rule.all_of = spec.outputs;
+            seals[mid.index()][port] = batch.add_seal_rule(std::move(rule));
+        }
+    }
+
+    // Tally record for the batched path: outcomes are consumed strictly
+    // in submission order, reproducing the scalar accumulation order.
+    struct Tally {
+        model::ModuleId mid;
+        std::uint32_t port = 0;
+        std::size_t ticket = 0;
+    };
+    std::vector<Tally> tallies;
 
     runs_ = 0;
     fastpath_ = {};
@@ -66,7 +102,16 @@ PermeabilityMatrix PermeabilityEstimator::estimate(
             [&] { return fi::capture_golden_data(*sim_, options.max_ticks, fast); },
             &fastpath_);
         runner.set_golden(fast ? golden : nullptr);
+        batch.set_golden(fast ? golden : nullptr);
         const fi::GoldenRun& gr = golden->run;
+
+        // Batched execution: phase 1 submits every plan of the case (the
+        // stratified time draws happen in the identical order), phase 2
+        // runs them as lockstep lane batches, phase 3 tallies outcomes in
+        // submission order — bit-identical to the scalar loop.
+        const bool batched = options.use_batch && fast && batch.ready(options.max_ticks);
+        batch.clear();
+        tallies.clear();
 
         for (const model::ModuleId mid : system.all_modules()) {
             const auto& spec = system.module(mid);
@@ -78,6 +123,14 @@ PermeabilityMatrix PermeabilityEstimator::estimate(
                         options.stratified_times ? &time_rng : nullptr);
                     if (!included[mid.index()]) continue;  // draws consumed above
                     for (const runtime::Tick t : ticks) {
+                        if (batched) {
+                            tallies.push_back(
+                                {mid, port,
+                                 batch.submit(
+                                     fi::Injection::into_module_input(mid, port, bit, t),
+                                     seals[mid.index()][port])});
+                            continue;
+                        }
                         runner.run({fi::Injection::into_module_input(mid, port, bit, t)},
                                    options.max_ticks);
                         ++runs_;
@@ -100,9 +153,33 @@ PermeabilityMatrix PermeabilityEstimator::estimate(
                 }
             }
         }
+
+        if (batched) {
+            batch.flush();
+            for (const Tally& tl : tallies) {
+                ++runs_;
+                if (progress) progress(runs_, total_runs);
+                const fi::BatchOutcome& oc = batch.outcome(tl.ticket);
+                if (!oc.fired) continue;  // inactive
+
+                const auto& spec = system.module(tl.mid);
+                const fi::DirectOutcome outcome = fi::attribute_direct_from_first_diff(
+                    system, tl.mid, tl.port, oc.first_diff);
+                for (std::uint32_t k = 0; k < spec.output_count(); ++k) {
+                    Count& cnt =
+                        counts[tl.mid.index()][tl.port * spec.output_count() + k];
+                    ++cnt.active;
+                    const bool hit = options.direct_attribution
+                                         ? outcome.affected[k]
+                                         : outcome.first_diff[k] != runtime::kInvalidTick;
+                    if (hit) ++cnt.affected;
+                }
+            }
+        }
     }
     injector_->disarm();
     fastpath_.merge(runner.stats());
+    fastpath_.merge(batch.stats());
 
     PermeabilityMatrix pm(system);
     for (const model::ModuleId mid : system.all_modules()) {

@@ -38,6 +38,12 @@ struct EstimatorOptions {
     /// snapshots and prune on state re-convergence. Bit-identical results;
     /// disable to use the slow path as the reference oracle.
     bool use_fastpath = true;
+    /// Batched execution (DESIGN.md §14): route the one-shot injection
+    /// plans of a case through the SoA batch kernel, advancing lanes in
+    /// lockstep. Requires the fast path; bit-identical results.
+    bool use_batch = true;
+    /// Lanes per lockstep batch; 0 picks the auto width.
+    std::size_t batch_width = 0;
     /// Shared golden-run cache (campaign executors pass theirs so golden
     /// data is captured once per case); null uses a private per-call cache.
     fi::GoldenCache* golden_cache = nullptr;

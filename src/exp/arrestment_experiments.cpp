@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "ea/calibrate.hpp"
+#include "fi/batch.hpp"
 #include "fi/fastpath.hpp"
 #include "fi/golden.hpp"
 #include "fi/injector.hpp"
@@ -90,6 +91,8 @@ epic::PermeabilityMatrix estimate_arrestment_permeability(
     eopt.seed = options.seed;
     eopt.case_index_offset = options.case_first;
     eopt.use_fastpath = options.use_fastpath;
+    eopt.use_batch = options.use_batch;
+    eopt.batch_width = options.batch_width;
     eopt.golden_cache = options.golden_cache;
     eopt.module_filter = options.module_filter;
     epic::PermeabilityMatrix pm = estimator.estimate(
@@ -140,6 +143,19 @@ InputCoverageResult input_coverage_experiment(target::ArrestmentSystem& sys,
     fi::FastPathStats stats;
     fi::InjectionRunner runner(sys.sim(), injector);
     runner.set_enabled(options.campaign.use_fastpath);
+    fi::BatchRunner batchrun(sys.sim());
+    batchrun.set_mode(fi::BatchRunner::Mode::kCoverage);
+    batchrun.set_width(options.campaign.batch_width);
+
+    // Batched path bookkeeping: outcomes are tallied in submission order,
+    // reproducing the scalar accumulation order bit-for-bit (the latency
+    // stats are running sums, so order matters).
+    struct Tally {
+        std::size_t row = 0;
+        runtime::Tick t = 0;
+        std::size_t ticket = 0;
+    };
+    std::vector<Tally> tallies;
 
     for (std::size_t c = case_first; c < case_first + case_count; ++c) {
         // Injection-time stream keyed by the *global* case index (like the
@@ -180,6 +196,11 @@ InputCoverageResult input_coverage_experiment(target::ArrestmentSystem& sys,
                 &stats);
         }
         runner.set_golden(full);
+        batchrun.set_golden(full);
+        const bool batched = options.campaign.use_batch && full != nullptr &&
+                             batchrun.ready(options.campaign.max_ticks);
+        batchrun.clear();
+        tallies.clear();
 
         // Injection moments deliberately overshoot the golden-run length
         // slightly so a realistic share of injections lands after the
@@ -195,6 +216,12 @@ InputCoverageResult input_coverage_experiment(target::ArrestmentSystem& sys,
                 const auto ticks = fi::spread_ticks(
                     0, window_end, options.campaign.times_per_bit, &time_rng);
                 for (const runtime::Tick t : ticks) {
+                    if (batched) {
+                        tallies.push_back(
+                            {r, t,
+                             batchrun.submit(fi::Injection::into_signal(sid, bit, t))});
+                        continue;
+                    }
                     runner.run({fi::Injection::into_signal(sid, bit, t)},
                                options.campaign.max_ticks);
 
@@ -232,9 +259,56 @@ InputCoverageResult input_coverage_experiment(target::ArrestmentSystem& sys,
                 }
             }
         }
+
+        if (batched) {
+            batchrun.flush();
+            for (const Tally& tl : tallies) {
+                const fi::BatchOutcome& oc = batchrun.outcome(tl.ticket);
+                auto& row = result.rows[tl.row];
+                ++row.injected;
+                ++result.all.injected;
+                if (!oc.fired) continue;  // inactive
+                ++row.active;
+                ++result.all.active;
+
+                // Rehydrate the bank's detection state from the lane's
+                // monitor words (the sim's monitor order IS the bank's arm
+                // order); the scalar queries below then apply unchanged.
+                runtime::StateReader monitors(oc.monitors);
+                for (std::size_t e = 0; e < bank.size(); ++e) {
+                    bank.at(e).restore_state(monitors);
+                }
+
+                bool any = false;
+                runtime::Tick earliest = runtime::kInvalidTick;
+                for (std::size_t e = 0; e < bank.size(); ++e) {
+                    if (!bank.at(e).triggered()) continue;
+                    ++row.detected_per_ea[e];
+                    ++result.all.detected_per_ea[e];
+                    earliest = std::min(earliest, bank.at(e).first_detection());
+                    any = true;
+                }
+                if (any) {
+                    ++row.detected_any;
+                    ++result.all.detected_any;
+                    if (earliest >= tl.t) {
+                        const auto lat = static_cast<double>(earliest - tl.t);
+                        row.latency.add(lat);
+                        result.all.latency.add(lat);
+                    }
+                }
+                for (std::size_t s = 0; s < subsets.size(); ++s) {
+                    if (bank.any_triggered(subset_indices[s])) {
+                        ++row.detected_per_subset[s];
+                        ++result.all.detected_per_subset[s];
+                    }
+                }
+            }
+        }
     }
     sys.sim().clear_monitors();
     stats.merge(runner.stats());
+    stats.merge(batchrun.stats());
     if (options.campaign.fastpath_out) options.campaign.fastpath_out->merge(stats);
     return result;
 }

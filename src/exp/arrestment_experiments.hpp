@@ -46,6 +46,13 @@ struct CampaignOptions {
     /// boundary snapshots and prune on state re-convergence. Results are
     /// bit-identical either way; disable for the reference oracle.
     bool use_fastpath = true;
+    /// Batched execution (DESIGN.md §14): run the one-shot injection plans
+    /// of a case as lockstep SoA lane batches. Only the permeability and
+    /// input-coverage drivers batch (periodic severe/recovery plans stay
+    /// scalar by design); bit-identical results either way.
+    bool use_batch = true;
+    /// Lanes per lockstep batch; 0 picks the auto width.
+    std::size_t batch_width = 0;
     /// Shared golden-run cache (the campaign executor passes its own so
     /// goldens are captured once per case across drivers and worker
     /// threads); null uses a private per-driver cache.

@@ -1,0 +1,194 @@
+// Batched injection execution (DESIGN.md §14) — the scheduler side of
+// the structure-of-arrays batch kernel.
+//
+// BatchRunner collects one-shot injection plans that share a golden run,
+// groups them by injection tick into width-W lockstep batches, forks
+// each as a lane from the golden boundary snapshot at its t0, and
+// advances all live lanes one tick per inner-loop pass through a
+// runtime::BatchBackend (the target's fused SoA kernel, or the
+// target-agnostic ScalarLaneBackend when none is installed). Lanes
+// retire on convergence-prune (full state equality with the golden
+// boundary — same rule as InjectionRunner), on environment finish, on
+// the tick budget, and — in permeability mode — at the golden end,
+// where the outcome can no longer change, or earlier when the
+// consumer's attribution seal rule is decided (see SealRule). Retired
+// lanes are compacted out of the hot loop.
+//
+// Bit-identity contract: consumed in submission order, the outcomes
+// reproduce exactly what the scalar fast path (and hence the slow path)
+// would have produced — fired flags, per-signal first value-differences
+// over the common trace prefix (permeability), and monitor/EA detection
+// state at run end (coverage). Periodic plans (severe/recovery models)
+// are out of scope by design and stay on the scalar path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fi/fastpath.hpp"
+#include "fi/injection.hpp"
+#include "runtime/batch.hpp"
+#include "runtime/simulator.hpp"
+
+namespace epea::fi {
+
+/// Outcome of one batched injection run, mirroring what the scalar fast
+/// path exposes through the injector, the trace and the monitor state.
+struct BatchOutcome {
+    bool fired = false;          ///< the flip executed (injection tick < golden end)
+    runtime::Tick end_tick = 0;  ///< RunResult::ticks equivalent
+    bool finished = false;       ///< RunResult::env_finished equivalent
+    bool pruned = false;         ///< retired on state re-convergence
+    /// Permeability mode: per-signal first tick (index = SignalId) where
+    /// the lane's post-step signals differed from the golden trace;
+    /// kInvalidTick = never. Recorded online over the common prefix —
+    /// what Trace::first_difference(value-diffs-only) computes.
+    std::vector<runtime::Tick> first_diff;
+    /// Coverage mode: the monitor snapshot section at run end (EA
+    /// detection state; golden end state for pruned/skipped runs).
+    std::vector<std::uint64_t> monitors;
+};
+
+class BatchRunner {
+public:
+    /// Attribution seal (permeability mode): declares which first-diff
+    /// facts decide a lane's outcome, so the lane can retire the moment
+    /// they are all in. First diffs are recorded in time order — at the
+    /// end of tick k every recorded diff is <= k and every future one is
+    /// >= k+1 — which makes two retirement rules exact:
+    ///
+    ///  - any_of (direct attribution's contamination witnesses, the
+    ///    module's non-injected inputs): once ANY of them has a first
+    ///    diff c <= k, the contamination minimum is final, and an output
+    ///    whose diff is still unrecorded can only diff at >= k+1 > c —
+    ///    decided not-affected. Must be empty when the consumer reads
+    ///    raw output first-diffs (the any-output-diff ablation), which
+    ///    a later diff would still change.
+    ///  - all_of (the module's outputs): once ALL of them have a first
+    ///    diff <= k, each is <= any contamination value that could still
+    ///    arrive (>= k+1) — decided affected — and the recorded diffs
+    ///    themselves are exact.
+    ///
+    /// Sealed lanes may under-record first diffs of signals outside the
+    /// rule; consumers must read only what their rule covers.
+    struct SealRule {
+        std::vector<model::SignalId> any_of;
+        std::vector<model::SignalId> all_of;
+    };
+    /// submit() seal handle meaning "never seal" (coverage mode, or
+    /// consumers without a sound rule).
+    static constexpr std::uint32_t kNoSeal = 0xffffffffU;
+
+    /// What the consumer reads from the outcomes; decides lane
+    /// retirement policy and which outcome fields are recorded.
+    enum class Mode {
+        /// Permeability estimation reads fired + first_diff only, and
+        /// attribution uses the common trace prefix — a lane alive at the
+        /// golden end can no longer change its outcome and retires there.
+        kPermeability,
+        /// Coverage experiments read fired + monitor state; EAs can still
+        /// fire after the golden end, so lanes run to environment finish.
+        kCoverage,
+    };
+
+    /// Default lanes per lockstep batch. Wide batches amortize the
+    /// low-occupancy tail (lanes retire at different ticks); at 256
+    /// lanes the arrestment SoA state is ~200 KiB — still cache
+    /// resident — and the Table-1 campaign measures fastest here.
+    static constexpr std::size_t kAutoWidth = 256;
+    /// Convergence-prune confirmation cadence: full-state lane compares
+    /// are strided (one cache line per word), so they run only every
+    /// N-th tick. A converged lane evolves exactly like the golden run,
+    /// so checking late never changes an outcome — it only delays the
+    /// retirement by up to N-1 ticks.
+    static constexpr runtime::Tick kPruneCheckPeriod = 8;
+    /// Hard cap on --batch-width style requests (CLI and serve validate
+    /// against this, like worker-thread counts).
+    static constexpr std::size_t kMaxWidth = 256;
+
+    explicit BatchRunner(runtime::Simulator& sim) noexcept : sim_(&sim) {}
+
+    void set_mode(Mode mode) noexcept { mode_ = mode; }
+    /// Lanes per lockstep batch; 0 = auto (kAutoWidth).
+    void set_width(std::size_t width) noexcept { width_ = width; }
+    [[nodiscard]] std::size_t effective_width() const noexcept {
+        return width_ == 0 ? kAutoWidth : width_;
+    }
+
+    void set_golden(std::shared_ptr<const GoldenCaseData> golden) noexcept {
+        golden_ = std::move(golden);
+    }
+
+    /// True when submit/flush can run batches for this golden data and
+    /// tick budget; callers keep the scalar path otherwise.
+    [[nodiscard]] bool ready(runtime::Tick max_ticks) const noexcept {
+        return golden_ && golden_->has_snapshots() && golden_->max_ticks == max_ticks &&
+               sim_->snapshot_supported();
+    }
+
+    /// Registers a seal rule for later submits; returns its handle.
+    /// Rules persist across clear() — consumers register once per
+    /// (module, port) and reuse the handles for every case.
+    std::uint32_t add_seal_rule(SealRule rule);
+
+    /// Queues one one-shot injection (plans with periods stay scalar by
+    /// design). Returns the ticket index for outcome(). `seal` is an
+    /// add_seal_rule() handle, or kNoSeal to run the lane to its normal
+    /// retirement.
+    std::size_t submit(const Injection& injection, std::uint32_t seal = kNoSeal);
+
+    /// Runs every queued injection to retirement. Outcomes become valid,
+    /// indexed by ticket in submission order.
+    void flush();
+
+    [[nodiscard]] const BatchOutcome& outcome(std::size_t ticket) const {
+        return outcomes_.at(ticket);
+    }
+
+    /// Drops outcomes and tickets (start of a new case).
+    void clear() {
+        pending_.clear();
+        outcomes_.clear();
+    }
+
+    [[nodiscard]] const FastPathStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] FastPathStats& stats() noexcept { return stats_; }
+
+private:
+    struct Lane {
+        std::size_t ticket = 0;
+        runtime::Tick t0 = 0;
+        std::uint32_t seal = kNoSeal;
+    };
+    struct Pending {
+        std::size_t ticket = 0;
+        std::uint32_t seal = kNoSeal;
+        Injection inj;
+    };
+
+    void run_batch(const Pending* batch, std::size_t count);
+    void retire_lane(std::size_t lane, runtime::Tick end, bool finished, bool pruned,
+                     bool sealed = false);
+    [[nodiscard]] bool seal_decided(std::size_t lane) const noexcept;
+    [[nodiscard]] static runtime::BatchFlip to_flip(const Injection& inj) noexcept;
+
+    runtime::Simulator* sim_;
+    std::shared_ptr<const GoldenCaseData> golden_;
+    Mode mode_ = Mode::kPermeability;
+    std::size_t width_ = 0;
+    std::vector<SealRule> seal_rules_;
+    std::vector<Pending> pending_;
+    std::vector<BatchOutcome> outcomes_;
+    FastPathStats stats_;
+
+    // Per-batch working state (capacity reused across batches).
+    std::unique_ptr<runtime::ScalarLaneBackend> fallback_;
+    runtime::BatchState state_;
+    std::vector<Lane> lanes_;
+    std::vector<runtime::Tick> first_diff_;  ///< [signal * width + lane]
+    std::vector<std::uint8_t> mismatch_;     ///< per-lane, reset each tick
+    std::vector<std::uint8_t> fd_new_;       ///< lane recorded a first diff this tick
+};
+
+}  // namespace epea::fi

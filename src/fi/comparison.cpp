@@ -1,5 +1,7 @@
 #include "fi/comparison.hpp"
 
+#include <algorithm>
+
 namespace epea::fi {
 
 std::optional<runtime::Tick> first_difference(const GoldenRun& gr,
@@ -35,6 +37,29 @@ DirectOutcome attribute_direct(const model::SystemModel& system, const GoldenRun
                 ir.first_difference(gr.trace, spec.outputs[k], kValueDiffsOnly)) {
             out.first_diff[k] = *t;
             out.affected[k] = *t <= out.contamination;
+        }
+    }
+    return out;
+}
+
+DirectOutcome attribute_direct_from_first_diff(
+    const model::SystemModel& system, model::ModuleId module,
+    std::uint32_t injected_port, const std::vector<runtime::Tick>& first_diff_by_signal) {
+    const auto& spec = system.module(module);
+    DirectOutcome out;
+    out.affected.assign(spec.outputs.size(), false);
+    out.first_diff.assign(spec.outputs.size(), runtime::kInvalidTick);
+
+    for (std::uint32_t p = 0; p < spec.inputs.size(); ++p) {
+        if (p == injected_port) continue;
+        const runtime::Tick t = first_diff_by_signal[spec.inputs[p].index()];
+        if (t != runtime::kInvalidTick) out.contamination = std::min(out.contamination, t);
+    }
+    for (std::uint32_t k = 0; k < spec.outputs.size(); ++k) {
+        const runtime::Tick t = first_diff_by_signal[spec.outputs[k].index()];
+        if (t != runtime::kInvalidTick) {
+            out.first_diff[k] = t;
+            out.affected[k] = t <= out.contamination;
         }
     }
     return out;

@@ -42,4 +42,14 @@ struct DirectOutcome {
                                              model::ModuleId module,
                                              std::uint32_t injected_port);
 
+/// Same attribution from an already-collected per-signal first-difference
+/// table (index = SignalId, kInvalidTick = no value difference over the
+/// common trace prefix) — the form the batch kernel records online
+/// instead of materializing per-lane traces. Equivalent to
+/// attribute_direct by construction: both consume exactly the per-signal
+/// first value-difference over the common prefix.
+[[nodiscard]] DirectOutcome attribute_direct_from_first_diff(
+    const model::SystemModel& system, model::ModuleId module,
+    std::uint32_t injected_port, const std::vector<runtime::Tick>& first_diff_by_signal);
+
 }  // namespace epea::fi

@@ -17,6 +17,10 @@ void add_fastpath_metrics(const FastPathStats& delta) {
     reg.counter("fi.ticks_saved").add(delta.ticks_saved);
     reg.counter("cache.golden.hit").add(delta.cache_hits);
     reg.counter("cache.golden.miss").add(delta.cache_misses);
+    reg.counter("fi.lanes.launched").add(delta.lanes_launched);
+    reg.counter("fi.lanes.retired_pruned").add(delta.lanes_retired_pruned);
+    reg.counter("fi.lanes.retired_end").add(delta.lanes_retired_end);
+    reg.counter("fi.lanes.retired_sealed").add(delta.lanes_retired_sealed);
 }
 
 util::JsonObject fastpath_stats_json(const FastPathStats& stats) {
@@ -29,6 +33,13 @@ util::JsonObject fastpath_stats_json(const FastPathStats& stats) {
     o.emplace("ticks_saved", util::JsonValue(stats.ticks_saved));
     o.emplace("cache_hits", util::JsonValue(stats.cache_hits));
     o.emplace("cache_misses", util::JsonValue(stats.cache_misses));
+    o.emplace("lanes_launched", util::JsonValue(stats.lanes_launched));
+    o.emplace("lanes_retired_pruned", util::JsonValue(stats.lanes_retired_pruned));
+    o.emplace("lanes_retired_end", util::JsonValue(stats.lanes_retired_end));
+    o.emplace("lanes_retired_sealed", util::JsonValue(stats.lanes_retired_sealed));
+    util::JsonArray widths;
+    for (const std::uint64_t n : stats.batch_widths) widths.emplace_back(n);
+    o.emplace("batch_widths", util::JsonValue(std::move(widths)));
     return o;
 }
 
@@ -44,7 +55,7 @@ std::size_t GoldenCaseData::approx_bytes() const noexcept {
 }
 
 GoldenCaseData capture_golden_data(runtime::Simulator& sim, runtime::Tick max_ticks,
-                                   bool with_snapshots) {
+                                   bool with_snapshots, bool with_hashes) {
     obs::Span span("fi.golden_capture", max_ticks);
     GoldenCaseData data;
     data.max_ticks = max_ticks;
@@ -55,15 +66,19 @@ GoldenCaseData capture_golden_data(runtime::Simulator& sim, runtime::Tick max_ti
         // Manual stepping replicating Simulator::run so boundary[t] is
         // captured with now() == t for every t the run passes through.
         data.boundary.reserve(max_ticks + 1);
-        data.hash.reserve(max_ticks + 1);
-        data.boundary.emplace_back();
-        sim.capture_snapshot(data.boundary.back());
-        data.hash.push_back(data.boundary.back().state_hash());
+        if (with_hashes) data.hash.reserve(max_ticks + 1);
+        // Captures go through a reused scratch whose section vectors keep
+        // their capacity; the stored copy then allocates each section
+        // exactly once instead of growing it from empty every tick.
+        runtime::Snapshot scratch;
+        sim.capture_snapshot(scratch);
+        data.boundary.push_back(scratch);
+        if (with_hashes) data.hash.push_back(scratch.state_hash());
         while (sim.now() < max_ticks) {
             sim.step_tick();
-            data.boundary.emplace_back();
-            sim.capture_snapshot(data.boundary.back());
-            data.hash.push_back(data.boundary.back().state_hash());
+            sim.capture_snapshot(scratch);
+            data.boundary.push_back(scratch);
+            if (with_hashes) data.hash.push_back(scratch.state_hash());
             if (sim.environment().finished()) {
                 finished = true;
                 break;

@@ -19,6 +19,7 @@
 // are always confirmed with a full state comparison before pruning.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -39,16 +40,29 @@ namespace epea::fi {
 /// Observability counters for the fast path (per-shard in campaigns;
 /// surfaced in events.jsonl and `campaign status`).
 struct FastPathStats {
+    /// Width histogram buckets: lane count at batch launch, log2-ish
+    /// ranges 1, 2, 3-4, 5-8, 9-16, 17-32, 33-64, 65+.
+    static constexpr std::size_t kWidthBuckets = 8;
+
     std::uint64_t full_runs = 0;     ///< runs simulated from tick 0
     std::uint64_t forked_runs = 0;   ///< runs resumed from a golden boundary snapshot
     /// Runs terminated early on state re-convergence; overlaps with
     /// forked_runs/full_runs (a forked run can also prune).
     std::uint64_t pruned_runs = 0;
     std::uint64_t skipped_runs = 0;  ///< runs elided (injection tick beyond golden end)
-    std::uint64_t ticks_executed = 0;  ///< ticks actually simulated
+    std::uint64_t ticks_executed = 0;  ///< (lane-)ticks actually simulated
     std::uint64_t ticks_saved = 0;     ///< golden ticks reused instead of simulated
     std::uint64_t cache_hits = 0;      ///< golden-cache lookups served from memory
     std::uint64_t cache_misses = 0;    ///< golden-cache lookups that captured fresh
+
+    // Batch-kernel lane lifecycle (DESIGN.md §14). Batched runs also
+    // count into the legacy full/forked/skipped/pruned counters with the
+    // scalar semantics, so runs() stays the per-run invariant either way.
+    std::uint64_t lanes_launched = 0;        ///< lanes forked into a batch
+    std::uint64_t lanes_retired_pruned = 0;  ///< lanes retired on state re-convergence
+    std::uint64_t lanes_retired_end = 0;     ///< lanes retired at env finish / golden end
+    std::uint64_t lanes_retired_sealed = 0;  ///< lanes retired on a decided attribution seal
+    std::array<std::uint64_t, kWidthBuckets> batch_widths{};  ///< launch-width histogram
 
     void merge(const FastPathStats& o) noexcept {
         full_runs += o.full_runs;
@@ -59,6 +73,17 @@ struct FastPathStats {
         ticks_saved += o.ticks_saved;
         cache_hits += o.cache_hits;
         cache_misses += o.cache_misses;
+        lanes_launched += o.lanes_launched;
+        lanes_retired_pruned += o.lanes_retired_pruned;
+        lanes_retired_end += o.lanes_retired_end;
+        lanes_retired_sealed += o.lanes_retired_sealed;
+        for (std::size_t b = 0; b < kWidthBuckets; ++b) batch_widths[b] += o.batch_widths[b];
+    }
+
+    void record_batch_width(std::size_t width) noexcept {
+        std::size_t b = 0;
+        while (b < kWidthBuckets - 1 && (std::size_t{1} << b) < width) ++b;
+        ++batch_widths[b];
     }
 
     [[nodiscard]] std::uint64_t runs() const noexcept {
@@ -90,12 +115,15 @@ struct GoldenCaseData {
 };
 
 /// Captures a golden run from a reset. With `with_snapshots`, a boundary
-/// snapshot + hash is stored for every tick (requires
+/// snapshot is stored for every tick (requires
 /// sim.snapshot_supported()). Tracing is left enabled, matching
-/// capture_golden_run.
+/// capture_golden_run. `with_hashes` additionally stores each snapshot's
+/// 64-bit digest — a determinism cross-check the campaign paths skip
+/// (the serial splitmix chain costs more than the capture itself).
 [[nodiscard]] GoldenCaseData capture_golden_data(runtime::Simulator& sim,
                                                  runtime::Tick max_ticks,
-                                                 bool with_snapshots);
+                                                 bool with_snapshots,
+                                                 bool with_hashes = false);
 
 /// Canonical cache key for golden data: `tag` names the capture context
 /// (which monitors/recoverers were armed and calibrated), `case_index`

@@ -32,6 +32,10 @@ struct EvaluatorOptions {
     /// Fast path (DESIGN.md §9) for the underlying campaigns; ground
     /// truth is bit-identical either way.
     bool use_fastpath = true;
+    /// Batched SoA execution (DESIGN.md §14) for the underlying campaigns.
+    bool use_batch = true;
+    /// Lanes per lockstep batch; 0 picks the auto width.
+    std::size_t batch_width = 0;
 };
 
 class CampaignEvaluator {

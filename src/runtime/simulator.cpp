@@ -66,11 +66,29 @@ void Simulator::load_frames() noexcept {
     }
 }
 
-void Simulator::step_tick() {
+void Simulator::step_tick() { step_tick(std::span<const BatchFlip>{}); }
+
+void Simulator::step_tick(std::span<const BatchFlip> flips) {
     env_->sense(store_, now_);
     if (pre_frame_hook_) pre_frame_hook_(*this, now_);
+    for (const BatchFlip& flip : flips) {
+        if (flip.point == BatchFlip::Point::kSignal) {
+            store_.flip_bit(flip.signal, flip.bit);
+        }
+    }
     load_frames();
     if (hook_) hook_(*this, now_);
+    for (const BatchFlip& flip : flips) {
+        if (flip.point == BatchFlip::Point::kFrame) {
+            Frame& f = frames_[flip.module.index()];
+            if (flip.port < f.words.size()) {
+                f.words[flip.port] = util::flip_bit(f.words[flip.port], flip.bit,
+                                                    f.widths[flip.port]);
+            }
+        } else if (flip.point == BatchFlip::Point::kMemory) {
+            memory_.flip_bit(flip.word_index, flip.bit);
+        }
+    }
     for (const model::ModuleId mid : model_->all_modules()) {
         Frame& f = frames_[mid.index()];
         ModuleContext ctx{f.words, f.widths, model_->module(mid).outputs, store_, now_};

@@ -16,9 +16,11 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "model/system_model.hpp"
+#include "runtime/batch.hpp"
 #include "runtime/environment.hpp"
 #include "runtime/memory_map.hpp"
 #include "runtime/module_behaviour.hpp"
@@ -70,6 +72,19 @@ public:
     void add_recoverer(SignalRecoverer* recoverer) { recoverers_.push_back(recoverer); }
     void clear_recoverers() { recoverers_.clear(); }
 
+    [[nodiscard]] const std::vector<SignalMonitor*>& monitors() const noexcept {
+        return monitors_;
+    }
+    [[nodiscard]] const std::vector<SignalRecoverer*>& recoverers() const noexcept {
+        return recoverers_;
+    }
+
+    /// Fused batch backend for this target (DESIGN.md §14); not owned,
+    /// null when the target provides none (the batch engine then falls
+    /// back to the target-agnostic ScalarLaneBackend).
+    void set_batch_backend(BatchBackend* backend) noexcept { batch_backend_ = backend; }
+    [[nodiscard]] BatchBackend* batch_backend() const noexcept { return batch_backend_; }
+
     /// Enables/disables full trace recording (off by default; the severe
     /// error-model campaign does not need traces).
     void enable_trace(bool on);
@@ -85,6 +100,13 @@ public:
 
     /// Executes exactly one tick (exposed for fine-grained tests).
     void step_tick();
+
+    /// One tick with explicit bit flips applied at their pipeline points
+    /// (signals before frame load, frames/memory after) — the batch
+    /// engine's launch path. The installed injector hooks still run (a
+    /// disarmed injector is a no-op), so this composes with, rather than
+    /// replaces, the scalar injection plumbing.
+    void step_tick(std::span<const BatchFlip> flips);
 
     // -- snapshots (fault-injection fast path, DESIGN.md §9) ----------------
 
@@ -141,6 +163,7 @@ private:
     std::vector<SignalMonitor*> monitors_;
     std::vector<SignalRecoverer*> recoverers_;
     std::unique_ptr<Trace> trace_;
+    BatchBackend* batch_backend_ = nullptr;
     Tick now_ = 0;
 };
 

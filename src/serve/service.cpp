@@ -16,6 +16,7 @@
 #include "campaign/observer.hpp"
 #include "epic/serialize.hpp"
 #include "exp/paper_data.hpp"
+#include "fi/batch.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -531,6 +532,18 @@ HttpResponse Service::handle_campaign_submit(const HttpRequest& req) {
     if (const util::JsonValue* t = body.find("threads")) {
         exec.threads =
             positive_size(*t, "threads", max_request_threads(), "campaign_submit");
+    }
+    if (const util::JsonValue* b = body.find("use_batch")) {
+        try {
+            exec.use_batch = b->as_bool();
+        } catch (const std::exception&) {
+            throw ServeError{400, "campaign_submit", "'use_batch' must be a boolean"};
+        }
+    }
+    if (const util::JsonValue* w = body.find("batch_width")) {
+        exec.batch_width = positive_size(
+            *w, "batch_width", static_cast<std::int64_t>(fi::BatchRunner::kMaxWidth),
+            "campaign_submit");
     }
 
     std::shared_ptr<CampaignJob> job;

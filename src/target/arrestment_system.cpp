@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "model/builder.hpp"
+#include "target/batch_kernel.hpp"
 #include "target/modules.hpp"
 
 namespace epea::target {
@@ -246,6 +247,9 @@ ArrestmentSystem::ArrestmentSystem()
     plant_->configure(tc);
     sim_ = std::make_unique<runtime::Simulator>(*model_, std::move(behaviours),
                                                 *plant_);
+    batch_backend_ = std::make_unique<ArrestmentBatchBackend>(*sim_);
+    batch_backend_->configure(cfg, tc, plant_->constants());
+    sim_->set_batch_backend(batch_backend_.get());
 }
 
 ArrestmentSystem::~ArrestmentSystem() = default;
@@ -255,6 +259,7 @@ void ArrestmentSystem::configure(const TestCase& tc) {
     dist_->set_config(cfg);
     calc_->set_config(cfg);
     plant_->configure(tc);
+    batch_backend_->configure(cfg, tc, plant_->constants());
 }
 
 runtime::RunResult ArrestmentSystem::run_arrestment() {

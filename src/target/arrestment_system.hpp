@@ -129,6 +129,7 @@ private:
 
 class DistSModule;
 class CalcModule;
+class ArrestmentBatchBackend;
 
 /// The complete target: model + software behaviours + plant, wired into
 /// a Simulator. configure() re-parameterises software and plant for a
@@ -153,6 +154,9 @@ private:
     std::unique_ptr<model::SystemModel> model_;
     std::unique_ptr<Plant> plant_;
     std::unique_ptr<runtime::Simulator> sim_;
+    // Fused SoA batch kernel (DESIGN.md §14), installed on sim_; must be
+    // re-parameterised alongside the modules and the plant.
+    std::unique_ptr<ArrestmentBatchBackend> batch_backend_;
     // Raw views into the behaviours owned by sim_, for reconfiguration.
     DistSModule* dist_ = nullptr;
     CalcModule* calc_ = nullptr;

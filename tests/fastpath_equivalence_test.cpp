@@ -1,8 +1,10 @@
-// Fast-vs-full equivalence proofs (DESIGN.md §9): every campaign kind —
-// permeability, input coverage, severe, recovery — and the opt:: subset
-// evaluator must produce bit-identical results with the fast path on and
-// off. These are the paired runs the acceptance criteria require; the
-// small-scale mechanics are covered by fastpath_test.
+// Fast-vs-full equivalence proofs (DESIGN.md §9, §14): every campaign
+// kind — permeability, input coverage, severe, recovery — and the opt::
+// subset evaluator must produce bit-identical results across all three
+// execution paths: the batched SoA kernel, the scalar fast path, and the
+// slow reference. These are the paired runs the acceptance criteria
+// require; the small-scale mechanics are covered by fastpath_test and
+// batch_test.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -31,11 +33,13 @@ struct TempDir {
     ~TempDir() { fs::remove_all(path); }
 };
 
-exp::CampaignOptions tiny_campaign(bool fastpath, fi::FastPathStats* stats) {
+exp::CampaignOptions tiny_campaign(bool fastpath, fi::FastPathStats* stats,
+                                   bool batch = false) {
     exp::CampaignOptions o;
     o.case_count = 2;
     o.times_per_bit = 2;
     o.use_fastpath = fastpath;
+    o.use_batch = batch;
     o.fastpath_out = stats;
     return o;
 }
@@ -48,22 +52,36 @@ std::string matrix_csv(const epic::PermeabilityMatrix& pm) {
 
 TEST(FastpathEquivalence, PermeabilityMatrixBitIdentical) {
     target::ArrestmentSystem sys;
+    fi::FastPathStats batch_stats;
     fi::FastPathStats fast_stats;
     fi::FastPathStats slow_stats;
 
+    const epic::PermeabilityMatrix batch = exp::estimate_arrestment_permeability(
+        sys, tiny_campaign(true, &batch_stats, /*batch=*/true));
     const epic::PermeabilityMatrix fast =
         exp::estimate_arrestment_permeability(sys, tiny_campaign(true, &fast_stats));
     const epic::PermeabilityMatrix slow =
         exp::estimate_arrestment_permeability(sys, tiny_campaign(false, &slow_stats));
 
     EXPECT_EQ(matrix_csv(fast), matrix_csv(slow));
+    EXPECT_EQ(matrix_csv(batch), matrix_csv(slow));
     // The fast path actually engaged: runs forked from snapshots and a
     // meaningful share of golden ticks was reused.
     EXPECT_GT(fast_stats.forked_runs, 0U);
     EXPECT_GT(fast_stats.ticks_saved, fast_stats.ticks_executed);
+    EXPECT_EQ(fast_stats.lanes_launched, 0U);
     EXPECT_EQ(slow_stats.forked_runs, 0U);
     EXPECT_EQ(slow_stats.pruned_runs, 0U);
     EXPECT_EQ(fast_stats.runs(), slow_stats.runs());
+    // The batch arm ran its plans as lanes — with every retirement kind
+    // exercised, sealing included — and executed no scalar forks.
+    EXPECT_EQ(batch_stats.runs(), slow_stats.runs());
+    EXPECT_EQ(batch_stats.lanes_launched,
+              batch_stats.forked_runs + batch_stats.full_runs);
+    EXPECT_GT(batch_stats.lanes_launched, 0U);
+    EXPECT_GT(batch_stats.lanes_retired_pruned, 0U);
+    EXPECT_GT(batch_stats.lanes_retired_sealed, 0U);
+    EXPECT_LT(batch_stats.ticks_executed, fast_stats.ticks_executed);
 }
 
 std::vector<exp::SubsetSpec> paper_subsets() {
@@ -85,26 +103,38 @@ void expect_rows_equal(const exp::InputCoverageRow& a, const exp::InputCoverageR
 
 TEST(FastpathEquivalence, InputCoverageBitIdentical) {
     target::ArrestmentSystem sys;
+    fi::FastPathStats batch_stats;
     fi::FastPathStats fast_stats;
     fi::FastPathStats slow_stats;
 
+    exp::InputCoverageOptions batch_opt;
+    batch_opt.campaign = tiny_campaign(true, &batch_stats, /*batch=*/true);
     exp::InputCoverageOptions fast_opt;
     fast_opt.campaign = tiny_campaign(true, &fast_stats);
     exp::InputCoverageOptions slow_opt;
     slow_opt.campaign = tiny_campaign(false, &slow_stats);
 
+    const exp::InputCoverageResult batch =
+        exp::input_coverage_experiment(sys, batch_opt, paper_subsets());
     const exp::InputCoverageResult fast =
         exp::input_coverage_experiment(sys, fast_opt, paper_subsets());
     const exp::InputCoverageResult slow =
         exp::input_coverage_experiment(sys, slow_opt, paper_subsets());
 
     ASSERT_EQ(fast.rows.size(), slow.rows.size());
+    ASSERT_EQ(batch.rows.size(), slow.rows.size());
     EXPECT_EQ(fast.ea_names, slow.ea_names);
+    EXPECT_EQ(batch.ea_names, slow.ea_names);
     for (std::size_t r = 0; r < fast.rows.size(); ++r) {
         expect_rows_equal(fast.rows[r], slow.rows[r]);
+        expect_rows_equal(batch.rows[r], slow.rows[r]);
     }
     expect_rows_equal(fast.all, slow.all);
+    expect_rows_equal(batch.all, slow.all);
     EXPECT_GT(fast_stats.forked_runs + fast_stats.skipped_runs, 0U);
+    EXPECT_EQ(fast_stats.lanes_launched, 0U);
+    // Coverage-mode lanes carry armed EAs through the batch kernel.
+    EXPECT_GT(batch_stats.lanes_launched, 0U);
     EXPECT_EQ(slow_stats.forked_runs, 0U);
 }
 
@@ -113,7 +143,9 @@ TEST(FastpathEquivalence, SevereCoverageBitIdentical) {
     fi::FastPathStats fast_stats;
     fi::FastPathStats slow_stats;
 
-    exp::CampaignOptions fast_opt = tiny_campaign(true, &fast_stats);
+    // The batch flag is on for the fast arm: periodic severe plans must
+    // still route scalar by design (no lanes launched).
+    exp::CampaignOptions fast_opt = tiny_campaign(true, &fast_stats, /*batch=*/true);
     fast_opt.case_count = 1;
     exp::CampaignOptions slow_opt = tiny_campaign(false, &slow_stats);
     slow_opt.case_count = 1;
@@ -139,6 +171,7 @@ TEST(FastpathEquivalence, SevereCoverageBitIdentical) {
     // trace for calibration comes through the cache.
     EXPECT_EQ(fast_stats.forked_runs, 0U);
     EXPECT_EQ(fast_stats.pruned_runs, 0U);
+    EXPECT_EQ(fast_stats.lanes_launched, 0U);
     EXPECT_EQ(fast_stats.cache_misses, 1U);
 }
 
@@ -146,7 +179,8 @@ TEST(FastpathEquivalence, RecoveryBitIdentical) {
     target::ArrestmentSystem sys;
     fi::FastPathStats fast_stats;
 
-    exp::CampaignOptions fast_opt = tiny_campaign(true, &fast_stats);
+    // Batch flag on: periodic recovery plans must still route scalar.
+    exp::CampaignOptions fast_opt = tiny_campaign(true, &fast_stats, /*batch=*/true);
     fast_opt.case_count = 1;
     exp::CampaignOptions slow_opt = tiny_campaign(false, nullptr);
     slow_opt.case_count = 1;
@@ -161,13 +195,15 @@ TEST(FastpathEquivalence, RecoveryBitIdentical) {
     EXPECT_EQ(fast.failures_with_erm, slow.failures_with_erm);
     EXPECT_EQ(fast.repairs, slow.repairs);
     EXPECT_EQ(fast_stats.forked_runs, 0U);  // periodic: slow path
+    EXPECT_EQ(fast_stats.lanes_launched, 0U);
     EXPECT_EQ(fast_stats.runs(), fast.runs * 2);
 }
 
-/// One campaign per (kind, fastpath) in its own directory; returns the
-/// executor after a full run for result extraction.
+/// One campaign per (kind, fastpath, batch) in its own directory;
+/// returns the executor after a full run for result extraction.
 campaign::CampaignExecutor run_campaign(const std::string& dir,
-                                        campaign::CampaignKind kind, bool fastpath) {
+                                        campaign::CampaignKind kind, bool fastpath,
+                                        bool batch = false) {
     campaign::CampaignSpec spec = campaign::CampaignSpec::defaults(kind);
     spec.case_ids.resize(2);
     spec.times_per_bit = 1;
@@ -176,6 +212,7 @@ campaign::CampaignExecutor run_campaign(const std::string& dir,
     campaign::ExecutorOptions options;
     options.threads = 2;
     options.use_fastpath = fastpath;
+    options.use_batch = batch;
     EXPECT_TRUE(exec.run(options));
     return exec;
 }
@@ -184,12 +221,28 @@ TEST(FastpathEquivalence, CampaignExecutorMergedResultsBitIdentical) {
     TempDir tmp("campaign");
     static const model::SystemModel system = target::make_arrestment_model();
 
+    const auto batch = run_campaign((tmp.path / "batch").string(),
+                                    campaign::CampaignKind::kPermeability, true, true);
     const auto fast = run_campaign((tmp.path / "fast").string(),
                                    campaign::CampaignKind::kPermeability, true);
     const auto slow = run_campaign((tmp.path / "slow").string(),
                                    campaign::CampaignKind::kPermeability, false);
     EXPECT_EQ(matrix_csv(fast.merged_matrix(system)),
               matrix_csv(slow.merged_matrix(system)));
+    EXPECT_EQ(matrix_csv(batch.merged_matrix(system)),
+              matrix_csv(slow.merged_matrix(system)));
+
+    // Lane counters travel through shard checkpoints into the merged
+    // totals and the status reader.
+    const fi::FastPathStats batch_totals = batch.fastpath_totals();
+    EXPECT_GT(batch_totals.lanes_launched, 0U);
+    EXPECT_GT(batch_totals.lanes_retired_sealed, 0U);
+    EXPECT_EQ(fast.fastpath_totals().lanes_launched, 0U);
+    const campaign::CampaignStatus batch_status =
+        campaign::read_status((tmp.path / "batch").string());
+    EXPECT_EQ(batch_status.fastpath.lanes_launched, batch_totals.lanes_launched);
+    EXPECT_EQ(batch_status.fastpath.lanes_retired_sealed,
+              batch_totals.lanes_retired_sealed);
 
     // Counters surface per shard: the checkpoints carry fastpath stats
     // and the thread count, and the totals reflect actual forking.
@@ -246,27 +299,37 @@ TEST(FastpathEquivalence, SevereAndRecoveryCampaignsBitIdentical) {
 
 TEST(FastpathEquivalence, EvaluatorGroundTruthBitIdentical) {
     TempDir tmp("evaluator");
-    opt::EvaluatorOptions fast_opt;
-    fast_opt.model = opt::ErrorModel::kInput;
+    opt::EvaluatorOptions batch_opt;
+    batch_opt.model = opt::ErrorModel::kInput;
+    batch_opt.dir = (tmp.path / "batch").string();
+    batch_opt.cases = 2;
+    batch_opt.times_per_bit = 1;
+    batch_opt.shards = 2;
+    batch_opt.use_batch = true;
+    opt::EvaluatorOptions fast_opt = batch_opt;
     fast_opt.dir = (tmp.path / "fast").string();
-    fast_opt.cases = 2;
-    fast_opt.times_per_bit = 1;
-    fast_opt.shards = 2;
+    fast_opt.use_batch = false;
     opt::EvaluatorOptions slow_opt = fast_opt;
     slow_opt.dir = (tmp.path / "slow").string();
     slow_opt.use_fastpath = false;
 
+    opt::CampaignEvaluator batch(batch_opt);
     opt::CampaignEvaluator fast(fast_opt);
     opt::CampaignEvaluator slow(slow_opt);
     const std::vector<std::vector<std::string>> subsets{{"pulscnt", "SetValue"},
                                                         {"IsValue"}};
+    const auto batch_entries = batch.evaluate(subsets);
     const auto fast_entries = fast.evaluate(subsets);
     const auto slow_entries = slow.evaluate(subsets);
     ASSERT_EQ(fast_entries.size(), slow_entries.size());
+    ASSERT_EQ(batch_entries.size(), slow_entries.size());
     for (std::size_t i = 0; i < fast_entries.size(); ++i) {
         EXPECT_EQ(fast_entries[i].detected, slow_entries[i].detected);
         EXPECT_EQ(fast_entries[i].active, slow_entries[i].active);
         EXPECT_DOUBLE_EQ(fast_entries[i].coverage, slow_entries[i].coverage);
+        EXPECT_EQ(batch_entries[i].detected, slow_entries[i].detected);
+        EXPECT_EQ(batch_entries[i].active, slow_entries[i].active);
+        EXPECT_DOUBLE_EQ(batch_entries[i].coverage, slow_entries[i].coverage);
     }
 }
 

@@ -72,8 +72,8 @@ TEST(Snapshot, HashAndEqualityTrackState) {
 template <typename System>
 void expect_snapshot_resume_deterministic(System& sys, runtime::Tick max_ticks) {
     ASSERT_TRUE(sys.sim().snapshot_supported());
-    const fi::GoldenCaseData golden =
-        fi::capture_golden_data(sys.sim(), max_ticks, /*with_snapshots=*/true);
+    const fi::GoldenCaseData golden = fi::capture_golden_data(
+        sys.sim(), max_ticks, /*with_snapshots=*/true, /*with_hashes=*/true);
     const runtime::Tick len = golden.run.length;
     ASSERT_GT(len, 10U);
     ASSERT_EQ(golden.boundary.size(), static_cast<std::size_t>(len) + 1);

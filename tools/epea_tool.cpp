@@ -58,6 +58,7 @@
 #include "analysis/source_lint.hpp"
 #include "campaign/executor.hpp"
 #include "campaign/observer.hpp"
+#include "fi/batch.hpp"
 #include "fi/fastpath.hpp"
 #include "obs/manifest.hpp"
 #include "epic/impact.hpp"
@@ -91,6 +92,7 @@ int usage() {
                  "  describe [--dot]\n"
                  "  simulate [--mass KG] [--speed MPS]\n"
                  "  estimate [--cases N] [--times M] [--out FILE] [--no-fastpath]\n"
+                 "           [--no-batch] [--batch-width N]\n"
                  "           [--trace-out FILE] [--metrics-out FILE]\n"
                  "  analyze FILE [--sink SIGNAL]\n"
                  "  inject --signal NAME --bit B --at TICK\n"
@@ -98,9 +100,11 @@ int usage() {
                  "               [--times M] [--shards S] [--threads T]\n"
                  "               [--max-shards N] [--adaptive HALF_WIDTH]\n"
                  "               [--min-trials N] [--out FILE] [--no-fastpath]\n"
+                 "               [--no-batch] [--batch-width N]\n"
                  "               [--trace-out FILE] [--metrics-out FILE]\n"
                  "  campaign resume --dir DIR [--threads T] [--max-shards N]\n"
                  "                  [--out FILE] [--no-fastpath]\n"
+                 "                  [--no-batch] [--batch-width N]\n"
                  "                  [--trace-out FILE] [--metrics-out FILE]\n"
                  "  campaign status --dir DIR [--metrics]\n"
                  "  obs trace DIR                  summarize DIR/trace.json\n"
@@ -110,7 +114,8 @@ int usage() {
                  "                 [--budget-memory B] [--json]\n"
                  "                 [--budget-time T] [--ground-truth --dir DIR]\n"
                  "                 [--cases N] [--times M] [--shards S] [--threads T]\n"
-                 "                 [--no-fastpath] [--trace-out FILE] [--metrics-out FILE]\n"
+                 "                 [--no-fastpath] [--no-batch] [--batch-width N]\n"
+                 "                 [--trace-out FILE] [--metrics-out FILE]\n"
                  "  place frontier [--error-model M] [--out-prefix PATH]\n"
                  "                 [--ground-truth --dir DIR] [--cases N] [--times M]\n"
                  "                 [--shards S] [--threads T]\n"
@@ -188,6 +193,25 @@ bool has_flag(const std::vector<std::string>& args, const char* flag) {
     return false;
 }
 
+/// Shared --no-batch / --batch-width handling. Returns false (with a
+/// message) when the requested width is 0 or above the hard cap — the
+/// same style of sizing validation the serve daemon applies to thread
+/// counts.
+bool parse_batch_flags(const std::vector<std::string>& args, bool& use_batch,
+                       std::size_t& batch_width) {
+    use_batch = !has_flag(args, "--no-batch");
+    if (const auto w = flag_value(args, "--batch-width")) {
+        const unsigned long v = std::stoul(*w);
+        if (v == 0 || v > fi::BatchRunner::kMaxWidth) {
+            std::fprintf(stderr, "epea_tool: --batch-width must be in [1, %zu]\n",
+                         fi::BatchRunner::kMaxWidth);
+            return false;
+        }
+        batch_width = static_cast<std::size_t>(v);
+    }
+    return true;
+}
+
 /// Observability plumbing shared by observed commands: arms a
 /// RunRecorder on construction; finish() finalizes it and writes the
 /// --trace-out/--metrics-out artifacts plus, when an artifact directory
@@ -231,8 +255,10 @@ int cmd_simulate(const std::vector<std::string>& args) {
 }
 
 int cmd_estimate(const std::vector<std::string>& args) {
-    if (!flags_ok(args, {"--cases", "--times", "--out", "--trace-out", "--metrics-out"},
-                  {"--no-fastpath"})) {
+    if (!flags_ok(args,
+                  {"--cases", "--times", "--out", "--batch-width", "--trace-out",
+                   "--metrics-out"},
+                  {"--no-fastpath", "--no-batch"})) {
         return usage();
     }
     exp::CampaignOptions options = exp::CampaignOptions::from_env();
@@ -243,6 +269,7 @@ int cmd_estimate(const std::vector<std::string>& args) {
         options.times_per_bit = static_cast<std::size_t>(std::stoul(*t));
     }
     options.use_fastpath = !has_flag(args, "--no-fastpath");
+    if (!parse_batch_flags(args, options.use_batch, options.batch_width)) return 2;
     fi::FastPathStats fastpath;
     options.fastpath_out = &fastpath;
 
@@ -431,6 +458,7 @@ int run_and_report(campaign::CampaignExecutor& exec,
     }
     opts.echo_events = has_flag(args, "--verbose");
     opts.use_fastpath = !has_flag(args, "--no-fastpath");
+    if (!parse_batch_flags(args, opts.use_batch, opts.batch_width)) return 2;
 
     ObsCli obs_cli(args, command);
     obs_cli.set_artifact_dir(exec.dir());
@@ -488,8 +516,8 @@ int cmd_campaign(const std::vector<std::string>& args) {
         if (sub == "resume") {
             if (!flags_ok(rest,
                           {"--dir", "--threads", "--max-shards", "--out",
-                           "--trace-out", "--metrics-out"},
-                          {"--verbose", "--no-fastpath"})) {
+                           "--batch-width", "--trace-out", "--metrics-out"},
+                          {"--verbose", "--no-fastpath", "--no-batch"})) {
                 return usage();
             }
             campaign::CampaignExecutor exec = campaign::CampaignExecutor::open(*dir);
@@ -499,8 +527,8 @@ int cmd_campaign(const std::vector<std::string>& args) {
         if (!flags_ok(rest,
                       {"--dir", "--spec", "--kind", "--cases", "--times", "--shards",
                        "--threads", "--max-shards", "--adaptive", "--min-trials",
-                       "--out", "--trace-out", "--metrics-out"},
-                      {"--verbose", "--no-fastpath"})) {
+                       "--out", "--batch-width", "--trace-out", "--metrics-out"},
+                      {"--verbose", "--no-fastpath", "--no-batch"})) {
             return usage();
         }
 
@@ -579,6 +607,9 @@ opt::PlacementOptimizer make_place_optimizer(
         }
         options.echo_events = has_flag(args, "--verbose");
         options.use_fastpath = !has_flag(args, "--no-fastpath");
+        if (!parse_batch_flags(args, options.use_batch, options.batch_width)) {
+            throw std::invalid_argument("--batch-width out of range");
+        }
         mode_out = "ground-truth";
         return opt::PlacementOptimizer::ground_truth(std::move(options));
     }
@@ -603,8 +634,9 @@ int cmd_place(const std::vector<std::string>& args) {
     if (!flags_ok(rest,
                   {"--error-model", "--benefit", "--budget-memory", "--budget-time",
                    "--dir", "--cases", "--times", "--shards", "--threads",
-                   "--out-prefix", "--trace-out", "--metrics-out"},
-                  {"--ground-truth", "--verbose", "--no-fastpath", "--json"})) {
+                   "--batch-width", "--out-prefix", "--trace-out", "--metrics-out"},
+                  {"--ground-truth", "--verbose", "--no-fastpath", "--no-batch",
+                   "--json"})) {
         return usage();
     }
 
