@@ -20,6 +20,13 @@
 // overhead percentage, span counts and the run's metric snapshot to PATH
 // (committed as BENCH_obs.json).
 //
+// With --timeline-json=PATH it times the flight-recorder sampler
+// (DESIGN.md §15): the same campaign executed through the campaign
+// executor with the timeline sampler at the default cadence vs disabled
+// (interval 0), interleaved best-of-EPEA_OBS_REPS, writing wall/CPU
+// times and the overhead percentages to PATH (committed as
+// BENCH_timeline.json — the <1% sampler-overhead gate).
+//
 // With --analytic-json=PATH it benchmarks the analytic subsystem: the
 // propagation engine's query latency over all ordered source→sink pairs
 // on the paper matrix (cold = fixpoint solves, warm = cached reach
@@ -32,11 +39,15 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "analytic/engine.hpp"
+#include "campaign/executor.hpp"
+#include "campaign/spec.hpp"
 #include "ea/calibrate.hpp"
 #include "epic/impact.hpp"
 #include "epic/matrix.hpp"
@@ -498,6 +509,123 @@ int write_obs_json(const std::string& path) {
     return 0;
 }
 
+// ------------------------------------------------ --timeline-json mode
+
+struct TimelineTiming {
+    double cpu_s = 0.0;
+    double wall_s = 0.0;
+    std::uint64_t runs = 0;
+    std::size_t samples = 0;
+};
+
+std::size_t count_jsonl_lines(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::size_t n = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty()) ++n;
+    }
+    return n;
+}
+
+/// One full input-coverage campaign through the campaign executor in a
+/// fresh directory, sampler cadence per `interval_ms` (0 = recorder off).
+TimelineTiming time_recorded_campaign(const campaign::CampaignSpec& spec,
+                                      const std::string& dir,
+                                      std::uint32_t interval_ms) {
+    std::filesystem::remove_all(dir);
+    campaign::CampaignExecutor executor(dir, spec);
+    campaign::ExecutorOptions options;
+    options.threads = 2;
+    options.timeline_interval_ms = interval_ms;
+    TimelineTiming t;
+    const double cpu0 = obs::process_cpu_seconds();
+    const auto t0 = std::chrono::steady_clock::now();
+    executor.run(options);
+    const auto t1 = std::chrono::steady_clock::now();
+    t.cpu_s = obs::process_cpu_seconds() - cpu0;
+    t.wall_s = std::chrono::duration<double>(t1 - t0).count();
+    t.runs = static_cast<std::uint64_t>(executor.fastpath_totals().runs());
+    t.samples = count_jsonl_lines(dir + "/timeline.jsonl");
+    std::filesystem::remove_all(dir);
+    return t;
+}
+
+/// Flight-recorder overhead on an input-coverage campaign: sampler at
+/// the default cadence vs interval 0, interleaved best-of-N per arm.
+/// The acceptance gate is the wall overhead (<1% committed); CPU
+/// overhead is reported alongside because on a quiet box it isolates
+/// the sampler thread's own work from scheduler noise.
+int write_timeline_json(const std::string& path) {
+    const exp::CampaignOptions scale = exp::CampaignOptions::from_env();
+    std::size_t reps = 3;
+    if (const char* r = std::getenv("EPEA_OBS_REPS")) {
+        reps = std::max<std::size_t>(1, std::strtoull(r, nullptr, 10));
+    }
+    constexpr std::uint32_t kIntervalMs = 200;  // ExecutorOptions default
+
+    campaign::CampaignSpec spec =
+        campaign::CampaignSpec::defaults(campaign::CampaignKind::kInput);
+    spec.case_ids.clear();
+    for (std::size_t c = 0; c < scale.case_count; ++c) spec.case_ids.push_back(c);
+    spec.times_per_bit = scale.times_per_bit;
+    spec.shards = 4;
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "epea_timeline_bench").string();
+    std::fprintf(stderr, "timeline bench: %zu cases x %zu moments per bit, "
+                 "%zu rep(s), %u ms cadence\n",
+                 spec.case_ids.size(), spec.times_per_bit, reps, kIntervalMs);
+
+    time_recorded_campaign(spec, dir, 0);  // warm-up: one-time init costs
+
+    TimelineTiming off;
+    TimelineTiming on;
+    for (std::size_t r = 0; r < reps; ++r) {
+        const TimelineTiming o = time_recorded_campaign(spec, dir, 0);
+        if (r == 0 || o.wall_s < off.wall_s) off = o;
+        const TimelineTiming i = time_recorded_campaign(spec, dir, kIntervalMs);
+        if (r == 0 || i.wall_s < on.wall_s) on = i;
+        std::fprintf(stderr, "  rep %zu: off %.3fs wall (%.3fs cpu), "
+                     "on %.3fs wall (%.3fs cpu, %zu samples)\n",
+                     r + 1, o.wall_s, o.cpu_s, i.wall_s, i.cpu_s, i.samples);
+    }
+    if (on.runs != off.runs) {
+        std::fprintf(stderr, "error: run counts differ (on %llu vs off %llu)\n",
+                     static_cast<unsigned long long>(on.runs),
+                     static_cast<unsigned long long>(off.runs));
+        return 1;
+    }
+    const double overhead_wall_pct =
+        off.wall_s > 0 ? 100.0 * (on.wall_s - off.wall_s) / off.wall_s : 0.0;
+    const double overhead_cpu_pct =
+        off.cpu_s > 0 ? 100.0 * (on.cpu_s - off.cpu_s) / off.cpu_s : 0.0;
+
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"timeline_overhead\",\n");
+    std::fprintf(f, "  \"campaign\": \"input_coverage\",\n");
+    std::fprintf(f, "  \"cases\": %zu,\n  \"times_per_bit\": %zu,\n  \"reps\": %zu,\n",
+                 spec.case_ids.size(), spec.times_per_bit, reps);
+    std::fprintf(f, "  \"interval_ms\": %u,\n", kIntervalMs);
+    std::fprintf(f, "  \"off\": { \"cpu_s\": %.6f, \"wall_s\": %.6f, \"runs\": %llu },\n",
+                 off.cpu_s, off.wall_s,
+                 static_cast<unsigned long long>(off.runs));
+    std::fprintf(f,
+                 "  \"on\": { \"cpu_s\": %.6f, \"wall_s\": %.6f, \"runs\": %llu, "
+                 "\"samples\": %zu },\n",
+                 on.cpu_s, on.wall_s, static_cast<unsigned long long>(on.runs),
+                 on.samples);
+    std::fprintf(f, "  \"overhead_wall_pct\": %.2f,\n", overhead_wall_pct);
+    std::fprintf(f, "  \"overhead_cpu_pct\": %.2f\n}\n", overhead_cpu_pct);
+    std::fclose(f);
+    std::fprintf(stderr, "  overhead: %.2f%% wall, %.2f%% cpu -> %s\n",
+                 overhead_wall_pct, overhead_cpu_pct, path.c_str());
+    return 0;
+}
+
 // ------------------------------------------------- --analytic-json mode
 
 /// Injection runs an estimator spends on one module: one per input bit
@@ -640,6 +768,10 @@ int main(int argc, char** argv) {
         const std::string obs_prefix = "--metrics-json=";
         if (arg.rfind(obs_prefix, 0) == 0) {
             return write_obs_json(arg.substr(obs_prefix.size()));
+        }
+        const std::string timeline_prefix = "--timeline-json=";
+        if (arg.rfind(timeline_prefix, 0) == 0) {
+            return write_timeline_json(arg.substr(timeline_prefix.size()));
         }
         const std::string analytic_prefix = "--analytic-json=";
         if (arg.rfind(analytic_prefix, 0) == 0) {

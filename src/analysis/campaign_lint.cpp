@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "campaign/checkpoint.hpp"
@@ -168,6 +170,113 @@ Report lint_subset_cache_file(const std::string& path) {
     return report;
 }
 
+Report lint_timeline_file(const std::string& path) {
+    Report report;
+    const std::string artifact = "timeline:" + path;
+    if (!std::filesystem::exists(path)) return report;  // optional artifact
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        report.add("EPEA-W062", artifact, "timeline.jsonl", "unreadable");
+        return report;
+    }
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+
+    // Segment state: a seq reset to 0 starts a new run segment (resumed
+    // campaigns append); invariants hold within one segment.
+    bool in_segment = false;
+    std::int64_t prev_seq = 0;
+    double prev_t = 0.0;
+    std::vector<std::int64_t> segment_workers;
+    std::map<std::int64_t, std::int64_t> prev_runs;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (lines[i].empty()) continue;
+        const std::string where = "line " + std::to_string(i + 1);
+        util::JsonValue sample;
+        try {
+            sample = util::JsonValue::parse(lines[i]);
+            if (!sample.is_object()) throw std::runtime_error("not an object");
+        } catch (const std::exception& e) {
+            // A torn final line from a killed sampler is expected.
+            if (i + 1 < lines.size()) {
+                report.add("EPEA-W062", artifact, where, e.what());
+            }
+            continue;
+        }
+        try {
+            if (sample.at("type").as_string() != "sample") {
+                report.add("EPEA-W062", artifact, where,
+                           "unknown record type '" +
+                               sample.at("type").as_string() + "'");
+                continue;
+            }
+            const std::int64_t seq = sample.at("seq").as_int();
+            const double t_s = sample.at("t_s").as_double();
+            if (seq == 0 || !in_segment) {
+                if (in_segment && seq != 0) {
+                    report.add("EPEA-W062", artifact, where,
+                               "seq jumps to " + std::to_string(seq) +
+                                   " after " + std::to_string(prev_seq) +
+                                   " (expected +1 or a reset to 0)");
+                }
+                in_segment = true;
+                segment_workers.clear();
+                prev_runs.clear();
+            } else if (seq != prev_seq + 1) {
+                report.add("EPEA-W062", artifact, where,
+                           "seq " + std::to_string(seq) + " after " +
+                               std::to_string(prev_seq) +
+                               " (expected +1 or a reset to 0)");
+                segment_workers.clear();
+                prev_runs.clear();
+            } else if (t_s < prev_t) {
+                report.add("EPEA-W062", artifact, where,
+                           "t_s " + std::to_string(t_s) +
+                               " decreases from " + std::to_string(prev_t));
+            }
+            prev_seq = seq;
+            prev_t = seq == 0 ? t_s : prev_t;
+            if (t_s > prev_t) prev_t = t_s;
+
+            std::vector<std::int64_t> workers_seen;
+            for (const util::JsonValue& w : sample.at("workers").as_array()) {
+                const std::int64_t id = w.at("worker").as_int();
+                workers_seen.push_back(id);
+                const std::string& phase = w.at("phase").as_string();
+                if (phase != "idle" && phase != "execute" &&
+                    phase != "checkpoint") {
+                    report.add("EPEA-W062", artifact, where,
+                               "worker " + std::to_string(id) +
+                                   " has unknown phase '" + phase + "'");
+                }
+                const std::int64_t runs = w.at("runs").as_int();
+                const auto it = prev_runs.find(id);
+                if (it != prev_runs.end() && runs < it->second) {
+                    report.add("EPEA-W062", artifact, where,
+                               "worker " + std::to_string(id) + " runs " +
+                                   std::to_string(runs) + " decreases from " +
+                                   std::to_string(it->second));
+                }
+                prev_runs[id] = runs;
+            }
+            if (segment_workers.empty()) {
+                segment_workers = workers_seen;
+            } else if (segment_workers != workers_seen) {
+                report.add("EPEA-W062", artifact, where,
+                           "worker set changed mid-segment (" +
+                               std::to_string(workers_seen.size()) + " vs " +
+                               std::to_string(segment_workers.size()) +
+                               " workers)");
+                segment_workers = workers_seen;
+            }
+        } catch (const std::exception& e) {
+            report.add("EPEA-W062", artifact, where, e.what());
+        }
+    }
+    return report;
+}
+
 Report lint_campaign_dir(const std::string& dir) {
     Report report;
     const std::string artifact = "campaign:" + dir;
@@ -269,6 +378,10 @@ Report lint_campaign_dir(const std::string& dir) {
     // -- subset_cache.json: delta-planner / optimizer cache input ----------
     report.merge(lint_subset_cache_file(
         (std::filesystem::path(dir) / "subset_cache.json").string()));
+
+    // -- timeline.jsonl: flight-recorder contract --------------------------
+    report.merge(lint_timeline_file(
+        (std::filesystem::path(dir) / "timeline.jsonl").string()));
 
     // -- events.jsonl: every line a JSON object ----------------------------
     if (std::filesystem::exists(std::filesystem::path(dir) / "events.jsonl")) {

@@ -26,4 +26,15 @@ namespace epea::analysis {
 /// is optional); a malformed one is not.
 [[nodiscard]] Report lint_subset_cache_file(const std::string& path);
 
+/// Lints a timeline.jsonl flight-recorder file (EPEA-W062): every line a
+/// "sample" object, sequence numbers monotone within a run segment (a
+/// reset to 0 starts a new segment — resumes append), timestamps
+/// non-decreasing per segment, known phase names, and per-worker
+/// continuity (the worker set must not change mid-segment, and runs
+/// counters never decrease). Reported artifact is "timeline:<path>". A
+/// missing file is clean (the sampler is optional); a torn final line is
+/// tolerated like the journal's. lint_campaign_dir applies it to a
+/// timeline.jsonl found in the campaign directory.
+[[nodiscard]] Report lint_timeline_file(const std::string& path);
+
 }  // namespace epea::analysis

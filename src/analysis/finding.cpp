@@ -102,6 +102,12 @@ const std::vector<RuleInfo>& rule_catalog() {
          "subset_cache.json is malformed or holds inconsistent entries; "
          "the ground-truth optimizer and the delta planner would silently "
          "re-measure or mis-reuse coverage"},
+        // -- timelines -------------------------------------------------------
+        {"EPEA-W062", Severity::kWarning, "bad-timeline",
+         "timeline.jsonl violates the flight-recorder contract (non-"
+         "monotone timestamps or sequence numbers, unknown phase names, "
+         "or per-worker sample discontinuity); obs report and the stall "
+         "detector would mis-attribute progress"},
     };
     return kCatalog;
 }

@@ -197,7 +197,8 @@ exp::CampaignOptions CampaignExecutor::case_options(std::size_t case_id) const {
 
 ShardResult CampaignExecutor::run_shard(std::size_t shard,
                                         const ExecutorOptions& exec_options,
-                                        fi::GoldenCache& cache) const {
+                                        fi::GoldenCache& cache,
+                                        obs::WorkerProgress* progress) const {
     obs::Span shard_span("campaign.shard", shard);
     const auto start = std::chrono::steady_clock::now();
     ShardResult result;
@@ -214,6 +215,10 @@ ShardResult CampaignExecutor::run_shard(std::size_t shard,
 
     for (const std::size_t case_id : result.case_ids) {
         obs::Span case_span("campaign.case", case_id);
+        // Flight-recorder deltas: fastpath counters accumulate across the
+        // shard, so snapshot before the case and publish the difference.
+        const fi::FastPathStats fp_before = result.fastpath;
+        const std::uint64_t runs_before = result.runs;
         exp::CampaignOptions options = case_options(case_id);
         options.use_fastpath = exec_options.use_fastpath;
         options.use_batch = exec_options.use_batch;
@@ -223,10 +228,16 @@ ShardResult CampaignExecutor::run_shard(std::size_t shard,
         switch (spec_.kind) {
             case CampaignKind::kPermeability: {
                 std::size_t planned = 0;
-                const epic::EstimatorProgress progress =
-                    [&planned](std::size_t, std::size_t total) { planned = total; };
+                const epic::EstimatorProgress progress_cb =
+                    [&planned, progress](std::size_t, std::size_t total) {
+                        planned = total;
+                        if (progress != nullptr) {
+                            progress->heartbeat.fetch_add(
+                                1, std::memory_order_relaxed);
+                        }
+                    };
                 const epic::PermeabilityMatrix matrix =
-                    exp::estimate_arrestment_permeability(sys, options, progress);
+                    exp::estimate_arrestment_permeability(sys, options, progress_cb);
                 result.runs += planned;
                 for (const epic::PairEntry& e : matrix.entries()) {
                     auto& acc = pair_counts[{sys.system().module_name(e.module),
@@ -259,6 +270,26 @@ ShardResult CampaignExecutor::run_shard(std::size_t shard,
                 result.runs += coverage.all.injected;
                 break;
             }
+        }
+        if (progress != nullptr) {
+            const fi::FastPathStats& fp = result.fastpath;
+            progress->runs.fetch_add(result.runs - runs_before,
+                                     std::memory_order_relaxed);
+            progress->cache_hits.fetch_add(fp.cache_hits - fp_before.cache_hits,
+                                           std::memory_order_relaxed);
+            progress->cache_misses.fetch_add(
+                fp.cache_misses - fp_before.cache_misses,
+                std::memory_order_relaxed);
+            progress->lanes_launched.fetch_add(
+                fp.lanes_launched - fp_before.lanes_launched,
+                std::memory_order_relaxed);
+            const std::uint64_t retired =
+                (fp.lanes_retired_pruned + fp.lanes_retired_end +
+                 fp.lanes_retired_sealed) -
+                (fp_before.lanes_retired_pruned + fp_before.lanes_retired_end +
+                 fp_before.lanes_retired_sealed);
+            progress->lanes_retired.fetch_add(retired, std::memory_order_relaxed);
+            progress->heartbeat.fetch_add(1, std::memory_order_relaxed);
         }
     }
 
@@ -389,13 +420,35 @@ bool CampaignExecutor::run(const ExecutorOptions& options) {
                                    1, std::thread::hardware_concurrency()),
                          pending.size(), options.max_shards}));
 
-        const auto worker = [&]() {
+        // Flight recorder (DESIGN.md §15): one progress slot per worker,
+        // sampled to timeline.jsonl by a background thread for the whole
+        // execute phase. The slots outlive the workers and the sampler
+        // stops before they go out of scope.
+        std::vector<obs::WorkerProgress> progress(n_workers);
+        obs::TimelineOptions tl_options;
+        tl_options.path = dir_ + "/timeline.jsonl";
+        tl_options.interval_ms = options.timeline_interval_ms;
+        tl_options.stall_samples = options.timeline_stall_samples;
+        obs::TimelineSampler sampler(
+            std::move(tl_options), &progress,
+            [&pending, &next]() -> std::uint64_t {
+                const std::size_t claimed = next.load(std::memory_order_relaxed);
+                return claimed >= pending.size() ? 0 : pending.size() - claimed;
+            });
+        sampler.start();
+
+        const auto worker = [&](std::size_t worker_index) {
+            obs::WorkerProgress& prog = progress[worker_index];
             while (!stop.load()) {
                 const std::size_t idx = next.fetch_add(1);
                 if (idx >= pending.size() || idx >= options.max_shards) break;
                 const std::size_t shard = pending[idx];
-                ShardResult result = run_shard(shard, options, cache);
+                prog.current_shard.store(static_cast<std::int64_t>(shard),
+                                         std::memory_order_relaxed);
+                prog.set_phase(obs::TimelinePhase::kExecute);
+                ShardResult result = run_shard(shard, options, cache, &prog);
                 result.threads = n_workers;
+                prog.set_phase(obs::TimelinePhase::kCheckpoint);
                 {
                     obs::Span ckpt_span("campaign.checkpoint", shard);
                     save_shard(dir_, result);
@@ -448,6 +501,9 @@ bool CampaignExecutor::run(const ExecutorOptions& options) {
                         stop_decision = decision;
                     }
                 }
+                prog.shards_done.fetch_add(1, std::memory_order_relaxed);
+                prog.current_shard.store(-1, std::memory_order_relaxed);
+                prog.set_phase(obs::TimelinePhase::kIdle);
             }
         };
 
@@ -455,7 +511,7 @@ bool CampaignExecutor::run(const ExecutorOptions& options) {
             // The calling thread is the whole pool: label its track so
             // the trace still shows one track per worker.
             obs::set_thread_name("worker-0");
-            worker();
+            worker(0);
         } else {
             std::vector<std::thread> threads;
             for (std::size_t i = 0; i < n_workers; ++i) {
@@ -463,11 +519,12 @@ bool CampaignExecutor::run(const ExecutorOptions& options) {
                     // Named before any span so every worker gets its own
                     // labelled track in the exported trace.
                     obs::set_thread_name("worker-" + std::to_string(i));
-                    worker();
+                    worker(i);
                 });
             }
             for (auto& t : threads) t.join();
         }
+        sampler.stop();
         timers_.end("execute");
 
         if (stop.load() && spec_.adaptive.enabled && !adaptive_stopped_) {

@@ -20,6 +20,7 @@
 #include "epic/matrix.hpp"
 #include "exp/recovery.hpp"
 #include "fi/fastpath.hpp"
+#include "obs/timeline.hpp"
 
 namespace epea::campaign {
 
@@ -47,6 +48,13 @@ struct ExecutorOptions {
     /// reuse); null uses a cache private to this run() call. The cache is
     /// mutex-protected and shared across the worker pool.
     fi::GoldenCache* golden_cache = nullptr;
+    /// Flight-recorder cadence (DESIGN.md §15): every interval the
+    /// sampler thread appends one per-worker snapshot to
+    /// `timeline.jsonl` in the campaign dir. 0 disables the sampler.
+    std::uint32_t timeline_interval_ms = 200;
+    /// Consecutive silent samples before a worker is flagged stalled
+    /// (`campaign.worker.stalled`); 5 s at the default cadence.
+    std::uint32_t timeline_stall_samples = 25;
 };
 
 class CampaignExecutor {
@@ -89,7 +97,8 @@ public:
 private:
     [[nodiscard]] ShardResult run_shard(std::size_t shard,
                                         const ExecutorOptions& options,
-                                        fi::GoldenCache& cache) const;
+                                        fi::GoldenCache& cache,
+                                        obs::WorkerProgress* progress) const;
     void load_checkpoints(CampaignObserver& observer);
     [[nodiscard]] exp::CampaignOptions case_options(std::size_t case_id) const;
 

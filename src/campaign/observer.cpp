@@ -113,6 +113,36 @@ CampaignStatus read_status(const std::string& dir) {
         }
     }
 
+    // Flight-recorder summary (timeline.jsonl is appended across
+    // resumes; a torn tail from a killed sampler is skipped like the
+    // journal's). Stall transitions are counted per worker slot so one
+    // long stall is one flag, not one per sample.
+    {
+        std::ifstream timeline(dir + "/timeline.jsonl", std::ios::binary);
+        std::map<std::int64_t, bool> was_stalled;
+        while (std::getline(timeline, line)) {
+            if (line.empty()) continue;
+            try {
+                const JsonValue sample = JsonValue::parse(line);
+                if (sample.at("type").as_string() != "sample") continue;
+                ++status.timeline_samples;
+                std::uint64_t stalled_now = 0;
+                if (const JsonValue* workers = sample.find("workers")) {
+                    for (const JsonValue& w : workers->as_array()) {
+                        const std::int64_t id = w.at("worker").as_int();
+                        const bool stalled = w.at("stalled").as_bool();
+                        if (stalled) ++stalled_now;
+                        if (stalled && !was_stalled[id]) ++status.stall_flags;
+                        was_stalled[id] = stalled;
+                    }
+                }
+                status.stalled_workers = stalled_now;
+            } catch (const std::runtime_error&) {
+                // Torn tail of a killed sampler; skip.
+            }
+        }
+    }
+
     status.shards_total = status.spec.effective_shards();
     for (std::size_t s = 0; s < status.shards_total; ++s) {
         if (const auto shard = load_shard(dir, s)) {
@@ -213,6 +243,19 @@ std::string render_status(const CampaignStatus& status) {
         std::snprintf(buf, sizeof buf, "  eta: %.1f s (%zu shards pending)\n",
                       status.eta_seconds, status.pending_shards.size());
         out << buf;
+    }
+    if (status.timeline_samples > 0) {
+        std::snprintf(buf, sizeof buf,
+                      "  timeline: %zu samples, %llu stall flag(s)",
+                      status.timeline_samples,
+                      static_cast<unsigned long long>(status.stall_flags));
+        out << buf;
+        if (status.stalled_workers > 0) {
+            std::snprintf(buf, sizeof buf, "  [%llu worker(s) stalled now]",
+                          static_cast<unsigned long long>(status.stalled_workers));
+            out << buf;
+        }
+        out << '\n';
     }
     out << "  journal: " << status.events << " events\n";
     return out.str();

@@ -91,6 +91,11 @@ struct CampaignStatus {
     /// shards that never logged one (e.g. resumed from a foreign journal)
     /// fall back to the checkpoint's wall_seconds field.
     std::vector<double> shard_wall;
+    /// Flight-recorder summary from timeline.jsonl (DESIGN.md §15);
+    /// all zero when no timeline was recorded.
+    std::size_t timeline_samples = 0;
+    std::uint64_t stalled_workers = 0;  ///< stalled in the latest sample
+    std::uint64_t stall_flags = 0;      ///< stall transitions, whole timeline
 
     [[nodiscard]] bool complete() const {
         return shards_done == shards_total || adaptive_stopped;

@@ -54,6 +54,7 @@ util::JsonValue Manifest::to_json() const {
     root.emplace("wall_seconds", util::JsonValue(wall_seconds));
     root.emplace("cpu_seconds", util::JsonValue(cpu_seconds));
     root.emplace("fastpath_stats", util::JsonValue(fastpath_stats));
+    root.emplace("dropped_spans", util::JsonValue(dropped_spans));
     root.emplace("metrics", metrics_to_json(metrics));
     root.emplace("created_unix", util::JsonValue(static_cast<std::int64_t>(
                                      std::time(nullptr))));
@@ -78,6 +79,7 @@ Manifest Manifest::from_json(const util::JsonValue& v) {
     m.wall_seconds = v.at("wall_seconds").as_double();
     m.cpu_seconds = v.at("cpu_seconds").as_double();
     m.fastpath_stats = v.at("fastpath_stats").as_object();
+    m.dropped_spans = v.at("dropped_spans").as_object();
     m.metrics = metrics_from_json(v.at("metrics"));
     const std::string stored_hash = v.at("config_hash").as_string();
     if (stored_hash != m.config_hash()) {
@@ -113,6 +115,7 @@ void RunRecorder::begin() {
     }
     tracer.clear();  // spans of earlier runs in this process are not ours
     tracer.set_enabled(true);
+    dropped_before_ = tracer.dropped_by_thread();
     before_ = MetricsRegistry::global().snapshot();
     start_ns_ = now_ns();
     cpu0_ = process_cpu_seconds();
@@ -127,6 +130,23 @@ void RunRecorder::finalize() {
     manifest_.cpu_seconds = process_cpu_seconds() - cpu0_;
     events_ = tracer.drain();
     tracks_ = tracer.tracks();
+    // Drop counters are cumulative per process; diff against the begin()
+    // snapshot so the manifest reports this run's truncation only.
+    manifest_.dropped_spans.clear();
+    for (const DroppedCount& after : tracer.dropped_by_thread()) {
+        std::uint64_t before = 0;
+        for (const DroppedCount& b : dropped_before_) {
+            if (b.tid == after.tid) {
+                before = b.dropped;
+                break;
+            }
+        }
+        if (after.dropped <= before) continue;
+        std::string key = after.name;
+        if (key.empty()) key = "tid-" + std::to_string(after.tid);
+        manifest_.dropped_spans.emplace(
+            std::move(key), util::JsonValue(after.dropped - before));
+    }
     tracer.set_enabled(false);
     manifest_.metrics =
         MetricsSnapshot::diff(before_, MetricsRegistry::global().snapshot());

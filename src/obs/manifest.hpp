@@ -35,8 +35,8 @@ namespace epea::obs {
 struct Manifest {
     /// Bump when fields change meaning; schemas/manifest.schema.json and
     /// the obs tests pin the field set of the current version.
-    /// v2: added build_type.
-    static constexpr std::int64_t kSchemaVersion = 2;
+    /// v2: added build_type. v3: added dropped_spans.
+    static constexpr std::int64_t kSchemaVersion = 3;
 
     std::string tool_version;
     std::string command;        ///< e.g. "campaign run"
@@ -50,6 +50,10 @@ struct Manifest {
     double cpu_seconds = 0.0;
     util::JsonObject fastpath_stats;  ///< fi::fastpath_stats_json of the run
     MetricsSnapshot metrics;          ///< metric delta over the run
+    /// Spans overwritten in full ring buffers during this run, keyed by
+    /// track name (or "tid-N" for unnamed threads); only threads that
+    /// actually dropped appear. Empty = the trace is complete.
+    util::JsonObject dropped_spans;
 
     /// Hex FNV-1a of the serialized config — two runs with equal hashes
     /// ran under byte-identical configuration.
@@ -91,6 +95,7 @@ private:
     bool began_ = false;
     bool finalized_ = false;
     MetricsSnapshot before_;
+    std::vector<DroppedCount> dropped_before_;
     std::uint64_t start_ns_ = 0;
     double cpu0_ = 0.0;
     std::vector<SpanEvent> events_;

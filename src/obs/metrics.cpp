@@ -110,6 +110,41 @@ MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& before,
     return out;
 }
 
+double quantile_from_buckets(const std::vector<double>& bounds,
+                             const std::vector<std::uint64_t>& bucket_counts,
+                             double q) {
+    if (bounds.empty()) return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    const std::size_t n_buckets = bounds.size() + 1;
+    const auto count_of = [&bucket_counts](std::size_t i) {
+        return i < bucket_counts.size() ? bucket_counts[i] : std::uint64_t{0};
+    };
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < n_buckets; ++i) total += count_of(i);
+    if (total == 0) return 0.0;
+
+    // The q-quantile is the value at rank q*total of the sorted
+    // observations; walk the cumulative counts to the owning bucket.
+    const double rank = q * static_cast<double>(total);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < n_buckets; ++i) {
+        const std::uint64_t in_bucket = count_of(i);
+        if (in_bucket == 0) continue;
+        const double reach = static_cast<double>(cumulative + in_bucket);
+        if (reach >= rank) {
+            if (i == bounds.size()) return bounds.back();  // +Inf bucket
+            const double lo = i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
+            const double hi = bounds[i];
+            const double into =
+                (rank - static_cast<double>(cumulative)) /
+                static_cast<double>(in_bucket);
+            return lo + (hi - lo) * std::min(1.0, std::max(0.0, into));
+        }
+        cumulative += in_bucket;
+    }
+    return bounds.back();
+}
+
 MetricsRegistry& MetricsRegistry::global() {
     static MetricsRegistry registry;
     return registry;

@@ -126,6 +126,19 @@ struct MetricsSnapshot {
                                               const MetricsSnapshot& after);
 };
 
+/// Quantile estimate over a fixed-bucket histogram in the layout
+/// MetricSample carries: non-cumulative `bucket_counts` over `bounds`
+/// with the +Inf bucket last (bucket_counts.size() == bounds.size()+1;
+/// a short counts vector is treated as zero-padded). Linear
+/// interpolation inside the owning finite bucket, with the first
+/// bucket's lower edge at min(0, bounds[0]); a quantile landing in the
+/// +Inf bucket clamps to the highest finite bound (the estimate cannot
+/// exceed what the histogram resolved). An empty histogram returns 0;
+/// q is clamped to [0, 1].
+[[nodiscard]] double quantile_from_buckets(
+    const std::vector<double>& bounds,
+    const std::vector<std::uint64_t>& bucket_counts, double q);
+
 /// Name -> metric map. Get-or-create; re-registering a name under a
 /// different kind (or a histogram under different bounds) throws.
 class MetricsRegistry {

@@ -1,0 +1,186 @@
+#include "obs/timeline.hpp"
+
+#include <chrono>
+#include <cinttypes>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace epea::obs {
+
+const char* to_string(TimelinePhase phase) noexcept {
+    switch (phase) {
+        case TimelinePhase::kIdle: return "idle";
+        case TimelinePhase::kExecute: return "execute";
+        case TimelinePhase::kCheckpoint: return "checkpoint";
+    }
+    return "idle";
+}
+
+TimelineSampler::TimelineSampler(TimelineOptions options,
+                                 const std::vector<WorkerProgress>* workers,
+                                 std::function<std::uint64_t()> queue_depth)
+    : options_(std::move(options)),
+      workers_(workers),
+      queue_depth_(std::move(queue_depth)) {
+    if (options_.stall_samples == 0) options_.stall_samples = 1;
+    watch_.resize(workers_ ? workers_->size() : 0);
+    start_ns_ = now_ns();
+    last_sample_ns_ = start_ns_;
+}
+
+TimelineSampler::~TimelineSampler() {
+    stop();
+    if (out_ != nullptr) std::fclose(out_);
+}
+
+void TimelineSampler::start() {
+    if (started_ || options_.interval_ms == 0 || options_.path.empty()) return;
+    started_ = true;
+    thread_ = std::thread([this] {
+        set_thread_name("timeline-sampler");
+        run_loop();
+    });
+}
+
+void TimelineSampler::stop() {
+    {
+        const std::lock_guard<std::mutex> lock(stop_mutex_);
+        if (stop_) return;
+        stop_ = true;
+    }
+    stop_cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+    // One final sample so the timeline always closes on the end state
+    // (all workers idle, queue drained) even for sub-interval campaigns.
+    if (started_) sample_once();
+    if (out_ != nullptr) {
+        std::fclose(out_);
+        out_ = nullptr;
+    }
+}
+
+void TimelineSampler::run_loop() {
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    while (!stop_) {
+        if (stop_cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                              [this] { return stop_; })) {
+            break;
+        }
+        lock.unlock();
+        sample_once();
+        lock.lock();
+    }
+}
+
+void TimelineSampler::sample_once() {
+    if (out_ == nullptr) {
+        if (options_.path.empty()) return;
+        out_ = std::fopen(options_.path.c_str(), "a");
+        if (out_ == nullptr) {
+            if (!warned_) {
+                std::fprintf(stderr, "obs: cannot write %s (timeline disabled)\n",
+                             options_.path.c_str());
+                warned_ = true;
+            }
+            return;
+        }
+    }
+
+    const std::uint64_t t_ns = now_ns();
+    const double t_s = static_cast<double>(t_ns - start_ns_) / 1e9;
+    const double dt_s =
+        static_cast<double>(t_ns - last_sample_ns_) / 1e9;
+    last_sample_ns_ = t_ns;
+    const std::uint64_t queue =
+        queue_depth_ ? queue_depth_() : 0;
+
+    std::string line;
+    line.reserve(256);
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "{\"type\":\"sample\",\"seq\":%" PRIu64
+                  ",\"t_s\":%.6f,\"dt_s\":%.6f,\"queue_depth\":%" PRIu64
+                  ",\"workers\":[",
+                  seq_, t_s, dt_s, queue);
+    line += buf;
+
+    std::uint64_t stalled_count = 0;
+    const std::size_t n = workers_ ? workers_->size() : 0;
+    for (std::size_t w = 0; w < n; ++w) {
+        const WorkerProgress& p = (*workers_)[w];
+        const std::uint64_t runs = p.runs.load(std::memory_order_relaxed);
+        const std::uint64_t shards = p.shards_done.load(std::memory_order_relaxed);
+        const std::uint64_t beat = p.heartbeat.load(std::memory_order_relaxed);
+        const std::uint64_t hits = p.cache_hits.load(std::memory_order_relaxed);
+        const std::uint64_t misses = p.cache_misses.load(std::memory_order_relaxed);
+        const std::uint64_t launched =
+            p.lanes_launched.load(std::memory_order_relaxed);
+        const std::uint64_t retired =
+            p.lanes_retired.load(std::memory_order_relaxed);
+        const std::int64_t shard = p.current_shard.load(std::memory_order_relaxed);
+        const auto phase = static_cast<TimelinePhase>(
+            p.phase.load(std::memory_order_relaxed));
+
+        WorkerWatch& watch = watch_[w];
+        // Progress signature: any forward step (run retired, shard done,
+        // phase change, heartbeat from a long case) changes it. A worker
+        // stuck inside one case keeps the same signature sample after
+        // sample — that is exactly the silence the detector flags.
+        const std::uint64_t signature = runs + shards + beat;
+        if (phase == TimelinePhase::kIdle) {
+            watch.quiet_samples = 0;
+            watch.stalled = false;
+        } else if (signature == watch.last_signature && seq_ > 0) {
+            ++watch.quiet_samples;
+            if (watch.quiet_samples >= options_.stall_samples && !watch.stalled) {
+                watch.stalled = true;
+                stall_flags_.fetch_add(1, std::memory_order_relaxed);
+                static Counter& stalled_metric =
+                    MetricsRegistry::global().counter("campaign.worker.stalled");
+                stalled_metric.add(1);
+            }
+        } else {
+            watch.quiet_samples = 0;
+            watch.stalled = false;
+        }
+        watch.last_signature = signature;
+        const double runs_per_s =
+            dt_s > 0.0 && runs >= watch.last_runs
+                ? static_cast<double>(runs - watch.last_runs) / dt_s
+                : 0.0;
+        watch.last_runs = runs;
+        if (watch.stalled) ++stalled_count;
+
+        const std::uint64_t probes = hits + misses;
+        const double hit_rate =
+            probes > 0 ? static_cast<double>(hits) / static_cast<double>(probes)
+                       : 0.0;
+        const std::uint64_t in_flight = launched >= retired ? launched - retired : 0;
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"worker\":%zu,\"phase\":\"%s\",\"shard\":%lld,"
+                      "\"runs\":%" PRIu64 ",\"runs_per_s\":%.1f,"
+                      "\"golden_hit_rate\":%.4f,\"lanes_in_flight\":%" PRIu64
+                      ",\"lanes_launched\":%" PRIu64 ",\"stalled\":%s}",
+                      w == 0 ? "" : ",", w, to_string(phase),
+                      static_cast<long long>(shard), runs, runs_per_s, hit_rate,
+                      in_flight, launched, watch.stalled ? "true" : "false");
+        line += buf;
+    }
+    std::snprintf(buf, sizeof buf, "],\"stalled_workers\":%" PRIu64 "}\n",
+                  stalled_count);
+    line += buf;
+
+    stalled_now_.store(stalled_count, std::memory_order_relaxed);
+    ++seq_;
+    samples_.fetch_add(1, std::memory_order_relaxed);
+    if (std::fwrite(line.data(), 1, line.size(), out_) != line.size() ||
+        std::fflush(out_) != 0) {
+        if (!warned_) {
+            std::fprintf(stderr, "obs: short write to %s\n", options_.path.c_str());
+            warned_ = true;
+        }
+    }
+}
+
+}  // namespace epea::obs

@@ -1,0 +1,135 @@
+// Campaign flight recorder (DESIGN.md §15): a low-overhead sampler
+// thread that appends per-worker progress snapshots to timeline.jsonl at
+// a fixed cadence while a campaign executes. Each sample captures
+// per-worker runs/s, batch-lane occupancy, golden-cache hit rate, queue
+// depth and phase, plus a stall detector that flags workers making no
+// progress for N consecutive samples (surfaced in `campaign status` and
+// as the `campaign.worker.stalled` counter).
+//
+// Cost model: workers publish progress via relaxed atomics on a
+// cache-line-aligned per-worker slot (one fetch_add per published
+// quantity — no locks, no allocation on the hot path); the sampler
+// thread wakes every interval_ms, reads the slots and writes one JSONL
+// line. Overhead is bounded by the cadence, not the campaign size
+// (BENCH_timeline.json pins it under 1%).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/enabled.hpp"
+
+namespace epea::obs {
+
+/// What a worker is doing right now, as published to its progress slot.
+enum class TimelinePhase : std::uint32_t {
+    kIdle = 0,       ///< waiting for a shard (or finished)
+    kExecute = 1,    ///< running injection cases of a shard
+    kCheckpoint = 2  ///< persisting the shard checkpoint
+};
+
+[[nodiscard]] const char* to_string(TimelinePhase phase) noexcept;
+
+/// One worker's live progress, written by the worker with relaxed
+/// atomics and read by the sampler. Cache-line aligned so two workers
+/// never false-share a slot.
+struct alignas(64) WorkerProgress {
+    std::atomic<std::uint64_t> runs{0};           ///< injection runs completed
+    std::atomic<std::uint64_t> shards_done{0};    ///< shards fully finished
+    std::atomic<std::uint64_t> heartbeat{0};      ///< bumped on any forward step
+    std::atomic<std::uint64_t> cache_hits{0};     ///< golden-cache hits
+    std::atomic<std::uint64_t> cache_misses{0};   ///< golden-cache misses
+    std::atomic<std::uint64_t> lanes_launched{0};  ///< batch lanes launched
+    std::atomic<std::uint64_t> lanes_retired{0};   ///< batch lanes retired
+    std::atomic<std::int64_t> current_shard{-1};  ///< -1 when idle
+    std::atomic<std::uint32_t> phase{
+        static_cast<std::uint32_t>(TimelinePhase::kIdle)};
+
+    void set_phase(TimelinePhase p) noexcept {
+        phase.store(static_cast<std::uint32_t>(p), std::memory_order_relaxed);
+        heartbeat.fetch_add(1, std::memory_order_relaxed);
+    }
+};
+
+struct TimelineOptions {
+    std::string path;               ///< timeline.jsonl destination
+    std::uint32_t interval_ms = 200;  ///< sampling cadence; 0 disables
+    /// Consecutive samples without worker progress (while not idle)
+    /// before the stall detector flags it. At the default cadence 25
+    /// samples = 5 s of silence.
+    std::uint32_t stall_samples = 25;
+};
+
+/// The sampler thread. Construct with the options, the (stable) worker
+/// progress slots and a queue-depth probe; start() spawns the thread,
+/// stop() takes one final sample and joins. All I/O errors are
+/// swallowed after a single stderr warning — telemetry must never take
+/// a campaign down.
+class TimelineSampler {
+public:
+    TimelineSampler(TimelineOptions options,
+                    const std::vector<WorkerProgress>* workers,
+                    std::function<std::uint64_t()> queue_depth);
+    ~TimelineSampler();
+
+    TimelineSampler(const TimelineSampler&) = delete;
+    TimelineSampler& operator=(const TimelineSampler&) = delete;
+
+    void start();
+    void stop();
+
+    /// Workers currently flagged as stalled (as of the latest sample).
+    [[nodiscard]] std::uint64_t stalled_now() const noexcept {
+        return stalled_now_.load(std::memory_order_relaxed);
+    }
+    /// Total stall transitions observed (matches the
+    /// `campaign.worker.stalled` counter delta for this campaign).
+    [[nodiscard]] std::uint64_t stall_flags() const noexcept {
+        return stall_flags_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t samples_written() const noexcept {
+        return samples_.load(std::memory_order_relaxed);
+    }
+
+    /// Takes one sample synchronously (used by stop() for the final
+    /// sample and by tests to drive the sampler without the thread).
+    void sample_once();
+
+private:
+    /// Per-worker detector state, owned by the sampler thread.
+    struct WorkerWatch {
+        std::uint64_t last_signature = 0;
+        std::uint64_t last_runs = 0;
+        std::uint32_t quiet_samples = 0;
+        bool stalled = false;
+    };
+
+    void run_loop();
+
+    TimelineOptions options_;
+    const std::vector<WorkerProgress>* workers_;
+    std::function<std::uint64_t()> queue_depth_;
+    std::vector<WorkerWatch> watch_;
+    std::uint64_t seq_ = 0;
+    std::uint64_t start_ns_ = 0;
+    std::uint64_t last_sample_ns_ = 0;
+    std::atomic<std::uint64_t> stalled_now_{0};
+    std::atomic<std::uint64_t> stall_flags_{0};
+    std::atomic<std::uint64_t> samples_{0};
+    std::mutex stop_mutex_;
+    std::condition_variable stop_cv_;
+    bool stop_ = false;
+    bool warned_ = false;
+    bool started_ = false;
+    std::FILE* out_ = nullptr;
+    std::thread thread_;
+};
+
+}  // namespace epea::obs

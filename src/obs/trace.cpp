@@ -138,6 +138,18 @@ std::uint64_t Tracer::dropped() const {
     return total;
 }
 
+std::vector<DroppedCount> Tracer::dropped_by_thread() const {
+    std::vector<DroppedCount> out;
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    out.reserve(r.buffers.size());
+    for (const auto& b : r.buffers) {
+        const std::lock_guard<std::mutex> blk(b->mutex);
+        out.push_back(DroppedCount{b->tid, b->name, b->dropped});
+    }
+    return out;
+}
+
 void Tracer::record(SpanEvent event) {
     ThreadBuffer& b = local_buffer();
     event.tid = b.tid;

@@ -41,6 +41,15 @@ struct TrackInfo {
     std::string name;  ///< empty when the thread never named itself
 };
 
+/// Per-thread count of spans overwritten because the ring was full.
+/// Surfaced in manifest.json (`dropped_spans`) so silent trace
+/// truncation is visible in every run artifact.
+struct DroppedCount {
+    std::uint32_t tid = 0;
+    std::string name;  ///< track name; empty when the thread never named itself
+    std::uint64_t dropped = 0;
+};
+
 /// Monotonic nanoseconds since the first obs use in this process.
 [[nodiscard]] std::uint64_t now_ns() noexcept;
 
@@ -89,6 +98,11 @@ public:
 
     /// Events overwritten because a ring was full, process-wide.
     [[nodiscard]] std::uint64_t dropped() const;
+
+    /// Drop counts per thread (registration order). Drop counters are
+    /// cumulative for the process — drain() clears the rings but not
+    /// the counters, so callers wanting per-run deltas must diff.
+    [[nodiscard]] std::vector<DroppedCount> dropped_by_thread() const;
 
     void record(SpanEvent event);
 

@@ -266,6 +266,12 @@ void HttpServer::handle_connection(int fd) {
                          "\",\"object\":\"exception\",\"rule\":\"SERVE-E500\","
                          "\"severity\":\"error\"}],\"warnings\":0}\n");
         }
+        if (resp.stream) {
+            // A streamed response has no Content-Length: the connection
+            // end is the framing, so it never keeps alive.
+            write_stream_response(fd, resp);
+            break;
+        }
         const bool keep = req.keep_alive() && !stopping();
         if (!write_response(fd, resp, keep)) break;
         if (!keep) break;
@@ -351,20 +357,27 @@ bool HttpServer::write_response(int fd, const HttpResponse& resp, bool keep_aliv
     out += keep_alive ? "\r\nConnection: keep-alive" : "\r\nConnection: close";
     out += "\r\n\r\n";
     out += resp.body;
+    // Bounded responses finish even during a drain (they are exactly the
+    // in-flight work shutdown waits for); only streams abandon early.
+    return send_all(fd, out, false);
+}
 
+bool HttpServer::send_all(int fd, std::string_view data,
+                          bool abandon_when_stopping) {
     std::size_t sent = 0;
     int idle_ms = 0;
-    while (sent < out.size()) {
+    while (sent < data.size()) {
         // MSG_NOSIGNAL: a peer that disconnected mid-response must fail
         // the send with EPIPE, not kill the daemon with SIGPIPE.
         const ssize_t n =
-            ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+            ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR) continue;
             if (errno == EAGAIN || errno == EWOULDBLOCK) {
                 // SO_SNDTIMEO expired: the peer is not draining its
                 // receive buffer. Bounded like the recv path — give the
                 // connection up after the idle budget.
+                if (abandon_when_stopping && stopping()) return false;
                 idle_ms += options_.recv_timeout_ms;
                 if (idle_ms >= options_.idle_timeout_ms) return false;
                 continue;
@@ -375,6 +388,29 @@ bool HttpServer::write_response(int fd, const HttpResponse& resp, bool keep_aliv
         sent += static_cast<std::size_t>(n);
     }
     return true;
+}
+
+void HttpServer::write_stream_response(int fd, const HttpResponse& resp) {
+    std::string head;
+    head.reserve(160);
+    head += "HTTP/1.1 ";
+    head += std::to_string(resp.status);
+    head += ' ';
+    head += status_text(resp.status);
+    head += "\r\nContent-Type: ";
+    head += resp.content_type;
+    head += "\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n";
+    if (!send_all(fd, head, true)) return;
+    const HttpResponse::StreamSend send = [this, fd](std::string_view data) {
+        return !stopping() && send_all(fd, data, true);
+    };
+    const std::function<bool()> cancelled = [this] { return stopping(); };
+    try {
+        resp.stream(send, cancelled);
+    } catch (const std::exception&) {
+        // Mid-stream there is no way to signal an error to the client
+        // beyond closing; the service layer logs via its own metrics.
+    }
 }
 
 }  // namespace epea::serve

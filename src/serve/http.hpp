@@ -53,6 +53,21 @@ struct HttpResponse {
     std::string content_type = "application/json";
     std::string body;
 
+    /// Incremental body sender for a streaming response. Returns false
+    /// when the client is gone or the server is draining — the writer
+    /// must stop producing then.
+    using StreamSend = std::function<bool(std::string_view)>;
+    /// Streaming body writer (Server-Sent Events): when set, `body` is
+    /// ignored; the server sends the header block (no Content-Length,
+    /// `Connection: close` — the connection end IS the framing) and then
+    /// invokes the writer on the worker thread. The writer streams via
+    /// `send` and must poll both `send`'s result and `cancelled()` (true
+    /// once the server drains) so SIGTERM shutdown stays bounded by the
+    /// writer's poll cadence.
+    using StreamWriter = std::function<void(
+        const StreamSend& send, const std::function<bool()>& cancelled)>;
+    StreamWriter stream;
+
     [[nodiscard]] static HttpResponse text(int status, std::string body);
     [[nodiscard]] static HttpResponse json(int status, std::string body);
 };
@@ -135,6 +150,13 @@ private:
     int read_request(int fd, std::string& buf, HttpRequest& req);
     [[nodiscard]] bool write_response(int fd, const HttpResponse& resp,
                                       bool keep_alive);
+    /// Sends every byte of `data`, honouring the idle budget. With
+    /// `abandon_when_stopping`, gives the connection up as soon as the
+    /// server drains (streaming responses must not delay shutdown).
+    [[nodiscard]] bool send_all(int fd, std::string_view data,
+                                bool abandon_when_stopping);
+    /// Header block + HttpResponse::stream body; always closes after.
+    void write_stream_response(int fd, const HttpResponse& resp);
 
     ServerOptions options_;
     HttpHandler handler_;

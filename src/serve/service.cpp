@@ -67,6 +67,7 @@ enum class Ep : std::size_t {
     kLint,
     kCampaignSubmit,
     kCampaignStatus,
+    kCampaignEvents,
     kOther,
     kCount,
 };
@@ -89,6 +90,8 @@ constexpr EpInfo kEpInfo[static_cast<std::size_t>(Ep::kCount)] = {
      "serve.latency.campaign_submit"},
     {"serve.campaign_status", "serve.requests.campaign_status",
      "serve.latency.campaign_status"},
+    {"serve.campaign_events", "serve.requests.campaign_events",
+     "serve.latency.campaign_events"},
     {"serve.other", "serve.requests.other", "serve.latency.other"},
 };
 
@@ -137,10 +140,9 @@ ServeCounters& counters() {
     return c;
 }
 
-/// /v1/campaign/<id>/status → id, or empty when the target is no match.
-std::string campaign_status_id(const std::string& target) {
+/// /v1/campaign/<id><suffix> → id, or empty when the target is no match.
+std::string campaign_path_id(const std::string& target, const std::string& suffix) {
     const std::string prefix = "/v1/campaign/";
-    const std::string suffix = "/status";
     if (target.rfind(prefix, 0) != 0 || target.size() <= prefix.size() + suffix.size()) {
         return "";
     }
@@ -161,9 +163,51 @@ Ep classify(const HttpRequest& req, std::string& campaign_id) {
     if (t == "/v1/place/optimize") return Ep::kOptimize;
     if (t == "/v1/lint") return Ep::kLint;
     if (t == "/v1/campaign/submit") return Ep::kCampaignSubmit;
-    campaign_id = campaign_status_id(t);
+    campaign_id = campaign_path_id(t, "/status");
     if (!campaign_id.empty()) return Ep::kCampaignStatus;
+    campaign_id = campaign_path_id(t, "/events");
+    if (!campaign_id.empty()) return Ep::kCampaignEvents;
     return Ep::kOther;
+}
+
+/// One SSE frame. The journal/timeline lines are single-line JSON, so a
+/// single `data:` field frames each one.
+std::string sse_event(const std::string& type, const std::string& data) {
+    return "event: " + type + "\ndata: " + data + "\n\n";
+}
+
+/// Reads complete lines appended to `path` past `*offset` (at most
+/// `max_bytes` per call, so one poll cannot balloon the send buffer),
+/// advancing `*offset` past every full line consumed. A torn tail stays
+/// unconsumed until its newline lands; a truncated/recreated file
+/// restarts from 0.
+std::vector<std::string> tail_lines(const std::string& path,
+                                    std::uint64_t* offset,
+                                    std::size_t max_bytes) {
+    std::vector<std::string> lines;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return lines;
+    in.seekg(0, std::ios::end);
+    const auto size = static_cast<std::uint64_t>(in.tellg());
+    if (size < *offset) *offset = 0;  // rewritten underneath us
+    if (size == *offset) return lines;
+    const std::size_t want =
+        static_cast<std::size_t>(std::min<std::uint64_t>(size - *offset, max_bytes));
+    std::string chunk(want, '\0');
+    in.seekg(static_cast<std::streamoff>(*offset));
+    in.read(chunk.data(), static_cast<std::streamsize>(want));
+    chunk.resize(static_cast<std::size_t>(in.gcount()));
+    std::size_t consumed = 0;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t nl = chunk.find('\n', start);
+        if (nl == std::string::npos) break;
+        if (nl > start) lines.push_back(chunk.substr(start, nl - start));
+        start = nl + 1;
+        consumed = start;
+    }
+    *offset += consumed;
+    return lines;
 }
 
 /// Parses the request body as a JSON object; 400 otherwise.
@@ -333,6 +377,10 @@ HttpResponse Service::handle(const HttpRequest& req) {
             case Ep::kCampaignStatus:
                 if (req.method != "GET") throw ServeError{405, endpoint, kMethodNotAllowed};
                 resp = handle_campaign_status(campaign_id);
+                break;
+            case Ep::kCampaignEvents:
+                if (req.method != "GET") throw ServeError{405, endpoint, kMethodNotAllowed};
+                resp = handle_campaign_events(campaign_id);
                 break;
             case Ep::kOther:
             case Ep::kCount:
@@ -637,6 +685,71 @@ HttpResponse Service::handle_campaign_status(const std::string& id) {
         o.emplace("complete", util::JsonValue(false));
     }
     return HttpResponse::json(200, util::JsonValue(std::move(o)).dump() + "\n");
+}
+
+HttpResponse Service::handle_campaign_events(const std::string& id) {
+    std::shared_ptr<CampaignJob> job;
+    {
+        const std::lock_guard<std::mutex> lock(campaigns_mutex_);
+        const auto it = campaigns_.find(id);
+        if (it == campaigns_.end()) {
+            throw ServeError{404, "campaign_events", "unknown campaign '" + id + "'"};
+        }
+        job = it->second;
+    }
+
+    HttpResponse r;
+    r.status = 200;
+    r.content_type = "text/event-stream";
+    // The writer runs on the HTTP worker thread after handle() returns.
+    // It owns the job via shared_ptr, so a reaped job keeps streaming
+    // its terminal state; per-poll reads are bounded (64 KiB per file),
+    // so a fast producer backpressures into later polls instead of an
+    // unbounded send buffer.
+    r.stream = [job, id](const HttpResponse::StreamSend& send,
+                         const std::function<bool()>& cancelled) {
+        constexpr std::size_t kMaxChunk = 64 * 1024;
+        constexpr auto kPoll = std::chrono::milliseconds(100);
+        static const char* kStates[] = {"running", "finished", "failed", "paused"};
+
+        util::JsonObject hello;
+        hello.emplace("dir", util::JsonValue(job->dir));
+        hello.emplace("id", util::JsonValue(id));
+        hello.emplace("state", util::JsonValue(
+            kStates[job->state.load(std::memory_order_acquire)]));
+        if (!send(sse_event("status", util::JsonValue(std::move(hello)).dump()))) {
+            return;
+        }
+
+        const std::string journal = job->dir + "/events.jsonl";
+        const std::string timeline = job->dir + "/timeline.jsonl";
+        std::uint64_t journal_off = 0;
+        std::uint64_t timeline_off = 0;
+        for (;;) {
+            const int state = job->state.load(std::memory_order_acquire);
+            bool progressed = false;
+            for (const std::string& line :
+                 tail_lines(journal, &journal_off, kMaxChunk)) {
+                if (!send(sse_event("campaign", line))) return;
+                progressed = true;
+            }
+            for (const std::string& line :
+                 tail_lines(timeline, &timeline_off, kMaxChunk)) {
+                if (!send(sse_event("timeline", line))) return;
+                progressed = true;
+            }
+            if (state != 0 && !progressed) break;  // terminal AND drained
+            if (cancelled()) return;  // daemon draining: close mid-stream
+            if (!progressed) std::this_thread::sleep_for(kPoll);
+        }
+
+        util::JsonObject done;
+        done.emplace("id", util::JsonValue(id));
+        done.emplace("state", util::JsonValue(
+            kStates[job->state.load(std::memory_order_acquire)]));
+        (void)send(sse_event("done", util::JsonValue(std::move(done)).dump()));
+    };
+    return r;
 }
 
 }  // namespace epea::serve

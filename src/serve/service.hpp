@@ -121,6 +121,11 @@ private:
     HttpResponse handle_lint(const HttpRequest& req);
     HttpResponse handle_campaign_submit(const HttpRequest& req);
     HttpResponse handle_campaign_status(const std::string& id);
+    /// GET /v1/campaign/{id}/events — Server-Sent Events stream tailing
+    /// the job's events.jsonl ("campaign" events) and timeline.jsonl
+    /// ("timeline" events) until the job leaves the running state, the
+    /// client disconnects, or the daemon drains. See DESIGN.md §15.
+    HttpResponse handle_campaign_events(const std::string& id);
 
     /// Memoized pure solve of `source`'s reach profile.
     [[nodiscard]] std::shared_ptr<const analytic::ReachProfile> profile(

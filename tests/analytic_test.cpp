@@ -392,6 +392,113 @@ TEST_F(SubsetCacheLint, RuleIsInCatalog) {
     EXPECT_TRUE(found);
 }
 
+// ------------------------------------------------- timeline lint
+
+class TimelineLint : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = std::filesystem::path(::testing::TempDir()) / "timeline_lint";
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::string write(const std::string& text) {
+        const std::string path = (dir_ / "timeline.jsonl").string();
+        std::ofstream out(path, std::ios::binary);
+        out << text;
+        return path;
+    }
+
+    static std::string sample(int seq, double t_s, const std::string& phase,
+                              long long runs) {
+        char buf[512];
+        std::snprintf(
+            buf, sizeof buf,
+            "{\"type\":\"sample\",\"seq\":%d,\"t_s\":%.3f,\"dt_s\":0.2,"
+            "\"queue_depth\":0,\"workers\":[{\"worker\":0,\"phase\":\"%s\","
+            "\"shard\":0,\"runs\":%lld,\"runs_per_s\":0.0,"
+            "\"golden_hit_rate\":0.0,\"lanes_in_flight\":0,"
+            "\"lanes_launched\":0,\"stalled\":false}],\"stalled_workers\":0}\n",
+            seq, t_s, phase.c_str(), runs);
+        return buf;
+    }
+
+    static std::size_t count_w062(const analysis::Report& report) {
+        std::size_t n = 0;
+        for (const analysis::Finding& f : report.findings()) {
+            if (f.rule == "EPEA-W062") ++n;
+        }
+        return n;
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(TimelineLint, CleanResumedFileAndMissingFilePass) {
+    // Two run segments (the second starts with a seq reset to 0, as a
+    // resumed campaign appends), plus a torn final line from a kill.
+    const std::string good = sample(0, 0.2, "execute", 10) +
+                             sample(1, 0.4, "checkpoint", 20) +
+                             sample(2, 0.6, "idle", 20) +
+                             sample(0, 0.2, "execute", 5) +
+                             sample(1, 0.4, "execute", 9) +
+                             "{\"type\":\"sample\",\"seq\":2,\"t_";
+    EXPECT_EQ(analysis::lint_timeline_file(write(good)).findings().size(), 0U);
+    EXPECT_EQ(analysis::lint_timeline_file((dir_ / "absent.jsonl").string())
+                  .findings()
+                  .size(),
+              0U);
+}
+
+TEST_F(TimelineLint, FlagsSeqTimePhaseAndRunsViolations) {
+    // seq jump without a reset.
+    EXPECT_GE(count_w062(analysis::lint_timeline_file(
+                  write(sample(0, 0.2, "execute", 1) +
+                        sample(3, 0.6, "execute", 2)))),
+              1U);
+    // Time goes backwards within a segment.
+    EXPECT_GE(count_w062(analysis::lint_timeline_file(
+                  write(sample(0, 0.4, "execute", 1) +
+                        sample(1, 0.2, "execute", 2)))),
+              1U);
+    // Unknown phase name.
+    EXPECT_GE(count_w062(analysis::lint_timeline_file(
+                  write(sample(0, 0.2, "warp", 1)))),
+              1U);
+    // Per-worker runs counter decreases mid-segment.
+    EXPECT_GE(count_w062(analysis::lint_timeline_file(
+                  write(sample(0, 0.2, "execute", 9) +
+                        sample(1, 0.4, "execute", 3)))),
+              1U);
+    // Unparsable line that is NOT the final one.
+    EXPECT_GE(count_w062(analysis::lint_timeline_file(
+                  write("not json\n" + sample(0, 0.2, "idle", 0)))),
+              1U);
+}
+
+TEST_F(TimelineLint, FlagsWorkerSetChangeMidSegment) {
+    const std::string two_workers =
+        "{\"type\":\"sample\",\"seq\":1,\"t_s\":0.4,\"dt_s\":0.2,"
+        "\"queue_depth\":0,\"workers\":[{\"worker\":0,\"phase\":\"idle\","
+        "\"shard\":-1,\"runs\":1,\"runs_per_s\":0.0,\"golden_hit_rate\":0.0,"
+        "\"lanes_in_flight\":0,\"lanes_launched\":0,\"stalled\":false},"
+        "{\"worker\":1,\"phase\":\"idle\",\"shard\":-1,\"runs\":0,"
+        "\"runs_per_s\":0.0,\"golden_hit_rate\":0.0,\"lanes_in_flight\":0,"
+        "\"lanes_launched\":0,\"stalled\":false}],\"stalled_workers\":0}\n";
+    EXPECT_GE(count_w062(analysis::lint_timeline_file(
+                  write(sample(0, 0.2, "execute", 1) + two_workers))),
+              1U);
+}
+
+TEST_F(TimelineLint, RuleIsInCatalogAndAppliedByDirLint) {
+    bool found = false;
+    for (const analysis::RuleInfo& rule : analysis::rule_catalog()) {
+        if (std::string(rule.id) == "EPEA-W062") found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
 // ------------------------------------------------------- synth knobs
 
 TEST(SynthCycles, SameSeedIsByteReproducible) {

@@ -189,6 +189,55 @@ TEST(ObsMetricsTest, HistogramBucketEdgesAreInclusive) {
     EXPECT_THROW(Histogram({}), std::invalid_argument);
 }
 
+TEST(ObsMetricsTest, QuantileFromBucketsInterpolatesWithinBucket) {
+    // 10 observations spread uniformly into (0,1] and (1,2]: the median
+    // falls on the bucket edge, p90 interpolates inside the second.
+    const std::vector<double> bounds = {1.0, 2.0};
+    const std::vector<std::uint64_t> counts = {5, 5, 0};
+    EXPECT_DOUBLE_EQ(quantile_from_buckets(bounds, counts, 0.5), 1.0);
+    EXPECT_DOUBLE_EQ(quantile_from_buckets(bounds, counts, 0.9), 1.8);
+    EXPECT_DOUBLE_EQ(quantile_from_buckets(bounds, counts, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(quantile_from_buckets(bounds, counts, 1.0), 2.0);
+    // Out-of-range q clamps rather than extrapolating.
+    EXPECT_DOUBLE_EQ(quantile_from_buckets(bounds, counts, 1.5), 2.0);
+    EXPECT_DOUBLE_EQ(quantile_from_buckets(bounds, counts, -0.5), 0.0);
+}
+
+TEST(ObsMetricsTest, QuantileFromBucketsEdgeCases) {
+    // Empty histogram: no observations, estimate is 0.
+    EXPECT_DOUBLE_EQ(quantile_from_buckets({1.0, 2.0}, {0, 0, 0}, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(quantile_from_buckets({}, {}, 0.5), 0.0);
+    // All mass in the +Inf bucket: clamp to the highest finite bound —
+    // the histogram cannot resolve anything above it.
+    EXPECT_DOUBLE_EQ(quantile_from_buckets({1.0, 2.0}, {0, 0, 7}, 0.5), 2.0);
+    EXPECT_DOUBLE_EQ(quantile_from_buckets({1.0, 2.0}, {0, 0, 7}, 0.99), 2.0);
+    // Single finite bucket: interpolate between 0 and the bound.
+    EXPECT_DOUBLE_EQ(quantile_from_buckets({4.0}, {4, 0}, 0.5), 2.0);
+    EXPECT_DOUBLE_EQ(quantile_from_buckets({4.0}, {4, 0}, 1.0), 4.0);
+    // Short counts vector (trailing zero buckets omitted) is zero-padded.
+    EXPECT_DOUBLE_EQ(quantile_from_buckets({1.0, 2.0}, {4}, 1.0), 1.0);
+}
+
+TEST(ObsTraceTest, DroppedByThreadAttributesOverflowToTracks) {
+    if (!kEnabled) GTEST_SKIP() << "built with EPEA_OBS_ENABLED=OFF";
+    const ScopedTracer armed;
+    Tracer::instance().set_ring_capacity(2);
+    std::uint64_t before = 0;
+    for (const DroppedCount& d : Tracer::instance().dropped_by_thread()) {
+        if (d.tid == current_tid()) before = d.dropped;
+    }
+    for (int i = 0; i < 5; ++i) {
+        Span span("test.dropped_attr");
+    }
+    bool found = false;
+    for (const DroppedCount& d : Tracer::instance().dropped_by_thread()) {
+        if (d.tid != current_tid()) continue;
+        found = true;
+        EXPECT_EQ(d.dropped - before, 3u);
+    }
+    EXPECT_TRUE(found);
+}
+
 TEST(ObsMetricsTest, RegistryRejectsKindAndBoundMismatch) {
     auto& reg = MetricsRegistry::global();
     (void)reg.counter("test.kind_clash");
@@ -302,15 +351,16 @@ Manifest example_manifest() {
 }
 
 TEST(ObsManifestTest, SchemaFieldSetIsStable) {
-    // The schema contract: version 2 has exactly these keys (v2 added
-    // build_type). Adding or renaming one requires bumping
-    // kSchemaVersion and the checked-in schemas/manifest.schema.json.
+    // The schema contract: version 3 has exactly these keys (v2 added
+    // build_type, v3 added dropped_spans). Adding or renaming one
+    // requires bumping kSchemaVersion and the checked-in
+    // schemas/manifest.schema.json.
     const util::JsonValue v = example_manifest().to_json();
     const std::vector<std::string> expected = {
-        "build_type",  "command",      "config",       "config_hash",
-        "cpu_seconds", "created_unix", "fastpath",     "fastpath_stats",
-        "metrics",     "obs_enabled",  "schema",       "seed_base",
-        "threads",     "tool_version", "wall_seconds",
+        "build_type",    "command",      "config",       "config_hash",
+        "cpu_seconds",   "created_unix", "dropped_spans", "fastpath",
+        "fastpath_stats", "metrics",     "obs_enabled",  "schema",
+        "seed_base",     "threads",      "tool_version", "wall_seconds",
     };
     std::vector<std::string> keys;
     for (const auto& [k, _] : v.as_object()) keys.push_back(k);

@@ -9,7 +9,7 @@
 //   epea_tool place optimize|frontier|explain    cost-aware EA placement search
 //   epea_tool analytic predict|diff-plan|validate  engine queries, no campaign
 //   epea_tool synth [--layers ...]               generate a synthetic system
-//   epea_tool obs trace|metrics DIR              inspect observability artifacts
+//   epea_tool obs trace|metrics|report DIR       inspect observability artifacts
 //   epea_tool serve [--port N]                   HTTP/JSON placement service
 //   epea_tool version                            print the tool version
 //
@@ -34,6 +34,7 @@
 // Unknown commands and unknown flags are rejected with the usage text
 // and exit status 2, so scripts fail loudly on typos.
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -44,6 +45,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/campaign_lint.hpp"
@@ -102,13 +104,17 @@ int usage() {
                  "               [--min-trials N] [--out FILE] [--no-fastpath]\n"
                  "               [--no-batch] [--batch-width N]\n"
                  "               [--trace-out FILE] [--metrics-out FILE]\n"
+                 "               [--timeline-interval MS] [--timeline-stall N]\n"
                  "  campaign resume --dir DIR [--threads T] [--max-shards N]\n"
                  "                  [--out FILE] [--no-fastpath]\n"
                  "                  [--no-batch] [--batch-width N]\n"
                  "                  [--trace-out FILE] [--metrics-out FILE]\n"
-                 "  campaign status --dir DIR [--metrics]\n"
+                 "                  [--timeline-interval MS] [--timeline-stall N]\n"
+                 "  campaign status --dir DIR [--metrics] [--follow]\n"
+                 "                  [--interval SECONDS]\n"
                  "  obs trace DIR                  summarize DIR/trace.json\n"
                  "  obs metrics DIR                print DIR metrics as Prometheus text\n"
+                 "  obs report DIR [--json] [--top N]  phase/critical-path report\n"
                  "  place optimize [--error-model input|severe]\n"
                  "                 [--benefit visibility|analytic|ground-truth]\n"
                  "                 [--budget-memory B] [--json]\n"
@@ -459,6 +465,12 @@ int run_and_report(campaign::CampaignExecutor& exec,
     opts.echo_events = has_flag(args, "--verbose");
     opts.use_fastpath = !has_flag(args, "--no-fastpath");
     if (!parse_batch_flags(args, opts.use_batch, opts.batch_width)) return 2;
+    if (const auto i = flag_value(args, "--timeline-interval")) {
+        opts.timeline_interval_ms = static_cast<std::uint32_t>(std::stoul(*i));
+    }
+    if (const auto s = flag_value(args, "--timeline-stall")) {
+        opts.timeline_stall_samples = static_cast<std::uint32_t>(std::stoul(*s));
+    }
 
     ObsCli obs_cli(args, command);
     obs_cli.set_artifact_dir(exec.dir());
@@ -496,7 +508,29 @@ int cmd_campaign(const std::vector<std::string>& args) {
 
     try {
         if (sub == "status") {
-            if (!flags_ok(rest, {"--dir"}, {"--metrics"})) return usage();
+            if (!flags_ok(rest, {"--dir", "--interval"}, {"--metrics", "--follow"})) {
+                return usage();
+            }
+            if (has_flag(rest, "--follow")) {
+                // Poll-and-redraw live view: re-read the artifacts every
+                // interval until the campaign completes. Plain re-print
+                // (no terminal control), so it pipes and logs cleanly.
+                double interval_s = 2.0;
+                if (const auto i = flag_value(rest, "--interval")) {
+                    interval_s = std::stod(*i);
+                }
+                if (interval_s <= 0.0) interval_s = 0.1;
+                for (;;) {
+                    const campaign::CampaignStatus status =
+                        campaign::read_status(*dir);
+                    std::printf("%s", campaign::render_status(status).c_str());
+                    std::fflush(stdout);
+                    if (status.complete()) return 0;
+                    std::printf("---\n");
+                    std::this_thread::sleep_for(std::chrono::duration<double>(
+                        interval_s));
+                }
+            }
             const campaign::CampaignStatus status = campaign::read_status(*dir);
             if (has_flag(rest, "--metrics")) {
                 // Reconstruct the campaign's metric snapshot from its
@@ -516,7 +550,8 @@ int cmd_campaign(const std::vector<std::string>& args) {
         if (sub == "resume") {
             if (!flags_ok(rest,
                           {"--dir", "--threads", "--max-shards", "--out",
-                           "--batch-width", "--trace-out", "--metrics-out"},
+                           "--batch-width", "--trace-out", "--metrics-out",
+                           "--timeline-interval", "--timeline-stall"},
                           {"--verbose", "--no-fastpath", "--no-batch"})) {
                 return usage();
             }
@@ -527,7 +562,8 @@ int cmd_campaign(const std::vector<std::string>& args) {
         if (!flags_ok(rest,
                       {"--dir", "--spec", "--kind", "--cases", "--times", "--shards",
                        "--threads", "--max-shards", "--adaptive", "--min-trials",
-                       "--out", "--batch-width", "--trace-out", "--metrics-out"},
+                       "--out", "--batch-width", "--trace-out", "--metrics-out",
+                       "--timeline-interval", "--timeline-stall"},
                       {"--verbose", "--no-fastpath", "--no-batch"})) {
             return usage();
         }
@@ -725,23 +761,325 @@ int cmd_place(const std::vector<std::string>& args) {
 /// snapshot) as Prometheus text; `obs trace DIR` summarizes
 /// DIR/trace.json per span name. Both read artifacts a campaign run left
 /// behind — no live process needed.
+std::optional<util::JsonValue> read_json_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return util::JsonValue::parse(buf.str());
+}
+
+/// Phase attribution for `obs report` (DESIGN.md §15): every span name
+/// maps to exactly one phase, and time is attributed *exclusively* (a
+/// span's self time, minus its contained children on the same track), so
+/// the phase totals sum to the union of traced time by construction.
+const char* report_phase_of(const std::string& name) {
+    if (name == "fi.golden_capture") return "golden-build";
+    if (name == "fi.fork") return "fork";
+    if (name == "fi.batch_flush") return "batch-kernel";
+    if (name == "fi.run" || name == "sim.run") return "scalar-run";
+    if (name == "campaign.checkpoint") return "checkpoint";
+    if (name == "campaign.merge") return "merge";
+    if (name.rfind("campaign.", 0) == 0 || name.rfind("epic.", 0) == 0 ||
+        name.rfind("exp.", 0) == 0 || name.rfind("opt.", 0) == 0) {
+        return "orchestration";
+    }
+    return "other";
+}
+
+/// `epea_tool obs report DIR` — offline critical-path analysis over the
+/// run artifacts (trace.json + metrics.json/manifest.json +
+/// timeline.jsonl): phase breakdown on exclusive span time, per-worker
+/// utilization, top-N slowest runs, lane-retirement counters and shard
+/// wall-clock quantiles.
+int cmd_obs_report(const std::string& dir, bool as_json, std::size_t top_n) {
+    const auto trace = read_json_file(dir + "/trace.json");
+    if (!trace) {
+        std::fprintf(stderr, "obs: cannot read %s/trace.json\n", dir.c_str());
+        return 1;
+    }
+
+    struct Ev {
+        std::string name;
+        std::int64_t tid = 0;
+        double ts_us = 0.0;
+        double dur_us = 0.0;
+        double child_us = 0.0;  ///< direct children's duration (same track)
+    };
+    std::map<std::int64_t, std::string> track_names;
+    std::map<std::int64_t, std::vector<Ev>> by_track;
+    for (const util::JsonValue& ev : trace->at("traceEvents").as_array()) {
+        const std::string& ph = ev.at("ph").as_string();
+        if (ph == "M") {
+            track_names[ev.at("tid").as_int()] = ev.at("args").at("name").as_string();
+        } else if (ph == "X") {
+            Ev e;
+            e.name = ev.at("name").as_string();
+            e.tid = ev.at("tid").as_int();
+            e.ts_us = ev.at("ts").as_double();
+            e.dur_us = ev.at("dur").as_double();
+            by_track[e.tid].push_back(std::move(e));
+        }
+    }
+
+    // Exclusive time per span: within one track, sort by (start asc,
+    // duration desc) so parents precede the children they contain, then
+    // charge each span's duration to its innermost open ancestor.
+    struct PhaseAgg {
+        std::uint64_t spans = 0;
+        double exclusive_us = 0.0;
+    };
+    std::map<std::string, PhaseAgg> phases;
+    struct WorkerAgg {
+        double busy_us = 0.0;
+        double first_us = 0.0;
+        double last_us = 0.0;
+        bool seen = false;
+    };
+    std::map<std::int64_t, WorkerAgg> workers;
+    std::vector<const Ev*> slowest;
+    double total_exclusive_us = 0.0;
+    std::size_t spans = 0;
+    for (auto& [tid, evs] : by_track) {
+        std::sort(evs.begin(), evs.end(), [](const Ev& a, const Ev& b) {
+            if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+            return a.dur_us > b.dur_us;
+        });
+        std::vector<Ev*> stack;
+        for (Ev& e : evs) {
+            while (!stack.empty() &&
+                   stack.back()->ts_us + stack.back()->dur_us <= e.ts_us) {
+                stack.pop_back();
+            }
+            if (!stack.empty()) stack.back()->child_us += e.dur_us;
+            stack.push_back(&e);
+        }
+        WorkerAgg& w = workers[tid];
+        for (const Ev& e : evs) {
+            ++spans;
+            const double exclusive = std::max(0.0, e.dur_us - e.child_us);
+            total_exclusive_us += exclusive;
+            PhaseAgg& agg = phases[report_phase_of(e.name)];
+            ++agg.spans;
+            agg.exclusive_us += exclusive;
+            w.busy_us += exclusive;
+            if (!w.seen || e.ts_us < w.first_us) w.first_us = e.ts_us;
+            if (!w.seen || e.ts_us + e.dur_us > w.last_us) {
+                w.last_us = e.ts_us + e.dur_us;
+            }
+            w.seen = true;
+            if (e.name == "fi.run" || e.name == "sim.run") {
+                slowest.push_back(&e);
+            }
+        }
+    }
+    std::sort(slowest.begin(), slowest.end(), [](const Ev* a, const Ev* b) {
+        if (a->dur_us != b->dur_us) return a->dur_us > b->dur_us;
+        if (a->ts_us != b->ts_us) return a->ts_us < b->ts_us;
+        return a->tid < b->tid;
+    });
+    if (slowest.size() > top_n) slowest.resize(top_n);
+
+    // Metrics side: lane-retirement counters and the shard wall-clock
+    // histogram, read like `obs metrics` (metrics.json preferred, the
+    // manifest's embedded snapshot as fallback).
+    obs::MetricsSnapshot snapshot;
+    if (const auto metrics = read_json_file(dir + "/metrics.json")) {
+        snapshot = obs::metrics_from_json(*metrics);
+    } else if (const auto manifest = read_json_file(dir + "/manifest.json")) {
+        snapshot = obs::metrics_from_json(manifest->at("metrics"));
+    }
+    const auto lane_counter = [&snapshot](const char* name) {
+        return snapshot.counter(name);
+    };
+    const obs::MetricSample* shard_wall = snapshot.find("campaign.shard.wall_seconds");
+
+    // Timeline summary (sample count + stall flags), torn-tail tolerant.
+    std::size_t timeline_samples = 0;
+    std::uint64_t stall_flags = 0;
+    {
+        std::ifstream timeline(dir + "/timeline.jsonl", std::ios::binary);
+        std::map<std::int64_t, bool> was_stalled;
+        std::string line;
+        while (std::getline(timeline, line)) {
+            if (line.empty()) continue;
+            try {
+                const util::JsonValue sample = util::JsonValue::parse(line);
+                if (sample.at("type").as_string() != "sample") continue;
+                ++timeline_samples;
+                if (const util::JsonValue* ws = sample.find("workers")) {
+                    for (const util::JsonValue& w : ws->as_array()) {
+                        const std::int64_t id = w.at("worker").as_int();
+                        const bool stalled = w.at("stalled").as_bool();
+                        if (stalled && !was_stalled[id]) ++stall_flags;
+                        was_stalled[id] = stalled;
+                    }
+                }
+            } catch (const std::runtime_error&) {
+            }
+        }
+    }
+
+    if (as_json) {
+        util::JsonObject root;
+        root.emplace("dir", util::JsonValue(dir));
+        root.emplace("spans", util::JsonValue(spans));
+        root.emplace("total_exclusive_us", util::JsonValue(total_exclusive_us));
+        util::JsonObject phase_obj;
+        double phase_total = 0.0;
+        for (const auto& [name, agg] : phases) {
+            util::JsonObject p;
+            p.emplace("spans", util::JsonValue(agg.spans));
+            p.emplace("exclusive_us", util::JsonValue(agg.exclusive_us));
+            phase_obj.emplace(name, util::JsonValue(std::move(p)));
+            phase_total += agg.exclusive_us;
+        }
+        root.emplace("phases", util::JsonValue(std::move(phase_obj)));
+        root.emplace("phase_total_us", util::JsonValue(phase_total));
+        util::JsonArray worker_arr;
+        for (const auto& [tid, w] : workers) {
+            util::JsonObject wo;
+            wo.emplace("tid", util::JsonValue(tid));
+            const auto name_it = track_names.find(tid);
+            wo.emplace("name", util::JsonValue(name_it != track_names.end()
+                                                   ? name_it->second
+                                                   : std::string()));
+            wo.emplace("busy_us", util::JsonValue(w.busy_us));
+            const double span_us = w.last_us - w.first_us;
+            wo.emplace("span_us", util::JsonValue(span_us));
+            wo.emplace("utilization",
+                       util::JsonValue(span_us > 0.0 ? w.busy_us / span_us : 0.0));
+            worker_arr.push_back(util::JsonValue(std::move(wo)));
+        }
+        root.emplace("workers", util::JsonValue(std::move(worker_arr)));
+        util::JsonArray slow_arr;
+        for (const Ev* e : slowest) {
+            util::JsonObject so;
+            so.emplace("name", util::JsonValue(e->name));
+            so.emplace("tid", util::JsonValue(e->tid));
+            so.emplace("ts_us", util::JsonValue(e->ts_us));
+            so.emplace("dur_us", util::JsonValue(e->dur_us));
+            slow_arr.push_back(util::JsonValue(std::move(so)));
+        }
+        root.emplace("slowest_runs", util::JsonValue(std::move(slow_arr)));
+        util::JsonObject lanes;
+        lanes.emplace("launched",
+                      util::JsonValue(lane_counter("fi.lanes.launched")));
+        lanes.emplace("retired_pruned",
+                      util::JsonValue(lane_counter("fi.lanes.retired_pruned")));
+        lanes.emplace("retired_end",
+                      util::JsonValue(lane_counter("fi.lanes.retired_end")));
+        lanes.emplace("retired_sealed",
+                      util::JsonValue(lane_counter("fi.lanes.retired_sealed")));
+        root.emplace("lanes", util::JsonValue(std::move(lanes)));
+        util::JsonObject quants;
+        if (shard_wall != nullptr) {
+            quants.emplace("p50", util::JsonValue(obs::quantile_from_buckets(
+                                      shard_wall->bounds,
+                                      shard_wall->bucket_counts, 0.5)));
+            quants.emplace("p90", util::JsonValue(obs::quantile_from_buckets(
+                                      shard_wall->bounds,
+                                      shard_wall->bucket_counts, 0.9)));
+            quants.emplace("p99", util::JsonValue(obs::quantile_from_buckets(
+                                      shard_wall->bounds,
+                                      shard_wall->bucket_counts, 0.99)));
+        }
+        root.emplace("shard_wall_quantiles_s", util::JsonValue(std::move(quants)));
+        util::JsonObject tl;
+        tl.emplace("samples", util::JsonValue(timeline_samples));
+        tl.emplace("stall_flags", util::JsonValue(stall_flags));
+        root.emplace("timeline", util::JsonValue(std::move(tl)));
+        std::printf("%s\n", util::JsonValue(std::move(root)).dump().c_str());
+        return 0;
+    }
+
+    std::printf("obs report: %s (%zu spans, %.3f ms traced)\n", dir.c_str(),
+                spans, total_exclusive_us / 1000.0);
+    std::printf("phase breakdown (exclusive time):\n");
+    for (const auto& [name, agg] : phases) {
+        const double share = total_exclusive_us > 0.0
+                                 ? 100.0 * agg.exclusive_us / total_exclusive_us
+                                 : 0.0;
+        std::printf("  %-14s %8llu spans  %12.3f ms  %5.1f%%\n", name.c_str(),
+                    static_cast<unsigned long long>(agg.spans),
+                    agg.exclusive_us / 1000.0, share);
+    }
+    std::printf("worker utilization:\n");
+    for (const auto& [tid, w] : workers) {
+        const auto name_it = track_names.find(tid);
+        const double span_us = w.last_us - w.first_us;
+        std::printf("  %-14s busy %10.3f ms of %10.3f ms  (%.1f%%)\n",
+                    name_it != track_names.end() ? name_it->second.c_str()
+                                                 : ("tid-" + std::to_string(tid)).c_str(),
+                    w.busy_us / 1000.0, span_us / 1000.0,
+                    span_us > 0.0 ? 100.0 * w.busy_us / span_us : 0.0);
+    }
+    if (!slowest.empty()) {
+        std::printf("top %zu slowest runs:\n", slowest.size());
+        for (const Ev* e : slowest) {
+            std::printf("  %-10s tid %lld  at %12.3f ms  dur %10.3f ms\n",
+                        e->name.c_str(), static_cast<long long>(e->tid),
+                        e->ts_us / 1000.0, e->dur_us / 1000.0);
+        }
+    }
+    if (lane_counter("fi.lanes.launched") > 0) {
+        std::printf("batch lanes: %llu launched / %llu pruned / %llu to end / "
+                    "%llu sealed\n",
+                    static_cast<unsigned long long>(lane_counter("fi.lanes.launched")),
+                    static_cast<unsigned long long>(
+                        lane_counter("fi.lanes.retired_pruned")),
+                    static_cast<unsigned long long>(
+                        lane_counter("fi.lanes.retired_end")),
+                    static_cast<unsigned long long>(
+                        lane_counter("fi.lanes.retired_sealed")));
+    }
+    if (shard_wall != nullptr) {
+        std::printf("shard wall-clock quantiles: p50 %.2fs  p90 %.2fs  p99 %.2fs\n",
+                    obs::quantile_from_buckets(shard_wall->bounds,
+                                               shard_wall->bucket_counts, 0.5),
+                    obs::quantile_from_buckets(shard_wall->bounds,
+                                               shard_wall->bucket_counts, 0.9),
+                    obs::quantile_from_buckets(shard_wall->bounds,
+                                               shard_wall->bucket_counts, 0.99));
+    }
+    if (timeline_samples > 0) {
+        std::printf("timeline: %zu samples, %llu stall flag(s)\n",
+                    timeline_samples,
+                    static_cast<unsigned long long>(stall_flags));
+    }
+    return 0;
+}
+
 int cmd_obs(const std::vector<std::string>& args) {
     if (args.size() < 2) return usage();
     const std::string sub = args[0];
     const std::vector<std::string> rest(args.begin() + 1, args.end());
-    if (!flags_ok(rest, {}, {}, 1)) return usage();
-    const std::string& dir = rest[0];
-
-    const auto read_json_file = [](const std::string& path)
-        -> std::optional<util::JsonValue> {
-        std::ifstream in(path, std::ios::binary);
-        if (!in) return std::nullopt;
-        std::ostringstream buf;
-        buf << in.rdbuf();
-        return util::JsonValue::parse(buf.str());
-    };
+    if (sub == "report") {
+        if (!flags_ok(rest, {"--top"}, {"--json"}, 1)) return usage();
+    } else if (!flags_ok(rest, {}, {}, 1)) {
+        return usage();
+    }
+    // The DIR positional may appear before or after the report flags.
+    std::string dir;
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+        if (rest[i] == "--top") {
+            ++i;
+            continue;
+        }
+        if (rest[i].rfind("--", 0) == 0) continue;
+        dir = rest[i];
+        break;
+    }
+    if (dir.empty()) return usage();
 
     try {
+        if (sub == "report") {
+            std::size_t top_n = 5;
+            if (const auto t = flag_value(rest, "--top")) {
+                top_n = static_cast<std::size_t>(std::stoul(*t));
+            }
+            return cmd_obs_report(dir, has_flag(rest, "--json"), top_n);
+        }
         if (sub == "metrics") {
             obs::MetricsSnapshot snapshot;
             if (const auto metrics = read_json_file(dir + "/metrics.json")) {
@@ -754,6 +1092,17 @@ int cmd_obs(const std::vector<std::string>& args) {
                 return 1;
             }
             obs::write_prometheus(std::cout, snapshot);
+            // Ring-overflow accounting (manifest v3): surface per-track
+            // dropped-span counts so silent trace truncation is visible
+            // from the same command that shows the metrics.
+            if (const auto manifest = read_json_file(dir + "/manifest.json")) {
+                if (const util::JsonValue* dropped = manifest->find("dropped_spans")) {
+                    for (const auto& [track, count] : dropped->as_object()) {
+                        std::printf("# dropped spans: %s %lld\n", track.c_str(),
+                                    static_cast<long long>(count.as_int()));
+                    }
+                }
+            }
             return 0;
         }
         if (sub != "trace") return usage();

@@ -3,8 +3,9 @@
 
 The schema is a discriminated union: its top-level 'benchmarks' map keys
 sub-schemas by the document's 'benchmark' field (BM_CampaignFastpath,
-BM_CampaignBatch, obs_overhead, analytic, serve). Shared shapes live in
-'$defs' and are resolved through local '#/$defs/...' $ref pointers.
+BM_CampaignBatch, obs_overhead, timeline_overhead, analytic, serve).
+Shared shapes live in '$defs' and are resolved through local
+'#/$defs/...' $ref pointers.
 
 Stdlib-only implementation of the JSON-Schema subset the bench schema
 uses (type / const / enum / required / properties / additionalProperties /
