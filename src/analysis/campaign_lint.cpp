@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -281,23 +282,26 @@ Report lint_campaign_dir(const std::string& dir) {
     Report report;
     const std::string artifact = "campaign:" + dir;
 
+    // A bad spec.json is an error, but the other artifacts (subset cache,
+    // timeline, events journal) have spec-independent contracts — lint
+    // them regardless so one broken file does not mask the rest.
     const auto spec_text = read_file(std::filesystem::path(dir) / "spec.json");
+    std::optional<campaign::CampaignSpec> spec;
     if (!spec_text) {
         report.add("EPEA-E050", artifact, "spec.json", "missing or unreadable");
-        return report;
+    } else {
+        try {
+            spec = campaign::CampaignSpec::from_json(*spec_text);
+        } catch (const std::exception& e) {
+            report.add("EPEA-E050", artifact, "spec.json", e.what());
+        }
     }
-    campaign::CampaignSpec spec;
-    try {
-        spec = campaign::CampaignSpec::from_json(*spec_text);
-    } catch (const std::exception& e) {
-        report.add("EPEA-E050", artifact, "spec.json", e.what());
-        return report;
-    }
-    lint_spec_windows(spec, artifact, report);
+    if (spec) lint_spec_windows(*spec, artifact, report);
 
     // -- shard checkpoints vs the spec's round-robin deal ------------------
     std::error_code ec;
     for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+        if (!spec) break;
         const std::string name = entry.path().filename().string();
         if (name.rfind("shard-", 0) != 0 || entry.path().extension() != ".json") {
             continue;
@@ -320,28 +324,28 @@ Report lint_campaign_dir(const std::string& dir) {
                            std::to_string(shard.shard));
             continue;
         }
-        if (shard.shard >= spec.effective_shards()) {
+        if (shard.shard >= spec->effective_shards()) {
             report.add("EPEA-E051", artifact, name,
                        "shard index " + std::to_string(shard.shard) +
                            " outside the spec's " +
-                           std::to_string(spec.effective_shards()) +
+                           std::to_string(spec->effective_shards()) +
                            " effective shard(s)");
             continue;
         }
-        if (shard.kind != spec.kind) {
+        if (shard.kind != spec->kind) {
             report.add("EPEA-E053", artifact, name,
                        std::string("checkpoint kind '") +
                            campaign::to_string(shard.kind) +
                            "' differs from the spec's '" +
-                           campaign::to_string(spec.kind) + "'");
+                           campaign::to_string(spec->kind) + "'");
         }
-        if (shard.case_ids != spec.shard_cases(shard.shard)) {
+        if (shard.case_ids != spec->shard_cases(shard.shard)) {
             report.add("EPEA-E052", artifact, name,
                        "case list differs from the spec's round-robin deal; "
                        "merged counts would not be bit-identical to a "
                        "sequential run");
         }
-        if (shard.runs == 0 && spec.times_per_bit > 0 && !shard.case_ids.empty()) {
+        if (shard.runs == 0 && spec->times_per_bit > 0 && !shard.case_ids.empty()) {
             report.add("EPEA-W058", artifact, name,
                        "completed checkpoint recorded zero injection runs");
         }
@@ -359,7 +363,8 @@ Report lint_campaign_dir(const std::string& dir) {
                            "stored config_hash " + stored +
                                " does not match the manifest's own config (" +
                                hash_of(config) + ")");
-            } else if (m.at("command").as_string().rfind("campaign", 0) == 0) {
+            } else if (spec_text &&
+                       m.at("command").as_string().rfind("campaign", 0) == 0) {
                 const util::JsonValue spec_json = util::JsonValue::parse(*spec_text);
                 if (hash_of(spec_json) != stored) {
                     report.add("EPEA-E056", artifact, "manifest.json",

@@ -66,6 +66,15 @@ const std::vector<RuleInfo>& rule_catalog() {
         {"EPEA-E046", Severity::kError, "frontier-point-count",
          "a frontier artifact's point count is not 2^n - 1 for the n-"
          "candidate subset lattice"},
+        {"EPEA-W063", Severity::kWarning, "shadowed-ea",
+         "the prover shows no modelled error can ever propagate into the "
+         "EA's signal (its propagated witness set is empty) — the "
+         "detector is provably redundant, the structural form of the "
+         "paper's §7 IsValue/mscnt zero-exposure finding"},
+        {"EPEA-W064", Severity::kWarning, "uncut-coverage-claim",
+         "a placement labelled full-coverage is not a vertex cut of the "
+         "signal graph: a concrete error path reaches a system output "
+         "past every EA"},
         // -- campaign directories ------------------------------------------
         {"EPEA-E050", Severity::kError, "bad-spec",
          "spec.json is missing, unreadable or malformed"},

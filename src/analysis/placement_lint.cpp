@@ -6,6 +6,7 @@
 
 #include "epic/measures.hpp"
 #include "opt/cost.hpp"
+#include "prove/prover.hpp"
 
 namespace epea::analysis {
 namespace {
@@ -55,6 +56,50 @@ Report lint_placement(const epic::PermeabilityMatrix& pm,
                        "permeability into it is zero, so no propagated error "
                        "can ever trip the assertion");
         }
+    }
+    return report;
+}
+
+Report lint_placement_structure(const epic::PermeabilityMatrix& pm,
+                                const std::vector<std::string>& ea_signals,
+                                const std::string& artifact,
+                                bool full_coverage_claim) {
+    Report report;
+    const model::SystemModel& system = pm.system();
+    const prove::SignalGraph graph = prove::SignalGraph::from_matrix(pm);
+    const prove::Prover prover(graph);
+
+    // Resolvable, non-input EA signals; the rest belong to
+    // lint_placement (E040 unknown, W042 input).
+    std::vector<model::SignalId> ids;
+    for (const std::string& name : ea_signals) {
+        const auto id = system.find_signal(name);
+        if (!id) continue;
+        if (system.signal(*id).role == model::SignalRole::kSystemInput) continue;
+        ids.push_back(*id);
+    }
+    if (ids.empty()) return report;
+
+    const prove::PlacementCheck check =
+        prover.check(ids, prove::SiteModel::kInput);
+    for (const std::string& name : check.unwitnessed) {
+        report.add("EPEA-W063", artifact, name,
+                   "no system-input error can ever propagate into this EA's "
+                   "signal (empty witness set); the detector is provably "
+                   "redundant under the paper's injection model");
+    }
+
+    if (full_coverage_claim && !check.cut.is_cut) {
+        std::string path;
+        for (const std::string& hop : check.cut.witness_path) {
+            if (!path.empty()) path += " -> ";
+            path += hop;
+        }
+        report.add("EPEA-W064", artifact, check.cut.witness_site,
+                   "placement is labelled full-coverage but is not a vertex "
+                   "cut: an error at " +
+                       check.cut.witness_site +
+                       " reaches a system output past every EA (" + path + ")");
     }
     return report;
 }

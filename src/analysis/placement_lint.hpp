@@ -25,6 +25,17 @@ namespace epea::analysis {
                                     const std::vector<std::string>& ea_signals,
                                     const std::string& artifact);
 
+/// Semantic structure lint over the prover's signal graph (DESIGN.md
+/// §16): EPEA-W063 when no system-input error can ever propagate into a
+/// placed EA's signal (empty propagated witness set — the structural form
+/// of §7's IsValue/mscnt finding), and, when the placement is claimed to
+/// be full-coverage, EPEA-W064 with a concrete witness path if the EA
+/// signals are not a vertex cut between the error sites and the outputs.
+/// Unknown signal names are lint_placement's E040 business and skipped.
+[[nodiscard]] Report lint_placement_structure(
+    const epic::PermeabilityMatrix& pm, const std::vector<std::string>& ea_signals,
+    const std::string& artifact, bool full_coverage_claim = false);
+
 /// Lints a frontier .dot export (opt::write_frontier_dot) against the
 /// candidate set that should have produced it: point count must be
 /// 2^n - 1 (EPEA-E046), the memory axis maximum must equal the full

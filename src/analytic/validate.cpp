@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "alt/tank_system.hpp"
 #include "epic/measures.hpp"
 #include "exp/paper_data.hpp"
 #include "fi/comparison.hpp"
@@ -10,6 +11,8 @@
 #include "fi/injection.hpp"
 #include "fi/injector.hpp"
 #include "opt/benefit.hpp"
+#include "prove/graph.hpp"
+#include "prove/prover.hpp"
 #include "synth/generator.hpp"
 #include "target/arrestment_system.hpp"
 #include "util/rng.hpp"
@@ -75,6 +78,54 @@ EnumerationCheck enumeration_check(const epic::PermeabilityMatrix& pm,
         }
     }
     return check;
+}
+
+util::JsonValue ExactnessCheck::to_json() const {
+    util::JsonObject o;
+    o.emplace("pairs", util::JsonValue(pairs));
+    o.emplace("mismatches", util::JsonValue(mismatches));
+    util::JsonObject w;
+    w.emplace("source", util::JsonValue(worst.source));
+    w.emplace("observer", util::JsonValue(worst.observer));
+    w.emplace("analytic", util::JsonValue(worst.analytic));
+    w.emplace("prover", util::JsonValue(worst.reference > 0.0));
+    o.emplace("worst", util::JsonValue(std::move(w)));
+    return util::JsonValue(std::move(o));
+}
+
+ExactnessCheck exactness_check(const epic::PermeabilityMatrix& pm,
+                               const EngineOptions& engine_options) {
+    const model::SystemModel& system = pm.system();
+    Engine engine(pm, engine_options);
+    const prove::SignalGraph graph = prove::SignalGraph::from_matrix(pm);
+    const prove::Prover prover(graph);
+    ExactnessCheck check;
+    for (const model::SignalId source : system.all_signals()) {
+        for (const model::SignalId observer : system.all_signals()) {
+            if (source == observer) continue;
+            const double composed = engine.permeability(source, observer).point;
+            const bool reaches =
+                prover.path_exists(static_cast<std::uint32_t>(source.index()),
+                                   static_cast<std::uint32_t>(observer.index()));
+            ++check.pairs;
+            if ((composed > 0.0) != reaches) {
+                if (check.mismatches++ == 0) {
+                    check.worst = PairDeviation{system.signal_name(source),
+                                                system.signal_name(observer),
+                                                composed, reaches ? 1.0 : 0.0};
+                }
+            }
+        }
+    }
+    return check;
+}
+
+epic::PermeabilityMatrix uniform_matrix(const model::SystemModel& system, double p) {
+    epic::PermeabilityMatrix pm(system);
+    for (const epic::PairEntry& e : pm.entries()) {
+        pm.set(e.module, e.in_port, e.out_port, p);
+    }
+    return pm;
 }
 
 util::JsonValue CampaignCheck::to_json() const {
@@ -194,6 +245,7 @@ util::JsonValue SynthSweep::to_json() const {
     o.emplace("max_abs_diff_acyclic", util::JsonValue(max_abs_diff_acyclic));
     o.emplace("max_abs_diff_cyclic", util::JsonValue(max_abs_diff_cyclic));
     o.emplace("all_converged", util::JsonValue(all_converged));
+    o.emplace("exactness_mismatches", util::JsonValue(exactness_mismatches));
     return util::JsonValue(std::move(o));
 }
 
@@ -208,6 +260,8 @@ SynthSweep synth_sweep(std::size_t graphs, std::uint64_t seed,
         lopt.cycle_density = cyclic ? 0.25 : 0.0;
         const synth::SyntheticSystem sys = synth::random_layered_system(lopt);
         const EnumerationCheck check = enumeration_check(sys.matrix, engine_options);
+        sweep.exactness_mismatches +=
+            exactness_check(sys.matrix, engine_options).mismatches;
         if (cyclic) {
             ++sweep.cyclic_graphs;
             sweep.max_abs_diff_cyclic =
@@ -241,6 +295,25 @@ ValidateResult validate_arrestment(const ValidateOptions& options) {
     }
     result.pass = enum_pass;
 
+    // Prong 1b: structural exactness on the hand-written targets — engine
+    // reach positivity must agree with the prover's path-existence on the
+    // paper matrix and on a uniform tank matrix (the tank ships without a
+    // measured matrix, so every structural pair gets permeability 0.5).
+    {
+        const ExactnessCheck paper_exact = exactness_check(paper, options.engine);
+        const model::SystemModel tank = alt::make_tank_model();
+        const ExactnessCheck tank_exact =
+            exactness_check(uniform_matrix(tank, 0.5), options.engine);
+        const bool exact_pass =
+            paper_exact.mismatches == 0 && tank_exact.mismatches == 0;
+        util::JsonObject prong;
+        prong.emplace("paper", paper_exact.to_json());
+        prong.emplace("tank", tank_exact.to_json());
+        prong.emplace("pass", util::JsonValue(exact_pass));
+        report.emplace("exactness", util::JsonValue(std::move(prong)));
+        result.pass = result.pass && exact_pass;
+    }
+
     // Prong 2: measured matrix, engine vs end-to-end campaign truth.
     if (options.run_campaign) {
         const CampaignCheck campaign = campaign_check(options.campaign, options.engine);
@@ -261,11 +334,13 @@ ValidateResult validate_arrestment(const ValidateOptions& options) {
     if (options.run_synth) {
         const SynthSweep sweep =
             synth_sweep(options.synth_graphs, options.synth_seed, options.engine);
+        const bool synth_pass =
+            sweep.all_converged && sweep.exactness_mismatches == 0;
         util::JsonObject prong;
         prong.emplace("check", sweep.to_json());
-        prong.emplace("pass", util::JsonValue(sweep.all_converged));
+        prong.emplace("pass", util::JsonValue(synth_pass));
         report.emplace("synth", util::JsonValue(std::move(prong)));
-        result.pass = result.pass && sweep.all_converged;
+        result.pass = result.pass && synth_pass;
     }
 
     report.emplace("pass", util::JsonValue(result.pass));

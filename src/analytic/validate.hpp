@@ -54,6 +54,31 @@ struct EnumerationCheck {
 [[nodiscard]] EnumerationCheck enumeration_check(const epic::PermeabilityMatrix& pm,
                                                  const EngineOptions& engine = {});
 
+/// Structural exactness: the engine's composed permeability is positive
+/// exactly when the §16 prover finds a positive-permeability path in the
+/// signal graph. Any mismatch means the two reachability semantics have
+/// drifted apart (prover edge rule vs engine cell bound).
+struct ExactnessCheck {
+    std::size_t pairs = 0;
+    std::size_t mismatches = 0;
+    /// First mismatching pair (reference is 1.0 when the prover finds a
+    /// path the engine calls unreachable, 0.0 for the converse).
+    PairDeviation worst;
+
+    [[nodiscard]] util::JsonValue to_json() const;
+};
+
+/// Engine reach positivity vs prover path-existence on every ordered
+/// signal pair of `pm`'s system.
+[[nodiscard]] ExactnessCheck exactness_check(const epic::PermeabilityMatrix& pm,
+                                             const EngineOptions& engine = {});
+
+/// Fills every structural input/output pair of `system` with permeability
+/// `p` — the hand-written-target harness for exactness_check on models
+/// that ship without a measured matrix (the tank).
+[[nodiscard]] epic::PermeabilityMatrix uniform_matrix(const model::SystemModel& system,
+                                                      double p);
+
 /// One (system input, system output) row of the campaign prong.
 struct CampaignRow {
     std::string input;
@@ -86,6 +111,9 @@ struct SynthSweep {
     double max_abs_diff_acyclic = 0.0;
     double max_abs_diff_cyclic = 0.0;
     bool all_converged = true;
+    /// Engine-vs-prover reachability mismatches across the corpus; gated
+    /// to zero (positivity must agree even where magnitudes diverge).
+    std::size_t exactness_mismatches = 0;
 
     [[nodiscard]] util::JsonValue to_json() const;
 };

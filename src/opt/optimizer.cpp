@@ -163,10 +163,14 @@ double PlacementOptimizer::coverage(const std::vector<std::string>& signals) {
 
 SearchResult PlacementOptimizer::optimize(const SearchOptions& options) {
     const BenefitFn benefit = benefit_fn();
-    if (candidates_.size() <= options.max_exact_candidates) {
-        return branch_and_bound(candidates_, benefit, options);
+    SearchOptions effective = options;
+    if (effective.hints == nullptr && hints_.applies_to(candidates_.size())) {
+        effective.hints = &hints_;
     }
-    return greedy_search(candidates_, benefit, options);
+    if (candidates_.size() <= effective.max_exact_candidates) {
+        return branch_and_bound(candidates_, benefit, effective);
+    }
+    return greedy_search(candidates_, benefit, effective);
 }
 
 Frontier PlacementOptimizer::frontier() {

@@ -68,6 +68,17 @@ public:
     /// Benefit of an explicit placement (signal names).
     [[nodiscard]] double coverage(const std::vector<std::string>& signals);
 
+    /// Installs certificate-derived prune hints (prove::structural_hints)
+    /// for subsequent optimize() calls. Hint rows must align with
+    /// candidates(); a mismatched hint set is ignored by the searches.
+    /// Only meaningful for analytic benefits — ground-truth campaigns may
+    /// disagree with the structural graph, so callers never attach there.
+    void set_structural_hints(StructuralHints hints) { hints_ = std::move(hints); }
+
+    /// Clears hints: optimize() runs unpruned (the CI soundness gate
+    /// compares this against the hinted run).
+    void clear_structural_hints() { hints_ = StructuralHints{}; }
+
     /// Best placement within the budget: exact branch-and-bound when the
     /// candidate count allows it, greedy marginal-gain-per-cost beyond.
     [[nodiscard]] SearchResult optimize(const SearchOptions& options = {});
@@ -98,6 +109,7 @@ private:
     [[nodiscard]] BenefitFn benefit_fn();
 
     std::vector<Candidate> candidates_;
+    StructuralHints hints_;
     std::shared_ptr<AnalyticBenefit> analytic_;
     std::shared_ptr<CampaignEvaluator> evaluator_;
     /// canonical subset -> measured coverage (ground-truth mode).

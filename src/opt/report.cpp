@@ -27,6 +27,8 @@ std::string optimize_result_json(const SearchResult& result,
     o.emplace("coverage", util::JsonValue(result.coverage));
     o.emplace("cost", util::JsonValue(std::move(cost)));
     o.emplace("evaluations", util::JsonValue(result.evaluations));
+    o.emplace("nodes", util::JsonValue(result.nodes));
+    o.emplace("structural_prunes", util::JsonValue(result.structural_prunes));
     o.emplace("exact", util::JsonValue(result.exact));
     return util::JsonValue(std::move(o)).dump() + "\n";
 }

@@ -12,6 +12,11 @@ constexpr double kEps = 1e-12;
 
 }  // namespace
 
+bool StructuralHints::dead(std::size_t candidate) const {
+    const std::vector<bool>& row = witnesses.at(candidate);
+    return std::none_of(row.begin(), row.end(), [](bool b) { return b; });
+}
+
 std::vector<std::string> SearchResult::selected_names(
     const std::vector<Candidate>& candidates) const {
     std::vector<std::string> names;
@@ -25,6 +30,10 @@ SearchResult greedy_search(const std::vector<Candidate>& candidates,
     SearchResult result;
     std::vector<bool> taken(candidates.size(), false);
     double current = 0.0;
+    const StructuralHints* hints =
+        options.hints != nullptr && options.hints->applies_to(candidates.size())
+            ? options.hints
+            : nullptr;
 
     for (;;) {
         std::size_t best = candidates.size();
@@ -33,8 +42,16 @@ SearchResult greedy_search(const std::vector<Candidate>& candidates,
 
         for (std::size_t i = 0; i < candidates.size(); ++i) {
             if (taken[i]) continue;
+            ++result.nodes;
             const PlacementCost with = result.cost + candidates[i].cost;
             if (!options.budget.admits(with)) continue;
+            // A candidate no error can reach gains exactly 0.0 (< any
+            // positive min_gain, and density 0 can never win a strict
+            // comparison) — skip the benefit evaluation outright.
+            if (hints != nullptr && hints->dead(i)) {
+                ++result.structural_prunes;
+                continue;
+            }
 
             std::vector<std::size_t> trial = result.selected;
             trial.insert(std::lower_bound(trial.begin(), trial.end(), i), i);
@@ -75,13 +92,40 @@ struct BnbState {
     const std::vector<Candidate>* candidates = nullptr;
     const BenefitFn* benefit = nullptr;
     const SearchOptions* options = nullptr;
+    const StructuralHints* hints = nullptr;
     std::vector<std::size_t> chosen;
     SearchResult best;
     std::size_t evaluations = 0;
+    std::size_t nodes = 0;
+    std::size_t structural_prunes = 0;
 
     double eval(const std::vector<std::size_t>& subset) {
         ++evaluations;
         return (*benefit)(subset);
+    }
+
+    // Certificate-derived upper bound on any completion of this node:
+    // the fraction of error sites the witness sets of (chosen + every
+    // affordable undecided candidate) can reach at all. Never below the
+    // benefit-evaluated bound() of the same optimistic set, so pruning on
+    // it keeps the traversal — and therefore the result — bit-identical;
+    // it merely skips bound()'s benefit evaluation where the outcome is
+    // already decided structurally.
+    double structural_bound(std::size_t next, const PlacementCost& cost) const {
+        std::vector<bool> witnessed(hints->site_count, false);
+        const auto add = [&](std::size_t i) {
+            const std::vector<bool>& row = hints->witnesses[i];
+            for (std::size_t e = 0; e < row.size(); ++e) {
+                if (row[e]) witnessed[e] = true;
+            }
+        };
+        for (const std::size_t i : chosen) add(i);
+        for (std::size_t i = next; i < candidates->size(); ++i) {
+            if (options->budget.admits(cost + (*candidates)[i].cost)) add(i);
+        }
+        const auto hit = static_cast<double>(
+            std::count(witnessed.begin(), witnessed.end(), true));
+        return hit / static_cast<double>(hints->site_count);
     }
 
     // Optimistic bound at a node: the coverage of (chosen so far) plus
@@ -100,6 +144,7 @@ struct BnbState {
     }
 
     void visit(std::size_t next, const PlacementCost& cost) {
+        ++nodes;
         const double cov = eval(chosen);
         const bool better = cov > best.coverage + kEps;
         const bool tie_cheaper = cov > best.coverage - kEps &&
@@ -111,6 +156,11 @@ struct BnbState {
             best.cost = cost;
         }
         if (next >= candidates->size()) return;
+        if (hints != nullptr &&
+            structural_bound(next, cost) <= best.coverage + kEps) {
+            ++structural_prunes;  // bound() would have pruned here too
+            return;
+        }
         if (bound(next, cost) <= best.coverage + kEps) return;  // prune
 
         const PlacementCost with = cost + (*candidates)[next].cost;
@@ -138,9 +188,14 @@ SearchResult branch_and_bound(const std::vector<Candidate>& candidates,
     state.candidates = &candidates;
     state.benefit = &benefit;
     state.options = &options;
+    if (options.hints != nullptr && options.hints->applies_to(candidates.size())) {
+        state.hints = options.hints;
+    }
     state.best.coverage = -1.0;  // so the empty set is recorded first
     state.visit(0, PlacementCost{});
     state.best.evaluations = state.evaluations;
+    state.best.nodes = state.nodes;
+    state.best.structural_prunes = state.structural_prunes;
     state.best.exact = true;
     if (state.best.coverage < 0.0) state.best.coverage = 0.0;
     return state.best;

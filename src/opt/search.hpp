@@ -30,6 +30,25 @@ struct Candidate {
 /// Benefit of a subset given as sorted indices into the candidate list.
 using BenefitFn = std::function<double(const std::vector<std::size_t>&)>;
 
+/// Structural prune hints derived from the signal graph by the prove::
+/// verifier. witnesses[c][e] says error site e can ever manifest on
+/// candidate c's signal, so coverage of any subset S is bounded above by
+/// |union of S's witness sets| / site_count — a bound computable without
+/// a benefit evaluation. Sound only for benefit functions whose per-site
+/// detection support equals graph reachability (the analytic and
+/// visibility estimators; never attach for campaign ground truth).
+struct StructuralHints {
+    std::size_t site_count = 0;
+    std::vector<std::vector<bool>> witnesses;  ///< [candidate][site]
+
+    [[nodiscard]] bool applies_to(std::size_t candidate_count) const noexcept {
+        return site_count > 0 && witnesses.size() == candidate_count;
+    }
+    /// True when no error can ever reach the candidate — its marginal
+    /// gain is exactly zero under any analytic benefit.
+    [[nodiscard]] bool dead(std::size_t candidate) const;
+};
+
 struct SearchOptions {
     CostBudget budget;
     /// branch_and_bound refuses more candidates than this (throws
@@ -37,6 +56,12 @@ struct SearchOptions {
     std::size_t max_exact_candidates = 20;
     /// Greedy stops when the best remaining marginal gain is below this.
     double min_gain = 1e-9;
+    /// Optional certificate-derived prune hints (non-owning; must outlive
+    /// the search call). Searches only consult them when applies_to()
+    /// matches the candidate count. Results are guaranteed identical with
+    /// and without hints — hints only skip benefit evaluations the
+    /// searches can prove redundant.
+    const StructuralHints* hints = nullptr;
 };
 
 struct SearchResult {
@@ -44,6 +69,8 @@ struct SearchResult {
     double coverage = 0.0;
     PlacementCost cost;
     std::size_t evaluations = 0;  ///< benefit calls spent by the search
+    std::size_t nodes = 0;        ///< lattice nodes visited / candidates scanned
+    std::size_t structural_prunes = 0;  ///< evaluations avoided via hints
     bool exact = false;           ///< true when found by branch-and-bound
 
     [[nodiscard]] std::vector<std::string> selected_names(

@@ -1,0 +1,128 @@
+#include "prove/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace epea::prove {
+
+namespace {
+
+void index_edges(SignalGraphEdges& g, std::size_t signal_count) {
+    g.fwd.assign(signal_count, {});
+    g.rev.assign(signal_count, {});
+    std::sort(g.edges.begin(), g.edges.end());
+    g.edges.erase(std::unique(g.edges.begin(), g.edges.end()), g.edges.end());
+    for (const auto& [from, to] : g.edges) {
+        g.fwd[from].push_back(to);
+        g.rev[to].push_back(from);
+    }
+}
+
+}  // namespace
+
+SignalGraph SignalGraph::from_matrix(const epic::PermeabilityMatrix& pm) {
+    SignalGraph graph;
+    graph.system_ = &pm.system();
+    for (const auto& entry : pm.entries()) {
+        // Same-signal module-internal loop (e.g. CALC's i -> i): the
+        // analytic engine skips it too (>= 2-length cycle convention).
+        if (entry.in_signal == entry.out_signal) continue;
+        // Point estimate: affected/active for measured matrices, the
+        // stored value for analytic ones — mirrors analytic cell_bound.
+        const bool permeable =
+            entry.active > 0 ? entry.affected > 0 : entry.value > 0.0;
+        if (!permeable) continue;
+        graph.g_.edges.emplace_back(static_cast<std::uint32_t>(entry.in_signal.index()),
+                                    static_cast<std::uint32_t>(entry.out_signal.index()));
+    }
+    index_edges(graph.g_, pm.system().signal_count());
+    return graph;
+}
+
+SignalGraph SignalGraph::from_model(const model::SystemModel& system) {
+    SignalGraph graph;
+    graph.system_ = &system;
+    for (const model::ModuleId m : system.all_modules()) {
+        const auto& spec = system.module(m);
+        for (const model::SignalId in : spec.inputs) {
+            for (const model::SignalId out : spec.outputs) {
+                if (in == out) continue;
+                graph.g_.edges.emplace_back(static_cast<std::uint32_t>(in.index()),
+                                            static_cast<std::uint32_t>(out.index()));
+            }
+        }
+    }
+    index_edges(graph.g_, system.signal_count());
+    return graph;
+}
+
+std::vector<bool> SignalGraph::reach(const std::vector<std::vector<std::uint32_t>>& adj,
+                                     const std::vector<std::uint32_t>& seeds,
+                                     const std::vector<bool>* blocked) const {
+    std::vector<bool> seen(adj.size(), false);
+    std::deque<std::uint32_t> queue;
+    for (const std::uint32_t s : seeds) {
+        if (blocked != nullptr && (*blocked)[s]) continue;
+        if (seen[s]) continue;
+        seen[s] = true;
+        queue.push_back(s);
+    }
+    while (!queue.empty()) {
+        const std::uint32_t u = queue.front();
+        queue.pop_front();
+        for (const std::uint32_t v : adj[u]) {
+            if (seen[v]) continue;
+            if (blocked != nullptr && (*blocked)[v]) continue;
+            seen[v] = true;
+            queue.push_back(v);
+        }
+    }
+    return seen;
+}
+
+std::vector<bool> SignalGraph::reach_from(const std::vector<std::uint32_t>& seeds,
+                                          const std::vector<bool>* blocked) const {
+    return reach(g_.fwd, seeds, blocked);
+}
+
+std::vector<bool> SignalGraph::reach_to(const std::vector<std::uint32_t>& seeds,
+                                        const std::vector<bool>* blocked) const {
+    return reach(g_.rev, seeds, blocked);
+}
+
+std::vector<std::uint32_t> SignalGraph::find_path(std::uint32_t from,
+                                                  const std::vector<bool>& to,
+                                                  const std::vector<bool>* blocked) const {
+    constexpr std::uint32_t kNoParent = std::numeric_limits<std::uint32_t>::max();
+    if (blocked != nullptr && (*blocked)[from]) return {};
+    std::vector<std::uint32_t> parent(g_.fwd.size(), kNoParent);
+    std::vector<bool> seen(g_.fwd.size(), false);
+    std::deque<std::uint32_t> queue;
+    seen[from] = true;
+    queue.push_back(from);
+    std::uint32_t hit = kNoParent;
+    if (to[from]) hit = from;
+    while (hit == kNoParent && !queue.empty()) {
+        const std::uint32_t u = queue.front();
+        queue.pop_front();
+        for (const std::uint32_t v : g_.fwd[u]) {
+            if (seen[v]) continue;
+            if (blocked != nullptr && (*blocked)[v]) continue;
+            seen[v] = true;
+            parent[v] = u;
+            if (to[v]) {
+                hit = v;
+                break;
+            }
+            queue.push_back(v);
+        }
+    }
+    if (hit == kNoParent) return {};
+    std::vector<std::uint32_t> path;
+    for (std::uint32_t v = hit; v != kNoParent; v = parent[v]) path.push_back(v);
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+}  // namespace epea::prove

@@ -1,0 +1,91 @@
+// Signal-level propagation digraph for the semantic placement verifier
+// (DESIGN.md §16). Nodes are the model's signals; there is an edge
+// u -> t when some module consumes u on an input port and produces t on
+// an output port through a cell the matrix says an error can actually
+// cross (point estimate > 0). Module-internal same-signal loops (CALC's
+// i -> i) are dropped, matching the paper's >= 2-length cycle convention
+// used by the analytic engine (§11 lint, analytic::Engine).
+//
+// Everything downstream — dominators, cut certificates, shadowing,
+// containment regions, optimizer prune hints — is computed over this one
+// graph, so "prover path-exists" means exactly "the analytic engine's
+// point reachability is positive" (the validate exactness prong gates
+// that equivalence in CI).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "epic/matrix.hpp"
+#include "model/system_model.hpp"
+
+namespace epea::prove {
+
+/// Adjacency storage shared by the graph factories.
+struct SignalGraphEdges {
+    std::vector<std::vector<std::uint32_t>> fwd;
+    std::vector<std::vector<std::uint32_t>> rev;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+};
+
+class SignalGraph {
+public:
+    /// Graph restricted to cells an error can cross: a cell contributes
+    /// an edge iff its point estimate is positive (measured matrices:
+    /// affected > 0; analytic matrices: value > 0).
+    [[nodiscard]] static SignalGraph from_matrix(const epic::PermeabilityMatrix& pm);
+
+    /// Structure-only graph: every module input/output pair is an edge.
+    /// Used for targets without a committed permeability matrix, where
+    /// the verifier proves facts about what *could* propagate.
+    [[nodiscard]] static SignalGraph from_model(const model::SystemModel& system);
+
+    [[nodiscard]] const model::SystemModel& system() const noexcept { return *system_; }
+    [[nodiscard]] std::size_t node_count() const noexcept { return g_.fwd.size(); }
+    [[nodiscard]] std::size_t edge_count() const noexcept { return g_.edges.size(); }
+
+    /// Successors/predecessors by signal index (SignalId::index()).
+    [[nodiscard]] const std::vector<std::uint32_t>& succ(std::uint32_t node) const {
+        return g_.fwd.at(node);
+    }
+    [[nodiscard]] const std::vector<std::uint32_t>& pred(std::uint32_t node) const {
+        return g_.rev.at(node);
+    }
+
+    /// All edges as (from, to) signal-index pairs, sorted and unique.
+    [[nodiscard]] const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges()
+        const noexcept {
+        return g_.edges;
+    }
+
+    /// Forward reachability from `seeds`. Seeds are reachable themselves.
+    /// Nodes flagged in `blocked` (when given) are never entered *or*
+    /// left — they behave as removed vertices; a blocked seed stays
+    /// unreached.
+    [[nodiscard]] std::vector<bool> reach_from(
+        const std::vector<std::uint32_t>& seeds,
+        const std::vector<bool>* blocked = nullptr) const;
+
+    /// Reverse reachability: nodes from which some seed can be reached.
+    [[nodiscard]] std::vector<bool> reach_to(
+        const std::vector<std::uint32_t>& seeds,
+        const std::vector<bool>* blocked = nullptr) const;
+
+    /// Shortest path (by hop count) from `from` to any seed of `to`,
+    /// avoiding blocked vertices entirely. Empty when none exists;
+    /// otherwise the full vertex sequence starting at `from`.
+    [[nodiscard]] std::vector<std::uint32_t> find_path(
+        std::uint32_t from, const std::vector<bool>& to,
+        const std::vector<bool>* blocked = nullptr) const;
+
+private:
+    [[nodiscard]] std::vector<bool> reach(
+        const std::vector<std::vector<std::uint32_t>>& adj,
+        const std::vector<std::uint32_t>& seeds, const std::vector<bool>* blocked) const;
+
+    const model::SystemModel* system_ = nullptr;
+    SignalGraphEdges g_;
+};
+
+}  // namespace epea::prove

@@ -1,0 +1,37 @@
+// Bridge from prover facts to opt:: search pruning. The witness sets the
+// prover computes per candidate are exactly the support of the analytic
+// detection matrix D[site][candidate] (positive-point graph reachability,
+// reflexive at the candidate), so they yield sound structural bounds for
+// the searches: results are bit-identical with and without hints, only
+// redundant benefit evaluations are skipped (soundness argument in
+// DESIGN.md §16; CI re-checks identity on every push).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "epic/matrix.hpp"
+#include "opt/optimizer.hpp"
+#include "prove/prover.hpp"
+
+namespace epea::prove {
+
+/// opt::ErrorModel and prove::SiteModel enumerate the same two worlds.
+[[nodiscard]] SiteModel site_model(opt::ErrorModel model) noexcept;
+
+/// Hints for an explicit candidate list (names resolved against the
+/// matrix's system; unknown names throw std::invalid_argument). Row order
+/// follows `candidate_names`; site order matches the detection matrix
+/// (inputs in id order, or all signals).
+[[nodiscard]] opt::StructuralHints structural_hints(
+    const epic::PermeabilityMatrix& pm, opt::ErrorModel model,
+    const std::vector<std::string>& candidate_names);
+
+/// Computes hints for the optimizer's own (already cost-filtered)
+/// candidate list and installs them. Call after construction for the
+/// analytic and engine benefit modes; never for ground truth.
+void attach_structural_hints(opt::PlacementOptimizer& optimizer,
+                             const epic::PermeabilityMatrix& pm,
+                             opt::ErrorModel model);
+
+}  // namespace epea::prove

@@ -22,6 +22,7 @@
 #include "obs/trace.hpp"
 #include "opt/optimizer.hpp"
 #include "opt/report.hpp"
+#include "prove/hints.hpp"
 #include "target/arrestment_system.hpp"
 #include "util/json.hpp"
 
@@ -518,6 +519,9 @@ HttpResponse Service::handle_optimize(const HttpRequest& req) {
             benefit == "analytic"
                 ? analytic::make_engine_optimizer(*pm_, model)
                 : opt::PlacementOptimizer::analytic(*pm_, model);
+        // Same certificate-derived pruning as the CLI, so responses stay
+        // byte-identical to `epea_tool place optimize --json`.
+        prove::attach_structural_hints(optimizer, *pm_, model);
         const opt::SearchResult result = optimizer.optimize(search);
         return opt::optimize_result_json(result, optimizer.candidates(), model,
                                          benefit);

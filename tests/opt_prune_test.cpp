@@ -1,0 +1,127 @@
+// Certificate-guided pruning (prove/hints.hpp + opt/search.cpp): the
+// structural short-circuit must never change what the searches return —
+// selected set, coverage, cost, and even the b&b node count stay
+// bit-identical — while budgeted runs provably skip benefit evaluations.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analytic/benefit.hpp"
+#include "exp/paper_data.hpp"
+#include "opt/optimizer.hpp"
+#include "prove/hints.hpp"
+#include "target/arrestment_system.hpp"
+
+namespace epea::opt {
+namespace {
+
+struct ABResult {
+    SearchResult plain;
+    SearchResult hinted;
+};
+
+ABResult run_ab(ErrorModel model, const SearchOptions& options) {
+    const model::SystemModel system = target::make_arrestment_model();
+    const epic::PermeabilityMatrix pm = exp::paper_matrix(system);
+    PlacementOptimizer optimizer = analytic::make_engine_optimizer(pm, model);
+
+    ABResult ab;
+    optimizer.clear_structural_hints();
+    ab.plain = optimizer.optimize(options);
+    prove::attach_structural_hints(optimizer, pm, model);
+    ab.hinted = optimizer.optimize(options);
+    return ab;
+}
+
+void expect_identical(const ABResult& ab) {
+    EXPECT_EQ(ab.plain.selected, ab.hinted.selected);
+    EXPECT_EQ(ab.plain.coverage, ab.hinted.coverage);  // bit-identical
+    EXPECT_EQ(ab.plain.cost.memory, ab.hinted.cost.memory);
+    EXPECT_EQ(ab.plain.cost.time, ab.hinted.cost.time);
+    EXPECT_EQ(ab.plain.exact, ab.hinted.exact);
+    // The structural short-circuit preserves the b&b traversal exactly:
+    // it fires only where the benefit bound would prune the same subtree.
+    EXPECT_EQ(ab.plain.nodes, ab.hinted.nodes);
+    EXPECT_EQ(ab.plain.structural_prunes, 0U);
+    EXPECT_LE(ab.hinted.evaluations, ab.plain.evaluations);
+}
+
+TEST(StructuralPruning, UnbudgetedResultsIdentical) {
+    for (const ErrorModel model : {ErrorModel::kInput, ErrorModel::kSevere}) {
+        const ABResult ab = run_ab(model, SearchOptions{});
+        expect_identical(ab);
+    }
+}
+
+TEST(StructuralPruning, BudgetedRunsSkipEvaluations) {
+    // Memory budgets where the optimum sits below full coverage: the
+    // structural upper bound drops under best-so-far and prunes fire.
+    bool any_pruned = false;
+    for (const double budget : {40.0, 80.0, 100.0}) {
+        for (const ErrorModel model :
+             {ErrorModel::kInput, ErrorModel::kSevere}) {
+            SearchOptions options;
+            options.budget.memory = budget;
+            const ABResult ab = run_ab(model, options);
+            expect_identical(ab);
+            if (ab.hinted.structural_prunes > 0) {
+                any_pruned = true;
+                EXPECT_LT(ab.hinted.evaluations, ab.plain.evaluations);
+            }
+        }
+    }
+    EXPECT_TRUE(any_pruned) << "no budget configuration exercised the prune";
+}
+
+TEST(StructuralPruning, GreedySkipsDeadCandidatesOnly) {
+    // Under the input model IsValue and mscnt have empty witness sets
+    // (§7): greedy never evaluates them, everything else is untouched.
+    const model::SystemModel system = target::make_arrestment_model();
+    const epic::PermeabilityMatrix pm = exp::paper_matrix(system);
+    PlacementOptimizer optimizer =
+        analytic::make_engine_optimizer(pm, ErrorModel::kInput);
+
+    const BenefitFn benefit = [&optimizer](const std::vector<std::size_t>& subset) {
+        std::vector<std::string> names;
+        for (const std::size_t i : subset) {
+            names.push_back(optimizer.candidates()[i].name);
+        }
+        return optimizer.coverage(names);
+    };
+    std::vector<std::string> names;
+    for (const Candidate& c : optimizer.candidates()) names.push_back(c.name);
+    const StructuralHints hints =
+        prove::structural_hints(pm, ErrorModel::kInput, names);
+
+    SearchOptions plain_options;
+    const SearchResult plain =
+        greedy_search(optimizer.candidates(), benefit, plain_options);
+    SearchOptions hinted_options;
+    hinted_options.hints = &hints;
+    const SearchResult hinted =
+        greedy_search(optimizer.candidates(), benefit, hinted_options);
+
+    EXPECT_EQ(plain.selected, hinted.selected);
+    EXPECT_EQ(plain.coverage, hinted.coverage);
+    EXPECT_GT(hinted.structural_prunes, 0U);
+    EXPECT_LT(hinted.evaluations, plain.evaluations);
+}
+
+TEST(StructuralPruning, MismatchedHintsAreIgnored) {
+    const model::SystemModel system = target::make_arrestment_model();
+    const epic::PermeabilityMatrix pm = exp::paper_matrix(system);
+    PlacementOptimizer optimizer =
+        analytic::make_engine_optimizer(pm, ErrorModel::kInput);
+
+    StructuralHints bogus;
+    bogus.site_count = 1;
+    bogus.witnesses.resize(optimizer.candidates().size() + 5);
+    EXPECT_FALSE(bogus.applies_to(optimizer.candidates().size()));
+    optimizer.set_structural_hints(std::move(bogus));
+    const SearchResult result = optimizer.optimize();
+    EXPECT_EQ(result.structural_prunes, 0U);
+    EXPECT_FALSE(result.selected.empty());
+}
+
+}  // namespace
+}  // namespace epea::opt

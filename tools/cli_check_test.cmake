@@ -1,0 +1,55 @@
+# Golden tests for `epea_tool check`: both targets must produce a
+# verdict (cut certificate or witness path), the §7 redundancy finding
+# must fall out statically, and every emitted certificate must re-prove
+# under tools/validate_certificate.py when Python is available.
+# Inputs: TOOL (epea_tool path), WORKDIR, SRCDIR, PYTHON (may be empty).
+set(DIR ${WORKDIR}/cli_check)
+file(REMOVE_RECURSE ${DIR})
+file(MAKE_DIRECTORY ${DIR})
+
+function(expect_check expected_rc expected_text)
+  execute_process(COMMAND ${TOOL} check ${ARGN}
+                  WORKING_DIRECTORY ${SRCDIR}
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+  if(NOT rc EQUAL ${expected_rc})
+    message(FATAL_ERROR "check ${ARGN}: exit ${rc}, expected ${expected_rc}\n${out}${err}")
+  endif()
+  if(NOT expected_text STREQUAL "" AND NOT out MATCHES "${expected_text}")
+    message(FATAL_ERROR "check ${ARGN}: expected '${expected_text}' in:\n${out}")
+  endif()
+endfunction()
+
+# The paper's EH-set is a cut under the input model, and the prover
+# rediscovers §7's redundant detectors (IsValue, mscnt) statically.
+expect_check(0 "CUT: placement separates" arrestment --placement EH-set)
+expect_check(0 "IsValue mscnt" arrestment --placement EH-set)
+
+# An undersized placement yields a concrete witness path, not a proof.
+expect_check(0 "NOT A CUT" arrestment --placement mscnt,IsValue)
+expect_check(0 "witness path: PACNT" arrestment --placement mscnt,IsValue)
+
+# The tank target checks structurally (no committed matrix).
+expect_check(0 "CUT" tank)
+
+# Unknown models and placements fail loudly.
+expect_check(1 "" no_such_model)
+expect_check(1 "" arrestment --placement not_a_signal)
+
+# Certificates for every placement/model combination re-validate.
+expect_check(0 "" arrestment --placement EH-set --json --out ${DIR}/eh.json)
+expect_check(0 "" arrestment --placement PA-set --json --out ${DIR}/pa.json)
+expect_check(0 "" arrestment --placement PA-set --error-model severe --json
+             --out ${DIR}/pa_severe.json)
+expect_check(0 "" arrestment --placement mscnt,IsValue --json
+             --out ${DIR}/uncut.json)
+expect_check(0 "" tank --json --out ${DIR}/tank.json)
+
+if(NOT PYTHON STREQUAL "")
+  execute_process(COMMAND ${PYTHON} ${SRCDIR}/tools/validate_certificate.py
+                          ${DIR}/eh.json ${DIR}/pa.json ${DIR}/pa_severe.json
+                          ${DIR}/uncut.json ${DIR}/tank.json
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "certificate validation failed:\n${out}${err}")
+  endif()
+endif()

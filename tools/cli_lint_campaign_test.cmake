@@ -41,3 +41,18 @@ expect_lint(0 "")
 # A shard checkpoint renamed out of range -> EPEA-E051.
 file(RENAME ${DIR}/shard-000.json ${DIR}/shard-009.json)
 expect_lint(2 "EPEA-E051")
+file(RENAME ${DIR}/shard-009.json ${DIR}/shard-000.json)
+
+# A missing spec must not mask the spec-independent artifact lints:
+# with spec.json gone and a contract-violating timeline.jsonl present,
+# E050 and W062 co-report from one `lint campaign` invocation.
+file(REMOVE ${DIR}/spec.json)
+file(WRITE ${DIR}/timeline.jsonl "{\"type\":\"sample\",\"seq\":0}\n{\"type\":\"sample\",\"seq\":1}\n")
+execute_process(COMMAND ${TOOL} lint campaign --campaign-dir ${DIR}
+                OUTPUT_VARIABLE out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "lint campaign (no spec): exit ${rc}, expected 2\n${out}")
+endif()
+if(NOT out MATCHES "EPEA-E050" OR NOT out MATCHES "EPEA-W062")
+  message(FATAL_ERROR "expected E050 and W062 to co-report:\n${out}")
+endif()

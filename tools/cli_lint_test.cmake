@@ -33,6 +33,28 @@ expect_lint(2 "EPEA-E040" placement --ea i,no_such_signal)
 expect_lint(2 "EPEA-E044" placement --frontier-dot tests/fixtures/broken_frontier.dot)
 expect_lint(2 "EPEA-E046" placement --frontier-dot tests/fixtures/broken_frontier.dot)
 
+# Prover-backed structure rules (DESIGN.md §16). shadowed_matrix.csv is
+# the paper matrix with the DIST_S PACNT->pulscnt cell zeroed: signal i
+# keeps a positive exposure (so W043 stays silent) yet no system-input
+# error can reach it -> EPEA-W063 alone.
+expect_lint(2 "EPEA-W063" placement --strict
+            --matrix tests/fixtures/shadowed_matrix.csv --ea i)
+execute_process(COMMAND ${TOOL} lint placement
+                        --matrix tests/fixtures/shadowed_matrix.csv --ea i
+                WORKING_DIRECTORY ${SRCDIR} OUTPUT_VARIABLE out)
+if(out MATCHES "EPEA-W043")
+  message(FATAL_ERROR "W043 should not fire on shadowed_matrix (positive exposure):\n${out}")
+endif()
+
+# mscnt+IsValue lie on no input->output path, so a full-coverage claim
+# over them is provably uncut -> EPEA-W064 with a concrete witness path.
+expect_lint(2 "EPEA-W064" placement --strict --ea mscnt,IsValue --full-coverage)
+execute_process(COMMAND ${TOOL} lint placement --ea mscnt,IsValue --full-coverage
+                WORKING_DIRECTORY ${SRCDIR} OUTPUT_VARIABLE out)
+if(NOT out MATCHES "PACNT -> ")
+  message(FATAL_ERROR "W064 should carry a witness path:\n${out}")
+endif()
+
 # Unknown lint targets fail loudly with the usage text.
 execute_process(COMMAND ${TOOL} lint frobnicate RESULT_VARIABLE rc
                 OUTPUT_QUIET ERROR_QUIET)

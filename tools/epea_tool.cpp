@@ -48,6 +48,7 @@
 #include <thread>
 #include <vector>
 
+#include "alt/tank_system.hpp"
 #include "analysis/campaign_lint.hpp"
 #include "analytic/benefit.hpp"
 #include "analytic/report.hpp"
@@ -76,6 +77,9 @@
 #include "model/dot.hpp"
 #include "opt/optimizer.hpp"
 #include "opt/report.hpp"
+#include "prove/certificate.hpp"
+#include "prove/hints.hpp"
+#include "prove/prover.hpp"
 #include "serve/daemon.hpp"
 #include "synth/generator.hpp"
 #include "util/table.hpp"
@@ -117,7 +121,7 @@ int usage() {
                  "  obs report DIR [--json] [--top N]  phase/critical-path report\n"
                  "  place optimize [--error-model input|severe]\n"
                  "                 [--benefit visibility|analytic|ground-truth]\n"
-                 "                 [--budget-memory B] [--json]\n"
+                 "                 [--budget-memory B] [--json] [--no-prune]\n"
                  "                 [--budget-time T] [--ground-truth --dir DIR]\n"
                  "                 [--cases N] [--times M] [--shards S] [--threads T]\n"
                  "                 [--no-fastpath] [--no-batch] [--batch-width N]\n"
@@ -126,9 +130,13 @@ int usage() {
                  "                 [--ground-truth --dir DIR] [--cases N] [--times M]\n"
                  "                 [--shards S] [--threads T]\n"
                  "  place explain  [same options as frontier]\n"
+                 "  check <arrestment|tank|FILE.sys> [--matrix FILE]\n"
+                 "        [--placement S1,S2,...|EH-set|PA-set|EXT-set]\n"
+                 "        [--error-model input|severe] [--json] [--out FILE]\n"
                  "  lint <model|matrix|placement|campaign|metrics|all>\n"
                  "       [--json] [--strict] [--out FILE] [--model FILE]\n"
-                 "       [--matrix FILE] [--ea S1,S2,...] [--frontier-dot FILE]\n"
+                 "       [--matrix FILE] [--ea S1,S2,...] [--full-coverage]\n"
+                 "       [--frontier-dot FILE]\n"
                  "       [--campaign-dir DIR] [--src DIR]\n"
                  "  lint rules                     print the EPEA rule catalog\n"
                  "  analytic predict [--matrix FILE] [--source SIG] [--sink SIG]\n"
@@ -672,7 +680,7 @@ int cmd_place(const std::vector<std::string>& args) {
                    "--dir", "--cases", "--times", "--shards", "--threads",
                    "--batch-width", "--out-prefix", "--trace-out", "--metrics-out"},
                   {"--ground-truth", "--verbose", "--no-fastpath", "--no-batch",
-                   "--json"})) {
+                   "--json", "--no-prune"})) {
         return usage();
     }
 
@@ -684,6 +692,13 @@ int cmd_place(const std::vector<std::string>& args) {
         std::string mode_name;
         opt::PlacementOptimizer optimizer =
             make_place_optimizer(rest, model, pm_holder, system, mode_name);
+        // Certificate-derived pruning for the matrix-backed benefit modes
+        // (results are identical either way; --no-prune is the CI
+        // soundness gate's unpruned arm). Ground truth never gets hints —
+        // measured coverage may disagree with the structural graph.
+        if (pm_holder && !has_flag(rest, "--no-prune")) {
+            prove::attach_structural_hints(optimizer, *pm_holder, model);
+        }
         const char* mode = mode_name.c_str();
 
         ObsCli obs_cli(rest, "place " + sub);
@@ -718,9 +733,11 @@ int cmd_place(const std::vector<std::string>& args) {
                             result.selected_names(optimizer.candidates()))
                             .c_str());
             std::printf("  coverage %.4f, memory %.0f B, time %.0f cmp/tick, "
-                        "%zu benefit evaluations\n",
+                        "%zu benefit evaluations (%zu nodes, %zu structural "
+                        "prunes)\n",
                         result.coverage, result.cost.memory, result.cost.time,
-                        result.evaluations);
+                        result.evaluations, result.nodes,
+                        result.structural_prunes);
             return obs_cli.finish();
         }
 
@@ -1153,6 +1170,110 @@ int cmd_obs(const std::vector<std::string>& args) {
 /// export, a campaign directory, and the source tree's metric names.
 /// Exit 0 when clean (warnings allowed), 2 when any error-severity
 /// finding — or any finding at all under --strict — is reported.
+/// `epea_tool check` — the semantic placement verifier (DESIGN.md §16).
+/// Emits a machine-checkable cut certificate or a concrete witness path,
+/// plus shadowing facts, containment regions and per-output dominator
+/// chains, for a placement on a model. The graph comes from a
+/// permeability matrix when one exists (paper Table 1 for arrestment, or
+/// --matrix) and from the bare module structure otherwise (tank).
+int cmd_check(const std::vector<std::string>& args) {
+    if (args.empty() || args[0].rfind("--", 0) == 0) return usage();
+    const std::string target_name = args[0];
+    if (!flags_ok(args, {"--matrix", "--placement", "--error-model", "--out"},
+                  {"--json"}, 1)) {
+        return usage();
+    }
+
+    try {
+        model::SystemModel system;
+        if (target_name == "arrestment") {
+            system = target::make_arrestment_model();
+        } else if (target_name == "tank") {
+            system = alt::make_tank_model();
+        } else {
+            std::ifstream in(target_name);
+            if (!in) {
+                std::fprintf(stderr, "cannot read %s\n", target_name.c_str());
+                return 1;
+            }
+            system = epic::load_system_text(in);
+        }
+
+        std::unique_ptr<epic::PermeabilityMatrix> pm;
+        if (const auto mf = flag_value(args, "--matrix")) {
+            std::ifstream in(*mf);
+            if (!in) {
+                std::fprintf(stderr, "cannot read %s\n", mf->c_str());
+                return 1;
+            }
+            pm = std::make_unique<epic::PermeabilityMatrix>(
+                epic::load_matrix_csv(in, system));
+        } else if (target_name == "arrestment") {
+            pm = std::make_unique<epic::PermeabilityMatrix>(
+                exp::paper_matrix(system));
+        }
+        const prove::SignalGraph graph =
+            pm ? prove::SignalGraph::from_matrix(*pm)
+               : prove::SignalGraph::from_model(system);
+        const std::string graph_source = pm ? "matrix" : "structure";
+
+        // Placement: a reference-set label, an explicit comma list, or —
+        // by default — every EA-carrying candidate signal of the model.
+        std::vector<std::string> names;
+        const auto placement_flag = flag_value(args, "--placement");
+        if (placement_flag &&
+            (*placement_flag == "EH-set" || *placement_flag == "PA-set" ||
+             *placement_flag == "EXT-set")) {
+            for (const opt::ReferenceSet& set : opt::arrestment_reference_sets()) {
+                if (set.label == *placement_flag) names = set.signals;
+            }
+        } else if (placement_flag) {
+            std::istringstream split(*placement_flag);
+            for (std::string name; std::getline(split, name, ',');) {
+                if (!name.empty()) names.push_back(name);
+            }
+        } else {
+            for (const model::SignalId id : epic::ea_candidate_signals(system)) {
+                names.push_back(system.signal_name(id));
+            }
+        }
+        std::vector<model::SignalId> ids;
+        for (const std::string& name : names) ids.push_back(system.signal_id(name));
+
+        const std::string em = flag_value(args, "--error-model").value_or("input");
+        if (em != "input" && em != "severe") {
+            throw std::invalid_argument("unknown --error-model '" + em +
+                                        "' (input|severe)");
+        }
+        const prove::SiteModel sites =
+            em == "input" ? prove::SiteModel::kInput : prove::SiteModel::kSevere;
+
+        const prove::Prover prover(graph);
+        const prove::PlacementCheck check = prover.check(ids, sites);
+
+        const std::string rendered =
+            has_flag(args, "--json")
+                ? prove::check_json(graph, check, target_name, graph_source)
+                          .dump() +
+                      "\n"
+                : prove::check_text(check, target_name);
+        if (const auto out = flag_value(args, "--out")) {
+            std::ofstream file(*out);
+            if (!file) {
+                std::fprintf(stderr, "cannot write %s\n", out->c_str());
+                return 1;
+            }
+            file << rendered;
+        } else {
+            std::fputs(rendered.c_str(), stdout);
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "check: %s\n", e.what());
+        return 1;
+    }
+}
+
 int cmd_lint(const std::vector<std::string>& args) {
     if (args.empty()) return usage();
     const std::string target = args[0];
@@ -1178,7 +1299,7 @@ int cmd_lint(const std::vector<std::string>& args) {
     if (!flags_ok(rest,
                   {"--model", "--matrix", "--ea", "--frontier-dot",
                    "--campaign-dir", "--src", "--out"},
-                  {"--json", "--strict"})) {
+                  {"--json", "--strict", "--full-coverage"})) {
         return usage();
     }
 
@@ -1238,6 +1359,7 @@ int cmd_lint(const std::vector<std::string>& args) {
                 exp::paper_matrix(system));
         }
 
+        const bool full_coverage = has_flag(rest, "--full-coverage");
         if (const auto list = flag_value(rest, "--ea")) {
             std::vector<std::string> names;
             std::istringstream split(*list);
@@ -1245,10 +1367,14 @@ int cmd_lint(const std::vector<std::string>& args) {
                 if (!name.empty()) names.push_back(name);
             }
             report.merge(analysis::lint_placement(*pm, names, "placement:--ea"));
+            report.merge(analysis::lint_placement_structure(
+                *pm, names, "placement:--ea", full_coverage));
         } else {
             for (const opt::ReferenceSet& set : opt::arrestment_reference_sets()) {
                 report.merge(analysis::lint_placement(*pm, set.signals,
                                                       "placement:" + set.label));
+                report.merge(analysis::lint_placement_structure(
+                    *pm, set.signals, "placement:" + set.label, full_coverage));
             }
         }
 
@@ -1755,6 +1881,7 @@ int main(int argc, char** argv) {
     if (command == "campaign") return cmd_campaign(args);
     if (command == "place") return cmd_place(args);
     if (command == "obs") return cmd_obs(args);
+    if (command == "check") return cmd_check(args);
     if (command == "lint") return cmd_lint(args);
     if (command == "analytic") return cmd_analytic(args);
     if (command == "synth") return cmd_synth(args);
